@@ -1,0 +1,97 @@
+//! Brute-force ground truth.
+//!
+//! Enumerates every injective mapping of pattern vertices to data vertices
+//! that preserves pattern edges (non-induced subgraph semantics, the same as
+//! GraphPi's), then divides by the pattern's automorphism count to obtain
+//! the number of distinct embeddings. Exponential in the pattern size and
+//! only intended for small graphs in tests and validation runs.
+
+use graphpi_graph::csr::{CsrGraph, VertexId};
+use graphpi_pattern::automorphism::automorphism_count;
+use graphpi_pattern::pattern::Pattern;
+
+/// Counts injective, edge-preserving mappings (each distinct subgraph is
+/// counted once per automorphism).
+pub fn count_mappings(pattern: &Pattern, graph: &CsrGraph) -> u64 {
+    let n = pattern.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut assignment: Vec<VertexId> = Vec::with_capacity(n);
+    let mut count = 0u64;
+    extend(pattern, graph, &mut assignment, &mut count);
+    count
+}
+
+/// Counts distinct embeddings (subgraphs isomorphic to the pattern).
+pub fn count_embeddings(pattern: &Pattern, graph: &CsrGraph) -> u64 {
+    let aut = automorphism_count(pattern) as u64;
+    count_mappings(pattern, graph) / aut
+}
+
+fn extend(pattern: &Pattern, graph: &CsrGraph, assignment: &mut Vec<VertexId>, count: &mut u64) {
+    let next = assignment.len();
+    if next == pattern.num_vertices() {
+        *count += 1;
+        return;
+    }
+    'candidates: for v in graph.vertices() {
+        if assignment.contains(&v) {
+            continue;
+        }
+        for (prev, &mapped) in assignment.iter().enumerate() {
+            if pattern.has_edge(next, prev) && !graph.has_edge(v, mapped) {
+                continue 'candidates;
+            }
+        }
+        assignment.push(v);
+        extend(pattern, graph, assignment, count);
+        assignment.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpi_graph::{builder::from_edges, generators, triangles};
+    use graphpi_pattern::prefab;
+
+    #[test]
+    fn triangle_count_matches_dedicated_counter() {
+        let g = generators::erdos_renyi(40, 250, 7);
+        assert_eq!(
+            count_embeddings(&prefab::triangle(), &g),
+            triangles::count_triangles(&g)
+        );
+    }
+
+    #[test]
+    fn known_small_graphs() {
+        // A 4-cycle with one chord contains exactly one rectangle and two
+        // triangles.
+        let g = from_edges(&[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        assert_eq!(count_embeddings(&prefab::rectangle(), &g), 1);
+        assert_eq!(count_embeddings(&prefab::triangle(), &g), 2);
+        // K4 contains 3 rectangles (each 4-cycle) and 4 triangles.
+        let k4 = generators::complete(4);
+        assert_eq!(count_embeddings(&prefab::rectangle(), &k4), 3);
+        assert_eq!(count_embeddings(&prefab::triangle(), &k4), 4);
+    }
+
+    #[test]
+    fn clique_counts_on_complete_graphs() {
+        // K6 contains C(6, k) k-cliques.
+        let k6 = generators::complete(6);
+        assert_eq!(count_embeddings(&prefab::clique(3), &k6), 20);
+        assert_eq!(count_embeddings(&prefab::clique(4), &k6), 15);
+        assert_eq!(count_embeddings(&prefab::clique(5), &k6), 6);
+    }
+
+    #[test]
+    fn empty_pattern_and_graph() {
+        let g = generators::complete(4);
+        assert_eq!(count_mappings(&graphpi_pattern::Pattern::empty(0), &g), 0);
+        let empty = graphpi_graph::GraphBuilder::new().build();
+        assert_eq!(count_embeddings(&prefab::triangle(), &empty), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 11: accuracy of the performance prediction model.
+//!
+//! For every evaluation pattern on the Wiki-Vote and Patents stand-ins,
+//! every schedule produced by the 2-phase generator is executed (with the
+//! model's preferred restriction set for that schedule) and the schedule the
+//! model selects is compared with the measured oracle. The paper reports the
+//! selected schedules are on average 32% slower than the oracle.
+
+use graphpi_bench::{banner, measure, patents, scale_from_env, wiki_vote, BenchDataset, Table};
+use graphpi_core::config::Configuration;
+use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
+use graphpi_core::perf_model::{select_best, PerformanceModel};
+use graphpi_core::schedule::efficient_schedules;
+use graphpi_pattern::prefab;
+use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions};
+use rand::prelude::*;
+
+/// Upper bound on measured schedules per (pattern, graph) pair; the sample
+/// always contains the model-selected schedule.
+const MAX_MEASURED_SCHEDULES: usize = 24;
+
+fn main() {
+    let scale = scale_from_env();
+    let datasets: Vec<BenchDataset> = vec![wiki_vote(scale * 0.5), patents(scale * 0.5)];
+    banner(
+        "Figure 11 — model-selected schedule vs measured oracle",
+        "per (pattern, graph): every generated schedule runs with its best restriction set",
+    );
+
+    let mut table = Table::new(vec![
+        "graph",
+        "pattern",
+        "schedules measured",
+        "selected(s)",
+        "oracle(s)",
+        "selected/oracle",
+    ]);
+    let mut ratios = Vec::new();
+
+    for dataset in &datasets {
+        let engine = GraphPi::new(dataset.graph.clone());
+        for (name, pattern) in prefab::evaluation_patterns() {
+            let sets = {
+                let mut s = generate_restriction_sets(&pattern, GenerationOptions::default());
+                s.sort_by_key(|x| x.len());
+                s.truncate(16);
+                s
+            };
+            let schedules = efficient_schedules(&pattern);
+            let model = PerformanceModel::new(*engine.stats(), pattern.num_vertices());
+
+            // The model's overall choice (schedule + restriction set).
+            let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+            let selected_schedule = plan.plan.config.schedule.clone();
+
+            // Sample the schedules to measure (always including the model's
+            // choice), and for each pick its best restriction set by model.
+            let mut rng = StdRng::seed_from_u64(0xF11);
+            let mut sample = schedules.clone();
+            sample.shuffle(&mut rng);
+            sample.truncate(MAX_MEASURED_SCHEDULES.saturating_sub(1));
+            if !sample.contains(&selected_schedule) {
+                sample.push(selected_schedule.clone());
+            }
+
+            let mut selected_time = f64::INFINITY;
+            let mut oracle = f64::INFINITY;
+            for schedule in &sample {
+                let candidates: Vec<Configuration> = sets
+                    .iter()
+                    .map(|set| Configuration::new(pattern.clone(), schedule.clone(), set.clone()))
+                    .collect();
+                let (best_idx, _) = select_best(&model, &candidates);
+                let best_plan = candidates[best_idx].compile();
+                let (_, elapsed) = measure(|| {
+                    engine.execute_count(&best_plan, CountOptions::sequential_enumeration())
+                });
+                let t = elapsed.as_secs_f64();
+                oracle = oracle.min(t);
+                if *schedule == selected_schedule {
+                    selected_time = t;
+                }
+            }
+            let ratio = selected_time / oracle.max(1e-9);
+            ratios.push(ratio);
+            table.row(vec![
+                dataset.name.to_string(),
+                name.to_string(),
+                sample.len().to_string(),
+                format!("{selected_time:.3}"),
+                format!("{oracle:.3}"),
+                format!("{ratio:.2}x"),
+            ]);
+        }
+    }
+    println!();
+    table.print();
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!(
+        "\nAverage selected/oracle ratio: {:.2}x (paper: selected schedules are ~32% slower than the oracle on average)",
+        avg
+    );
+}

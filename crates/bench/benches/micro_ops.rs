@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the kernels every experiment rests on:
+//! sorted-set intersection (merge and galloping regimes), triangle counting,
+//! restriction-set generation, and plan compilation. These are not paper
+//! figures; they exist to catch performance regressions in the substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphpi_core::config::Configuration;
+use graphpi_core::schedule::Schedule;
+use graphpi_graph::{generators, triangles, vertex_set};
+use graphpi_pattern::prefab;
+use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+
+fn bench_intersections(c: &mut Criterion) {
+    let a: Vec<u32> = (0..10_000).step_by(2).collect();
+    let b: Vec<u32> = (0..10_000).step_by(3).collect();
+    let small: Vec<u32> = (0..10_000).step_by(97).collect();
+    let mut out = Vec::new();
+    c.bench_function("intersect/merge_balanced", |bench| {
+        bench.iter(|| {
+            vertex_set::intersect_into(black_box(&a), black_box(&b), &mut out);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("intersect/galloping_skewed", |bench| {
+        bench.iter(|| {
+            vertex_set::intersect_into(black_box(&small), black_box(&a), &mut out);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("intersect/count_only", |bench| {
+        bench.iter(|| black_box(vertex_set::intersect_count(black_box(&a), black_box(&b))))
+    });
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let graph = generators::power_law(2_000, 8, 7);
+    c.bench_function("triangles/power_law_2k", |bench| {
+        bench.iter(|| black_box(triangles::count_triangles(black_box(&graph))))
+    });
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    c.bench_function("restrictions/generate_p3", |bench| {
+        bench.iter(|| {
+            black_box(generate_restriction_sets(
+                &prefab::p3(),
+                GenerationOptions::default(),
+            ))
+        })
+    });
+    let pattern = prefab::house();
+    c.bench_function("plan/compile_house", |bench| {
+        bench.iter(|| {
+            let schedule = Schedule::new(&pattern, vec![0, 1, 2, 3, 4]);
+            let config = Configuration::new(
+                pattern.clone(),
+                schedule,
+                RestrictionSet::from_pairs(&[(0, 1)]),
+            );
+            black_box(config.compile())
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_intersections, bench_triangles, bench_preprocessing
+);
+criterion_main!(micro);

@@ -1,0 +1,52 @@
+//! Table III: overhead of preprocessing (configuration generation +
+//! performance prediction) and code generation for each evaluation pattern.
+//!
+//! As the paper notes, this overhead depends only on the pattern, not on the
+//! data graph; a small graph is used merely to provide the statistics the
+//! performance model consumes.
+
+use graphpi_bench::{banner, measure, scale_from_env, wiki_vote, Table};
+use graphpi_core::codegen::{generate, Language};
+use graphpi_core::engine::{GraphPi, PlanOptions};
+use graphpi_pattern::prefab;
+
+fn main() {
+    let dataset = wiki_vote(scale_from_env());
+    banner(
+        "Table III — preprocessing and code generation overhead per pattern",
+        "paper reports 0.008s (P1) to 2.53s (P6); overhead is graph-independent",
+    );
+    let engine = GraphPi::new(dataset.graph.clone());
+
+    let mut table = Table::new(vec![
+        "pattern",
+        "restriction sets",
+        "schedules",
+        "configs ranked",
+        "preprocess(s)",
+        "codegen(s)",
+        "total(s)",
+    ]);
+
+    for (name, pattern) in prefab::evaluation_patterns() {
+        let (plan, _) = measure(|| engine.plan(&pattern, PlanOptions::default()).unwrap());
+        let preprocessing = plan.preprocessing_time;
+        let (code, codegen_time) = measure(|| {
+            let cpp = generate(&plan.plan, Language::Cpp);
+            let rust = generate(&plan.plan, Language::Rust);
+            cpp.len() + rust.len()
+        });
+        assert!(code > 0);
+        table.row(vec![
+            name.to_string(),
+            plan.restriction_sets_generated.to_string(),
+            plan.schedules_generated.to_string(),
+            plan.candidates_considered.to_string(),
+            format!("{:.4}", preprocessing.as_secs_f64()),
+            format!("{:.4}", codegen_time.as_secs_f64()),
+            format!("{:.4}", (preprocessing + codegen_time).as_secs_f64()),
+        ]);
+    }
+    println!();
+    table.print();
+}

@@ -1,0 +1,264 @@
+//! Command-line front end for the GraphPi engine.
+//!
+//! ```text
+//! graphpi-cli stats --graph edges.txt
+//! graphpi-cli plan  --graph edges.txt --pattern p3
+//! graphpi-cli count --graph edges.txt --pattern house [--threads 8] [--no-iep] [--list 5]
+//! ```
+//!
+//! The graph is a whitespace-separated edge list (`#`/`%` comments allowed).
+//! Patterns are named (`triangle`, `rectangle`, `house`, `cycle6tri`,
+//! `p1`..`p6`, `cliqueK`, `cycleK`, `pathK`, `starK`) or given explicitly as
+//! `adj:<0/1 adjacency matrix string>` in row-major order.
+
+use graphpi_core::codegen::{generate, Language};
+use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
+use graphpi_graph::io;
+use graphpi_pattern::{prefab, Pattern};
+use std::process::ExitCode;
+
+/// Parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CliArgs {
+    command: Command,
+    graph_path: String,
+    pattern: Option<String>,
+    threads: usize,
+    use_iep: bool,
+    list: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Stats,
+    Plan,
+    Count,
+}
+
+const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <edge-list> \
+[--pattern <name|adj:...>] [--threads N] [--no-iep] [--list N]";
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut iter = args.iter();
+    let command = match iter.next().map(String::as_str) {
+        Some("stats") => Command::Stats,
+        Some("plan") => Command::Plan,
+        Some("count") => Command::Count,
+        other => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    let mut graph_path = None;
+    let mut pattern = None;
+    let mut threads = 0usize;
+    let mut use_iep = true;
+    let mut list = 0usize;
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--graph" => graph_path = Some(iter.next().ok_or("--graph needs a value")?.clone()),
+            "--pattern" => pattern = Some(iter.next().ok_or("--pattern needs a value")?.clone()),
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?
+            }
+            "--no-iep" => use_iep = false,
+            "--list" => {
+                list = iter
+                    .next()
+                    .ok_or("--list needs a value")?
+                    .parse()
+                    .map_err(|_| "--list must be an integer".to_string())?
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let graph_path = graph_path.ok_or_else(|| format!("--graph is required\n{USAGE}"))?;
+    if command != Command::Stats && pattern.is_none() {
+        return Err(format!("--pattern is required for this command\n{USAGE}"));
+    }
+    Ok(CliArgs {
+        command,
+        graph_path,
+        pattern,
+        threads,
+        use_iep,
+        list,
+    })
+}
+
+/// Resolves a pattern name (or `adj:` string, or `cliqueK`/`cycleK`/...).
+fn resolve_pattern(name: &str) -> Result<Pattern, String> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(matrix) = lower.strip_prefix("adj:") {
+        return std::panic::catch_unwind(|| Pattern::from_adjacency_string(matrix))
+            .map_err(|_| format!("invalid adjacency string {matrix:?}"));
+    }
+    let sized = |prefix: &str| -> Option<usize> {
+        lower
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.parse::<usize>().ok())
+    };
+    if let Some(k) = sized("clique") {
+        return Ok(prefab::clique(k));
+    }
+    if let Some(k) = sized("cycle") {
+        return Ok(prefab::cycle_pattern(k));
+    }
+    if let Some(k) = sized("path") {
+        return Ok(prefab::path_pattern(k));
+    }
+    if let Some(k) = sized("star") {
+        return Ok(prefab::star_pattern(k));
+    }
+    match lower.as_str() {
+        "triangle" => Ok(prefab::triangle()),
+        "rectangle" | "square" => Ok(prefab::rectangle()),
+        "house" => Ok(prefab::house()),
+        "cycle6tri" | "cycle-6-tri" => Ok(prefab::cycle_6_tri()),
+        "p1" => Ok(prefab::p1()),
+        "p2" => Ok(prefab::p2()),
+        "p3" => Ok(prefab::p3()),
+        "p4" => Ok(prefab::p4()),
+        "p5" => Ok(prefab::p5()),
+        "p6" => Ok(prefab::p6()),
+        other => Err(format!(
+            "unknown pattern {other:?}; use a named pattern, cliqueK/cycleK/pathK/starK, or adj:<matrix>"
+        )),
+    }
+}
+
+fn run(args: CliArgs) -> Result<(), String> {
+    let graph = io::load_edge_list(&args.graph_path)
+        .map_err(|e| format!("failed to load {}: {e}", args.graph_path))?;
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let engine = GraphPi::new(graph);
+    let stats = engine.stats();
+    println!(
+        "stats: triangles={} max_degree={} avg_degree={:.2} p1={:.3e} p2={:.3e}",
+        stats.triangle_count, stats.max_degree, stats.avg_degree, stats.p1, stats.p2
+    );
+    if args.command == Command::Stats {
+        return Ok(());
+    }
+
+    let pattern = resolve_pattern(args.pattern.as_deref().unwrap())?;
+    let plan = engine
+        .plan(&pattern, PlanOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "plan: {} restriction sets x {} schedules -> {} candidates in {:?}",
+        plan.restriction_sets_generated,
+        plan.schedules_generated,
+        plan.candidates_considered,
+        plan.preprocessing_time
+    );
+    println!(
+        "selected schedule {:?}, restrictions {:?}, predicted cost {:.3e}",
+        plan.plan.config.schedule.order(),
+        plan.plan.config.restrictions.restrictions(),
+        plan.predicted_cost
+    );
+    if args.command == Command::Plan {
+        println!("\n{}", generate(&plan.plan, Language::Cpp));
+        return Ok(());
+    }
+
+    let start = std::time::Instant::now();
+    let count = engine.execute_count(
+        &plan.plan,
+        CountOptions {
+            use_iep: args.use_iep,
+            threads: args.threads,
+            prefix_depth: None,
+        },
+    );
+    println!("embeddings: {count}  ({:?})", start.elapsed());
+    if args.list > 0 {
+        let embeddings = graphpi_core::exec::interp::list_embeddings(&plan.plan, engine.graph());
+        for emb in embeddings.iter().take(args.list) {
+            println!("  {emb:?}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_count_invocation() {
+        let args = parse_args(&strings(&[
+            "count", "--graph", "g.txt", "--pattern", "house", "--threads", "4", "--no-iep",
+            "--list", "3",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, Command::Count);
+        assert_eq!(args.graph_path, "g.txt");
+        assert_eq!(args.pattern.as_deref(), Some("house"));
+        assert_eq!(args.threads, 4);
+        assert!(!args.use_iep);
+        assert_eq!(args.list, 3);
+    }
+
+    #[test]
+    fn stats_needs_no_pattern_but_count_does() {
+        assert!(parse_args(&strings(&["stats", "--graph", "g.txt"])).is_ok());
+        assert!(parse_args(&strings(&["count", "--graph", "g.txt"])).is_err());
+        assert!(parse_args(&strings(&["bogus"])).is_err());
+        assert!(parse_args(&strings(&["count", "--pattern", "p1"])).is_err());
+    }
+
+    #[test]
+    fn pattern_resolution() {
+        assert_eq!(resolve_pattern("house").unwrap(), prefab::house());
+        assert_eq!(resolve_pattern("P3").unwrap(), prefab::p3());
+        assert_eq!(resolve_pattern("clique4").unwrap(), prefab::clique(4));
+        assert_eq!(resolve_pattern("cycle5").unwrap(), prefab::cycle_pattern(5));
+        assert_eq!(
+            resolve_pattern("adj:011101110").unwrap(),
+            prefab::triangle()
+        );
+        assert!(resolve_pattern("nonsense").is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_a_temporary_graph() {
+        let dir = std::env::temp_dir().join("graphpi_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "0 1\n1 2\n0 2\n2 3\n").unwrap();
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            path.to_str().unwrap(),
+            "--pattern",
+            "triangle",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        assert!(run(args).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

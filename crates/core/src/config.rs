@@ -1,0 +1,374 @@
+//! Configurations and compiled execution plans.
+//!
+//! A *configuration* (Section IV-C) is the combination of a schedule and a
+//! restriction set for a pattern. The matching engine does not interpret a
+//! configuration directly: it is first *compiled* into an [`ExecutionPlan`],
+//! which resolves, for every loop position,
+//!
+//! * which earlier loops provide the neighborhoods to intersect (the
+//!   *parents*),
+//! * which restrictions become checkable at that loop and in which
+//!   direction they bound the candidate (break-above vs. skip-below), and
+//! * whether the loop belongs to the independent suffix usable by IEP.
+//!
+//! This mirrors the role of AutoMine-style code generation in the paper; the
+//! plan is the in-memory equivalent of the generated nested-loop program and
+//! [`crate::codegen`] can render it back to source text.
+
+use crate::schedule::Schedule;
+use graphpi_pattern::pattern::{Pattern, PatternVertex};
+use graphpi_pattern::restriction::RestrictionSet;
+
+/// A schedule paired with a restriction set for a specific pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// The pattern this configuration searches for.
+    pub pattern: Pattern,
+    /// The vertex search order.
+    pub schedule: Schedule,
+    /// The symmetry-breaking restrictions (over pattern vertex indices).
+    pub restrictions: RestrictionSet,
+}
+
+impl Configuration {
+    /// Bundles a pattern, schedule and restriction set.
+    pub fn new(pattern: Pattern, schedule: Schedule, restrictions: RestrictionSet) -> Self {
+        assert_eq!(
+            pattern.num_vertices(),
+            schedule.len(),
+            "schedule size must match pattern size"
+        );
+        Self {
+            pattern,
+            schedule,
+            restrictions,
+        }
+    }
+
+    /// Compiles the configuration into an executable plan.
+    pub fn compile(&self) -> ExecutionPlan {
+        ExecutionPlan::compile(self)
+    }
+}
+
+/// A restriction bound that applies at a given loop.
+///
+/// Restrictions compare data-graph ids of two pattern vertices; the engine
+/// enforces each restriction at the loop of whichever endpoint is scheduled
+/// later, at which point the other endpoint's id is already fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopBound {
+    /// The candidate must be **smaller** than the value bound at the given
+    /// earlier loop position (`id(earlier) > id(current)`). Because
+    /// candidate sets are sorted ascending, the loop can `break` as soon as
+    /// a candidate reaches the bound — this is the `if id(vA) <= id(vB)
+    /// break` statement in the paper's generated code.
+    LessThanValueAt(usize),
+    /// The candidate must be **greater** than the value bound at the given
+    /// earlier loop position (`id(current) > id(earlier)`); smaller
+    /// candidates are skipped.
+    GreaterThanValueAt(usize),
+}
+
+/// Per-loop compiled information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopPlan {
+    /// The pattern vertex bound by this loop.
+    pub pattern_vertex: PatternVertex,
+    /// Loop positions (all `<` this loop's position) whose bound vertices'
+    /// neighborhoods are intersected to form this loop's candidate set.
+    /// Empty only for the first loop, which iterates over all data vertices.
+    pub parents: Vec<usize>,
+    /// Restriction bounds enforced while iterating this loop.
+    pub bounds: Vec<LoopBound>,
+}
+
+/// How IEP counting corrects for the restrictions it drops (Section IV-D).
+///
+/// Replacing the innermost `k` loops with an inclusion–exclusion computation
+/// discards every restriction enforced in those loops, so the grand total
+/// over-counts each distinct subgraph by the number of its automorphic
+/// embeddings that satisfy the *remaining* (outer-loop) restrictions. The
+/// paper divides by that factor. The division is exact only when the factor
+/// is the same for every subgraph; the compiler verifies this by enumerating
+/// all relative orders of the pattern vertices' ids. When the multiplicity
+/// is not uniform (which never happens for the configurations GraphPi's own
+/// generator produces, but can for hand-built ones), the engine falls back
+/// to running IEP with **no** restrictions at all and dividing by the full
+/// automorphism count, which is always exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IepCorrection {
+    /// Keep the outer-loop restrictions and divide the IEP total by this
+    /// uniform per-subgraph multiplicity.
+    DividePrefixRestricted {
+        /// The uniform multiplicity (≥ 1).
+        divisor: u64,
+    },
+    /// Drop every restriction for the IEP run and divide by `|Aut|`.
+    DivideUnrestricted {
+        /// The pattern's automorphism count.
+        divisor: u64,
+    },
+}
+
+impl IepCorrection {
+    /// The divisor applied to the IEP grand total.
+    pub fn divisor(&self) -> u64 {
+        match *self {
+            IepCorrection::DividePrefixRestricted { divisor } => divisor,
+            IepCorrection::DivideUnrestricted { divisor } => divisor,
+        }
+    }
+}
+
+/// A fully resolved nested-loop program for one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    /// The source configuration.
+    pub config: Configuration,
+    /// One entry per loop, outermost first.
+    pub loops: Vec<LoopPlan>,
+    /// Length of the trailing run of loops whose pattern vertices are
+    /// pairwise non-adjacent — the `k` usable by IEP counting for this plan.
+    pub iep_suffix_len: usize,
+    /// How IEP counting must correct for the restrictions it drops.
+    pub iep_correction: IepCorrection,
+}
+
+impl ExecutionPlan {
+    fn compile(config: &Configuration) -> ExecutionPlan {
+        let pattern = &config.pattern;
+        let order = config.schedule.order();
+        let n = order.len();
+
+        let mut loops = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = order[i];
+            let parents: Vec<usize> = (0..i).filter(|&j| pattern.has_edge(order[j], v)).collect();
+            let mut bounds = Vec::new();
+            for r in config.restrictions.restrictions() {
+                let pg = config.schedule.position_of(r.greater);
+                let ps = config.schedule.position_of(r.smaller);
+                let enforced_at = pg.max(ps);
+                if enforced_at != i {
+                    continue;
+                }
+                if ps == i {
+                    // current must be smaller than the earlier `greater`.
+                    bounds.push(LoopBound::LessThanValueAt(pg));
+                } else {
+                    // current must be greater than the earlier `smaller`.
+                    bounds.push(LoopBound::GreaterThanValueAt(ps));
+                }
+            }
+            loops.push(LoopPlan {
+                pattern_vertex: v,
+                parents,
+                bounds,
+            });
+        }
+
+        let iep_suffix_len = config.schedule.independent_suffix_len(pattern);
+        let iep_correction = iep_correction(config, iep_suffix_len);
+
+        ExecutionPlan {
+            config: config.clone(),
+            loops,
+            iep_suffix_len,
+            iep_correction,
+        }
+    }
+
+    /// Number of loops (= pattern vertices).
+    pub fn num_loops(&self) -> usize {
+        self.loops.len()
+    }
+}
+
+/// Determines the IEP over-counting correction for this configuration
+/// (Section IV-D).
+///
+/// The restrictions that remain after dropping the innermost `k` loops are
+/// those whose endpoints both lie in the outer `n - k` scheduled vertices.
+/// For each possible relative order `π` of the data ids assigned to the
+/// pattern vertices, the per-subgraph multiplicity is the number of
+/// automorphisms `σ` for which `π ∘ σ` satisfies the remaining restrictions.
+/// If that multiplicity is the same for every `π`, dividing the IEP total by
+/// it is exact; otherwise the safe fallback drops all restrictions.
+fn iep_correction(config: &Configuration, k: usize) -> IepCorrection {
+    use graphpi_pattern::automorphism::automorphism_group;
+
+    let order = config.schedule.order();
+    let n = order.len();
+    let outer: Vec<PatternVertex> = order[..n - k].to_vec();
+    let remaining = config.restrictions.restricted_to(&outer);
+    let auts = automorphism_group(&config.pattern);
+    let aut_count = auts.len() as u64;
+
+    if remaining.is_empty() {
+        // No restrictions survive: every automorphic copy is counted.
+        return IepCorrection::DividePrefixRestricted { divisor: aut_count };
+    }
+
+    // Enumerate every relative order of the pattern vertices' ids and count,
+    // for each, how many automorphic re-labelings satisfy the remaining
+    // restrictions. Patterns are tiny, so n! * |Aut| stays small.
+    let mut orders: Vec<Vec<u64>> = Vec::new();
+    let mut current: Vec<u64> = (0..n as u64).collect();
+    permutations_into(&mut current, n, &mut orders);
+
+    let mut multiplicity: Option<u64> = None;
+    for ids in &orders {
+        let m = auts
+            .iter()
+            .filter(|sigma| {
+                remaining
+                    .restrictions()
+                    .iter()
+                    .all(|r| ids[sigma.apply(r.greater)] > ids[sigma.apply(r.smaller)])
+            })
+            .count() as u64;
+        match multiplicity {
+            None => multiplicity = Some(m),
+            Some(prev) if prev != m => {
+                return IepCorrection::DivideUnrestricted { divisor: aut_count };
+            }
+            _ => {}
+        }
+    }
+    IepCorrection::DividePrefixRestricted {
+        divisor: multiplicity.unwrap_or(aut_count).max(1),
+    }
+}
+
+fn permutations_into(current: &mut Vec<u64>, k: usize, out: &mut Vec<Vec<u64>>) {
+    if k <= 1 {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..k {
+        permutations_into(current, k - 1, out);
+        if k % 2 == 0 {
+            current.swap(i, k - 1);
+        } else {
+            current.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpi_pattern::prefab;
+    use graphpi_pattern::restriction::RestrictionSet;
+
+    /// The paper's House configuration: schedule A,B,C,D,E with the single
+    /// restriction id(A) > id(B).
+    fn paper_house_config() -> Configuration {
+        let pattern = prefab::house();
+        let schedule = Schedule::new(&pattern, vec![0, 1, 2, 3, 4]);
+        let restrictions = RestrictionSet::from_pairs(&[(0, 1)]);
+        Configuration::new(pattern, schedule, restrictions)
+    }
+
+    #[test]
+    fn house_plan_matches_figure_5() {
+        let plan = paper_house_config().compile();
+        assert_eq!(plan.num_loops(), 5);
+        // Loop 0 (A): no parents, no bounds.
+        assert!(plan.loops[0].parents.is_empty());
+        assert!(plan.loops[0].bounds.is_empty());
+        // Loop 1 (B): parent A, and the id(A) > id(B) restriction becomes a
+        // break-above bound referencing loop 0.
+        assert_eq!(plan.loops[1].parents, vec![0]);
+        assert_eq!(plan.loops[1].bounds, vec![LoopBound::LessThanValueAt(0)]);
+        // Loop 2 (C): parent A only.
+        assert_eq!(plan.loops[2].parents, vec![0]);
+        // Loop 3 (D): parents B and C.
+        assert_eq!(plan.loops[3].parents, vec![1, 2]);
+        // Loop 4 (E): parents A and B.
+        assert_eq!(plan.loops[4].parents, vec![0, 1]);
+        // D and E are the independent suffix (k = 2).
+        assert_eq!(plan.iep_suffix_len, 2);
+        // Dropping the restriction-free suffix keeps id(A) > id(B), which
+        // eliminates the single non-identity automorphism: divisor 1.
+        assert_eq!(
+            plan.iep_correction,
+            IepCorrection::DividePrefixRestricted { divisor: 1 }
+        );
+    }
+
+    #[test]
+    fn reversed_restriction_becomes_lower_bound() {
+        let pattern = prefab::house();
+        let schedule = Schedule::new(&pattern, vec![0, 1, 2, 3, 4]);
+        // id(B) > id(A): enforced at B's loop as a skip-below bound.
+        let restrictions = RestrictionSet::from_pairs(&[(1, 0)]);
+        let plan = Configuration::new(pattern, schedule, restrictions).compile();
+        assert_eq!(plan.loops[1].bounds, vec![LoopBound::GreaterThanValueAt(0)]);
+    }
+
+    #[test]
+    fn iep_correction_counts_lost_symmetry() {
+        // House with no restrictions at all: both automorphisms survive.
+        let pattern = prefab::house();
+        let schedule = Schedule::new(&pattern, vec![0, 1, 2, 3, 4]);
+        let plan = Configuration::new(pattern, schedule, RestrictionSet::empty()).compile();
+        assert_eq!(
+            plan.iep_correction,
+            IepCorrection::DividePrefixRestricted { divisor: 2 }
+        );
+
+        // Rectangle with a complete restriction set but a schedule whose
+        // independent suffix swallows some restrictions: the divisor grows
+        // but stays well defined.
+        let rect = prefab::rectangle();
+        let schedule = Schedule::new(&rect, vec![0, 1, 2, 3]);
+        let restrictions = RestrictionSet::from_pairs(&[(0, 1), (0, 2), (1, 3)]);
+        let plan = Configuration::new(rect, schedule, restrictions).compile();
+        // The 4-cycle schedule 0,1,2,3 ends with two adjacent vertices, so
+        // the usable suffix is 1 and only restrictions touching vertex 3 are
+        // dropped.
+        assert_eq!(plan.iep_suffix_len, 1);
+        assert!(plan.iep_correction.divisor() >= 1);
+    }
+
+    #[test]
+    fn non_uniform_prefix_restrictions_fall_back() {
+        // Path A-B-C with the single restriction id(A) > id(B) and suffix
+        // {C}: depending on whether B has the smallest id, either one or two
+        // automorphic copies satisfy the remaining restriction, so the exact
+        // division is impossible and the plan must fall back to the
+        // unrestricted correction.
+        let path = prefab::path_pattern(3);
+        let schedule = Schedule::new(&path, vec![0, 1, 2]);
+        let restrictions = RestrictionSet::from_pairs(&[(0, 1)]);
+        let plan = Configuration::new(path, schedule, restrictions).compile();
+        assert_eq!(
+            plan.iep_correction,
+            IepCorrection::DivideUnrestricted { divisor: 2 }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_schedule_rejected() {
+        let pattern = prefab::triangle();
+        let schedule = Schedule::new(&prefab::rectangle(), vec![0, 1, 2, 3]);
+        let _ = Configuration::new(pattern, schedule, RestrictionSet::empty());
+    }
+
+    #[test]
+    fn unrestricted_plan_divides_by_full_group() {
+        // P2 (double star) with no restrictions: the IEP divisor is the full
+        // automorphism count (8) and the four leaves form the suffix.
+        let p = prefab::p2();
+        let schedule = Schedule::new(&p, vec![0, 1, 2, 3, 4, 5]);
+        let plan = Configuration::new(p, schedule, RestrictionSet::empty()).compile();
+        assert_eq!(plan.iep_suffix_len, 4);
+        assert_eq!(
+            plan.iep_correction,
+            IepCorrection::DividePrefixRestricted { divisor: 8 }
+        );
+    }
+}

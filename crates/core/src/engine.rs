@@ -1,0 +1,418 @@
+//! High-level GraphPi engine: preprocessing, planning, and execution.
+//!
+//! [`GraphPi`] ties the pieces together the way Figure 3 of the paper does:
+//!
+//! 1. **Configuration generation** — restriction sets from the 2-cycle
+//!    algorithm and schedules from the 2-phase generator.
+//! 2. **Performance prediction** — every (schedule × restriction set)
+//!    combination is ranked by the cost model; the cheapest becomes the
+//!    plan.
+//! 3. **Execution** — the plan runs on the data graph sequentially, in
+//!    parallel, or on the simulated cluster, with or without IEP counting.
+
+use crate::config::{Configuration, ExecutionPlan};
+use crate::error::EngineError;
+use crate::exec::{iep, interp, parallel};
+use crate::perf_model::{select_best, CostEstimate, PerformanceModel};
+use crate::schedule::{efficient_schedules, Schedule};
+use graphpi_graph::csr::{CsrGraph, VertexId};
+use graphpi_graph::stats::GraphStats;
+use graphpi_pattern::pattern::Pattern;
+use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+use std::time::{Duration, Instant};
+
+/// Largest pattern size the planner accepts (the paper evaluates up to 6–7
+/// vertices; preprocessing cost grows factorially beyond that).
+pub const MAX_PATTERN_VERTICES: usize = 8;
+
+/// Options controlling configuration generation and selection.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Upper bound on the number of restriction sets combined with each
+    /// schedule (the full family can be large for highly symmetric
+    /// patterns; the best sets are almost always among the smallest).
+    pub max_restriction_sets: usize,
+    /// Upper bound on the number of schedules considered (0 = no limit).
+    pub max_schedules: usize,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self {
+            max_restriction_sets: 64,
+            max_schedules: 0,
+        }
+    }
+}
+
+/// Options controlling plan execution.
+#[derive(Debug, Clone, Copy)]
+pub struct CountOptions {
+    /// Use the Inclusion-Exclusion Principle when only counting.
+    pub use_iep: bool,
+    /// Number of worker threads (0 = all cores, 1 = sequential).
+    pub threads: usize,
+    /// Outer-loop prefix depth for parallel tasks (None = heuristic).
+    pub prefix_depth: Option<usize>,
+}
+
+impl Default for CountOptions {
+    fn default() -> Self {
+        Self {
+            use_iep: true,
+            threads: 0,
+            prefix_depth: None,
+        }
+    }
+}
+
+impl CountOptions {
+    /// Sequential, enumeration-only execution (what the paper uses when
+    /// comparing against GraphZero and Fractal).
+    pub fn sequential_enumeration() -> Self {
+        Self {
+            use_iep: false,
+            threads: 1,
+            prefix_depth: None,
+        }
+    }
+}
+
+/// A selected plan together with planning metadata.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The compiled best configuration.
+    pub plan: ExecutionPlan,
+    /// Predicted cost of the selected configuration.
+    pub predicted_cost: f64,
+    /// Number of (schedule × restriction set) candidates that were ranked.
+    pub candidates_considered: usize,
+    /// Number of schedules produced by the 2-phase generator.
+    pub schedules_generated: usize,
+    /// Number of restriction sets produced by the 2-cycle algorithm.
+    pub restriction_sets_generated: usize,
+    /// Wall-clock time spent on preprocessing (configuration generation +
+    /// performance prediction), the quantity Table III reports.
+    pub preprocessing_time: Duration,
+}
+
+/// The GraphPi engine bound to one data graph.
+#[derive(Debug, Clone)]
+pub struct GraphPi {
+    graph: CsrGraph,
+    stats: GraphStats,
+}
+
+impl GraphPi {
+    /// Builds the engine, computing the graph statistics (vertex/edge and
+    /// triangle counts) the performance model needs. This is the
+    /// graph-dependent part of preprocessing and is done once per graph.
+    pub fn new(graph: CsrGraph) -> Self {
+        let stats = GraphStats::compute(&graph);
+        Self { graph, stats }
+    }
+
+    /// Builds the engine with precomputed statistics (e.g. loaded from disk).
+    pub fn with_stats(graph: CsrGraph, stats: GraphStats) -> Self {
+        Self { graph, stats }
+    }
+
+    /// The underlying data graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The cached statistics.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    fn check_pattern(&self, pattern: &Pattern) -> Result<(), EngineError> {
+        if pattern.num_vertices() == 0 {
+            return Err(EngineError::EmptyPattern);
+        }
+        if pattern.num_vertices() > MAX_PATTERN_VERTICES {
+            return Err(EngineError::PatternTooLarge {
+                vertices: pattern.num_vertices(),
+                max: MAX_PATTERN_VERTICES,
+            });
+        }
+        if !pattern.is_connected() {
+            return Err(EngineError::DisconnectedPattern);
+        }
+        Ok(())
+    }
+
+    /// Runs configuration generation and performance prediction, returning
+    /// the selected plan (Figure 3's preprocessing pipeline).
+    pub fn plan(&self, pattern: &Pattern, options: PlanOptions) -> Result<Plan, EngineError> {
+        self.check_pattern(pattern)?;
+        let start = Instant::now();
+
+        let restriction_sets = generate_restriction_sets(pattern, GenerationOptions::default());
+        let schedules = efficient_schedules(pattern);
+        if restriction_sets.is_empty() || schedules.is_empty() {
+            return Err(EngineError::NoConfiguration);
+        }
+        let restriction_sets_generated = restriction_sets.len();
+        let schedules_generated = schedules.len();
+
+        // Prefer smaller restriction sets when capping: they filter earlier
+        // in the loop nest on average and keep ranking cheap.
+        let mut sets = restriction_sets;
+        sets.sort_by_key(|s| s.len());
+        if options.max_restriction_sets > 0 {
+            sets.truncate(options.max_restriction_sets);
+        }
+        let mut schedules = schedules;
+        if options.max_schedules > 0 {
+            schedules.truncate(options.max_schedules);
+        }
+
+        let mut candidates: Vec<Configuration> = Vec::with_capacity(sets.len() * schedules.len());
+        for schedule in &schedules {
+            for set in &sets {
+                candidates.push(Configuration::new(
+                    pattern.clone(),
+                    schedule.clone(),
+                    set.clone(),
+                ));
+            }
+        }
+
+        let model = PerformanceModel::new(self.stats, pattern.num_vertices());
+        let (best_idx, estimates) = select_best(&model, &candidates);
+        let plan = candidates[best_idx].compile();
+        Ok(Plan {
+            plan,
+            predicted_cost: estimates[best_idx].total,
+            candidates_considered: candidates.len(),
+            schedules_generated,
+            restriction_sets_generated,
+            preprocessing_time: start.elapsed(),
+        })
+    }
+
+    /// Predicts the cost of an explicit configuration with this graph's
+    /// statistics (used by the model-accuracy experiments).
+    pub fn predict(&self, config: &Configuration) -> CostEstimate {
+        let model = PerformanceModel::new(self.stats, config.pattern.num_vertices());
+        model.predict_configuration(config)
+    }
+
+    /// Counts embeddings of `pattern` with default planning and execution
+    /// options.
+    pub fn count(&self, pattern: &Pattern) -> Result<u64, EngineError> {
+        let plan = self.plan(pattern, PlanOptions::default())?;
+        Ok(self.execute_count(&plan.plan, CountOptions::default()))
+    }
+
+    /// Counts embeddings with explicit execution options.
+    pub fn count_with(
+        &self,
+        pattern: &Pattern,
+        plan_options: PlanOptions,
+        count_options: CountOptions,
+    ) -> Result<u64, EngineError> {
+        let plan = self.plan(pattern, plan_options)?;
+        Ok(self.execute_count(&plan.plan, count_options))
+    }
+
+    /// Executes an already-compiled plan and returns the embedding count.
+    pub fn execute_count(&self, plan: &ExecutionPlan, options: CountOptions) -> u64 {
+        let threads = if options.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            options.threads
+        };
+        match (options.use_iep, threads) {
+            (false, 1) => interp::count_embeddings(plan, &self.graph),
+            (true, 1) => iep::count_embeddings_iep(plan, &self.graph),
+            (use_iep, t) => parallel::count_parallel(
+                plan,
+                &self.graph,
+                parallel::ParallelOptions {
+                    threads: t,
+                    prefix_depth: options.prefix_depth,
+                    mode: if use_iep {
+                        parallel::CountMode::Iep
+                    } else {
+                        parallel::CountMode::Enumerate
+                    },
+                },
+            ),
+        }
+    }
+
+    /// Lists every embedding of `pattern` (one `Vec` per embedding, indexed
+    /// by pattern vertex).
+    pub fn list(&self, pattern: &Pattern) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        let plan = self.plan(pattern, PlanOptions::default())?;
+        Ok(interp::list_embeddings(&plan.plan, &self.graph))
+    }
+
+    /// Counts embeddings with an explicitly provided configuration,
+    /// bypassing the planner (used by the schedule/restriction breakdown
+    /// experiments).
+    pub fn count_with_configuration(
+        &self,
+        schedule: Schedule,
+        restrictions: RestrictionSet,
+        pattern: &Pattern,
+        options: CountOptions,
+    ) -> u64 {
+        let plan = Configuration::new(pattern.clone(), schedule, restrictions).compile();
+        self.execute_count(&plan, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphpi_graph::generators;
+    use graphpi_pattern::automorphism::automorphism_count;
+    use graphpi_pattern::prefab;
+
+    fn engine() -> GraphPi {
+        GraphPi::new(generators::power_law(400, 6, 12))
+    }
+
+    #[test]
+    fn plan_reports_metadata() {
+        let engine = engine();
+        let plan = engine.plan(&prefab::house(), PlanOptions::default()).unwrap();
+        assert!(plan.candidates_considered > 0);
+        assert!(plan.schedules_generated > 0);
+        assert!(plan.restriction_sets_generated > 0);
+        assert!(plan.predicted_cost > 0.0);
+        assert_eq!(plan.plan.num_loops(), 5);
+    }
+
+    #[test]
+    fn count_errors_for_bad_patterns() {
+        let engine = engine();
+        assert_eq!(
+            engine.count(&Pattern::empty(0)),
+            Err(EngineError::EmptyPattern)
+        );
+        let disconnected = Pattern::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(
+            engine.count(&disconnected),
+            Err(EngineError::DisconnectedPattern)
+        );
+        let big = prefab::clique(9);
+        assert!(matches!(
+            engine.count(&big),
+            Err(EngineError::PatternTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn count_matches_naive_expectation_on_triangles() {
+        let g = generators::power_law(300, 5, 44);
+        let expected = graphpi_graph::triangles::count_triangles(&g);
+        let engine = GraphPi::new(g);
+        assert_eq!(engine.count(&prefab::triangle()).unwrap(), expected);
+    }
+
+    #[test]
+    fn execution_modes_agree() {
+        let engine = engine();
+        for (name, pattern) in prefab::evaluation_patterns().into_iter().take(4) {
+            let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+            let sequential = engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
+            let with_iep = engine.execute_count(
+                &plan.plan,
+                CountOptions {
+                    use_iep: true,
+                    threads: 1,
+                    prefix_depth: None,
+                },
+            );
+            let parallel = engine.execute_count(
+                &plan.plan,
+                CountOptions {
+                    use_iep: false,
+                    threads: 4,
+                    prefix_depth: None,
+                },
+            );
+            let parallel_iep = engine.execute_count(
+                &plan.plan,
+                CountOptions {
+                    use_iep: true,
+                    threads: 4,
+                    prefix_depth: None,
+                },
+            );
+            assert_eq!(sequential, with_iep, "{name}");
+            assert_eq!(sequential, parallel, "{name}");
+            assert_eq!(sequential, parallel_iep, "{name}");
+        }
+    }
+
+    #[test]
+    fn listing_length_matches_count() {
+        let engine = GraphPi::new(generators::erdos_renyi(120, 700, 3));
+        let pattern = prefab::rectangle();
+        let count = engine
+            .count_with(
+                &pattern,
+                PlanOptions::default(),
+                CountOptions::sequential_enumeration(),
+            )
+            .unwrap();
+        let listed = engine.list(&pattern).unwrap();
+        assert_eq!(listed.len() as u64, count);
+    }
+
+    #[test]
+    fn selected_plan_is_reasonably_good() {
+        // The model-selected configuration must not be worse than the worst
+        // candidate (sanity floor for the Figure 11 experiment).
+        let engine = engine();
+        let pattern = prefab::house();
+        let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+        let schedules = efficient_schedules(&pattern);
+        let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+        let mut worst = 0.0f64;
+        for s in &schedules {
+            for set in sets.iter().take(4) {
+                let estimate =
+                    engine.predict(&Configuration::new(pattern.clone(), s.clone(), set.clone()));
+                worst = worst.max(estimate.total);
+            }
+        }
+        assert!(plan.predicted_cost <= worst);
+    }
+
+    #[test]
+    fn unrestricted_configuration_overcounts_by_aut() {
+        let engine = GraphPi::new(generators::erdos_renyi(100, 500, 19));
+        let pattern = prefab::rectangle();
+        let schedule = Schedule::new(&pattern, vec![0, 1, 2, 3]);
+        let restricted = engine
+            .count_with(
+                &pattern,
+                PlanOptions::default(),
+                CountOptions::sequential_enumeration(),
+            )
+            .unwrap();
+        let unrestricted = engine.count_with_configuration(
+            schedule,
+            RestrictionSet::empty(),
+            &pattern,
+            CountOptions::sequential_enumeration(),
+        );
+        assert_eq!(restricted * automorphism_count(&pattern) as u64, unrestricted);
+    }
+
+    #[test]
+    fn preprocessing_time_is_recorded() {
+        let engine = engine();
+        let plan = engine.plan(&prefab::p3(), PlanOptions::default()).unwrap();
+        assert!(plan.preprocessing_time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for the GraphPi engine.
+
+use std::fmt;
+
+/// Errors reported by the high-level engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The pattern has no vertices.
+    EmptyPattern,
+    /// The pattern is disconnected; matching a disconnected pattern is not
+    /// meaningful with a nested-loop search (its count is a product of the
+    /// components' counts, which callers can compute themselves).
+    DisconnectedPattern,
+    /// The pattern has more vertices than supported by the planner
+    /// (restriction generation and the performance model enumerate `n!`
+    /// objects, so very large patterns are rejected up front).
+    PatternTooLarge {
+        /// Number of vertices in the offending pattern.
+        vertices: usize,
+        /// Maximum supported size.
+        max: usize,
+    },
+    /// No valid configuration could be produced (should not happen for
+    /// connected patterns within the size limit; reported defensively).
+    NoConfiguration,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyPattern => write!(f, "pattern has no vertices"),
+            EngineError::DisconnectedPattern => write!(f, "pattern is disconnected"),
+            EngineError::PatternTooLarge { vertices, max } => {
+                write!(f, "pattern has {vertices} vertices; at most {max} are supported")
+            }
+            EngineError::NoConfiguration => write!(f, "no valid configuration could be generated"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EngineError::EmptyPattern.to_string().contains("no vertices"));
+        assert!(EngineError::DisconnectedPattern.to_string().contains("disconnected"));
+        assert!(EngineError::PatternTooLarge { vertices: 12, max: 8 }
+            .to_string()
+            .contains("12"));
+        assert!(EngineError::NoConfiguration.to_string().contains("configuration"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Embedding counting with the Inclusion-Exclusion Principle
+//! (Section IV-D and Algorithm 2 of the paper).
+//!
+//! When only the *number* of embeddings is needed and the last `k` scheduled
+//! pattern vertices are pairwise non-adjacent, the innermost `k` loops never
+//! perform intersections — they only enumerate. Instead of enumerating,
+//! GraphPi computes, for every binding of the outer `n - k` loops, the
+//! number of ways to choose `k` pairwise-distinct vertices
+//! `(e_1, …, e_k)` with `e_i ∈ S_i`, where `S_i` is the candidate set of the
+//! `i`-th suffix vertex. That number is obtained by inclusion–exclusion over
+//! the "some pair equal" events; each term factors over the connected
+//! components of the equality-pair graph (Algorithm 2) into a product of
+//! intersection cardinalities.
+//!
+//! Restrictions enforced in the suffix loops are dropped by this
+//! transformation, so the grand total over-counts by the number of pattern
+//! automorphisms the *remaining* restrictions fail to eliminate; the final
+//! count is divided by that factor (`ExecutionPlan::iep_redundancy`).
+
+use crate::config::{Configuration, ExecutionPlan, IepCorrection};
+use crate::exec::interp;
+use graphpi_graph::csr::{CsrGraph, VertexId};
+use graphpi_graph::vertex_set;
+use graphpi_pattern::restriction::RestrictionSet;
+
+/// Counts embeddings using IEP over the innermost `plan.iep_suffix_len`
+/// loops. Falls back to plain enumeration when the suffix is shorter than 2
+/// (there is nothing to gain) or when the plan has a single loop.
+pub fn count_embeddings_iep(plan: &ExecutionPlan, graph: &CsrGraph) -> u64 {
+    let k = plan.iep_suffix_len;
+    let n = plan.num_loops();
+    if k < 2 || n <= k {
+        return interp::count_embeddings(plan, graph);
+    }
+    // When the plan's outer restrictions do not over-count every subgraph by
+    // the same factor, run IEP on a restriction-free clone of the plan (see
+    // `IepCorrection`).
+    let unrestricted_plan;
+    let (effective_plan, divisor) = match plan.iep_correction {
+        IepCorrection::DividePrefixRestricted { divisor } => (plan, divisor),
+        IepCorrection::DivideUnrestricted { divisor } => {
+            unrestricted_plan = Configuration::new(
+                plan.config.pattern.clone(),
+                plan.config.schedule.clone(),
+                RestrictionSet::empty(),
+            )
+            .compile();
+            (&unrestricted_plan, divisor)
+        }
+    };
+    let outer_depth = n - k;
+    let prefixes = interp::enumerate_prefixes(effective_plan, graph, outer_depth);
+    let mut total: u64 = 0;
+    for prefix in &prefixes {
+        total += iep_term(effective_plan, graph, prefix);
+    }
+    debug_assert!(divisor >= 1);
+    total / divisor
+}
+
+/// Counts embeddings (before dividing by the redundancy factor) contributed
+/// by a single outer-loop prefix. Exposed for the parallel executor.
+pub fn iep_term(plan: &ExecutionPlan, graph: &CsrGraph, prefix: &[VertexId]) -> u64 {
+    let n = plan.num_loops();
+    let k = n - prefix.len();
+    debug_assert!(k >= 1);
+
+    // Candidate set of each suffix vertex: intersection of the neighborhoods
+    // of its bound pattern neighbors, minus the already bound vertices.
+    let mut sets: Vec<Vec<VertexId>> = Vec::with_capacity(k);
+    for depth in prefix.len()..n {
+        let loop_plan = &plan.loops[depth];
+        let neighborhoods: Vec<&[VertexId]> = loop_plan
+            .parents
+            .iter()
+            .map(|&p| graph.neighbors(prefix[p]))
+            .collect();
+        let base: Vec<VertexId> = if neighborhoods.is_empty() {
+            graph.vertices().collect()
+        } else if neighborhoods.len() == 1 {
+            neighborhoods[0].to_vec()
+        } else {
+            vertex_set::intersect_many(&neighborhoods)
+        };
+        sets.push(vertex_set::subtract(&base, prefix));
+    }
+    count_distinct_tuples(&sets)
+}
+
+/// Number of ordered tuples `(e_1, …, e_k)` with `e_i ∈ sets[i]` and all
+/// entries pairwise distinct, computed by inclusion–exclusion over equality
+/// pairs with the per-component factorisation of Algorithm 2.
+pub fn count_distinct_tuples(sets: &[Vec<VertexId>]) -> u64 {
+    let k = sets.len();
+    assert!(k >= 1, "need at least one candidate set");
+    assert!(k <= 6, "IEP suffix larger than 6 is not supported");
+    if k == 1 {
+        return sets[0].len() as u64;
+    }
+
+    // Cardinality of the intersection of every subset of the candidate
+    // sets, indexed by bitmask.
+    let mut subset_card = vec![0i64; 1usize << k];
+    for mask in 1usize..(1 << k) {
+        let members: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
+        if members.len() == 1 {
+            subset_card[mask] = sets[members[0]].len() as i64;
+        } else {
+            let slices: Vec<&[VertexId]> = members.iter().map(|&i| sets[i].as_slice()).collect();
+            subset_card[mask] = vertex_set::intersect_many(&slices).len() as i64;
+        }
+    }
+
+    // All unordered pairs (i, j), i < j.
+    let pairs: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
+        .collect();
+    let num_pairs = pairs.len();
+
+    let mut total: i64 = 0;
+    for pair_mask in 0usize..(1 << num_pairs) {
+        let sign = if pair_mask.count_ones() % 2 == 0 { 1i64 } else { -1i64 };
+        // Algorithm 2: union-find the suffix vertices along the selected
+        // equality pairs, then multiply the intersection cardinalities of
+        // the resulting components.
+        let mut parent: Vec<usize> = (0..k).collect();
+        for (bit, &(i, j)) in pairs.iter().enumerate() {
+            if pair_mask & (1 << bit) != 0 {
+                union(&mut parent, i, j);
+            }
+        }
+        let mut component_mask = vec![0usize; k];
+        for v in 0..k {
+            component_mask[find(&mut parent, v)] |= 1 << v;
+        }
+        let mut product: i64 = 1;
+        for v in 0..k {
+            if find(&mut parent, v) == v {
+                product = product.saturating_mul(subset_card[component_mask[v]]);
+                if product == 0 {
+                    break;
+                }
+            }
+        }
+        total += sign * product;
+    }
+    total.max(0) as u64
+}
+
+fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    if parent[x] != x {
+        let root = find(parent, parent[x]);
+        parent[x] = root;
+    }
+    parent[x]
+}
+
+fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    if ra != rb {
+        parent[ra] = rb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::schedule::{efficient_schedules, Schedule};
+    use graphpi_graph::generators;
+    use graphpi_pattern::prefab;
+    use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+
+    #[test]
+    fn distinct_tuple_counting_small_cases() {
+        // Two disjoint sets: all pairs are distinct.
+        assert_eq!(count_distinct_tuples(&[vec![1, 2], vec![3, 4]]), 4);
+        // Identical sets of size 3: ordered pairs with distinct entries = 6.
+        assert_eq!(count_distinct_tuples(&[vec![1, 2, 3], vec![1, 2, 3]]), 6);
+        // Three identical sets of size 3: 3! = 6.
+        assert_eq!(
+            count_distinct_tuples(&[vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3]]),
+            6
+        );
+        // A singleton repeated twice cannot produce distinct entries.
+        assert_eq!(count_distinct_tuples(&[vec![7], vec![7]]), 0);
+        // Single set: its size.
+        assert_eq!(count_distinct_tuples(&[vec![1, 2, 3, 4]]), 4);
+        // Empty set anywhere: zero.
+        assert_eq!(count_distinct_tuples(&[vec![], vec![1, 2]]), 0);
+    }
+
+    #[test]
+    fn distinct_tuple_counting_matches_bruteforce() {
+        // Randomised cross-check against explicit enumeration.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let k = rng.gen_range(2..=4usize);
+            let sets: Vec<Vec<VertexId>> = (0..k)
+                .map(|_| {
+                    let mut s: Vec<VertexId> =
+                        (0..rng.gen_range(0..8u32)).filter(|_| rng.gen_bool(0.6)).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let expected = brute_force_distinct(&sets);
+            assert_eq!(count_distinct_tuples(&sets), expected, "sets {sets:?}");
+        }
+    }
+
+    fn brute_force_distinct(sets: &[Vec<VertexId>]) -> u64 {
+        fn rec(sets: &[Vec<VertexId>], chosen: &mut Vec<VertexId>, i: usize) -> u64 {
+            if i == sets.len() {
+                return 1;
+            }
+            let mut total = 0;
+            for &v in &sets[i] {
+                if !chosen.contains(&v) {
+                    chosen.push(v);
+                    total += rec(sets, chosen, i + 1);
+                    chosen.pop();
+                }
+            }
+            total
+        }
+        rec(sets, &mut Vec::new(), 0)
+    }
+
+    fn best_effort_plan(pattern: graphpi_pattern::Pattern) -> crate::config::ExecutionPlan {
+        let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+        let schedules = efficient_schedules(&pattern);
+        Configuration::new(pattern, schedules[0].clone(), sets[0].clone()).compile()
+    }
+
+    #[test]
+    fn iep_matches_enumeration_on_house() {
+        let g = generators::power_law(300, 6, 77);
+        let plan = best_effort_plan(prefab::house());
+        assert!(plan.iep_suffix_len >= 2);
+        assert_eq!(
+            count_embeddings_iep(&plan, &g),
+            interp::count_embeddings(&plan, &g)
+        );
+    }
+
+    #[test]
+    fn iep_matches_enumeration_on_all_evaluation_patterns() {
+        let g = generators::power_law(120, 5, 41);
+        for (name, pattern) in prefab::evaluation_patterns() {
+            let plan = best_effort_plan(pattern);
+            let iep = count_embeddings_iep(&plan, &g);
+            let enumerated = interp::count_embeddings(&plan, &g);
+            assert_eq!(iep, enumerated, "{name}");
+        }
+    }
+
+    #[test]
+    fn iep_matches_enumeration_on_uniform_graph() {
+        let g = generators::erdos_renyi(150, 900, 13);
+        for pattern in [prefab::rectangle(), prefab::cycle_6_tri(), prefab::p2()] {
+            let plan = best_effort_plan(pattern);
+            assert_eq!(
+                count_embeddings_iep(&plan, &g),
+                interp::count_embeddings(&plan, &g)
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_when_suffix_too_short() {
+        // Cliques have k = 1: IEP must silently fall back to enumeration.
+        let g = generators::erdos_renyi(60, 400, 3);
+        let clique = prefab::clique(4);
+        let sets = generate_restriction_sets(&clique, GenerationOptions::default());
+        let schedule = Schedule::new(&clique, vec![0, 1, 2, 3]);
+        let plan = Configuration::new(clique, schedule, sets[0].clone()).compile();
+        assert_eq!(plan.iep_suffix_len, 1);
+        assert_eq!(
+            count_embeddings_iep(&plan, &g),
+            interp::count_embeddings(&plan, &g)
+        );
+    }
+
+    #[test]
+    fn iep_handles_unrestricted_plans() {
+        // Without restrictions the redundancy divisor equals |Aut|, and the
+        // IEP count must still equal plain enumeration (which also
+        // over-counts by |Aut|)... both divided consistently: enumeration
+        // reports all automorphic copies, IEP divides them out of its own
+        // total, so compare against enumeration / |Aut|.
+        let g = generators::erdos_renyi(80, 500, 7);
+        let pattern = prefab::house();
+        let schedule = Schedule::new(&pattern, vec![0, 1, 2, 3, 4]);
+        let plan = Configuration::new(pattern.clone(), schedule, RestrictionSet::empty()).compile();
+        let aut = graphpi_pattern::automorphism::automorphism_count(&pattern) as u64;
+        assert_eq!(plan.iep_correction.divisor(), aut);
+        assert_eq!(
+            count_embeddings_iep(&plan, &g),
+            interp::count_embeddings(&plan, &g) / aut
+        );
+    }
+}

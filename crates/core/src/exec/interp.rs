@@ -1,0 +1,409 @@
+//! Sequential nested-loop execution of a compiled plan.
+//!
+//! The interpreter walks the loop nest described by an
+//! [`ExecutionPlan`](crate::config::ExecutionPlan): loop `i` binds pattern
+//! vertex `plan.loops[i].pattern_vertex` to a data vertex drawn from the
+//! intersection of the neighborhoods of its already-bound pattern neighbors,
+//! subject to the restriction bounds and to injectivity. Reaching the last
+//! loop yields embeddings.
+//!
+//! This is the executable counterpart of the code GraphPi generates and
+//! compiles (Figure 5(b)); [`crate::codegen`] renders the same plan as
+//! source text.
+
+use crate::config::{ExecutionPlan, LoopBound};
+use graphpi_graph::csr::{CsrGraph, VertexId};
+use graphpi_graph::vertex_set;
+
+/// Reusable per-depth scratch buffers for candidate-set materialisation.
+#[derive(Debug, Default)]
+pub struct SearchBuffers {
+    buffers: Vec<Vec<VertexId>>,
+}
+
+impl SearchBuffers {
+    /// Creates buffers for a plan with `depth` loops.
+    pub fn new(depth: usize) -> Self {
+        Self {
+            buffers: vec![Vec::new(); depth],
+        }
+    }
+}
+
+/// Counts every embedding of the plan's pattern in the data graph.
+pub fn count_embeddings(plan: &ExecutionPlan, graph: &CsrGraph) -> u64 {
+    let mut count = 0u64;
+    for_each_embedding(plan, graph, |_| count += 1);
+    count
+}
+
+/// Collects every embedding as a vector of data vertices indexed **by
+/// pattern vertex** (i.e. `result[e][p]` is the data vertex that embedding
+/// `e` assigns to pattern vertex `p`).
+pub fn list_embeddings(plan: &ExecutionPlan, graph: &CsrGraph) -> Vec<Vec<VertexId>> {
+    let n = plan.num_loops();
+    let mut out = Vec::new();
+    for_each_embedding(plan, graph, |bound| {
+        let mut by_pattern_vertex = vec![0 as VertexId; n];
+        for (i, &v) in bound.iter().enumerate() {
+            by_pattern_vertex[plan.loops[i].pattern_vertex] = v;
+        }
+        out.push(by_pattern_vertex);
+    });
+    out
+}
+
+/// Invokes `visitor` once per embedding with the bound data vertices in
+/// **schedule order** (`bound[i]` is the vertex chosen by loop `i`).
+pub fn for_each_embedding<F: FnMut(&[VertexId])>(
+    plan: &ExecutionPlan,
+    graph: &CsrGraph,
+    mut visitor: F,
+) {
+    let n = plan.num_loops();
+    if n == 0 {
+        return;
+    }
+    let mut bound: Vec<VertexId> = Vec::with_capacity(n);
+    let mut buffers = SearchBuffers::new(n);
+    for v in graph.vertices() {
+        bound.push(v);
+        if n == 1 {
+            visitor(&bound);
+        } else {
+            recurse(plan, graph, 1, &mut bound, &mut buffers.buffers, &mut visitor);
+        }
+        bound.pop();
+    }
+}
+
+/// Counts embeddings that extend a fixed prefix of bound vertices (the
+/// values chosen by the first `prefix.len()` loops). Used by the parallel
+/// and distributed executors, whose tasks are exactly such prefixes.
+pub fn count_from_prefix(plan: &ExecutionPlan, graph: &CsrGraph, prefix: &[VertexId]) -> u64 {
+    let n = plan.num_loops();
+    assert!(prefix.len() <= n && !prefix.is_empty());
+    let mut bound: Vec<VertexId> = prefix.to_vec();
+    if prefix.len() == n {
+        return 1;
+    }
+    let mut buffers = SearchBuffers::new(n);
+    let mut count = 0u64;
+    recurse(
+        plan,
+        graph,
+        prefix.len(),
+        &mut bound,
+        &mut buffers.buffers,
+        &mut |_| count += 1,
+    );
+    count
+}
+
+/// Enumerates every valid prefix of length `depth` (the values bound by the
+/// first `depth` loops, with all restrictions and injectivity applied).
+/// These prefixes are the fine-grained tasks of the distributed design
+/// (Section IV-E: "the master thread executes the outer loops and packs the
+/// values of the outer loops into a task").
+pub fn enumerate_prefixes(plan: &ExecutionPlan, graph: &CsrGraph, depth: usize) -> Vec<Vec<VertexId>> {
+    let n = plan.num_loops();
+    assert!(depth >= 1 && depth <= n);
+    let mut result = Vec::new();
+    let mut bound: Vec<VertexId> = Vec::with_capacity(depth);
+    let mut buffers = SearchBuffers::new(n);
+    for v in graph.vertices() {
+        bound.push(v);
+        if depth == 1 {
+            result.push(bound.clone());
+        } else {
+            collect_prefixes(plan, graph, 1, depth, &mut bound, &mut buffers.buffers, &mut result);
+        }
+        bound.pop();
+    }
+    result
+}
+
+fn collect_prefixes(
+    plan: &ExecutionPlan,
+    graph: &CsrGraph,
+    depth: usize,
+    target: usize,
+    bound: &mut Vec<VertexId>,
+    buffers: &mut [Vec<VertexId>],
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    let (current_buf, rest) = buffers.split_first_mut().expect("buffer per depth");
+    let Some((candidates, start, end)) = candidate_range(plan, graph, depth, bound, current_buf)
+    else {
+        return;
+    };
+    for idx in start..end {
+        let v = candidates[idx];
+        if bound.contains(&v) {
+            continue;
+        }
+        bound.push(v);
+        if depth + 1 == target {
+            out.push(bound.clone());
+        } else {
+            collect_prefixes(plan, graph, depth + 1, target, bound, rest, out);
+        }
+        bound.pop();
+    }
+}
+
+fn recurse<F: FnMut(&[VertexId])>(
+    plan: &ExecutionPlan,
+    graph: &CsrGraph,
+    depth: usize,
+    bound: &mut Vec<VertexId>,
+    buffers: &mut [Vec<VertexId>],
+    visitor: &mut F,
+) {
+    let n = plan.num_loops();
+    let (current_buf, rest) = buffers.split_first_mut().expect("buffer per depth");
+    let Some((candidates, start, end)) = candidate_range(plan, graph, depth, bound, current_buf)
+    else {
+        return;
+    };
+    if depth == n - 1 {
+        // Innermost loop: every candidate not already bound is an embedding.
+        for idx in start..end {
+            let v = candidates[idx];
+            if bound.contains(&v) {
+                continue;
+            }
+            bound.push(v);
+            visitor(bound);
+            bound.pop();
+        }
+        return;
+    }
+    for idx in start..end {
+        let v = candidates[idx];
+        if bound.contains(&v) {
+            continue;
+        }
+        bound.push(v);
+        recurse(plan, graph, depth + 1, bound, rest, visitor);
+        bound.pop();
+    }
+}
+
+/// Computes the candidate set of loop `depth` given the currently bound
+/// prefix, returning the slice together with the index range that survives
+/// the restriction bounds. Returns `None` when the range is empty.
+///
+/// The slice aliases either a CSR adjacency list (single parent) or the
+/// scratch buffer (multiple parents).
+fn candidate_range<'a>(
+    plan: &ExecutionPlan,
+    graph: &'a CsrGraph,
+    depth: usize,
+    bound: &[VertexId],
+    scratch: &'a mut Vec<VertexId>,
+) -> Option<(&'a [VertexId], usize, usize)> {
+    let loop_plan = &plan.loops[depth];
+    let candidates: &[VertexId] = match loop_plan.parents.len() {
+        0 => {
+            // Only the outermost loop may be parentless, and the driver
+            // handles it; a parentless inner loop would require scanning the
+            // whole vertex set, which phase-1 schedules never produce. Fall
+            // back to materialising the full vertex range for generality
+            // (needed when executing deliberately inefficient schedules in
+            // the Figure 9 experiment).
+            scratch.clear();
+            scratch.extend(graph.vertices());
+            scratch.as_slice()
+        }
+        1 => graph.neighbors(bound[loop_plan.parents[0]]),
+        2 => {
+            let a = graph.neighbors(bound[loop_plan.parents[0]]);
+            let b = graph.neighbors(bound[loop_plan.parents[1]]);
+            vertex_set::intersect_into(a, b, scratch);
+            scratch.as_slice()
+        }
+        _ => {
+            let sets: Vec<&[VertexId]> = loop_plan
+                .parents
+                .iter()
+                .map(|&p| graph.neighbors(bound[p]))
+                .collect();
+            let result = vertex_set::intersect_many(&sets);
+            scratch.clear();
+            scratch.extend_from_slice(&result);
+            scratch.as_slice()
+        }
+    };
+
+    // Restriction bounds: candidates must lie strictly between `lower` and
+    // `upper`.
+    let mut lower: Option<VertexId> = None;
+    let mut upper: Option<VertexId> = None;
+    for b in &loop_plan.bounds {
+        match *b {
+            LoopBound::LessThanValueAt(pos) => {
+                let limit = bound[pos];
+                upper = Some(upper.map_or(limit, |u: VertexId| u.min(limit)));
+            }
+            LoopBound::GreaterThanValueAt(pos) => {
+                let limit = bound[pos];
+                lower = Some(lower.map_or(limit, |l: VertexId| l.max(limit)));
+            }
+        }
+    }
+    let start = match lower {
+        Some(l) => candidates.partition_point(|&x| x <= l),
+        None => 0,
+    };
+    let end = match upper {
+        Some(u) => candidates.partition_point(|&x| x < u),
+        None => candidates.len(),
+    };
+    if start >= end {
+        None
+    } else {
+        Some((candidates, start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::schedule::Schedule;
+    use graphpi_graph::{builder::from_edges, generators};
+    use graphpi_pattern::automorphism::automorphism_count;
+    use graphpi_pattern::prefab;
+    use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+
+    fn plan_for(
+        pattern: graphpi_pattern::Pattern,
+        order: Vec<usize>,
+        restrictions: RestrictionSet,
+    ) -> ExecutionPlan {
+        let schedule = Schedule::new(&pattern, order);
+        Configuration::new(pattern, schedule, restrictions).compile()
+    }
+
+    #[test]
+    fn triangle_counting_without_restrictions_overcounts_by_aut() {
+        let g = generators::complete(5);
+        let triangle = prefab::triangle();
+        let plan = plan_for(triangle.clone(), vec![0, 1, 2], RestrictionSet::empty());
+        // K5 has C(5,3) = 10 triangles; each is found |Aut| = 6 times.
+        assert_eq!(count_embeddings(&plan, &g), 60);
+
+        let sets = generate_restriction_sets(&triangle, GenerationOptions::default());
+        let plan = plan_for(triangle, vec![0, 1, 2], sets[0].clone());
+        assert_eq!(count_embeddings(&plan, &g), 10);
+    }
+
+    #[test]
+    fn rectangle_on_known_graph() {
+        // Two rectangles sharing an edge: 0-1-2-3-0 and 2-3-4-5-2.
+        let g = from_edges(&[(0, 1), (1, 2), (2, 3), (0, 3), (3, 4), (4, 5), (2, 5)]);
+        let rect = prefab::rectangle();
+        let sets = generate_restriction_sets(&rect, GenerationOptions::default());
+        let plan = plan_for(rect, vec![0, 1, 2, 3], sets[0].clone());
+        assert_eq!(count_embeddings(&plan, &g), 2);
+    }
+
+    #[test]
+    fn house_counts_match_across_all_restriction_sets_and_schedules() {
+        let g = generators::power_law(150, 5, 21);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let schedules = crate::schedule::efficient_schedules(&house);
+        let mut counts = std::collections::BTreeSet::new();
+        for set in sets.iter().take(3) {
+            for schedule in schedules.iter().take(5) {
+                let plan = Configuration::new(house.clone(), schedule.clone(), set.clone()).compile();
+                counts.insert(count_embeddings(&plan, &g));
+            }
+        }
+        assert_eq!(counts.len(), 1, "all configurations must agree: {counts:?}");
+    }
+
+    #[test]
+    fn restricted_count_times_aut_equals_unrestricted() {
+        let g = generators::erdos_renyi(80, 600, 9);
+        for pattern in [prefab::triangle(), prefab::rectangle(), prefab::house()] {
+            let aut = automorphism_count(&pattern) as u64;
+            let order: Vec<usize> = (0..pattern.num_vertices()).collect();
+            let unrestricted = count_embeddings(
+                &plan_for(pattern.clone(), order.clone(), RestrictionSet::empty()),
+                &g,
+            );
+            let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+            let restricted = count_embeddings(&plan_for(pattern, order, sets[0].clone()), &g);
+            assert_eq!(restricted * aut, unrestricted);
+        }
+    }
+
+    #[test]
+    fn listing_respects_pattern_structure() {
+        let g = generators::erdos_renyi(40, 200, 5);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let plan = plan_for(house.clone(), vec![0, 1, 2, 3, 4], sets[0].clone());
+        let embeddings = list_embeddings(&plan, &g);
+        assert_eq!(embeddings.len() as u64, count_embeddings(&plan, &g));
+        for emb in &embeddings {
+            // Every pattern edge must exist between the mapped data vertices.
+            for (u, v) in house.edges() {
+                assert!(g.has_edge(emb[u], emb[v]), "missing edge for {emb:?}");
+            }
+            // Injective mapping.
+            let mut distinct = emb.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert_eq!(distinct.len(), emb.len());
+        }
+    }
+
+    #[test]
+    fn prefix_counting_partitions_total() {
+        let g = generators::power_law(200, 5, 33);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let plan = plan_for(house, vec![0, 1, 2, 3, 4], sets[0].clone());
+        let total = count_embeddings(&plan, &g);
+        for depth in 1..=2 {
+            let prefixes = enumerate_prefixes(&plan, &g, depth);
+            let sum: u64 = prefixes.iter().map(|p| count_from_prefix(&plan, &g, p)).sum();
+            assert_eq!(sum, total, "prefix depth {depth}");
+        }
+    }
+
+    #[test]
+    fn single_vertex_and_edge_patterns() {
+        let g = generators::erdos_renyi(30, 100, 1);
+        let single = graphpi_pattern::Pattern::empty(1);
+        let plan = plan_for(single, vec![0], RestrictionSet::empty());
+        assert_eq!(count_embeddings(&plan, &g), 30);
+
+        let edge = graphpi_pattern::Pattern::new(2, &[(0, 1)]);
+        let sets = generate_restriction_sets(&edge, GenerationOptions::default());
+        let plan = plan_for(edge, vec![0, 1], sets[0].clone());
+        assert_eq!(count_embeddings(&plan, &g), 100);
+    }
+
+    #[test]
+    fn empty_graph_yields_zero() {
+        let g = graphpi_graph::GraphBuilder::new().num_vertices(10).build();
+        let plan = plan_for(prefab::triangle(), vec![0, 1, 2], RestrictionSet::empty());
+        assert_eq!(count_embeddings(&plan, &g), 0);
+    }
+
+    #[test]
+    fn lower_bound_restrictions_also_work() {
+        // Use the reversed restriction id(B) > id(A): candidates for B must
+        // be greater than the bound value of A. Counts must still be exact.
+        let g = generators::erdos_renyi(60, 300, 8);
+        let edge = graphpi_pattern::Pattern::new(2, &[(0, 1)]);
+        let reversed = RestrictionSet::from_pairs(&[(1, 0)]);
+        let plan = plan_for(edge, vec![0, 1], reversed);
+        assert_eq!(count_embeddings(&plan, &g), 300);
+    }
+}

@@ -1,0 +1,16 @@
+//! Execution engines for compiled plans.
+//!
+//! * [`interp`] — the sequential nested-loop interpreter (the in-memory
+//!   equivalent of the paper's generated C++ code).
+//! * [`iep`] — embedding counting with the Inclusion-Exclusion Principle
+//!   over the innermost independent loops (Section IV-D).
+//! * [`parallel`] — multi-threaded execution with fine-grained prefix tasks
+//!   and work stealing (the single-node half of Section IV-E).
+//! * [`cluster`] — a simulated multi-node cluster reproducing the paper's
+//!   distributed task-partitioning and work-stealing design for the
+//!   scalability experiments.
+
+pub mod cluster;
+pub mod iep;
+pub mod interp;
+pub mod parallel;

@@ -1,0 +1,363 @@
+//! The performance prediction model (Section IV-C of the paper).
+//!
+//! The matching algorithm is a nest of `n` loops; its cost is modelled
+//! recursively as
+//!
+//! ```text
+//! cost_i = l_i * (1 - f_i) * (c_i + cost_{i+1})     for i < n
+//! cost_n = l_n * (1 - f_n)
+//! ```
+//!
+//! where, for the `i`-th loop,
+//!
+//! * `l_i` is the expected cardinality of the candidate set the loop
+//!   traverses, estimated from `|V|`, `p1` and `p2` (see
+//!   [`graphpi_graph::GraphStats`]),
+//! * `c_i` is the expected cost of the set intersections *computed inside*
+//!   that loop (the candidate sets of deeper vertices whose last already
+//!   bound pattern neighbor is this loop's vertex), and
+//! * `f_i` is the probability that the restriction(s) enforced in this loop
+//!   filter out the current partial embedding, computed exactly by
+//!   enumerating the `n!` possible relative orders of the pattern vertices'
+//!   data ids and filtering them restriction by restriction in loop order.
+//!
+//! The model is deterministic, cheap (microseconds per configuration for
+//! 6-vertex patterns) and is only ever used to *rank* configurations.
+
+use crate::config::{Configuration, ExecutionPlan};
+use graphpi_graph::GraphStats;
+use graphpi_pattern::restriction::Restriction;
+
+/// Reusable cache of all `n!` relative-order permutations for a pattern
+/// size, used to compute the `f_i` filter probabilities exactly.
+#[derive(Debug, Clone)]
+pub struct RankPermutations {
+    n: usize,
+    perms: Vec<Vec<u64>>,
+}
+
+impl RankPermutations {
+    /// Enumerates the `n!` orders (n ≤ 10 keeps this comfortably small).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 10, "rank permutation enumeration limited to n <= 10");
+        let mut perms = Vec::new();
+        let mut current: Vec<u64> = (0..n as u64).collect();
+        heap_permutations(&mut current, n, &mut perms);
+        Self { n, perms }
+    }
+
+    /// Number of permutations (`n!`).
+    pub fn len(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// True only for the degenerate zero-vertex case.
+    pub fn is_empty(&self) -> bool {
+        self.perms.is_empty()
+    }
+}
+
+fn heap_permutations(current: &mut Vec<u64>, k: usize, out: &mut Vec<Vec<u64>>) {
+    if k <= 1 {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permutations(current, k - 1, out);
+        if k % 2 == 0 {
+            current.swap(i, k - 1);
+        } else {
+            current.swap(0, k - 1);
+        }
+    }
+}
+
+/// Per-loop factors produced by the model (exposed for inspection, tests and
+/// the ablation benchmarks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopEstimate {
+    /// Expected candidate-set cardinality `l_i`.
+    pub loop_size: f64,
+    /// Expected intersection cost `c_i` charged to this loop.
+    pub intersection_cost: f64,
+    /// Restriction filter probability `f_i`.
+    pub filter_probability: f64,
+}
+
+/// Full prediction for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Per-loop factors, outermost first.
+    pub loops: Vec<LoopEstimate>,
+    /// The scalar cost used for ranking (`cost_1` of the recursion).
+    pub total: f64,
+}
+
+/// The performance model: graph statistics plus the rank-permutation cache.
+#[derive(Debug, Clone)]
+pub struct PerformanceModel {
+    stats: GraphStats,
+    ranks: RankPermutations,
+}
+
+impl PerformanceModel {
+    /// Builds a model for a pattern of `pattern_size` vertices over a graph
+    /// with the given statistics.
+    pub fn new(stats: GraphStats, pattern_size: usize) -> Self {
+        Self {
+            stats,
+            ranks: RankPermutations::new(pattern_size),
+        }
+    }
+
+    /// The graph statistics the model was built from.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// Predicts the cost of a configuration (compiling it internally).
+    pub fn predict_configuration(&self, config: &Configuration) -> CostEstimate {
+        self.predict(&config.compile())
+    }
+
+    /// Predicts the cost of a compiled plan.
+    pub fn predict(&self, plan: &ExecutionPlan) -> CostEstimate {
+        let n = plan.num_loops();
+        assert_eq!(
+            n, self.ranks.n,
+            "plan size does not match the model's pattern size"
+        );
+        let loop_sizes: Vec<f64> = (0..n).map(|i| self.loop_size(plan, i)).collect();
+        let intersection_costs: Vec<f64> = (0..n).map(|i| self.intersection_cost(plan, i)).collect();
+        let filter_probabilities = self.filter_probabilities(plan);
+
+        // Recursive cost, evaluated innermost-out.
+        let mut cost = 0.0f64;
+        for i in (0..n).rev() {
+            let l = loop_sizes[i];
+            let keep = 1.0 - filter_probabilities[i];
+            cost = if i == n - 1 {
+                l * keep
+            } else {
+                l * keep * (intersection_costs[i] + cost)
+            };
+        }
+
+        let loops = (0..n)
+            .map(|i| LoopEstimate {
+                loop_size: loop_sizes[i],
+                intersection_cost: intersection_costs[i],
+                filter_probability: filter_probabilities[i],
+            })
+            .collect();
+        CostEstimate { loops, total: cost }
+    }
+
+    /// `l_i`: expected cardinality of loop `i`'s candidate set.
+    fn loop_size(&self, plan: &ExecutionPlan, i: usize) -> f64 {
+        let parents = plan.loops[i].parents.len();
+        if parents == 0 {
+            self.stats.num_vertices as f64
+        } else {
+            self.stats.expected_intersection_size(parents)
+        }
+    }
+
+    /// `c_i`: expected cost of the intersections *computed* in loop `i`,
+    /// i.e. for every deeper loop `t` whose last parent is `i` and which has
+    /// at least two parents, the incremental merge costs of building its
+    /// candidate set.
+    fn intersection_cost(&self, plan: &ExecutionPlan, i: usize) -> f64 {
+        let mut cost = 0.0;
+        for t in (i + 1)..plan.num_loops() {
+            let parents = &plan.loops[t].parents;
+            if parents.len() >= 2 && *parents.last().unwrap() == i {
+                // Incremental merge: ((N ∩ N) ∩ N) ∩ ...
+                // The j-th step merges the running intersection of j
+                // neighborhoods (expected size) with one more neighborhood
+                // (expected size 2|E|/|V|), at cost equal to the sum of the
+                // two cardinalities.
+                let neighborhood = self.stats.expected_neighborhood_size();
+                for j in 1..parents.len() {
+                    cost += self.stats.expected_intersection_size(j) + neighborhood;
+                }
+            }
+        }
+        cost
+    }
+
+    /// `f_i`: the probability that the partial embedding is filtered out by
+    /// the restrictions enforced in loop `i`, conditioned on having survived
+    /// every earlier restriction. Computed exactly over the `n!` relative
+    /// orders.
+    fn filter_probabilities(&self, plan: &ExecutionPlan) -> Vec<f64> {
+        let n = plan.num_loops();
+        let order = plan.config.schedule.order();
+
+        // Restrictions grouped by the loop where they become checkable.
+        let mut per_loop: Vec<Vec<Restriction>> = vec![Vec::new(); n];
+        for r in plan.config.restrictions.restrictions() {
+            let pg = plan.config.schedule.position_of(r.greater);
+            let ps = plan.config.schedule.position_of(r.smaller);
+            per_loop[pg.max(ps)].push(*r);
+        }
+        // Quick exit: no restrictions at all.
+        if per_loop.iter().all(|v| v.is_empty()) {
+            return vec![0.0; n];
+        }
+        let _ = order; // ranks are indexed by pattern vertex directly
+
+        let mut survivors: Vec<&Vec<u64>> = self.ranks.perms.iter().collect();
+        let mut probabilities = vec![0.0f64; n];
+        for i in 0..n {
+            if per_loop[i].is_empty() || survivors.is_empty() {
+                probabilities[i] = 0.0;
+                continue;
+            }
+            let before = survivors.len();
+            survivors.retain(|ids| per_loop[i].iter().all(|r| r.satisfied_by(ids)));
+            let filtered = before - survivors.len();
+            probabilities[i] = filtered as f64 / before as f64;
+        }
+        probabilities
+    }
+}
+
+/// Ranks a list of configurations and returns the index of the cheapest one
+/// together with every estimate (ties broken by the first occurrence).
+pub fn select_best(model: &PerformanceModel, configs: &[Configuration]) -> (usize, Vec<CostEstimate>) {
+    assert!(!configs.is_empty(), "no configurations to select from");
+    let estimates: Vec<CostEstimate> = configs
+        .iter()
+        .map(|c| model.predict_configuration(c))
+        .collect();
+    let best = estimates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total.partial_cmp(&b.1.total).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    (best, estimates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use graphpi_graph::generators;
+    use graphpi_pattern::prefab;
+    use graphpi_pattern::restriction::RestrictionSet;
+
+    fn stats() -> GraphStats {
+        GraphStats::compute(&generators::power_law(2000, 8, 17))
+    }
+
+    fn house_config(restrictions: RestrictionSet) -> Configuration {
+        let pattern = prefab::house();
+        let schedule = Schedule::new(&pattern, vec![0, 1, 2, 3, 4]);
+        Configuration::new(pattern, schedule, restrictions)
+    }
+
+    #[test]
+    fn rank_permutation_counts() {
+        assert_eq!(RankPermutations::new(3).len(), 6);
+        assert_eq!(RankPermutations::new(5).len(), 120);
+        assert_eq!(RankPermutations::new(6).len(), 720);
+    }
+
+    #[test]
+    fn filter_probability_matches_paper_example() {
+        // The single restriction id(A) > id(B) enforced in the second loop
+        // filters exactly half of the relative orders: f = 1/2 (the paper's
+        // f_1 = 1/2 in Figure 5's discussion).
+        let model = PerformanceModel::new(stats(), 5);
+        let config = house_config(RestrictionSet::from_pairs(&[(0, 1)]));
+        let estimate = model.predict_configuration(&config);
+        assert!((estimate.loops[1].filter_probability - 0.5).abs() < 1e-12);
+        // No restrictions in the other loops.
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(estimate.loops[i].filter_probability, 0.0);
+        }
+    }
+
+    #[test]
+    fn restrictions_reduce_predicted_cost() {
+        let model = PerformanceModel::new(stats(), 5);
+        let unrestricted = model.predict_configuration(&house_config(RestrictionSet::empty()));
+        let restricted =
+            model.predict_configuration(&house_config(RestrictionSet::from_pairs(&[(0, 1)])));
+        assert!(restricted.total < unrestricted.total);
+        assert!(restricted.total > 0.0);
+    }
+
+    #[test]
+    fn conditional_filtering_is_sequential() {
+        // Two restrictions A>B (loop 1) and B>C (loop 2): the second filters
+        // among the survivors of the first; together they leave 1/6 of the
+        // orders (A > B > C), so f_2 = 1 - (1/6)/(1/2) = 2/3.
+        let model = PerformanceModel::new(stats(), 5);
+        let config = house_config(RestrictionSet::from_pairs(&[(0, 1), (1, 2)]));
+        let estimate = model.predict_configuration(&config);
+        assert!((estimate.loops[1].filter_probability - 0.5).abs() < 1e-12);
+        assert!((estimate.loops[2].filter_probability - (2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_sizes_follow_parent_counts() {
+        let model = PerformanceModel::new(stats(), 5);
+        let estimate = model.predict_configuration(&house_config(RestrictionSet::empty()));
+        let s = stats();
+        // Loop 0 scans all vertices.
+        assert_eq!(estimate.loops[0].loop_size, s.num_vertices as f64);
+        // Loop 1 (one parent) is the expected neighborhood size.
+        assert!((estimate.loops[1].loop_size - s.expected_neighborhood_size()).abs() < 1e-9);
+        // Loops 3 and 4 (two parents) shrink by a factor of p2.
+        assert!(estimate.loops[3].loop_size < estimate.loops[1].loop_size);
+        assert!((estimate.loops[3].loop_size - s.expected_intersection_size(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_cost_charged_to_last_parent() {
+        let model = PerformanceModel::new(stats(), 5);
+        let estimate = model.predict_configuration(&house_config(RestrictionSet::empty()));
+        // The candidate set of E (parents A=loop0, B=loop1) is built in loop
+        // 1; the candidate set of D (parents B=loop1, C=loop2) in loop 2.
+        assert!(estimate.loops[1].intersection_cost > 0.0);
+        assert!(estimate.loops[2].intersection_cost > 0.0);
+        assert_eq!(estimate.loops[3].intersection_cost, 0.0);
+        assert_eq!(estimate.loops[4].intersection_cost, 0.0);
+        // Loop 0 builds nothing: C and B have a single parent each.
+        assert_eq!(estimate.loops[0].intersection_cost, 0.0);
+    }
+
+    #[test]
+    fn denser_graphs_cost_more() {
+        let sparse = GraphStats::compute(&generators::erdos_renyi(2000, 4000, 3));
+        let dense = GraphStats::compute(&generators::erdos_renyi(2000, 40000, 3));
+        let config = house_config(RestrictionSet::from_pairs(&[(0, 1)]));
+        let sparse_cost = PerformanceModel::new(sparse, 5)
+            .predict_configuration(&config)
+            .total;
+        let dense_cost = PerformanceModel::new(dense, 5)
+            .predict_configuration(&config)
+            .total;
+        assert!(dense_cost > sparse_cost);
+    }
+
+    #[test]
+    fn select_best_prefers_lower_cost() {
+        let model = PerformanceModel::new(stats(), 5);
+        let a = house_config(RestrictionSet::empty());
+        let b = house_config(RestrictionSet::from_pairs(&[(0, 1)]));
+        let (best, estimates) = select_best(&model, &[a, b]);
+        assert_eq!(best, 1);
+        assert_eq!(estimates.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn select_best_rejects_empty() {
+        let model = PerformanceModel::new(stats(), 5);
+        let _ = select_best(&model, &[]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Incremental construction of [`CsrGraph`]s from arbitrary edge lists.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Builds a [`CsrGraph`] from an edge list.
+///
+/// The builder accepts edges in any order, with either endpoint first, with
+/// duplicates and with self loops; the resulting graph is a *simple*
+/// undirected graph (self loops dropped, parallel edges collapsed) whose
+/// adjacency lists are sorted — the invariants the matching engine relies
+/// on for merge intersections.
+///
+/// ```
+/// use graphpi_graph::GraphBuilder;
+/// let g = GraphBuilder::new()
+///     .edges([(0, 1), (1, 0), (1, 1), (2, 1)])
+///     .build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2); // (0,1) deduplicated, (1,1) dropped
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    min_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the graph has at least `n` vertices even if some of them end
+    /// up isolated.
+    pub fn num_vertices(mut self, n: usize) -> Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Adds a single undirected edge.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many undirected edges.
+    pub fn edges<I>(mut self, iter: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Adds a single edge in place (non-consuming variant used by loaders
+    /// and generators).
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Number of raw (possibly duplicate) edges currently buffered.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into a [`CsrGraph`].
+    pub fn build(self) -> CsrGraph {
+        build_csr(self.edges, self.min_vertices)
+    }
+}
+
+/// Builds a CSR graph from a raw edge list; shared by the builder and tests.
+fn build_csr(raw: Vec<(VertexId, VertexId)>, min_vertices: usize) -> CsrGraph {
+    // Determine vertex count.
+    let mut n = min_vertices;
+    for &(u, v) in &raw {
+        n = n.max(u as usize + 1).max(v as usize + 1);
+    }
+
+    // Normalise: drop self loops, order endpoints, dedup.
+    let mut edges: Vec<(VertexId, VertexId)> = raw
+        .into_iter()
+        .filter(|&(u, v)| u != v)
+        .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+
+    // Counting sort into CSR.
+    let mut degree = vec![0usize; n];
+    for &(u, v) in &edges {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let mut offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + degree[v];
+    }
+    let mut cursor = offsets.clone();
+    let mut neighbors = vec![0 as VertexId; offsets[n]];
+    for &(u, v) in &edges {
+        neighbors[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+        neighbors[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+    // Each adjacency list must be sorted; since edges were processed in
+    // lexicographic order, the `u`-side entries are already sorted, but the
+    // `v`-side entries may not be, so sort every slice.
+    for v in 0..n {
+        neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+    }
+    CsrGraph::from_raw_parts(offsets, neighbors)
+}
+
+/// Convenience helper: builds a graph straight from an edge slice.
+pub fn from_edges(edges: &[(VertexId, VertexId)]) -> CsrGraph {
+    GraphBuilder::new().edges(edges.iter().copied()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)])
+            .build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn isolated_vertices_preserved() {
+        let g = GraphBuilder::new().num_vertices(5).edge(0, 1).build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = from_edges(&[(3, 0), (3, 2), (3, 1), (0, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2]);
+        assert_eq!(g.neighbors(0), &[2, 3]);
+    }
+
+    #[test]
+    fn push_edge_in_place() {
+        let mut b = GraphBuilder::new();
+        for i in 0..10 {
+            b.push_edge(i, (i + 1) % 10);
+        }
+        assert_eq!(b.raw_edge_count(), 10);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+}

@@ -1,0 +1,169 @@
+//! Connected components and BFS-based structure queries.
+//!
+//! Used by the dataset registry and benchmark harness to characterise the
+//! synthetic stand-ins (a stand-in should be dominated by one giant
+//! component, like the originals), and by the expansion baseline's sanity
+//! checks.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Result of a connected-components labelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component id of vertex `v` (ids are dense, in
+    /// order of discovery).
+    pub labels: Vec<u32>,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of vertices inside the largest component.
+    pub fn largest_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.largest() as f64 / self.labels.len() as f64
+        }
+    }
+}
+
+/// Labels connected components with iterative BFS.
+pub fn connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start] = id;
+        queue.push_back(start as VertexId);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &u in graph.neighbors(v) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = id;
+                    queue.push_back(u);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// Breadth-first distances from a source vertex (`u32::MAX` = unreachable).
+pub fn bfs_distances(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in graph.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Estimates the graph's effective diameter by running BFS from a sample of
+/// `samples` sources (deterministically spaced) and returning the maximum
+/// finite distance seen. Exact for `samples >= |V|`.
+pub fn approximate_diameter(graph: &CsrGraph, samples: usize) -> u32 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let step = (n / samples.max(1)).max(1);
+    let mut best = 0u32;
+    for source in (0..n).step_by(step) {
+        let far = bfs_distances(graph, source as VertexId)
+            .into_iter()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0);
+        best = best.max(far);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+
+    #[test]
+    fn single_component_graph() {
+        let g = generators::cycle(10);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 10);
+        assert!((c.largest_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_components_and_isolated_vertices() {
+        let g = crate::GraphBuilder::new()
+            .num_vertices(7)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 4); // {0,1,2}, {3,4}, {5}, {6}
+        assert_eq!(c.largest(), 3);
+        assert_eq!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[0], c.labels[3]);
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = generators::path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let d = bfs_distances(&g, 3);
+        assert_eq!(d, vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_vertices_have_infinite_distance() {
+        let g = from_edges(&[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(approximate_diameter(&generators::path(10), 10), 9);
+        assert_eq!(approximate_diameter(&generators::complete(8), 8), 1);
+        assert_eq!(approximate_diameter(&generators::cycle(10), 10), 5);
+        assert_eq!(approximate_diameter(&crate::GraphBuilder::new().build(), 4), 0);
+    }
+
+    #[test]
+    fn power_law_standins_have_a_giant_component() {
+        let g = generators::power_law(1_000, 4, 9);
+        let c = connected_components(&g);
+        assert!(c.largest_fraction() > 0.99);
+        assert!(approximate_diameter(&g, 16) >= 2);
+    }
+}

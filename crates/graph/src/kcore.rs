@@ -1,0 +1,210 @@
+//! k-core decomposition and degeneracy ordering.
+//!
+//! The degeneracy ordering is the standard preprocessing step for clique
+//! counting and dense-pattern matching: orienting the search from low-core
+//! vertices bounds the candidate sets by the degeneracy instead of the
+//! maximum degree. GraphPi itself does not need it (its schedules are
+//! pattern-side), but the benchmark harness and examples use the core
+//! numbers to characterise the stand-in datasets, and the ablation
+//! experiments use degeneracy-ordered task generation as an alternative
+//! outer-loop order.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Result of a k-core decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// `core[v]` is the core number of vertex `v`.
+    pub core_numbers: Vec<u32>,
+    /// Vertices in degeneracy order (peeling order: smallest remaining
+    /// degree first).
+    pub degeneracy_order: Vec<VertexId>,
+    /// The graph's degeneracy (maximum core number; 0 for edgeless graphs).
+    pub degeneracy: u32,
+}
+
+/// Computes core numbers and a degeneracy ordering with the linear-time
+/// bucket peeling algorithm (Batagelj–Zaveršnik).
+pub fn core_decomposition(graph: &CsrGraph) -> CoreDecomposition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return CoreDecomposition {
+            core_numbers: Vec::new(),
+            degeneracy_order: Vec::new(),
+            degeneracy: 0,
+        };
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v as VertexId)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by current degree.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for d in 0..=max_degree {
+        let count = bins[d];
+        bins[d] = start;
+        start += count;
+    }
+    let mut positions = vec![0usize; n]; // position of vertex in `order`
+    let mut order = vec![0 as VertexId; n]; // vertices sorted by degree
+    for v in 0..n {
+        positions[v] = bins[degree[v]];
+        order[positions[v]] = v as VertexId;
+        bins[degree[v]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..=max_degree).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+
+    let mut core_numbers = vec![0u32; n];
+    let mut degeneracy = 0u32;
+    let mut degeneracy_order = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = order[i];
+        let vd = degree[v as usize];
+        core_numbers[v as usize] = vd as u32;
+        degeneracy = degeneracy.max(vd as u32);
+        degeneracy_order.push(v);
+        for &u in graph.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > vd {
+                // Move u one bucket down: swap it with the first vertex of
+                // its current bucket, then shrink the bucket boundary.
+                let du = degree[u];
+                let pu = positions[u];
+                let pw = bins[du];
+                let w = order[pw];
+                if u as u32 != w {
+                    order.swap(pu, pw);
+                    positions[u] = pw;
+                    positions[w as usize] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    CoreDecomposition {
+        core_numbers,
+        degeneracy_order,
+        degeneracy,
+    }
+}
+
+/// Returns the subgraph induced by the vertices with core number `>= k`
+/// (the k-core), as a new graph over re-labeled dense vertex ids, together
+/// with the mapping from new ids back to original ids.
+pub fn k_core(graph: &CsrGraph, k: u32) -> (CsrGraph, Vec<VertexId>) {
+    let decomposition = core_decomposition(graph);
+    let keep: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| decomposition.core_numbers[v as usize] >= k)
+        .collect();
+    let mut new_id = vec![u32::MAX; graph.num_vertices()];
+    for (i, &v) in keep.iter().enumerate() {
+        new_id[v as usize] = i as u32;
+    }
+    let mut builder = crate::builder::GraphBuilder::new().num_vertices(keep.len());
+    for &v in &keep {
+        for &u in graph.neighbors(v) {
+            if u > v && new_id[u as usize] != u32::MAX {
+                builder.push_edge(new_id[v as usize], new_id[u as usize]);
+            }
+        }
+    }
+    (builder.build(), keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+
+    #[test]
+    fn complete_graph_core_numbers() {
+        let g = generators::complete(6);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 5);
+        assert!(d.core_numbers.iter().all(|&c| c == 5));
+        assert_eq!(d.degeneracy_order.len(), 6);
+    }
+
+    #[test]
+    fn path_and_cycle_cores() {
+        let path = generators::path(10);
+        assert_eq!(core_decomposition(&path).degeneracy, 1);
+        let cycle = generators::cycle(10);
+        let d = core_decomposition(&cycle);
+        assert_eq!(d.degeneracy, 2);
+        assert!(d.core_numbers.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 plus tail 2-3-4: the triangle is the 2-core, the
+        // tail vertices have core number 1.
+        let g = from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let d = core_decomposition(&g);
+        assert_eq!(d.core_numbers[0], 2);
+        assert_eq!(d.core_numbers[1], 2);
+        assert_eq!(d.core_numbers[2], 2);
+        assert_eq!(d.core_numbers[3], 1);
+        assert_eq!(d.core_numbers[4], 1);
+        assert_eq!(d.degeneracy, 2);
+
+        let (core2, mapping) = k_core(&g, 2);
+        assert_eq!(core2.num_vertices(), 3);
+        assert_eq!(core2.num_edges(), 3);
+        assert_eq!(mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn degeneracy_order_is_a_permutation_and_respects_peeling() {
+        let g = generators::power_law(500, 4, 5);
+        let d = core_decomposition(&g);
+        let mut sorted = d.degeneracy_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500u32).collect::<Vec<_>>());
+        // Peeling property: when a vertex is peeled, at most `degeneracy`
+        // of its neighbors come later in the order.
+        let position: Vec<usize> = {
+            let mut pos = vec![0usize; 500];
+            for (i, &v) in d.degeneracy_order.iter().enumerate() {
+                pos[v as usize] = i;
+            }
+            pos
+        };
+        for v in g.vertices() {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| position[u as usize] > position[v as usize])
+                .count();
+            assert!(later as u32 <= d.degeneracy);
+        }
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_vertices() {
+        let g = crate::GraphBuilder::new().num_vertices(5).build();
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 0);
+        assert_eq!(d.core_numbers, vec![0; 5]);
+        let empty = crate::GraphBuilder::new().build();
+        assert_eq!(core_decomposition(&empty).degeneracy_order.len(), 0);
+    }
+
+    #[test]
+    fn k_core_of_high_k_is_empty() {
+        let g = generators::cycle(8);
+        let (core, mapping) = k_core(&g, 3);
+        assert_eq!(core.num_vertices(), 0);
+        assert!(mapping.is_empty());
+    }
+}

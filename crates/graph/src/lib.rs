@@ -1,0 +1,45 @@
+//! Graph substrate for the GraphPi reproduction.
+//!
+//! This crate provides everything the pattern-matching engine needs from the
+//! *data graph* side:
+//!
+//! * [`CsrGraph`] — an immutable, undirected, unlabeled graph stored in
+//!   compressed sparse row (CSR) form with sorted adjacency lists, exactly as
+//!   described in Section IV-E of the paper.
+//! * [`GraphBuilder`] — turns an arbitrary edge list (possibly with
+//!   duplicates, self loops, or unordered endpoints) into a [`CsrGraph`].
+//! * [`vertex_set`] — the sorted-set algebra (merge intersection, galloping
+//!   intersection, subtraction) that dominates the cost of nested-loop
+//!   pattern matching.
+//! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi,
+//!   power-law preferential attachment, complete graphs, …) used as
+//!   stand-ins for the paper's real-world datasets.
+//! * [`datasets`] — a registry of named stand-in datasets mirroring the
+//!   relative scale/skew of Table I of the paper.
+//! * [`triangles`] and [`stats`] — the structural statistics (`|V|`, `|E|`,
+//!   triangle count, `p1`, `p2`) consumed by GraphPi's performance model.
+//! * [`io`] — plain-text edge-list and compact binary loading/saving.
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod kcore;
+pub mod stats;
+pub mod triangles;
+pub mod vertex_set;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, VertexId};
+pub use datasets::Dataset;
+pub use stats::GraphStats;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::csr::{CsrGraph, VertexId};
+    pub use crate::datasets::Dataset;
+    pub use crate::stats::GraphStats;
+}

@@ -1,0 +1,144 @@
+//! Structural statistics of a data graph.
+//!
+//! GraphPi's performance model only needs three numbers from the data graph:
+//! `|V|`, `|E|` and the triangle count. From them it derives
+//!
+//! * `p1 = 2|E| / |V|^2` — the probability that a random vertex pair is
+//!   adjacent, and
+//! * `p2 = tri_cnt * |V| / (2|E|)^2` — the probability that two vertices in a
+//!   common neighborhood are adjacent.
+//!
+//! [`GraphStats`] computes and caches these once per graph (the paper notes
+//! this is part of preprocessing because the graph is immutable).
+
+use crate::csr::CsrGraph;
+use crate::triangles;
+
+/// Cached structural statistics used by the performance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// `|E|` (undirected edges).
+    pub num_edges: u64,
+    /// Number of triangles in the graph.
+    pub triangle_count: u64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// `p1 = 2|E| / |V|^2`.
+    pub p1: f64,
+    /// `p2 = tri_cnt * |V| / (2|E|)^2`.
+    pub p2: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics for a graph (this counts triangles and is the
+    /// expensive part of GraphPi preprocessing that depends on the graph).
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let num_vertices = graph.num_vertices();
+        let num_edges = graph.num_edges();
+        let triangle_count = triangles::count_triangles(graph);
+        Self::from_counts(num_vertices, num_edges, triangle_count, graph.max_degree())
+    }
+
+    /// Builds the statistics from pre-computed counts (useful in tests and
+    /// when loading persisted statistics).
+    pub fn from_counts(
+        num_vertices: usize,
+        num_edges: u64,
+        triangle_count: u64,
+        max_degree: usize,
+    ) -> Self {
+        let nv = num_vertices as f64;
+        let ne = num_edges as f64;
+        let p1 = if num_vertices == 0 {
+            0.0
+        } else {
+            2.0 * ne / (nv * nv)
+        };
+        let p2 = if num_edges == 0 {
+            0.0
+        } else {
+            triangle_count as f64 * nv / (2.0 * ne * 2.0 * ne)
+        };
+        let avg_degree = if num_vertices == 0 { 0.0 } else { 2.0 * ne / nv };
+        Self {
+            num_vertices,
+            num_edges,
+            triangle_count,
+            max_degree,
+            avg_degree,
+            p1,
+            p2,
+        }
+    }
+
+    /// Expected cardinality of the neighborhood of a random vertex,
+    /// `2|E| / |V|` (Section IV-C, "Estimation of Cardinalities").
+    pub fn expected_neighborhood_size(&self) -> f64 {
+        self.avg_degree
+    }
+
+    /// Expected cardinality of the intersection of the neighborhoods of `m`
+    /// pattern vertices: `|V| * p1 * p2^(m-1)`. For `m == 1` this degrades
+    /// to the expected neighborhood size estimate `|V| * p1 = 2|E|/|V|`.
+    pub fn expected_intersection_size(&self, m: usize) -> f64 {
+        assert!(m >= 1, "intersection of zero neighborhoods is undefined");
+        self.num_vertices as f64 * self.p1 * self.p2.powi(m as i32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn complete_graph_probabilities() {
+        let g = generators::complete(10);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 45);
+        assert_eq!(s.triangle_count, 120);
+        // p1 = 2*45/100 = 0.9 (approaches 1 as n grows).
+        assert!((s.p1 - 0.9).abs() < 1e-12);
+        // p2 = 120*10 / 90^2 = 0.1481...
+        assert!((s.p2 - 1200.0 / 8100.0).abs() < 1e-12);
+        assert!((s.expected_neighborhood_size() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = crate::GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.p1, 0.0);
+        assert_eq!(s.p2, 0.0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn intersection_estimate_decreases_with_m() {
+        let g = generators::power_law(1000, 5, 11);
+        let s = GraphStats::compute(&g);
+        let e1 = s.expected_intersection_size(1);
+        let e2 = s.expected_intersection_size(2);
+        let e3 = s.expected_intersection_size(3);
+        assert!(e1 > e2 && e2 > e3, "{e1} {e2} {e3}");
+        assert!((e1 - s.expected_neighborhood_size()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_counts_matches_compute() {
+        let g = generators::erdos_renyi(200, 800, 2);
+        let s1 = GraphStats::compute(&g);
+        let s2 = GraphStats::from_counts(
+            g.num_vertices(),
+            g.num_edges(),
+            crate::triangles::count_triangles(&g),
+            g.max_degree(),
+        );
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Triangle counting.
+//!
+//! GraphPi's performance model (Section IV-C) needs the global triangle
+//! count `tri_cnt` of the data graph to estimate `p2`, the probability that
+//! two vertices sharing a neighbor are themselves adjacent. The paper treats
+//! the data graph as immutable, so the count is computed once during
+//! preprocessing; this module provides that computation.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::vertex_set;
+
+/// Counts every triangle in the graph exactly once.
+///
+/// Uses the standard "forward" algorithm: for each edge `(u, v)` with
+/// `u < v`, count common neighbors `w > v`. Complexity is
+/// `O(sum_over_edges(deg(u) + deg(v)))`.
+pub fn count_triangles(graph: &CsrGraph) -> u64 {
+    let mut total = 0u64;
+    for u in graph.vertices() {
+        let nu = graph.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = graph.neighbors(v);
+            // Common neighbors w with w > v to count each triangle once.
+            total += count_common_above(nu, nv, v);
+        }
+    }
+    total
+}
+
+/// Counts common elements of two sorted sets strictly greater than `bound`.
+fn count_common_above(a: &[VertexId], b: &[VertexId], bound: VertexId) -> u64 {
+    let ai = a.partition_point(|&x| x <= bound);
+    let bi = b.partition_point(|&x| x <= bound);
+    vertex_set::intersect_count(&a[ai..], &b[bi..]) as u64
+}
+
+/// Per-vertex triangle participation: `result[v]` is the number of triangles
+/// containing `v`. The sum over all vertices is `3 *` [`count_triangles`].
+pub fn per_vertex_triangles(graph: &CsrGraph) -> Vec<u64> {
+    let mut counts = vec![0u64; graph.num_vertices()];
+    for u in graph.vertices() {
+        let nu = graph.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = graph.neighbors(v);
+            let ai = nu.partition_point(|&x| x <= v);
+            let bi = nv.partition_point(|&x| x <= v);
+            for &w in vertex_set::intersect(&nu[ai..], &nv[bi..]).iter() {
+                counts[u as usize] += 1;
+                counts[v as usize] += 1;
+                counts[w as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Global clustering coefficient: `3 * triangles / wedges`, where a wedge is
+/// an unordered path of length two. Returns 0.0 when there are no wedges.
+pub fn global_clustering_coefficient(graph: &CsrGraph) -> f64 {
+    let triangles = count_triangles(graph) as f64;
+    let wedges: u64 = graph
+        .vertices()
+        .map(|v| {
+            let d = graph.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+
+    #[test]
+    fn triangle_graph() {
+        let g = from_edges(&[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count_triangles(&g), 1);
+        assert_eq!(per_vertex_triangles(&g), vec![1, 1, 1]);
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let g = generators::cycle(4);
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_triangle_count() {
+        // K_n has C(n, 3) triangles.
+        for n in 3..8usize {
+            let g = generators::complete(n);
+            let expected = (n * (n - 1) * (n - 2) / 6) as u64;
+            assert_eq!(count_triangles(&g), expected, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn per_vertex_sums_to_three_times_total() {
+        let g = generators::power_law(300, 4, 3);
+        let total = count_triangles(&g);
+        let per_vertex: u64 = per_vertex_triangles(&g).iter().sum();
+        assert_eq!(per_vertex, 3 * total);
+    }
+
+    #[test]
+    fn matches_naive_on_small_random_graphs() {
+        for seed in 0..5u64 {
+            let g = generators::erdos_renyi(30, 120, seed);
+            // Naive O(n^3) count.
+            let mut naive = 0u64;
+            for a in 0..30u32 {
+                for b in (a + 1)..30 {
+                    for c in (b + 1)..30 {
+                        if g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c) {
+                            naive += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_triangles(&g), naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let empty = crate::GraphBuilder::new().build();
+        assert_eq!(count_triangles(&empty), 0);
+        let single_edge = from_edges(&[(0, 1)]);
+        assert_eq!(count_triangles(&single_edge), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Sorted vertex-set algebra.
+//!
+//! Every candidate set manipulated by the nested-loop matching engine is a
+//! sorted slice of [`VertexId`]s: either a CSR neighborhood borrowed from the
+//! data graph or the intersection of several neighborhoods materialised into
+//! a scratch buffer.  The paper notes (Section IV-E) that because adjacency
+//! lists are sorted, an intersection costs `O(n + m)` and yields a sorted
+//! result; this module provides that merge intersection, a galloping variant
+//! for very unbalanced inputs, counting-only variants, and subtraction of a
+//! small exclusion set (the `- {v_A, v_B, …}` terms in the generated code).
+
+use crate::csr::VertexId;
+
+/// Threshold ratio above which [`intersect_into`] switches from a linear
+/// merge to galloping (exponential) search in the larger input.
+const GALLOP_RATIO: usize = 32;
+
+/// Computes `out = a ∩ b` for two sorted, duplicate-free slices.
+///
+/// `out` is cleared first. The result is sorted and duplicate-free.
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        gallop_intersect(small, large, out);
+    } else {
+        merge_intersect(a, b, out);
+    }
+}
+
+/// Allocates and returns `a ∩ b`.
+pub fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(a, b, &mut out);
+    out
+}
+
+/// Returns `|a ∩ b|` without materialising the intersection.
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        let mut count = 0usize;
+        let mut lo = 0usize;
+        for &x in small {
+            match large[lo..].binary_search(&x) {
+                Ok(i) => {
+                    count += 1;
+                    lo += i + 1;
+                }
+                Err(i) => lo += i,
+            }
+            if lo >= large.len() {
+                break;
+            }
+        }
+        count
+    } else {
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Returns `|a ∩ b|` but counts only elements strictly smaller than `bound`.
+///
+/// Used when a restriction `id(x) > id(y)` bounds the candidate set of an
+/// inner loop: only candidates below the already-bound vertex survive.
+pub fn intersect_count_below(a: &[VertexId], b: &[VertexId], bound: VertexId) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        if a[i] >= bound || b[j] >= bound {
+            break;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+    let mut lo = 0usize;
+    for &x in small {
+        if lo >= large.len() {
+            break;
+        }
+        // Exponential search for x in large[lo..].
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            hi = (lo + step).min(large.len());
+            step *= 2;
+        }
+        // `hi` may point at the first element >= x, which must be included
+        // in the search window.
+        let end = if hi < large.len() { hi + 1 } else { large.len() };
+        match large[lo..end].binary_search(&x) {
+            Ok(i) => {
+                out.push(x);
+                lo += i + 1;
+            }
+            Err(i) => lo += i,
+        }
+    }
+}
+
+/// Returns the elements of `a` that are **not** in the (small, unsorted)
+/// exclusion list `excluded`, preserving order.
+///
+/// This implements the `- {v_A, v_B, …}` subtraction from the paper's
+/// generated code, where the exclusion list holds the few vertices already
+/// bound by outer loops.
+pub fn subtract_into(a: &[VertexId], excluded: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    out.extend(a.iter().copied().filter(|v| !excluded.contains(v)));
+}
+
+/// Allocating variant of [`subtract_into`].
+pub fn subtract(a: &[VertexId], excluded: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len());
+    subtract_into(a, excluded, &mut out);
+    out
+}
+
+/// Counts the elements of `a` not present in `excluded`.
+pub fn subtract_count(a: &[VertexId], excluded: &[VertexId]) -> usize {
+    a.iter().filter(|v| !excluded.contains(v)).count()
+}
+
+/// Intersects an arbitrary number of sorted sets. Returns the full universe
+/// copy if `sets` is empty is not meaningful, so `sets` must be non-empty.
+pub fn intersect_many(sets: &[&[VertexId]]) -> Vec<VertexId> {
+    assert!(!sets.is_empty(), "intersect_many requires at least one set");
+    // Intersect smallest-first to keep intermediates tiny.
+    let mut order: Vec<usize> = (0..sets.len()).collect();
+    order.sort_by_key(|&i| sets[i].len());
+    let mut acc: Vec<VertexId> = sets[order[0]].to_vec();
+    let mut scratch = Vec::new();
+    for &i in &order[1..] {
+        intersect_into(&acc, sets[i], &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+/// Checks that a slice is strictly increasing (sorted, duplicate-free).
+pub fn is_sorted_set(a: &[VertexId]) -> bool {
+    a.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_intersections() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1, 2], &[]), Vec::<u32>::new());
+        assert_eq!(intersect(&[5], &[5]), vec![5]);
+    }
+
+    #[test]
+    fn counting_matches_materialised() {
+        let a = [1, 4, 6, 9, 12, 15];
+        let b = [2, 4, 9, 10, 15, 20];
+        assert_eq!(intersect_count(&a, &b), intersect(&a, &b).len());
+    }
+
+    #[test]
+    fn bounded_count() {
+        let a = [1, 4, 6, 9, 12];
+        let b = [4, 6, 9, 12];
+        assert_eq!(intersect_count_below(&a, &b, 10), 3);
+        assert_eq!(intersect_count_below(&a, &b, 4), 0);
+        assert_eq!(intersect_count_below(&a, &b, 100), 4);
+    }
+
+    #[test]
+    fn galloping_path_is_exercised() {
+        let small: Vec<u32> = vec![10, 500, 900];
+        let large: Vec<u32> = (0..1000).collect();
+        assert_eq!(intersect(&small, &large), small);
+        assert_eq!(intersect_count(&small, &large), 3);
+    }
+
+    #[test]
+    fn subtraction() {
+        assert_eq!(subtract(&[1, 2, 3, 4], &[2, 4]), vec![1, 3]);
+        assert_eq!(subtract(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(subtract_count(&[1, 2, 3], &[3, 1]), 1);
+    }
+
+    #[test]
+    fn many_way_intersection() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..100).step_by(2).collect();
+        let c: Vec<u32> = (0..100).step_by(3).collect();
+        let r = intersect_many(&[&a, &b, &c]);
+        let expected: Vec<u32> = (0..100).step_by(6).collect();
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    #[should_panic]
+    fn intersect_many_empty_panics() {
+        let _ = intersect_many(&[]);
+    }
+
+    fn sorted_set() -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::btree_set(0u32..2000, 0..200)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_agrees_with_btreeset(a in sorted_set(), b in sorted_set()) {
+            use std::collections::BTreeSet;
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let expected: Vec<u32> = sa.intersection(&sb).copied().collect();
+            prop_assert_eq!(intersect(&a, &b), expected.clone());
+            prop_assert_eq!(intersect_count(&a, &b), expected.len());
+        }
+
+        #[test]
+        fn prop_intersection_sorted_and_subset(a in sorted_set(), b in sorted_set()) {
+            let r = intersect(&a, &b);
+            prop_assert!(is_sorted_set(&r));
+            prop_assert!(r.iter().all(|x| a.binary_search(x).is_ok() && b.binary_search(x).is_ok()));
+        }
+
+        #[test]
+        fn prop_intersection_commutative(a in sorted_set(), b in sorted_set()) {
+            prop_assert_eq!(intersect(&a, &b), intersect(&b, &a));
+        }
+
+        #[test]
+        fn prop_subtract_removes_exactly(a in sorted_set(), ex in proptest::collection::vec(0u32..2000, 0..10)) {
+            let r = subtract(&a, &ex);
+            prop_assert!(is_sorted_set(&r));
+            prop_assert!(r.iter().all(|x| !ex.contains(x)));
+            prop_assert_eq!(r.len(), subtract_count(&a, &ex));
+            prop_assert!(a.iter().filter(|x| !ex.contains(x)).count() == r.len());
+        }
+
+        #[test]
+        fn prop_intersect_many_matches_pairwise(a in sorted_set(), b in sorted_set(), c in sorted_set()) {
+            let pairwise = intersect(&intersect(&a, &b), &c);
+            prop_assert_eq!(intersect_many(&[&a, &b, &c]), pairwise);
+        }
+
+        #[test]
+        fn prop_bounded_count_matches_filter(a in sorted_set(), b in sorted_set(), bound in 0u32..2000) {
+            let expected = intersect(&a, &b).into_iter().filter(|&x| x < bound).count();
+            prop_assert_eq!(intersect_count_below(&a, &b, bound), expected);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Adjacency-matrix representation of patterns.
+
+use std::fmt;
+
+/// Index of a vertex inside a pattern (`0..pattern.num_vertices()`).
+pub type PatternVertex = usize;
+
+/// A small undirected, unlabeled pattern graph stored as a dense adjacency
+/// matrix.
+///
+/// Patterns in GraphPi are tiny (the paper evaluates sizes 4–7), so a dense
+/// matrix keeps every structural query O(1) and the code simple. Patterns
+/// must be connected for matching to make sense; [`Pattern::is_connected`]
+/// lets callers check this.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl Pattern {
+    /// Creates a pattern with `n` vertices and the given undirected edges.
+    ///
+    /// # Panics
+    /// Panics if an edge references a vertex `>= n` or is a self loop.
+    pub fn new(n: usize, edges: &[(PatternVertex, PatternVertex)]) -> Self {
+        let mut p = Self {
+            n,
+            adj: vec![false; n * n],
+        };
+        for &(u, v) in edges {
+            p.add_edge(u, v);
+        }
+        p
+    }
+
+    /// Creates an edgeless pattern with `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            adj: vec![false; n * n],
+        }
+    }
+
+    /// Parses the flattened adjacency-matrix string format used by the
+    /// original GraphPi implementation: `n * n` characters of `'0'`/`'1'`,
+    /// row-major.
+    ///
+    /// # Panics
+    /// Panics if the length is not a perfect square, a character is not
+    /// `0`/`1`, or the matrix is not symmetric with a zero diagonal.
+    pub fn from_adjacency_string(s: &str) -> Self {
+        let len = s.len();
+        let n = (len as f64).sqrt().round() as usize;
+        assert_eq!(n * n, len, "adjacency string length {len} is not a square");
+        let bits: Vec<bool> = s
+            .chars()
+            .map(|c| match c {
+                '0' => false,
+                '1' => true,
+                other => panic!("invalid character {other:?} in adjacency string"),
+            })
+            .collect();
+        let mut p = Self::empty(n);
+        for i in 0..n {
+            assert!(!bits[i * n + i], "self loop at vertex {i}");
+            for j in 0..n {
+                assert_eq!(bits[i * n + j], bits[j * n + i], "matrix not symmetric");
+                if bits[i * n + j] && i < j {
+                    p.add_edge(i, j);
+                }
+            }
+        }
+        p
+    }
+
+    /// Adds an undirected edge in place.
+    pub fn add_edge(&mut self, u: PatternVertex, v: PatternVertex) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        assert_ne!(u, v, "patterns cannot contain self loops");
+        self.adj[u * self.n + v] = true;
+        self.adj[v * self.n + u] = true;
+    }
+
+    /// Number of pattern vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pattern edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges().count()
+    }
+
+    /// Whether vertices `u` and `v` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, u: PatternVertex, v: PatternVertex) -> bool {
+        self.adj[u * self.n + v]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: PatternVertex) -> usize {
+        (0..self.n).filter(|&u| self.has_edge(v, u)).count()
+    }
+
+    /// Sorted neighbors of vertex `v`.
+    pub fn neighbors(&self, v: PatternVertex) -> Vec<PatternVertex> {
+        (0..self.n).filter(|&u| self.has_edge(v, u)).collect()
+    }
+
+    /// Iterator over edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (PatternVertex, PatternVertex)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            ((u + 1)..self.n)
+                .filter(move |&v| self.has_edge(u, v))
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Whether the pattern is connected (patterns with ≤ 1 vertex count as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for u in 0..self.n {
+                if self.has_edge(v, u) && !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Whether the vertex subset (given as indices) is pairwise non-adjacent.
+    pub fn is_independent_set(&self, vertices: &[PatternVertex]) -> bool {
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                if self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Size of a maximum independent set — the `k` of Section IV-B Phase 2
+    /// and Section IV-D ("at most k vertices such that any two of them are
+    /// not connected"). Exact, by enumeration over all vertex subsets, which
+    /// is fine for pattern sizes (≤ ~20 vertices).
+    pub fn max_independent_set_size(&self) -> usize {
+        assert!(self.n <= 25, "pattern too large for exact MIS computation");
+        let mut best = 0usize;
+        // Precompute adjacency bitmasks.
+        let masks: Vec<u32> = (0..self.n)
+            .map(|v| {
+                (0..self.n)
+                    .filter(|&u| self.has_edge(v, u))
+                    .fold(0u32, |m, u| m | (1 << u))
+            })
+            .collect();
+        for subset in 0u32..(1 << self.n) {
+            if (subset.count_ones() as usize) <= best {
+                continue;
+            }
+            let mut ok = true;
+            let mut rest = subset;
+            while rest != 0 {
+                let v = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                if masks[v] & subset != 0 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                best = subset.count_ones() as usize;
+            }
+        }
+        best
+    }
+
+    /// Whether the subgraph induced by `vertices` is connected. The empty
+    /// set and singletons count as connected.
+    pub fn induces_connected_subgraph(&self, vertices: &[PatternVertex]) -> bool {
+        if vertices.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; vertices.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for (j, &v) in vertices.iter().enumerate() {
+                if !seen[j] && self.has_edge(vertices[i], v) {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == vertices.len()
+    }
+
+    /// Relabels the pattern's vertices: vertex `i` of the result is vertex
+    /// `order[i]` of `self`. `order` must be a permutation of `0..n`.
+    pub fn relabeled(&self, order: &[PatternVertex]) -> Pattern {
+        assert_eq!(order.len(), self.n);
+        let mut p = Pattern::empty(self.n);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.has_edge(order[i], order[j]) {
+                    p.add_edge(i, j);
+                }
+            }
+        }
+        p
+    }
+
+    /// Serialises to the flattened adjacency-matrix string format (the
+    /// inverse of [`Pattern::from_adjacency_string`]).
+    pub fn to_adjacency_string(&self) -> String {
+        let mut s = String::with_capacity(self.n * self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                s.push(if self.has_edge(i, j) { '1' } else { '0' });
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pattern(n={}, edges={:?})",
+            self.n,
+            self.edges().collect::<Vec<_>>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn house() -> Pattern {
+        // Square 0-1-3-2-0 with roof vertex 4 on edge 0-1.
+        Pattern::new(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 4), (1, 4)])
+    }
+
+    #[test]
+    fn basic_queries() {
+        let p = house();
+        assert_eq!(p.num_vertices(), 5);
+        assert_eq!(p.num_edges(), 6);
+        assert!(p.has_edge(0, 1) && p.has_edge(1, 0));
+        assert!(!p.has_edge(2, 4));
+        assert_eq!(p.degree(0), 3);
+        assert_eq!(p.neighbors(0), vec![1, 2, 4]);
+        assert!(p.is_connected());
+    }
+
+    #[test]
+    fn adjacency_string_round_trip() {
+        let p = house();
+        let s = p.to_adjacency_string();
+        assert_eq!(s.len(), 25);
+        let q = Pattern::from_adjacency_string(&s);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic]
+    fn asymmetric_adjacency_string_rejected() {
+        let _ = Pattern::from_adjacency_string("010000000");
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = Pattern::new(3, &[(1, 1)]);
+    }
+
+    #[test]
+    fn independence() {
+        let p = house();
+        // Vertices 3 (bottom-right) and 4 (roof) are not adjacent.
+        assert!(p.is_independent_set(&[3, 4]));
+        assert!(!p.is_independent_set(&[0, 1]));
+        assert_eq!(p.max_independent_set_size(), 2);
+
+        let triangle = Pattern::new(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle.max_independent_set_size(), 1);
+
+        let square = Pattern::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(square.max_independent_set_size(), 2);
+
+        let star = Pattern::new(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(star.max_independent_set_size(), 4);
+    }
+
+    #[test]
+    fn induced_connectivity() {
+        let p = house();
+        assert!(p.induces_connected_subgraph(&[0, 1, 4]));
+        assert!(!p.induces_connected_subgraph(&[2, 4]));
+        assert!(p.induces_connected_subgraph(&[]));
+        assert!(p.induces_connected_subgraph(&[3]));
+    }
+
+    #[test]
+    fn relabeling_preserves_structure() {
+        let p = house();
+        let order = [4, 3, 2, 1, 0];
+        let q = p.relabeled(&order);
+        assert_eq!(q.num_edges(), p.num_edges());
+        // Edge (0,4) of p maps to (4,0) of q.
+        assert!(q.has_edge(4, 0));
+        // Degrees are permuted accordingly.
+        for i in 0..5 {
+            assert_eq!(q.degree(i), p.degree(order[i]));
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_detected() {
+        let p = Pattern::new(4, &[(0, 1), (2, 3)]);
+        assert!(!p.is_connected());
+    }
+}

@@ -1,0 +1,483 @@
+//! 2-cycle based automorphism elimination (Algorithm 1 of the paper).
+//!
+//! A *restriction* is a partial-order constraint `id(a) > id(b)` between two
+//! pattern vertices, applied to the data-graph ids an embedding assigns to
+//! them. A *restriction set* eliminates redundant work if, for every
+//! subgraph of the data graph isomorphic to the pattern, exactly one of its
+//! automorphic embeddings satisfies every restriction in the set.
+//!
+//! GraphPi's contribution (Section IV-A) is an algorithm that produces
+//! **multiple** such sets for an arbitrary pattern by recursively picking
+//! 2-cycles from the not-yet-eliminated automorphisms: a restriction on the
+//! two vertices of a 2-cycle eliminates that automorphism outright, and the
+//! `no_conflict` test (acyclicity of a small digraph) determines which other
+//! automorphisms fall with it. Exposing the whole family of sets lets the
+//! performance model pick the one that prunes the search tree earliest.
+
+use crate::automorphism::automorphism_group;
+use crate::pattern::{Pattern, PatternVertex};
+use crate::permutation::Permutation;
+use std::collections::BTreeSet;
+
+/// A single partial-order constraint `id(greater) > id(smaller)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Restriction {
+    /// Pattern vertex whose data-graph id must be larger.
+    pub greater: PatternVertex,
+    /// Pattern vertex whose data-graph id must be smaller.
+    pub smaller: PatternVertex,
+}
+
+impl Restriction {
+    /// Creates the restriction `id(greater) > id(smaller)`.
+    pub fn new(greater: PatternVertex, smaller: PatternVertex) -> Self {
+        assert_ne!(greater, smaller, "a restriction needs two distinct vertices");
+        Self { greater, smaller }
+    }
+
+    /// Whether an id assignment (`ids[v]` = data id of pattern vertex `v`)
+    /// satisfies this restriction.
+    pub fn satisfied_by(&self, ids: &[u64]) -> bool {
+        ids[self.greater] > ids[self.smaller]
+    }
+}
+
+/// An ordered collection of restrictions forming one complete (or partial)
+/// symmetry-breaking set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct RestrictionSet {
+    restrictions: Vec<Restriction>,
+}
+
+impl RestrictionSet {
+    /// The empty restriction set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from a list of `(greater, smaller)` pairs.
+    pub fn from_pairs(pairs: &[(PatternVertex, PatternVertex)]) -> Self {
+        let mut set = Self::empty();
+        for &(g, s) in pairs {
+            set.push(Restriction::new(g, s));
+        }
+        set
+    }
+
+    /// Adds a restriction, keeping the set sorted and duplicate-free.
+    pub fn push(&mut self, r: Restriction) {
+        if !self.restrictions.contains(&r) {
+            self.restrictions.push(r);
+            self.restrictions.sort_unstable();
+        }
+    }
+
+    /// Returns a new set extended with `r`.
+    pub fn with(&self, r: Restriction) -> Self {
+        let mut next = self.clone();
+        next.push(r);
+        next
+    }
+
+    /// The restrictions in canonical (sorted) order.
+    pub fn restrictions(&self) -> &[Restriction] {
+        &self.restrictions
+    }
+
+    /// Number of restrictions.
+    pub fn len(&self) -> usize {
+        self.restrictions.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.restrictions.is_empty()
+    }
+
+    /// Whether an id assignment satisfies every restriction in the set.
+    pub fn satisfied_by(&self, ids: &[u64]) -> bool {
+        self.restrictions.iter().all(|r| r.satisfied_by(ids))
+    }
+
+    /// Restrictions whose `greater`/`smaller` vertices are both contained in
+    /// `vertices` (used when only a prefix of the schedule is bound).
+    pub fn restricted_to(&self, vertices: &[PatternVertex]) -> RestrictionSet {
+        RestrictionSet {
+            restrictions: self
+                .restrictions
+                .iter()
+                .copied()
+                .filter(|r| vertices.contains(&r.greater) && vertices.contains(&r.smaller))
+                .collect(),
+        }
+    }
+}
+
+/// The `no_conflict` predicate of Algorithm 1.
+///
+/// Returns `true` when the permutation **survives** (is *not* eliminated by)
+/// the restriction set: for every restriction `a > b` the set also implies
+/// `perm(a) > perm(b)`, and the union of those constraints is consistent,
+/// i.e. the directed graph with edges `a -> b` and `perm(a) -> perm(b)` for
+/// every restriction is acyclic.
+pub fn no_conflict(perm: &Permutation, res_set: &RestrictionSet) -> bool {
+    let n = perm.len();
+    // Adjacency matrix of the (tiny) constraint digraph.
+    let mut adj = vec![false; n * n];
+    for r in res_set.restrictions() {
+        adj[r.greater * n + r.smaller] = true;
+        adj[perm.apply(r.greater) * n + perm.apply(r.smaller)] = true;
+    }
+    is_acyclic(&adj, n)
+}
+
+fn is_acyclic(adj: &[bool], n: usize) -> bool {
+    // Kahn's algorithm on the dense matrix.
+    let mut indegree = vec![0usize; n];
+    for u in 0..n {
+        for v in 0..n {
+            if adj[u * n + v] {
+                indegree[v] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(u) = queue.pop() {
+        removed += 1;
+        for v in 0..n {
+            if adj[u * n + v] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    removed == n
+}
+
+/// Returns the automorphisms of `auts` that survive (are not eliminated by)
+/// `res_set`. The identity always survives.
+pub fn surviving_automorphisms<'a>(
+    auts: &'a [Permutation],
+    res_set: &RestrictionSet,
+) -> Vec<&'a Permutation> {
+    auts.iter().filter(|p| no_conflict(p, res_set)).collect()
+}
+
+/// The `validate` step of Algorithm 1: matches the pattern (with and without
+/// restrictions) on the complete graph with `n = |V_p|` vertices.
+///
+/// On `K_n` every injective assignment of data ids to pattern vertices is an
+/// embedding, so the unrestricted count is `n!` and the set is complete and
+/// correct iff the restricted count equals `n! / |Aut(pattern)|`.
+pub fn validate(pattern: &Pattern, res_set: &RestrictionSet) -> bool {
+    let n = pattern.num_vertices();
+    let aut_count = automorphism_group(pattern).len() as u64;
+    let total = factorial(n);
+    if total % aut_count != 0 {
+        return false;
+    }
+    count_satisfying_assignments(n, res_set) == total / aut_count
+}
+
+/// Counts the permutations of `0..n` (used as data ids) that satisfy every
+/// restriction in the set. This equals the number of embeddings found on
+/// `K_n` when the restrictions are applied.
+pub fn count_satisfying_assignments(n: usize, res_set: &RestrictionSet) -> u64 {
+    let mut ids: Vec<u64> = (0..n as u64).collect();
+    let mut count = 0u64;
+    permute_count(&mut ids, 0, res_set, &mut count);
+    count
+}
+
+fn permute_count(ids: &mut Vec<u64>, k: usize, res_set: &RestrictionSet, count: &mut u64) {
+    let n = ids.len();
+    if k == n {
+        if res_set.satisfied_by(ids) {
+            *count += 1;
+        }
+        return;
+    }
+    for i in k..n {
+        ids.swap(k, i);
+        permute_count(ids, k + 1, res_set, count);
+        ids.swap(k, i);
+    }
+}
+
+fn factorial(n: usize) -> u64 {
+    (1..=n as u64).product::<u64>().max(1)
+}
+
+/// Options controlling the restriction-set generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerationOptions {
+    /// Stop after this many *distinct, validated* sets have been produced.
+    /// The paper's generator enumerates all of them; large symmetric
+    /// patterns (cliques) can produce a combinatorial number, so a generous
+    /// cap keeps preprocessing bounded without affecting the patterns used
+    /// in the evaluation.
+    pub max_sets: usize,
+    /// Skip the final `validate` call (used only by tests that validate
+    /// separately).
+    pub skip_validation: bool,
+}
+
+impl Default for GenerationOptions {
+    fn default() -> Self {
+        Self {
+            max_sets: 4096,
+            skip_validation: false,
+        }
+    }
+}
+
+/// Runs Algorithm 1: generates every distinct restriction set (up to
+/// `options.max_sets`) that eliminates all automorphisms of the pattern.
+///
+/// The result is never empty for a valid pattern: if the 2-cycle driven
+/// recursion fails to produce any set (possible only when the automorphism
+/// group contains no involutions at all, a case the paper does not
+/// encounter), a fallback total-order set over one vertex orbit is produced
+/// and validated.
+pub fn generate_restriction_sets(
+    pattern: &Pattern,
+    options: GenerationOptions,
+) -> Vec<RestrictionSet> {
+    let auts = automorphism_group(pattern);
+    generate_from_group(pattern, &auts, options)
+}
+
+/// Same as [`generate_restriction_sets`] but reuses a precomputed
+/// automorphism group.
+pub fn generate_from_group(
+    pattern: &Pattern,
+    auts: &[Permutation],
+    options: GenerationOptions,
+) -> Vec<RestrictionSet> {
+    let mut found: BTreeSet<Vec<Restriction>> = BTreeSet::new();
+    let mut visited: BTreeSet<Vec<Restriction>> = BTreeSet::new();
+
+    if auts.len() <= 1 {
+        // Asymmetric pattern: the empty set is complete.
+        return vec![RestrictionSet::empty()];
+    }
+
+    let survivors: Vec<&Permutation> = auts.iter().collect();
+    recurse(
+        &survivors,
+        &RestrictionSet::empty(),
+        &mut found,
+        &mut visited,
+        options.max_sets,
+    );
+
+    let mut sets: Vec<RestrictionSet> = found
+        .into_iter()
+        .map(|restrictions| RestrictionSet { restrictions })
+        .collect();
+
+    if !options.skip_validation {
+        sets.retain(|s| validate(pattern, s));
+    }
+
+    if sets.is_empty() {
+        // Fallback (see doc comment): impose a total order over the orbit of
+        // vertex 0 under the automorphism group, which breaks every
+        // remaining symmetry, then validate.
+        let orbit: BTreeSet<PatternVertex> = auts.iter().map(|p| p.apply(0)).collect();
+        let orbit: Vec<PatternVertex> = orbit.into_iter().collect();
+        let mut set = RestrictionSet::empty();
+        for w in orbit.windows(2) {
+            set.push(Restriction::new(w[0], w[1]));
+        }
+        if validate(pattern, &set) {
+            sets.push(set);
+        }
+    }
+    sets
+}
+
+fn recurse(
+    survivors: &[&Permutation],
+    res_set: &RestrictionSet,
+    found: &mut BTreeSet<Vec<Restriction>>,
+    visited: &mut BTreeSet<Vec<Restriction>>,
+    max_sets: usize,
+) {
+    if found.len() >= max_sets {
+        return;
+    }
+    if !visited.insert(res_set.restrictions().to_vec()) {
+        return;
+    }
+    if survivors.len() <= 1 {
+        // Only the identity remains; record the completed set.
+        found.insert(res_set.restrictions().to_vec());
+        return;
+    }
+    for perm in survivors {
+        if perm.is_identity() {
+            continue;
+        }
+        for (a, b) in perm.two_cycles() {
+            // Both orientations of the pair are valid branches (the paper's
+            // pseudocode iterates over each vertex of the 2-cycle).
+            for (greater, smaller) in [(a, b), (b, a)] {
+                let new_set = res_set.with(Restriction::new(greater, smaller));
+                if new_set.len() == res_set.len() {
+                    continue; // already present
+                }
+                let remaining: Vec<&Permutation> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|p| no_conflict(p, &new_set))
+                    .collect();
+                if remaining.len() == survivors.len() {
+                    continue; // the new restriction eliminated nothing
+                }
+                recurse(&remaining, &new_set, found, visited, max_sets);
+                if found.len() >= max_sets {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefab;
+
+    fn assert_all_valid(pattern: &Pattern, sets: &[RestrictionSet]) {
+        for s in sets {
+            assert!(validate(pattern, s), "invalid set {s:?} for {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn rectangle_generates_multiple_sets() {
+        // Figure 4(d) derives several distinct sets for the rectangle, e.g.
+        // {B>D, A>C, A>B} and {B>D, A>C, C>D}.
+        let rect = prefab::rectangle();
+        let sets = generate_restriction_sets(&rect, GenerationOptions::default());
+        assert!(sets.len() >= 2, "expected multiple sets, got {}", sets.len());
+        assert_all_valid(&rect, &sets);
+        // Each complete set for the rectangle needs at least 3 restrictions
+        // (|Aut| = 8 = 2^3).
+        assert!(sets.iter().all(|s| s.len() >= 3));
+    }
+
+    #[test]
+    fn house_single_restriction_suffices() {
+        // |Aut(house)| = 2, so one restriction on the mirrored pair is
+        // enough; the paper's Figure 5 uses id(A) > id(B).
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        assert!(!sets.is_empty());
+        assert_all_valid(&house, &sets);
+        assert!(sets.iter().any(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn triangle_and_cliques() {
+        for n in 3..6usize {
+            let k = prefab::clique(n);
+            let sets = generate_restriction_sets(&k, GenerationOptions::default());
+            assert!(!sets.is_empty(), "K_{n} produced no sets");
+            assert_all_valid(&k, &sets);
+            // A clique needs a full total order: n-1 restrictions at least.
+            assert!(sets.iter().all(|s| s.len() >= n - 1), "K_{n}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_pattern_needs_no_restrictions() {
+        let p = Pattern::new(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (4, 5)]);
+        let sets = generate_restriction_sets(&p, GenerationOptions::default());
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].is_empty());
+        assert!(validate(&p, &sets[0]));
+    }
+
+    #[test]
+    fn evaluation_patterns_all_produce_valid_sets() {
+        for (name, pattern) in prefab::evaluation_patterns() {
+            let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+            assert!(!sets.is_empty(), "{name} produced no restriction sets");
+            assert_all_valid(&pattern, &sets);
+        }
+    }
+
+    #[test]
+    fn no_conflict_matches_paper_example() {
+        // After Round 1 in Figure 4(d): {B>D, A>C} (vertices 0=A,1=B,2=C,3=D).
+        let set = RestrictionSet::from_pairs(&[(1, 3), (0, 2)]);
+        // Permutation 2 of Figure 4(c) is the 4-cycle (A,D,C,B):
+        // A->D, D->C, C->B, B->A, i.e. map = [3, 0, 1, 2].
+        let perm = Permutation::from_mapping(vec![3, 0, 1, 2]);
+        // The paper argues this permutation *is* eliminated by those two
+        // restrictions (the derived constraints are contradictory).
+        assert!(!no_conflict(&perm, &set));
+        // The identity is never eliminated.
+        assert!(no_conflict(&Permutation::identity(4), &set));
+    }
+
+    #[test]
+    fn surviving_automorphism_count_divides_group_order() {
+        for (_, pattern) in prefab::evaluation_patterns() {
+            let auts = automorphism_group(&pattern);
+            let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+            for set in &sets {
+                let surviving = surviving_automorphisms(&auts, set);
+                // A complete set leaves only the identity.
+                assert_eq!(surviving.len(), 1);
+                assert!(surviving[0].is_identity());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_sets_leave_more_survivors() {
+        let rect = prefab::rectangle();
+        let auts = automorphism_group(&rect);
+        // A single restriction cannot kill all 7 non-identity automorphisms.
+        let partial = RestrictionSet::from_pairs(&[(1, 3)]);
+        let surviving = surviving_automorphisms(&auts, &partial);
+        assert!(surviving.len() > 1);
+        assert!(surviving.len() < auts.len());
+    }
+
+    #[test]
+    fn count_satisfying_assignments_basics() {
+        // No restrictions: all n! assignments satisfy.
+        assert_eq!(count_satisfying_assignments(4, &RestrictionSet::empty()), 24);
+        // One restriction halves the count.
+        let one = RestrictionSet::from_pairs(&[(0, 1)]);
+        assert_eq!(count_satisfying_assignments(4, &one), 12);
+        // A full chain leaves exactly one.
+        let chain = RestrictionSet::from_pairs(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(count_satisfying_assignments(4, &chain), 1);
+    }
+
+    #[test]
+    fn restricted_to_prefix() {
+        let set = RestrictionSet::from_pairs(&[(0, 1), (2, 3), (0, 3)]);
+        let prefix = set.restricted_to(&[0, 1, 3]);
+        assert_eq!(prefix.len(), 2);
+        assert!(prefix
+            .restrictions()
+            .iter()
+            .all(|r| r.greater != 2 && r.smaller != 2));
+    }
+
+    #[test]
+    fn contradictory_set_fails_validation() {
+        let rect = prefab::rectangle();
+        let bad = RestrictionSet::from_pairs(&[(0, 1), (1, 0)]);
+        assert!(!validate(&rect, &bad));
+    }
+}

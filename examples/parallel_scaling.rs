@@ -1,0 +1,69 @@
+//! Parallel and simulated-distributed scaling.
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+//!
+//! Measures real multi-threaded speedup on the local machine (work-stealing
+//! prefix tasks, Section IV-E) and then replays the measured task durations
+//! on a simulated cluster to show the strong-scaling behaviour the paper
+//! reports in Figure 12.
+
+use graphpi::core::engine::{CountOptions, GraphPi, PlanOptions};
+use graphpi::core::exec::cluster::strong_scaling;
+use graphpi::graph::generators;
+use graphpi::pattern::prefab;
+use std::time::Instant;
+
+fn main() {
+    let graph = generators::power_law(2_000, 12, 3);
+    println!(
+        "data graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let engine = GraphPi::new(graph);
+    let pattern = prefab::house();
+    let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+
+    // Real threads on this machine.
+    println!("\nlocal multi-threaded scaling (enumeration):");
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let count = engine.execute_count(
+            &plan.plan,
+            CountOptions {
+                use_iep: false,
+                threads,
+                prefix_depth: None,
+            },
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+        let baseline_time = *baseline.get_or_insert(elapsed);
+        println!(
+            "  {threads:>2} threads: {elapsed:.3}s  speedup {:.2}x  (count {count})",
+            baseline_time / elapsed
+        );
+    }
+
+    // Simulated cluster (per-node queues + work stealing over measured
+    // task durations).
+    println!("\nsimulated cluster strong scaling (24 workers per node):");
+    let node_counts = [1usize, 2, 4, 8, 16, 32];
+    let curve = strong_scaling(&plan.plan, engine.graph(), &node_counts, 24, None);
+    let single = curve[0].1.makespan_seconds;
+    for (nodes, report) in &curve {
+        println!(
+            "  {nodes:>3} nodes: makespan {:>8.3}ms  speedup {:>6.1}x  efficiency {:>5.1}%  steals {}",
+            report.makespan_seconds * 1e3,
+            single / report.makespan_seconds.max(1e-12),
+            report.efficiency() * 100.0,
+            report.steals
+        );
+    }
+    println!(
+        "\n({} tasks measured once and replayed for every cluster size)",
+        curve[0].1.num_tasks
+    );
+}

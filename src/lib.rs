@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the GraphPi reproduction workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories can exercise the public API of every workspace member through
+//! a single import path.  Library users should normally depend on
+//! [`graphpi_core`] directly.
+
+pub use graphpi_baseline as baseline;
+pub use graphpi_core as core;
+pub use graphpi_graph as graph;
+pub use graphpi_pattern as pattern;

@@ -1,0 +1,128 @@
+//! End-to-end pipeline tests spanning every crate: IO, planning, codegen,
+//! execution, and the dataset registry.
+
+use graphpi::core::codegen::{generate, Language};
+use graphpi::core::engine::{CountOptions, GraphPi, PlanOptions};
+use graphpi::core::exec::cluster::{run_cluster, ClusterOptions};
+use graphpi::graph::{datasets, generators, io, GraphStats};
+use graphpi::pattern::prefab;
+use graphpi::pattern::restriction::validate;
+
+#[test]
+fn edge_list_round_trip_preserves_counts() {
+    let graph = generators::power_law(200, 5, 8);
+    let dir = std::env::temp_dir().join("graphpi_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.txt");
+    io::save_edge_list(&graph, &path).unwrap();
+    let reloaded = io::load_edge_list(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let original = GraphPi::new(graph);
+    let loaded = GraphPi::new(reloaded);
+    for pattern in [prefab::triangle(), prefab::house()] {
+        assert_eq!(
+            original.count(&pattern).unwrap(),
+            loaded.count(&pattern).unwrap()
+        );
+    }
+}
+
+#[test]
+fn planner_output_is_internally_consistent() {
+    let graph = generators::power_law(300, 6, 21);
+    let engine = GraphPi::new(graph);
+    for (name, pattern) in prefab::evaluation_patterns() {
+        let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+        // The selected restriction set is complete.
+        assert!(
+            validate(&pattern, &plan.plan.config.restrictions),
+            "{name}: selected restriction set is not complete"
+        );
+        // The selected schedule is one the 2-phase generator would emit.
+        assert!(plan.plan.config.schedule.prefixes_connected(&pattern), "{name}");
+        // Generated code mentions every pattern vertex.
+        let code = generate(&plan.plan, Language::Cpp);
+        for v in 0..pattern.num_vertices() {
+            let var = format!("v_{}", (b'A' + v as u8) as char);
+            assert!(code.contains(&var), "{name}: {var} missing from codegen");
+        }
+        // The predicted cost is positive and finite.
+        assert!(plan.predicted_cost.is_finite() && plan.predicted_cost > 0.0);
+    }
+}
+
+#[test]
+fn dataset_registry_supports_matching() {
+    // The tiny dataset variants must be directly usable by the engine.
+    for dataset in datasets::tiny_datasets() {
+        let engine = GraphPi::new(dataset.graph.clone());
+        let triangles = engine.count(&prefab::triangle()).unwrap();
+        assert_eq!(
+            triangles,
+            graphpi::graph::triangles::count_triangles(&dataset.graph),
+            "{}",
+            dataset.name
+        );
+    }
+}
+
+#[test]
+fn stats_roundtrip_through_with_stats() {
+    let graph = generators::erdos_renyi(150, 700, 5);
+    let stats = GraphStats::compute(&graph);
+    let engine_a = GraphPi::new(graph.clone());
+    let engine_b = GraphPi::with_stats(graph, stats);
+    assert_eq!(engine_a.stats(), engine_b.stats());
+    assert_eq!(
+        engine_a.count(&prefab::rectangle()).unwrap(),
+        engine_b.count(&prefab::rectangle()).unwrap()
+    );
+}
+
+#[test]
+fn simulated_cluster_agrees_with_direct_counting() {
+    let graph = generators::power_law(150, 5, 31);
+    let engine = GraphPi::new(graph.clone());
+    let pattern = prefab::p3();
+    let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+    let expected = engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
+    let report = run_cluster(
+        &plan.plan,
+        &graph,
+        ClusterOptions {
+            num_nodes: 4,
+            threads_per_node: 4,
+            prefix_depth: None,
+            measurement_threads: 2,
+        },
+    );
+    assert_eq!(report.embeddings, expected);
+    assert!(report.total_work_seconds >= 0.0);
+    assert!(report.makespan_seconds <= report.total_work_seconds + 1e-9);
+}
+
+#[test]
+fn iep_and_enumeration_agree_on_every_stand_in_family() {
+    // One clustered and one uniform graph, all six evaluation patterns.
+    for graph in [
+        generators::power_law(100, 4, 70),
+        generators::erdos_renyi(100, 420, 71),
+    ] {
+        let engine = GraphPi::new(graph);
+        for (name, pattern) in prefab::evaluation_patterns() {
+            let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+            let enumerated =
+                engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
+            let iep = engine.execute_count(
+                &plan.plan,
+                CountOptions {
+                    use_iep: true,
+                    threads: 1,
+                    prefix_depth: None,
+                },
+            );
+            assert_eq!(enumerated, iep, "{name}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over random graphs and patterns: the engine's count
+//! must always match the naive ground truth, restriction sets must always be
+//! complete, and counting must be invariant to the execution strategy.
+
+use graphpi::baseline::naive;
+use graphpi::core::config::Configuration;
+use graphpi::core::engine::{CountOptions, GraphPi, PlanOptions};
+use graphpi::core::exec::{iep, interp};
+use graphpi::core::schedule::efficient_schedules;
+use graphpi::graph::builder::GraphBuilder;
+use graphpi::graph::CsrGraph;
+use graphpi::pattern::prefab;
+use graphpi::pattern::restriction::{
+    generate_restriction_sets, validate, GenerationOptions,
+};
+use graphpi::pattern::Pattern;
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with up to `max_vertices` vertices.
+fn arb_graph(max_vertices: usize, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
+    (4..max_vertices, proptest::collection::vec((0usize..max_vertices, 0usize..max_vertices), 0..max_edges))
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::new().num_vertices(n);
+            for (u, v) in edges {
+                if u != v && u < n && v < n {
+                    builder.push_edge(u as u32, v as u32);
+                }
+            }
+            builder.build()
+        })
+}
+
+/// Strategy: a random connected pattern with 3..=5 vertices built by
+/// spanning-tree + extra edges.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (3usize..=5)
+        .prop_flat_map(|n| {
+            let extra = proptest::collection::vec((0usize..n, 0usize..n), 0..(n * 2));
+            (Just(n), extra)
+        })
+        .prop_map(|(n, extra)| {
+            let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+            for (u, v) in extra {
+                if u != v {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            Pattern::new(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_naive_ground_truth(graph in arb_graph(24, 80), pattern in arb_pattern()) {
+        let expected = naive::count_embeddings(&pattern, &graph);
+        let engine = GraphPi::new(graph);
+        let got = engine
+            .count_with(&pattern, PlanOptions::default(), CountOptions::sequential_enumeration())
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn iep_matches_enumeration_for_random_inputs(graph in arb_graph(22, 70), pattern in arb_pattern()) {
+        let engine = GraphPi::new(graph);
+        let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+        let enumerated = engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
+        let with_iep = engine.execute_count(
+            &plan.plan,
+            CountOptions { use_iep: true, threads: 1, prefix_depth: None },
+        );
+        prop_assert_eq!(enumerated, with_iep);
+    }
+
+    #[test]
+    fn generated_restriction_sets_are_always_complete(pattern in arb_pattern()) {
+        let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+        prop_assert!(!sets.is_empty());
+        for set in sets.iter().take(8) {
+            prop_assert!(validate(&pattern, set));
+        }
+    }
+
+    #[test]
+    fn every_efficient_schedule_counts_the_same(graph in arb_graph(18, 50), pattern in arb_pattern()) {
+        let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+        let schedules = efficient_schedules(&pattern);
+        let mut counts = std::collections::BTreeSet::new();
+        for schedule in schedules.into_iter().take(4) {
+            let plan = Configuration::new(pattern.clone(), schedule, sets[0].clone()).compile();
+            counts.insert(interp::count_embeddings(&plan, &graph));
+        }
+        prop_assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn iep_term_never_negative_and_bounded(graph in arb_graph(20, 60), pattern in arb_pattern()) {
+        // The IEP count can never exceed the unrestricted mapping count.
+        let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+        let schedules = efficient_schedules(&pattern);
+        let plan = Configuration::new(pattern.clone(), schedules[0].clone(), sets[0].clone()).compile();
+        let iep_count = iep::count_embeddings_iep(&plan, &graph);
+        let mappings = naive::count_mappings(&pattern, &graph);
+        prop_assert!(iep_count <= mappings);
+    }
+}
+
+#[test]
+fn prefab_patterns_always_plan_on_structured_graphs() {
+    for graph in [
+        graphpi::graph::generators::complete(8),
+        graphpi::graph::generators::cycle(12),
+        graphpi::graph::generators::star(12),
+        graphpi::graph::generators::path(12),
+    ] {
+        let engine = GraphPi::new(graph);
+        for (name, pattern) in prefab::evaluation_patterns() {
+            let plan = engine.plan(&pattern, PlanOptions::default());
+            assert!(plan.is_ok(), "{name} failed to plan");
+        }
+    }
+}
