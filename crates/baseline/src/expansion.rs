@@ -65,7 +65,10 @@ impl ExpansionEngine {
 
     /// Overrides the partial-embedding budget.
     pub fn with_budget(graph: CsrGraph, max_partials: usize) -> Self {
-        Self { graph, max_partials }
+        Self {
+            graph,
+            max_partials,
+        }
     }
 
     /// The underlying graph.
@@ -164,7 +167,11 @@ mod tests {
     fn outcome_accessor() {
         assert_eq!(ExpansionOutcome::Finished(5).count(), Some(5));
         assert_eq!(
-            ExpansionOutcome::BudgetExceeded { level: 2, partials: 10 }.count(),
+            ExpansionOutcome::BudgetExceeded {
+                level: 2,
+                partials: 10
+            }
+            .count(),
             None
         );
     }
@@ -173,6 +180,9 @@ mod tests {
     fn empty_pattern_counts_zero() {
         let graph = generators::complete(5);
         let engine = ExpansionEngine::new(graph);
-        assert_eq!(engine.count(&Pattern::empty(0)), ExpansionOutcome::Finished(0));
+        assert_eq!(
+            engine.count(&Pattern::empty(0)),
+            ExpansionOutcome::Finished(0)
+        );
     }
 }

@@ -119,8 +119,8 @@ impl GraphZeroEngine {
     /// caller-provided schedule (used by the Table II experiment, which
     /// compares restriction sets on identical schedules).
     pub fn count_with_schedule(&self, pattern: &Pattern, schedule: Schedule) -> u64 {
-        let plan =
-            Configuration::new(pattern.clone(), schedule, graphzero_restrictions(pattern)).compile();
+        let plan = Configuration::new(pattern.clone(), schedule, graphzero_restrictions(pattern))
+            .compile();
         interp::count_embeddings(&plan, &self.graph)
     }
 }
@@ -201,8 +201,14 @@ mod tests {
         let engine = GraphZeroEngine::new(graph);
         let pattern = prefab::house();
         let default_count = engine.count(&pattern);
-        for schedule in graphpi_core::schedule::efficient_schedules(&pattern).into_iter().take(5) {
-            assert_eq!(engine.count_with_schedule(&pattern, schedule), default_count);
+        for schedule in graphpi_core::schedule::efficient_schedules(&pattern)
+            .into_iter()
+            .take(5)
+        {
+            assert_eq!(
+                engine.count_with_schedule(&pattern, schedule),
+                default_count
+            );
         }
     }
 }

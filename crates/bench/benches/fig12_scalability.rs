@@ -32,16 +32,33 @@ fn main() {
     let node_counts = [1usize, 2, 4, 8, 16, 32, 64, 128];
 
     let mut table = Table::new(vec![
-        "pattern", "tasks", "1", "2", "4", "8", "16", "32", "64", "128", "speedup@128",
+        "pattern",
+        "tasks",
+        "1",
+        "2",
+        "4",
+        "8",
+        "16",
+        "32",
+        "64",
+        "128",
+        "speedup@128",
     ]);
     for (name, pattern) in prefab::evaluation_patterns() {
         let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
-        let curve = strong_scaling(&plan.plan, engine.graph(), &node_counts, THREADS_PER_NODE, None);
+        let curve = strong_scaling(
+            &plan.plan,
+            engine.graph(),
+            &node_counts,
+            THREADS_PER_NODE,
+            None,
+        );
         let mut cells = vec![name.to_string(), curve[0].1.num_tasks.to_string()];
         for (_, report) in &curve {
             cells.push(format!("{:.2}", report.makespan_seconds * 1e3));
         }
-        let speedup = curve[0].1.makespan_seconds / curve.last().unwrap().1.makespan_seconds.max(1e-12);
+        let speedup =
+            curve[0].1.makespan_seconds / curve.last().unwrap().1.makespan_seconds.max(1e-12);
         cells.push(format!("{speedup:.1}x"));
         table.row(cells);
     }
@@ -56,15 +73,24 @@ fn main() {
     );
     let engine = GraphPi::new(dataset.graph.clone());
     let node_counts = [128usize, 256, 512, 1024];
-    let mut table = Table::new(vec!["pattern", "tasks", "128", "256", "512", "1024", "speedup"]);
+    let mut table = Table::new(vec![
+        "pattern", "tasks", "128", "256", "512", "1024", "speedup",
+    ]);
     for (name, pattern) in [("P2", prefab::p2()), ("P3", prefab::p3())] {
         let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
-        let curve = strong_scaling(&plan.plan, engine.graph(), &node_counts, THREADS_PER_NODE, None);
+        let curve = strong_scaling(
+            &plan.plan,
+            engine.graph(),
+            &node_counts,
+            THREADS_PER_NODE,
+            None,
+        );
         let mut cells = vec![name.to_string(), curve[0].1.num_tasks.to_string()];
         for (_, report) in &curve {
             cells.push(format!("{:.3}", report.makespan_seconds * 1e3));
         }
-        let speedup = curve[0].1.makespan_seconds / curve.last().unwrap().1.makespan_seconds.max(1e-12);
+        let speedup =
+            curve[0].1.makespan_seconds / curve.last().unwrap().1.makespan_seconds.max(1e-12);
         cells.push(format!("{speedup:.1}x"));
         table.row(cells);
     }

@@ -52,9 +52,8 @@ fn main() {
             let config = Configuration::new(pattern.clone(), schedule.clone(), set.clone());
             let predicted = engine.predict(&config).total;
             let plan = config.compile();
-            let (count, elapsed) = measure(|| {
-                engine.execute_count(&plan, CountOptions::sequential_enumeration())
-            });
+            let (count, elapsed) =
+                measure(|| engine.execute_count(&plan, CountOptions::sequential_enumeration()));
             results.push(elapsed.as_secs_f64());
             table.row(vec![
                 sname.to_string(),

@@ -67,7 +67,10 @@ fn main() {
                         assert_eq!(c, count, "expansion mismatch on {name}/{}", dataset.name);
                         (
                             secs(fr_time),
-                            format!("{:.1}x", fr_time.as_secs_f64() / pi_time.as_secs_f64().max(1e-9)),
+                            format!(
+                                "{:.1}x",
+                                fr_time.as_secs_f64() / pi_time.as_secs_f64().max(1e-9)
+                            ),
                         )
                     }
                     ExpansionOutcome::BudgetExceeded { .. } => ("T".to_string(), ">T".to_string()),
@@ -83,7 +86,10 @@ fn main() {
                 secs(pi_time),
                 secs(gz_time),
                 fractal_cell,
-                format!("{:.1}x", gz_time.as_secs_f64() / pi_time.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.1}x",
+                    gz_time.as_secs_f64() / pi_time.as_secs_f64().max(1e-9)
+                ),
                 fractal_speedup,
             ]);
         }

@@ -222,7 +222,10 @@ mod tests {
     fn datasets_are_ordered_and_nontrivial() {
         let ds = bench_datasets(0.5);
         let names: Vec<_> = ds.iter().map(|d| d.name).collect();
-        assert_eq!(names, vec!["Wiki-Vote", "MiCo", "Patents", "LiveJournal", "Orkut"]);
+        assert_eq!(
+            names,
+            vec!["Wiki-Vote", "MiCo", "Patents", "LiveJournal", "Orkut"]
+        );
         for d in &ds {
             assert!(d.graph.num_edges() > 100, "{} too small", d.name);
             assert!(!d.describe().is_empty());

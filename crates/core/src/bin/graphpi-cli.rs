@@ -209,8 +209,16 @@ mod tests {
     #[test]
     fn parses_count_invocation() {
         let args = parse_args(&strings(&[
-            "count", "--graph", "g.txt", "--pattern", "house", "--threads", "4", "--no-iep",
-            "--list", "3",
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--threads",
+            "4",
+            "--no-iep",
+            "--list",
+            "3",
         ]))
         .unwrap();
         assert_eq!(args.command, Command::Count);

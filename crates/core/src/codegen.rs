@@ -143,7 +143,13 @@ fn describe_restrictions(plan: &ExecutionPlan) -> String {
     }
     restrictions
         .iter()
-        .map(|r| format!("id({}) > id({})", vertex_name(r.greater), vertex_name(r.smaller)))
+        .map(|r| {
+            format!(
+                "id({}) > id({})",
+                vertex_name(r.greater),
+                vertex_name(r.smaller)
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
@@ -202,12 +208,8 @@ mod tests {
     fn lower_bound_restriction_emits_continue() {
         let pattern = prefab::triangle();
         let schedule = Schedule::new(&pattern, vec![0, 1, 2]);
-        let plan = Configuration::new(
-            pattern,
-            schedule,
-            RestrictionSet::from_pairs(&[(1, 0)]),
-        )
-        .compile();
+        let plan =
+            Configuration::new(pattern, schedule, RestrictionSet::from_pairs(&[(1, 0)])).compile();
         let code = generate(&plan, Language::Cpp);
         assert!(code.contains("continue;"), "{code}");
     }

@@ -282,7 +282,9 @@ mod tests {
     #[test]
     fn plan_reports_metadata() {
         let engine = engine();
-        let plan = engine.plan(&prefab::house(), PlanOptions::default()).unwrap();
+        let plan = engine
+            .plan(&prefab::house(), PlanOptions::default())
+            .unwrap();
         assert!(plan.candidates_considered > 0);
         assert!(plan.schedules_generated > 0);
         assert!(plan.restriction_sets_generated > 0);
@@ -322,7 +324,8 @@ mod tests {
         let engine = engine();
         for (name, pattern) in prefab::evaluation_patterns().into_iter().take(4) {
             let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
-            let sequential = engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
+            let sequential =
+                engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
             let with_iep = engine.execute_count(
                 &plan.plan,
                 CountOptions {
@@ -406,7 +409,10 @@ mod tests {
             &pattern,
             CountOptions::sequential_enumeration(),
         );
-        assert_eq!(restricted * automorphism_count(&pattern) as u64, unrestricted);
+        assert_eq!(
+            restricted * automorphism_count(&pattern) as u64,
+            unrestricted
+        );
     }
 
     #[test]

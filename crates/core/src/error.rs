@@ -31,7 +31,10 @@ impl fmt::Display for EngineError {
             EngineError::EmptyPattern => write!(f, "pattern has no vertices"),
             EngineError::DisconnectedPattern => write!(f, "pattern is disconnected"),
             EngineError::PatternTooLarge { vertices, max } => {
-                write!(f, "pattern has {vertices} vertices; at most {max} are supported")
+                write!(
+                    f,
+                    "pattern has {vertices} vertices; at most {max} are supported"
+                )
             }
             EngineError::NoConfiguration => write!(f, "no valid configuration could be generated"),
         }
@@ -46,11 +49,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(EngineError::EmptyPattern.to_string().contains("no vertices"));
-        assert!(EngineError::DisconnectedPattern.to_string().contains("disconnected"));
-        assert!(EngineError::PatternTooLarge { vertices: 12, max: 8 }
+        assert!(EngineError::EmptyPattern
             .to_string()
-            .contains("12"));
-        assert!(EngineError::NoConfiguration.to_string().contains("configuration"));
+            .contains("no vertices"));
+        assert!(EngineError::DisconnectedPattern
+            .to_string()
+            .contains("disconnected"));
+        assert!(EngineError::PatternTooLarge {
+            vertices: 12,
+            max: 8
+        }
+        .to_string()
+        .contains("12"));
+        assert!(EngineError::NoConfiguration
+            .to_string()
+            .contains("configuration"));
     }
 }

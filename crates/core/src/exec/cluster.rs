@@ -20,7 +20,7 @@
 use crate::config::ExecutionPlan;
 use crate::exec::{interp, parallel};
 use graphpi_graph::csr::{CsrGraph, VertexId};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Configuration of the simulated cluster.
@@ -144,15 +144,18 @@ pub fn measure_tasks(
                     interp::count_from_prefix(plan, graph, prefix)
                 };
                 let seconds = start.elapsed().as_secs_f64();
-                results.lock().push(MeasuredTask {
-                    prefix: prefix.clone(),
-                    count,
-                    seconds,
-                });
+                results
+                    .lock()
+                    .expect("results lock poisoned")
+                    .push(MeasuredTask {
+                        prefix: prefix.clone(),
+                        count,
+                        seconds,
+                    });
             });
         }
     });
-    results.into_inner()
+    results.into_inner().expect("results lock poisoned")
 }
 
 /// Simulates the distributed execution of a set of measured tasks on a
@@ -183,10 +186,10 @@ pub fn simulate_schedule(tasks: &[MeasuredTask], options: &ClusterOptions) -> Cl
         // Find the earliest free worker.
         let (mut best_node, mut best_slot) = (0usize, 0usize);
         let mut best_time = f64::INFINITY;
-        for node in 0..num_nodes {
-            for slot in 0..threads_per_node {
-                if worker_free_at[node][slot] < best_time {
-                    best_time = worker_free_at[node][slot];
+        for (node, slots) in worker_free_at.iter().enumerate() {
+            for (slot, &free_at) in slots.iter().enumerate() {
+                if free_at < best_time {
+                    best_time = free_at;
                     best_node = node;
                     best_slot = slot;
                 }
@@ -233,8 +236,17 @@ pub fn simulate_schedule(tasks: &[MeasuredTask], options: &ClusterOptions) -> Cl
 }
 
 /// Measures the tasks once and returns the full report for one cluster size.
-pub fn run_cluster(plan: &ExecutionPlan, graph: &CsrGraph, options: ClusterOptions) -> ClusterReport {
-    let tasks = measure_tasks(plan, graph, options.prefix_depth, options.measurement_threads);
+pub fn run_cluster(
+    plan: &ExecutionPlan,
+    graph: &CsrGraph,
+    options: ClusterOptions,
+) -> ClusterReport {
+    let tasks = measure_tasks(
+        plan,
+        graph,
+        options.prefix_depth,
+        options.measurement_threads,
+    );
     simulate_schedule(&tasks, &options)
 }
 
@@ -294,7 +306,10 @@ mod tests {
         assert_eq!(report.embeddings, expected);
         assert!(report.num_tasks > 0);
         assert!(report.makespan_seconds >= 0.0);
-        assert_eq!(report.node_task_counts.iter().sum::<usize>(), report.num_tasks);
+        assert_eq!(
+            report.node_task_counts.iter().sum::<usize>(),
+            report.num_tasks
+        );
     }
 
     #[test]

@@ -101,13 +101,13 @@ pub fn count_distinct_tuples(sets: &[Vec<VertexId>]) -> u64 {
     // Cardinality of the intersection of every subset of the candidate
     // sets, indexed by bitmask.
     let mut subset_card = vec![0i64; 1usize << k];
-    for mask in 1usize..(1 << k) {
+    for (mask, card) in subset_card.iter_mut().enumerate().skip(1) {
         let members: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
         if members.len() == 1 {
-            subset_card[mask] = sets[members[0]].len() as i64;
+            *card = sets[members[0]].len() as i64;
         } else {
             let slices: Vec<&[VertexId]> = members.iter().map(|&i| sets[i].as_slice()).collect();
-            subset_card[mask] = vertex_set::intersect_many(&slices).len() as i64;
+            *card = vertex_set::intersect_many(&slices).len() as i64;
         }
     }
 
@@ -119,7 +119,11 @@ pub fn count_distinct_tuples(sets: &[Vec<VertexId>]) -> u64 {
 
     let mut total: i64 = 0;
     for pair_mask in 0usize..(1 << num_pairs) {
-        let sign = if pair_mask.count_ones() % 2 == 0 { 1i64 } else { -1i64 };
+        let sign = if pair_mask.count_ones() % 2 == 0 {
+            1i64
+        } else {
+            -1i64
+        };
         // Algorithm 2: union-find the suffix vertices along the selected
         // equality pairs, then multiply the intersection cardinalities of
         // the resulting components.
@@ -170,7 +174,9 @@ mod tests {
     use crate::schedule::{efficient_schedules, Schedule};
     use graphpi_graph::generators;
     use graphpi_pattern::prefab;
-    use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+    use graphpi_pattern::restriction::{
+        generate_restriction_sets, GenerationOptions, RestrictionSet,
+    };
 
     #[test]
     fn distinct_tuple_counting_small_cases() {
@@ -200,8 +206,9 @@ mod tests {
             let k = rng.gen_range(2..=4usize);
             let sets: Vec<Vec<VertexId>> = (0..k)
                 .map(|_| {
-                    let mut s: Vec<VertexId> =
-                        (0..rng.gen_range(0..8u32)).filter(|_| rng.gen_bool(0.6)).collect();
+                    let mut s: Vec<VertexId> = (0..rng.gen_range(0..8u32))
+                        .filter(|_| rng.gen_bool(0.6))
+                        .collect();
                     s.sort_unstable();
                     s.dedup();
                     s

@@ -1,7 +1,7 @@
 //! Sequential nested-loop execution of a compiled plan.
 //!
 //! The interpreter walks the loop nest described by an
-//! [`ExecutionPlan`](crate::config::ExecutionPlan): loop `i` binds pattern
+//! [`crate::config::ExecutionPlan`]: loop `i` binds pattern
 //! vertex `plan.loops[i].pattern_vertex` to a data vertex drawn from the
 //! intersection of the neighborhoods of its already-bound pattern neighbors,
 //! subject to the restriction bounds and to injectivity. Reaching the last
@@ -71,7 +71,14 @@ pub fn for_each_embedding<F: FnMut(&[VertexId])>(
         if n == 1 {
             visitor(&bound);
         } else {
-            recurse(plan, graph, 1, &mut bound, &mut buffers.buffers, &mut visitor);
+            recurse(
+                plan,
+                graph,
+                1,
+                &mut bound,
+                &mut buffers.buffers,
+                &mut visitor,
+            );
         }
         bound.pop();
     }
@@ -105,7 +112,11 @@ pub fn count_from_prefix(plan: &ExecutionPlan, graph: &CsrGraph, prefix: &[Verte
 /// These prefixes are the fine-grained tasks of the distributed design
 /// (Section IV-E: "the master thread executes the outer loops and packs the
 /// values of the outer loops into a task").
-pub fn enumerate_prefixes(plan: &ExecutionPlan, graph: &CsrGraph, depth: usize) -> Vec<Vec<VertexId>> {
+pub fn enumerate_prefixes(
+    plan: &ExecutionPlan,
+    graph: &CsrGraph,
+    depth: usize,
+) -> Vec<Vec<VertexId>> {
     let n = plan.num_loops();
     assert!(depth >= 1 && depth <= n);
     let mut result = Vec::new();
@@ -116,7 +127,15 @@ pub fn enumerate_prefixes(plan: &ExecutionPlan, graph: &CsrGraph, depth: usize) 
         if depth == 1 {
             result.push(bound.clone());
         } else {
-            collect_prefixes(plan, graph, 1, depth, &mut bound, &mut buffers.buffers, &mut result);
+            collect_prefixes(
+                plan,
+                graph,
+                1,
+                depth,
+                &mut bound,
+                &mut buffers.buffers,
+                &mut result,
+            );
         }
         bound.pop();
     }
@@ -137,8 +156,7 @@ fn collect_prefixes(
     else {
         return;
     };
-    for idx in start..end {
-        let v = candidates[idx];
+    for &v in &candidates[start..end] {
         if bound.contains(&v) {
             continue;
         }
@@ -168,8 +186,7 @@ fn recurse<F: FnMut(&[VertexId])>(
     };
     if depth == n - 1 {
         // Innermost loop: every candidate not already bound is an embedding.
-        for idx in start..end {
-            let v = candidates[idx];
+        for &v in &candidates[start..end] {
             if bound.contains(&v) {
                 continue;
             }
@@ -179,8 +196,7 @@ fn recurse<F: FnMut(&[VertexId])>(
         }
         return;
     }
-    for idx in start..end {
-        let v = candidates[idx];
+    for &v in &candidates[start..end] {
         if bound.contains(&v) {
             continue;
         }
@@ -275,7 +291,9 @@ mod tests {
     use graphpi_graph::{builder::from_edges, generators};
     use graphpi_pattern::automorphism::automorphism_count;
     use graphpi_pattern::prefab;
-    use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+    use graphpi_pattern::restriction::{
+        generate_restriction_sets, GenerationOptions, RestrictionSet,
+    };
 
     fn plan_for(
         pattern: graphpi_pattern::Pattern,
@@ -318,7 +336,8 @@ mod tests {
         let mut counts = std::collections::BTreeSet::new();
         for set in sets.iter().take(3) {
             for schedule in schedules.iter().take(5) {
-                let plan = Configuration::new(house.clone(), schedule.clone(), set.clone()).compile();
+                let plan =
+                    Configuration::new(house.clone(), schedule.clone(), set.clone()).compile();
                 counts.insert(count_embeddings(&plan, &g));
             }
         }
@@ -371,7 +390,10 @@ mod tests {
         let total = count_embeddings(&plan, &g);
         for depth in 1..=2 {
             let prefixes = enumerate_prefixes(&plan, &g, depth);
-            let sum: u64 = prefixes.iter().map(|p| count_from_prefix(&plan, &g, p)).sum();
+            let sum: u64 = prefixes
+                .iter()
+                .map(|p| count_from_prefix(&plan, &g, p))
+                .sum();
             assert_eq!(sum, total, "prefix depth {depth}");
         }
     }

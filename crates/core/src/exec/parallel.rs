@@ -73,7 +73,9 @@ fn resolve_threads(requested: usize) -> usize {
 
 fn clamp_prefix_depth(plan: &ExecutionPlan, options: &ParallelOptions) -> usize {
     let n = plan.num_loops();
-    let depth = options.prefix_depth.unwrap_or_else(|| default_prefix_depth(plan));
+    let depth = options
+        .prefix_depth
+        .unwrap_or_else(|| default_prefix_depth(plan));
     let depth = depth.clamp(1, n);
     match options.mode {
         // IEP replaces exactly the innermost `iep_suffix_len` loops, so a
@@ -96,7 +98,8 @@ pub fn count_parallel(plan: &ExecutionPlan, graph: &CsrGraph, options: ParallelO
 
     // IEP with a too-short suffix silently degrades to enumeration, exactly
     // like the sequential path.
-    let mode = if options.mode == CountMode::Iep && (plan.iep_suffix_len < 2 || n <= plan.iep_suffix_len)
+    let mode = if options.mode == CountMode::Iep
+        && (plan.iep_suffix_len < 2 || n <= plan.iep_suffix_len)
     {
         CountMode::Enumerate
     } else {
@@ -167,7 +170,9 @@ mod tests {
     use crate::schedule::{efficient_schedules, Schedule};
     use graphpi_graph::generators;
     use graphpi_pattern::prefab;
-    use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+    use graphpi_pattern::restriction::{
+        generate_restriction_sets, GenerationOptions, RestrictionSet,
+    };
 
     fn plan_for(pattern: graphpi_pattern::Pattern) -> ExecutionPlan {
         let sets = generate_restriction_sets(&pattern, GenerationOptions::default());

@@ -128,7 +128,8 @@ impl PerformanceModel {
             "plan size does not match the model's pattern size"
         );
         let loop_sizes: Vec<f64> = (0..n).map(|i| self.loop_size(plan, i)).collect();
-        let intersection_costs: Vec<f64> = (0..n).map(|i| self.intersection_cost(plan, i)).collect();
+        let intersection_costs: Vec<f64> =
+            (0..n).map(|i| self.intersection_cost(plan, i)).collect();
         let filter_probabilities = self.filter_probabilities(plan);
 
         // Recursive cost, evaluated innermost-out.
@@ -225,7 +226,10 @@ impl PerformanceModel {
 
 /// Ranks a list of configurations and returns the index of the cheapest one
 /// together with every estimate (ties broken by the first occurrence).
-pub fn select_best(model: &PerformanceModel, configs: &[Configuration]) -> (usize, Vec<CostEstimate>) {
+pub fn select_best(
+    model: &PerformanceModel,
+    configs: &[Configuration],
+) -> (usize, Vec<CostEstimate>) {
     assert!(!configs.is_empty(), "no configurations to select from");
     let estimates: Vec<CostEstimate> = configs
         .iter()

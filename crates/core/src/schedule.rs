@@ -117,7 +117,10 @@ pub fn connected_schedules(pattern: &Pattern) -> Vec<Schedule> {
             // Incremental phase-1 check: the newly appended vertex must be
             // adjacent to at least one earlier vertex (except the first).
             let last = *prefix.last().unwrap();
-            prefix.len() == 1 || prefix[..prefix.len() - 1].iter().any(|&u| pattern.has_edge(u, last))
+            prefix.len() == 1
+                || prefix[..prefix.len() - 1]
+                    .iter()
+                    .any(|&u| pattern.has_edge(u, last))
         },
     );
     result
@@ -231,7 +234,11 @@ mod tests {
         for s in &eff {
             let n = s.len();
             let tail = [s.order()[n - 2], s.order()[n - 1]];
-            assert!(!house.has_edge(tail[0], tail[1]), "schedule {:?}", s.order());
+            assert!(
+                !house.has_edge(tail[0], tail[1]),
+                "schedule {:?}",
+                s.order()
+            );
         }
         // The paper's example schedule A,B,C,D,E (= 0,1,2,3,4) is efficient.
         let paper = Schedule::new(&house, vec![0, 1, 2, 3, 4]);
@@ -251,7 +258,10 @@ mod tests {
             let efficient = efficient_schedules(&pattern);
             assert!(connected.len() <= all.len());
             assert!(efficient.len() <= connected.len());
-            assert!(!efficient.is_empty(), "pattern must have efficient schedules");
+            assert!(
+                !efficient.is_empty(),
+                "pattern must have efficient schedules"
+            );
             assert_eq!(
                 efficient.len() + eliminated_schedules(&pattern).len(),
                 all.len()

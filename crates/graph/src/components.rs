@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(approximate_diameter(&generators::path(10), 10), 9);
         assert_eq!(approximate_diameter(&generators::complete(8), 8), 1);
         assert_eq!(approximate_diameter(&generators::cycle(10), 10), 5);
-        assert_eq!(approximate_diameter(&crate::GraphBuilder::new().build(), 4), 0);
+        assert_eq!(
+            approximate_diameter(&crate::GraphBuilder::new().build(), 4),
+            0
+        );
     }
 
     #[test]

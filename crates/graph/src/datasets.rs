@@ -108,7 +108,15 @@ pub fn mico() -> Dataset {
 /// The original is sparse (average degree ≈ 8.7) with low clustering, which
 /// an Erdős–Rényi stand-in reproduces well.
 pub fn patents() -> Dataset {
-    Dataset::uniform("Patents", "US Patents", 3_800_000, 16_500_000, 20_000, 90_000, 0x3)
+    Dataset::uniform(
+        "Patents",
+        "US Patents",
+        3_800_000,
+        16_500_000,
+        20_000,
+        90_000,
+        0x3,
+    )
 }
 
 /// LiveJournal stand-in (original: 4.0M vertices, 34.7M edges).
@@ -127,7 +135,15 @@ pub fn livejournal() -> Dataset {
 /// Orkut stand-in (original: 3.1M vertices, 117.2M edges, dense social
 /// network with average degree ≈ 76).
 pub fn orkut() -> Dataset {
-    Dataset::power_law("Orkut", "Social network", 3_100_000, 117_200_000, 6_000, 20, 0x5)
+    Dataset::power_law(
+        "Orkut",
+        "Social network",
+        3_100_000,
+        117_200_000,
+        6_000,
+        20,
+        0x5,
+    )
 }
 
 /// Twitter stand-in (original: 41.7M vertices, 1.2B edges). Only used by the
@@ -180,7 +196,14 @@ mod tests {
         let names: Vec<_> = all_datasets().iter().map(|d| d.name).collect();
         assert_eq!(
             names,
-            vec!["Wiki-Vote", "MiCo", "Patents", "LiveJournal", "Orkut", "Twitter"]
+            vec![
+                "Wiki-Vote",
+                "MiCo",
+                "Patents",
+                "LiveJournal",
+                "Orkut",
+                "Twitter"
+            ]
         );
         assert_eq!(comparison_datasets().len(), 5);
     }

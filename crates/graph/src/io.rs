@@ -25,7 +25,12 @@ pub enum LoadError {
     /// Underlying IO failure.
     Io(io::Error),
     /// A line could not be parsed as an edge.
-    Parse { line_number: usize, line: String },
+    Parse {
+        /// 1-based line number of the offending line.
+        line_number: usize,
+        /// The offending line's text.
+        line: String,
+    },
     /// The binary header is missing or corrupt.
     BadFormat(String),
 }
@@ -98,7 +103,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<CsrGraph, LoadError> {
 /// Writes a graph as a plain-text edge list (each undirected edge once).
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# graphpi edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# graphpi edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -43,9 +43,9 @@ pub fn core_decomposition(graph: &CsrGraph) -> CoreDecomposition {
         bins[d] += 1;
     }
     let mut start = 0usize;
-    for d in 0..=max_degree {
-        let count = bins[d];
-        bins[d] = start;
+    for bin in bins.iter_mut().take(max_degree + 1) {
+        let count = *bin;
+        *bin = start;
         start += count;
     }
     let mut positions = vec![0usize; n]; // position of vertex in `order`

@@ -63,7 +63,11 @@ impl GraphStats {
         } else {
             triangle_count as f64 * nv / (2.0 * ne * 2.0 * ne)
         };
-        let avg_degree = if num_vertices == 0 { 0.0 } else { 2.0 * ne / nv };
+        let avg_degree = if num_vertices == 0 {
+            0.0
+        } else {
+            2.0 * ne / nv
+        };
         Self {
             num_vertices,
             num_edges,

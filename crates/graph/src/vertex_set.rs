@@ -135,7 +135,11 @@ fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<Vertex
         }
         // `hi` may point at the first element >= x, which must be included
         // in the search window.
-        let end = if hi < large.len() { hi + 1 } else { large.len() };
+        let end = if hi < large.len() {
+            hi + 1
+        } else {
+            large.len()
+        };
         match large[lo..end].binary_search(&x) {
             Ok(i) => {
                 out.push(x);

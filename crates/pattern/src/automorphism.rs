@@ -43,9 +43,8 @@ fn backtrack(
         }
         // Adjacency with all previously mapped vertices must be preserved
         // in both directions.
-        let consistent = (0..next).all(|prev| {
-            pattern.has_edge(next, prev) == pattern.has_edge(candidate, mapping[prev])
-        });
+        let consistent = (0..next)
+            .all(|prev| pattern.has_edge(next, prev) == pattern.has_edge(candidate, mapping[prev]));
         if !consistent {
             continue;
         }
@@ -138,10 +137,7 @@ mod tests {
     fn asymmetric_pattern_has_only_identity() {
         // A 6-vertex pattern with trivial automorphism group: a triangle with
         // pendant paths of different lengths attached to two of its corners.
-        let p = Pattern::new(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (4, 5)],
-        );
+        let p = Pattern::new(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (4, 5)]);
         assert_eq!(automorphism_count(&p), 1);
     }
 

@@ -129,9 +129,9 @@ impl Pattern {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            for u in 0..self.n {
-                if self.has_edge(v, u) && !seen[u] {
-                    seen[u] = true;
+            for (u, seen_u) in seen.iter_mut().enumerate() {
+                if self.has_edge(v, u) && !*seen_u {
+                    *seen_u = true;
                     count += 1;
                     stack.push(u);
                 }
@@ -327,8 +327,8 @@ mod tests {
         // Edge (0,4) of p maps to (4,0) of q.
         assert!(q.has_edge(4, 0));
         // Degrees are permuted accordingly.
-        for i in 0..5 {
-            assert_eq!(q.degree(i), p.degree(order[i]));
+        for (i, &mapped) in order.iter().enumerate() {
+            assert_eq!(q.degree(i), p.degree(mapped));
         }
     }
 

@@ -120,15 +120,16 @@ impl Permutation {
 
     /// Number of fixed points (1-cycles).
     pub fn fixed_points(&self) -> usize {
-        self.map.iter().enumerate().filter(|(i, &x)| *i == x).count()
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|(i, &x)| *i == x)
+            .count()
     }
 
     /// Order of the permutation (smallest k > 0 with `self^k = id`).
     pub fn order(&self) -> usize {
-        self.cycles()
-            .iter()
-            .map(|c| c.len())
-            .fold(1usize, lcm)
+        self.cycles().iter().map(|c| c.len()).fold(1usize, lcm)
     }
 }
 

@@ -41,7 +41,16 @@ pub fn house() -> Pattern {
 pub fn cycle_6_tri() -> Pattern {
     Pattern::new(
         6,
-        &[(0, 1), (0, 2), (0, 3), (1, 3), (0, 4), (2, 4), (1, 5), (2, 5)],
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 3),
+            (0, 4),
+            (2, 4),
+            (1, 5),
+            (2, 5),
+        ],
     )
 }
 
@@ -89,10 +98,7 @@ pub fn motifs_4() -> Vec<(&'static str, Pattern)> {
         ("path-4", path_pattern(4)),
         ("star-4", star_pattern(4)),
         ("cycle-4", rectangle()),
-        (
-            "paw",
-            Pattern::new(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]),
-        ),
+        ("paw", Pattern::new(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])),
         (
             "diamond",
             Pattern::new(4, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)]),
@@ -257,7 +263,11 @@ mod tests {
         assert_eq!(m4.len(), 6);
         for i in 0..m4.len() {
             for j in (i + 1)..m4.len() {
-                assert_ne!(m4[i].1, m4[j].1, "motifs {} and {} must differ", m4[i].0, m4[j].0);
+                assert_ne!(
+                    m4[i].1, m4[j].1,
+                    "motifs {} and {} must differ",
+                    m4[i].0, m4[j].0
+                );
             }
         }
     }

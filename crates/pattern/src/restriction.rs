@@ -31,7 +31,10 @@ pub struct Restriction {
 impl Restriction {
     /// Creates the restriction `id(greater) > id(smaller)`.
     pub fn new(greater: PatternVertex, smaller: PatternVertex) -> Self {
-        assert_ne!(greater, smaller, "a restriction needs two distinct vertices");
+        assert_ne!(
+            greater, smaller,
+            "a restriction needs two distinct vertices"
+        );
         Self { greater, smaller }
     }
 
@@ -364,7 +367,11 @@ mod tests {
         // {B>D, A>C, A>B} and {B>D, A>C, C>D}.
         let rect = prefab::rectangle();
         let sets = generate_restriction_sets(&rect, GenerationOptions::default());
-        assert!(sets.len() >= 2, "expected multiple sets, got {}", sets.len());
+        assert!(
+            sets.len() >= 2,
+            "expected multiple sets, got {}",
+            sets.len()
+        );
         assert_all_valid(&rect, &sets);
         // Each complete set for the rectangle needs at least 3 restrictions
         // (|Aut| = 8 = 2^3).
@@ -454,7 +461,10 @@ mod tests {
     #[test]
     fn count_satisfying_assignments_basics() {
         // No restrictions: all n! assignments satisfy.
-        assert_eq!(count_satisfying_assignments(4, &RestrictionSet::empty()), 24);
+        assert_eq!(
+            count_satisfying_assignments(4, &RestrictionSet::empty()),
+            24
+        );
         // One restriction halves the count.
         let one = RestrictionSet::from_pairs(&[(0, 1)]);
         assert_eq!(count_satisfying_assignments(4, &one), 12);

@@ -16,7 +16,11 @@ use graphpi::pattern::prefab;
 use std::time::Instant;
 
 fn analyse(label: &str, graph: graphpi::graph::CsrGraph) {
-    println!("\n=== {label}: {} vertices, {} edges ===", graph.num_vertices(), graph.num_edges());
+    println!(
+        "\n=== {label}: {} vertices, {} edges ===",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     let graphzero = GraphZeroEngine::new(graph.clone());
     let engine = GraphPi::new(graph);
 

@@ -54,10 +54,18 @@ fn main() {
     // The global clustering coefficient falls out of the motif counts:
     // 3 * triangles / wedges.
     let triangle = engine
-        .count_with(&prefab::triangle(), PlanOptions::default(), CountOptions::default())
+        .count_with(
+            &prefab::triangle(),
+            PlanOptions::default(),
+            CountOptions::default(),
+        )
         .unwrap();
     let wedge = engine
-        .count_with(&prefab::path_pattern(3), PlanOptions::default(), CountOptions::default())
+        .count_with(
+            &prefab::path_pattern(3),
+            PlanOptions::default(),
+            CountOptions::default(),
+        )
         .unwrap();
     println!(
         "\nglobal clustering coefficient = 3*triangles/wedges = {:.4}",

@@ -47,17 +47,28 @@ fn main() {
 
     // 4. The generated code for the selected configuration (what the original
     //    system would compile with gcc).
-    println!("\ngenerated matcher:\n{}", generate(&plan.plan, Language::Cpp));
+    println!(
+        "\ngenerated matcher:\n{}",
+        generate(&plan.plan, Language::Cpp)
+    );
 
     // 5. Count, four ways: they all agree.
     let sequential = engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
     let with_iep = engine.execute_count(
         &plan.plan,
-        CountOptions { use_iep: true, threads: 1, prefix_depth: None },
+        CountOptions {
+            use_iep: true,
+            threads: 1,
+            prefix_depth: None,
+        },
     );
     let parallel = engine.execute_count(
         &plan.plan,
-        CountOptions { use_iep: true, threads: 0, prefix_depth: None },
+        CountOptions {
+            use_iep: true,
+            threads: 0,
+            prefix_depth: None,
+        },
     );
     println!("house embeddings: {sequential} (enumeration) = {with_iep} (IEP) = {parallel} (parallel IEP)");
     assert_eq!(sequential, with_iep);

@@ -34,7 +34,10 @@ fn main() {
     let mut sets = generate_restriction_sets(&pattern, GenerationOptions::default());
     sets.sort_by_key(|s| s.len());
     sets.truncate(8);
-    println!("{} restriction sets generated (showing the smallest 8)", sets.len());
+    println!(
+        "{} restriction sets generated (showing the smallest 8)",
+        sets.len()
+    );
 
     let model = PerformanceModel::new(*engine.stats(), pattern.num_vertices());
 

@@ -8,11 +8,19 @@ use graphpi::core::engine::{CountOptions, GraphPi, PlanOptions};
 use graphpi::graph::generators;
 use graphpi::pattern::prefab;
 
-fn all_counts_agree(graph: graphpi::graph::CsrGraph, pattern: &graphpi::pattern::Pattern, name: &str) {
+fn all_counts_agree(
+    graph: graphpi::graph::CsrGraph,
+    pattern: &graphpi::pattern::Pattern,
+    name: &str,
+) {
     let expected = naive::count_embeddings(pattern, &graph);
 
     let graphzero = GraphZeroEngine::new(graph.clone());
-    assert_eq!(graphzero.count(pattern), expected, "GraphZero disagrees on {name}");
+    assert_eq!(
+        graphzero.count(pattern),
+        expected,
+        "GraphZero disagrees on {name}"
+    );
 
     let expansion = ExpansionEngine::new(graph.clone());
     assert_eq!(

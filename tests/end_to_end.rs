@@ -40,7 +40,10 @@ fn planner_output_is_internally_consistent() {
             "{name}: selected restriction set is not complete"
         );
         // The selected schedule is one the 2-phase generator would emit.
-        assert!(plan.plan.config.schedule.prefixes_connected(&pattern), "{name}");
+        assert!(
+            plan.plan.config.schedule.prefixes_connected(&pattern),
+            "{name}"
+        );
         // Generated code mentions every pattern vertex.
         let code = generate(&plan.plan, Language::Cpp);
         for v in 0..pattern.num_vertices() {

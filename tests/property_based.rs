@@ -10,15 +10,16 @@ use graphpi::core::schedule::efficient_schedules;
 use graphpi::graph::builder::GraphBuilder;
 use graphpi::graph::CsrGraph;
 use graphpi::pattern::prefab;
-use graphpi::pattern::restriction::{
-    generate_restriction_sets, validate, GenerationOptions,
-};
+use graphpi::pattern::restriction::{generate_restriction_sets, validate, GenerationOptions};
 use graphpi::pattern::Pattern;
 use proptest::prelude::*;
 
 /// Strategy: a random simple graph with up to `max_vertices` vertices.
 fn arb_graph(max_vertices: usize, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
-    (4..max_vertices, proptest::collection::vec((0usize..max_vertices, 0usize..max_vertices), 0..max_edges))
+    (
+        4..max_vertices,
+        proptest::collection::vec((0usize..max_vertices, 0usize..max_vertices), 0..max_edges),
+    )
         .prop_map(|(n, edges)| {
             let mut builder = GraphBuilder::new().num_vertices(n);
             for (u, v) in edges {

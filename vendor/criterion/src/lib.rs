@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Supports the subset used by this workspace: [`Criterion::bench_function`]
+//! with [`Bencher::iter`], the [`criterion_group!`] / [`criterion_main!`]
+//! macros (including the `name = ...; config = ...; targets = ...` form),
+//! and [`black_box`]. Timing is a plain mean over `sample_size` batches
+//! printed to stdout — no statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: collects configuration and runs benchmark closures.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: also discovers how many iterations fit in one sample.
+        let warm_up_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        while warm_up_start.elapsed() < self.warm_up_time || iters_per_sample == 0 {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            iters_per_sample += 1;
+        }
+
+        let per_sample = (self.measurement_time.as_nanos()
+            / (self.sample_size as u128)
+            / bencher.elapsed.as_nanos().max(1))
+        .clamp(1, u64::MAX as u128) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            bencher.iters = per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            total_iters += per_sample;
+        }
+
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        println!("{id:<40} {:>12}  ({total_iters} iters)", format_ns(mean_ns));
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the driver requests.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut calls = 0u64;
+        quick().bench_function("stub/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_and_main_macros_expand() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("stub/macro_test", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(
+            name = group;
+            config = quick();
+            targets = target
+        );
+        group();
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `crossbeam` crate, exposing the
+//! [`deque::Injector`] / [`deque::Steal`] API used by the work-stealing
+//! executor. The queue is a mutex-guarded `VecDeque` rather than a lock-free
+//! deque: same FIFO semantics, different contention profile.
+
+/// Work-stealing queue primitives (`crossbeam-deque` API subset).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A FIFO queue that any thread can push to and steal from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// Outcome of a [`Injector::steal`] attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The queue was observed empty.
+        Empty,
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends a task at the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Attempts to pop the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                Err(_) => Steal::Retry,
+            }
+        }
+
+        /// Returns `true` if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Returns the observed queue length.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_until_empty() {
+            let inj = Injector::new();
+            for i in 0..5 {
+                inj.push(i);
+            }
+            assert_eq!(inj.len(), 5);
+            for i in 0..5 {
+                assert_eq!(inj.steal(), Steal::Success(i));
+            }
+            assert_eq!(inj.steal(), Steal::Empty);
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_drains_everything() {
+            let inj = Injector::new();
+            let n = 10_000u64;
+            for i in 0..n {
+                inj.push(i);
+            }
+            let total = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| loop {
+                        match inj.steal() {
+                            Steal::Success(v) => {
+                                total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                total.load(std::sync::atomic::Ordering::Relaxed),
+                n * (n - 1) / 2
+            );
+        }
+    }
+}
