@@ -42,7 +42,7 @@ fn main() {
                     CountOptions {
                         use_iep: true,
                         threads: 1,
-                        prefix_depth: None,
+                        ..CountOptions::default()
                     },
                 )
             });

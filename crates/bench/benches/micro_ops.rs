@@ -1,20 +1,54 @@
 //! Criterion micro-benchmarks of the kernels every experiment rests on:
-//! sorted-set intersection (merge and galloping regimes), triangle counting,
-//! restriction-set generation, and plan compilation. These are not paper
-//! figures; they exist to catch performance regressions in the substrate.
+//! sorted-set intersection (merge, galloping, bound-clamped and k-way
+//! regimes), triangle counting, restriction-set generation, plan
+//! compilation, and — the headline — parallel pattern counting on a skewed
+//! power-law stand-in, comparing the work-stealing runtime (Chase–Lev
+//! deques + batched injector + hub bitsets) against the pre-rewrite
+//! mutex-injector baseline.
+//!
+//! Results are printed *and* written to `BENCH_micro.json` as
+//! `{op, ns_per_iter, graph, threads}` records so CI can track the perf
+//! trajectory across PRs (`GRAPHPI_BENCH_JSON_DIR` overrides the output
+//! directory).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use graphpi_core::config::Configuration;
-use graphpi_core::schedule::Schedule;
+use criterion::{black_box, criterion_group, Criterion};
+use graphpi_bench::{
+    count_parallel_mutex_baseline, livejournal, scale_from_env, write_bench_json, BenchDataset,
+    BenchRecord,
+};
+use graphpi_core::config::{Configuration, ExecutionPlan};
+use graphpi_core::exec::parallel::{count_parallel, count_parallel_with_hubs, ParallelOptions};
+use graphpi_core::schedule::{efficient_schedules, Schedule};
+use graphpi_graph::hub::{HubGraph, HubOptions};
 use graphpi_graph::{generators, triangles, vertex_set};
 use graphpi_pattern::prefab;
 use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
 
+/// Thread count of the parallel counting benches.
+const PARALLEL_THREADS: usize = 8;
+/// Outer-loop prefix depth of the parallel counting benches: depth 2 on the
+/// stand-in yields thousands of mostly-tiny tasks, which is exactly the
+/// regime where queue overhead and load imbalance dominate.
+const PARALLEL_PREFIX_DEPTH: usize = 2;
+
+/// Display name of [`parallel_dataset`] (kept in sync; the report phase
+/// needs the name without regenerating the graph).
+const PARALLEL_GRAPH_NAME: &str = "LiveJournal";
+
+/// The skewed power-law stand-in the parallel benches run on.
+fn parallel_dataset() -> BenchDataset {
+    let dataset = livejournal(scale_from_env());
+    debug_assert_eq!(dataset.name, PARALLEL_GRAPH_NAME);
+    dataset
+}
+
 fn bench_intersections(c: &mut Criterion) {
     let a: Vec<u32> = (0..10_000).step_by(2).collect();
     let b: Vec<u32> = (0..10_000).step_by(3).collect();
+    let cset: Vec<u32> = (0..10_000).step_by(5).collect();
     let small: Vec<u32> = (0..10_000).step_by(97).collect();
     let mut out = Vec::new();
+    let mut tmp = Vec::new();
     c.bench_function("intersect/merge_balanced", |bench| {
         bench.iter(|| {
             vertex_set::intersect_into(black_box(&a), black_box(&b), &mut out);
@@ -29,6 +63,21 @@ fn bench_intersections(c: &mut Criterion) {
     });
     c.bench_function("intersect/count_only", |bench| {
         bench.iter(|| black_box(vertex_set::intersect_count(black_box(&a), black_box(&b))))
+    });
+    c.bench_function("intersect/count_below_clamped", |bench| {
+        bench.iter(|| {
+            black_box(vertex_set::intersect_count_below(
+                black_box(&small),
+                black_box(&a),
+                black_box(5_000),
+            ))
+        })
+    });
+    c.bench_function("intersect/many_into_3way", |bench| {
+        bench.iter(|| {
+            vertex_set::intersect_many_into(black_box(&[&a, &b, &cset]), &mut out, &mut tmp);
+            black_box(out.len())
+        })
     });
 }
 
@@ -62,9 +111,140 @@ fn bench_preprocessing(c: &mut Criterion) {
     });
 }
 
+fn parallel_plan() -> ExecutionPlan {
+    let pattern = prefab::house();
+    let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+    let schedules = efficient_schedules(&pattern);
+    Configuration::new(pattern, schedules[0].clone(), sets[0].clone()).compile()
+}
+
+fn bench_parallel_counting(c: &mut Criterion) {
+    let dataset = parallel_dataset();
+    let graph = &dataset.graph;
+    let plan = parallel_plan();
+    let hubs = HubGraph::build(graph, HubOptions::default());
+    let options = ParallelOptions {
+        threads: PARALLEL_THREADS,
+        prefix_depth: Some(PARALLEL_PREFIX_DEPTH),
+        ..Default::default()
+    };
+
+    // The three runtimes must agree before their timings mean anything.
+    let expected =
+        count_parallel_mutex_baseline(&plan, graph, PARALLEL_THREADS, PARALLEL_PREFIX_DEPTH);
+    assert_eq!(count_parallel(&plan, graph, options), expected);
+    assert_eq!(count_parallel_with_hubs(&plan, &hubs, options), expected);
+    println!(
+        "parallel_count: house on {} stand-in ({} vertices, {} edges), {} embeddings",
+        dataset.name,
+        graph.num_vertices(),
+        graph.num_edges(),
+        expected
+    );
+
+    c.bench_function("parallel_count/mutex_injector_baseline", |bench| {
+        bench.iter(|| {
+            black_box(count_parallel_mutex_baseline(
+                &plan,
+                black_box(graph),
+                PARALLEL_THREADS,
+                PARALLEL_PREFIX_DEPTH,
+            ))
+        })
+    });
+    c.bench_function("parallel_count/chase_lev", |bench| {
+        bench.iter(|| black_box(count_parallel(&plan, black_box(graph), options)))
+    });
+    c.bench_function("parallel_count/chase_lev_hub", |bench| {
+        bench.iter(|| black_box(count_parallel_with_hubs(&plan, black_box(&hubs), options)))
+    });
+
+    // Fine-grained regime: triangles at prefix depth 2 yield tens of
+    // thousands of sub-microsecond tasks, so per-task queue traffic and
+    // per-task allocation — what the runtime rewrite eliminates — dominate
+    // the wall clock.
+    let tri_pattern = prefab::triangle();
+    let tri_sets = generate_restriction_sets(&tri_pattern, GenerationOptions::default());
+    let tri_schedules = efficient_schedules(&tri_pattern);
+    let tri_plan =
+        Configuration::new(tri_pattern, tri_schedules[0].clone(), tri_sets[0].clone()).compile();
+    let tri_options = ParallelOptions {
+        threads: PARALLEL_THREADS,
+        prefix_depth: Some(PARALLEL_PREFIX_DEPTH),
+        ..Default::default()
+    };
+    let tri_expected =
+        count_parallel_mutex_baseline(&tri_plan, graph, PARALLEL_THREADS, PARALLEL_PREFIX_DEPTH);
+    assert_eq!(count_parallel(&tri_plan, graph, tri_options), tri_expected);
+    assert_eq!(
+        count_parallel_with_hubs(&tri_plan, &hubs, tri_options),
+        tri_expected
+    );
+
+    c.bench_function("parallel_count_fine/mutex_injector_baseline", |bench| {
+        bench.iter(|| {
+            black_box(count_parallel_mutex_baseline(
+                &tri_plan,
+                black_box(graph),
+                PARALLEL_THREADS,
+                PARALLEL_PREFIX_DEPTH,
+            ))
+        })
+    });
+    c.bench_function("parallel_count_fine/chase_lev", |bench| {
+        bench.iter(|| black_box(count_parallel(&tri_plan, black_box(graph), tri_options)))
+    });
+    c.bench_function("parallel_count_fine/chase_lev_hub", |bench| {
+        bench.iter(|| {
+            black_box(count_parallel_with_hubs(
+                &tri_plan,
+                black_box(&hubs),
+                tri_options,
+            ))
+        })
+    });
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_intersections, bench_triangles, bench_preprocessing
+    targets = bench_intersections, bench_triangles, bench_preprocessing, bench_parallel_counting
 );
-criterion_main!(micro);
+
+fn main() {
+    micro();
+
+    let results = criterion::take_results();
+    let records: Vec<BenchRecord> = results
+        .iter()
+        .map(|r| {
+            let (graph, threads) = if r.id.starts_with("parallel_count") {
+                (PARALLEL_GRAPH_NAME.to_string(), PARALLEL_THREADS)
+            } else if r.id.starts_with("triangles/") {
+                ("power_law_2k".to_string(), 1)
+            } else {
+                ("-".to_string(), 1)
+            };
+            BenchRecord::new(r.id.clone(), r.mean_ns, graph, threads)
+        })
+        .collect();
+    write_bench_json("BENCH_micro.json", &records).expect("write BENCH_micro.json");
+
+    let mean_of = |op: &str| {
+        records
+            .iter()
+            .find(|r| r.op == op)
+            .map(|r| r.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    for group in ["parallel_count", "parallel_count_fine"] {
+        let baseline = mean_of(&format!("{group}/mutex_injector_baseline"));
+        let chase_lev = mean_of(&format!("{group}/chase_lev"));
+        let hub = mean_of(&format!("{group}/chase_lev_hub"));
+        println!(
+            "{group} speedup vs mutex-injector baseline: chase_lev {:.2}x, chase_lev+hub {:.2}x",
+            baseline / chase_lev,
+            baseline / hub
+        );
+    }
+}

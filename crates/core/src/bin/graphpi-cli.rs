@@ -3,7 +3,7 @@
 //! ```text
 //! graphpi-cli stats --graph edges.txt
 //! graphpi-cli plan  --graph edges.txt --pattern p3
-//! graphpi-cli count --graph edges.txt --pattern house [--threads 8] [--no-iep] [--list 5]
+//! graphpi-cli count --graph edges.txt --pattern house [--threads 8] [--no-iep] [--hubs] [--list 5]
 //! ```
 //!
 //! The graph is a whitespace-separated edge list (`#`/`%` comments allowed).
@@ -25,6 +25,7 @@ struct CliArgs {
     pattern: Option<String>,
     threads: usize,
     use_iep: bool,
+    hub_bitsets: bool,
     list: usize,
 }
 
@@ -36,7 +37,7 @@ enum Command {
 }
 
 const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <edge-list> \
-[--pattern <name|adj:...>] [--threads N] [--no-iep] [--list N]";
+[--pattern <name|adj:...>] [--threads N] [--no-iep] [--hubs] [--list N]";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut iter = args.iter();
@@ -50,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut pattern = None;
     let mut threads = 0usize;
     let mut use_iep = true;
+    let mut hub_bitsets = false;
     let mut list = 0usize;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -63,6 +65,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .map_err(|_| "--threads must be an integer".to_string())?
             }
             "--no-iep" => use_iep = false,
+            "--hubs" => hub_bitsets = true,
             "--list" => {
                 list = iter
                     .next()
@@ -83,6 +86,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         pattern,
         threads,
         use_iep,
+        hub_bitsets,
         list,
     })
 }
@@ -175,6 +179,7 @@ fn run(args: CliArgs) -> Result<(), String> {
             use_iep: args.use_iep,
             threads: args.threads,
             prefix_depth: None,
+            hub_bitsets: args.hub_bitsets,
         },
     );
     println!("embeddings: {count}  ({:?})", start.elapsed());

@@ -19,6 +19,17 @@ use crate::schedule::Schedule;
 use graphpi_pattern::pattern::{Pattern, PatternVertex};
 use graphpi_pattern::restriction::RestrictionSet;
 
+/// Hard cap on the number of loops a compiled plan can have (one loop per
+/// pattern vertex; the planner rejects larger patterns — see
+/// [`crate::engine::MAX_PATTERN_VERTICES`]).
+///
+/// The execution hot path relies on this bound to keep per-task state on
+/// the stack: the parallel executor's prefix tasks are inline
+/// `[VertexId; MAX_LOOPS]` arrays and the matching kernel's parent lists
+/// are fixed-size arrays, so the worker loop performs no per-task heap
+/// allocation.
+pub const MAX_LOOPS: usize = 8;
+
 /// A schedule paired with a restriction set for a specific pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Configuration {
@@ -140,6 +151,10 @@ impl ExecutionPlan {
         let pattern = &config.pattern;
         let order = config.schedule.order();
         let n = order.len();
+        assert!(
+            n <= MAX_LOOPS,
+            "plans are limited to {MAX_LOOPS} loops (got {n})"
+        );
 
         let mut loops = Vec::with_capacity(n);
         for i in 0..n {

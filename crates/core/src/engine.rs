@@ -10,20 +10,24 @@
 //! 3. **Execution** — the plan runs on the data graph sequentially, in
 //!    parallel, or on the simulated cluster, with or without IEP counting.
 
-use crate::config::{Configuration, ExecutionPlan};
+use crate::config::{Configuration, ExecutionPlan, MAX_LOOPS};
 use crate::error::EngineError;
 use crate::exec::{iep, interp, parallel};
 use crate::perf_model::{select_best, CostEstimate, PerformanceModel};
 use crate::schedule::{efficient_schedules, Schedule};
 use graphpi_graph::csr::{CsrGraph, VertexId};
+use graphpi_graph::hub::{HubGraph, HubOptions};
 use graphpi_graph::stats::GraphStats;
 use graphpi_pattern::pattern::Pattern;
 use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Largest pattern size the planner accepts (the paper evaluates up to 6–7
-/// vertices; preprocessing cost grows factorially beyond that).
-pub const MAX_PATTERN_VERTICES: usize = 8;
+/// vertices; preprocessing cost grows factorially beyond that). Equal to
+/// [`MAX_LOOPS`], the bound the execution hot path relies on for its inline
+/// per-task state.
+pub const MAX_PATTERN_VERTICES: usize = MAX_LOOPS;
 
 /// Options controlling configuration generation and selection.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +58,11 @@ pub struct CountOptions {
     pub threads: usize,
     /// Outer-loop prefix depth for parallel tasks (None = heuristic).
     pub prefix_depth: Option<usize>,
+    /// Execute against the hub-accelerated layout (degree-descending
+    /// relabeling + bitset rows for the high-degree core). The index is
+    /// built lazily once per engine and cached; counts are bit-identical
+    /// with this on or off.
+    pub hub_bitsets: bool,
 }
 
 impl Default for CountOptions {
@@ -62,6 +71,7 @@ impl Default for CountOptions {
             use_iep: true,
             threads: 0,
             prefix_depth: None,
+            hub_bitsets: false,
         }
     }
 }
@@ -73,7 +83,7 @@ impl CountOptions {
         Self {
             use_iep: false,
             threads: 1,
-            prefix_depth: None,
+            ..Self::default()
         }
     }
 }
@@ -101,6 +111,8 @@ pub struct Plan {
 pub struct GraphPi {
     graph: CsrGraph,
     stats: GraphStats,
+    /// Lazily built hub-acceleration index, shared across clones.
+    hub: OnceLock<Arc<HubGraph>>,
 }
 
 impl GraphPi {
@@ -109,12 +121,20 @@ impl GraphPi {
     /// graph-dependent part of preprocessing and is done once per graph.
     pub fn new(graph: CsrGraph) -> Self {
         let stats = GraphStats::compute(&graph);
-        Self { graph, stats }
+        Self {
+            graph,
+            stats,
+            hub: OnceLock::new(),
+        }
     }
 
     /// Builds the engine with precomputed statistics (e.g. loaded from disk).
     pub fn with_stats(graph: CsrGraph, stats: GraphStats) -> Self {
-        Self { graph, stats }
+        Self {
+            graph,
+            stats,
+            hub: OnceLock::new(),
+        }
     }
 
     /// The underlying data graph.
@@ -125,6 +145,14 @@ impl GraphPi {
     /// The cached statistics.
     pub fn stats(&self) -> &GraphStats {
         &self.stats
+    }
+
+    /// The hub-acceleration index (degree-descending relabeled graph +
+    /// bitset rows for the high-degree core), built on first use and cached
+    /// for the lifetime of the engine.
+    pub fn hub_index(&self) -> &HubGraph {
+        self.hub
+            .get_or_init(|| Arc::new(HubGraph::build(&self.graph, HubOptions::default())))
     }
 
     fn check_pattern(&self, pattern: &Pattern) -> Result<(), EngineError> {
@@ -227,22 +255,30 @@ impl GraphPi {
         } else {
             options.threads
         };
+        let parallel_options = |use_iep: bool| parallel::ParallelOptions {
+            threads,
+            prefix_depth: options.prefix_depth,
+            mode: if use_iep {
+                parallel::CountMode::Iep
+            } else {
+                parallel::CountMode::Enumerate
+            },
+            ..Default::default()
+        };
+        if options.hub_bitsets {
+            let hubs = self.hub_index();
+            return match (options.use_iep, threads) {
+                (false, 1) => interp::count_embeddings_hub(plan, hubs),
+                (true, 1) => iep::count_embeddings_iep_hub(plan, hubs),
+                (use_iep, _) => {
+                    parallel::count_parallel_with_hubs(plan, hubs, parallel_options(use_iep))
+                }
+            };
+        }
         match (options.use_iep, threads) {
             (false, 1) => interp::count_embeddings(plan, &self.graph),
             (true, 1) => iep::count_embeddings_iep(plan, &self.graph),
-            (use_iep, t) => parallel::count_parallel(
-                plan,
-                &self.graph,
-                parallel::ParallelOptions {
-                    threads: t,
-                    prefix_depth: options.prefix_depth,
-                    mode: if use_iep {
-                        parallel::CountMode::Iep
-                    } else {
-                        parallel::CountMode::Enumerate
-                    },
-                },
-            ),
+            (use_iep, _) => parallel::count_parallel(plan, &self.graph, parallel_options(use_iep)),
         }
     }
 
@@ -276,7 +312,7 @@ mod tests {
     use graphpi_pattern::prefab;
 
     fn engine() -> GraphPi {
-        GraphPi::new(generators::power_law(400, 6, 12))
+        GraphPi::new(generators::power_law(260, 5, 12))
     }
 
     #[test]
@@ -326,33 +362,27 @@ mod tests {
             let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
             let sequential =
                 engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
-            let with_iep = engine.execute_count(
-                &plan.plan,
-                CountOptions {
-                    use_iep: true,
-                    threads: 1,
-                    prefix_depth: None,
-                },
-            );
-            let parallel = engine.execute_count(
-                &plan.plan,
-                CountOptions {
-                    use_iep: false,
-                    threads: 4,
-                    prefix_depth: None,
-                },
-            );
-            let parallel_iep = engine.execute_count(
-                &plan.plan,
-                CountOptions {
-                    use_iep: true,
-                    threads: 4,
-                    prefix_depth: None,
-                },
-            );
-            assert_eq!(sequential, with_iep, "{name}");
-            assert_eq!(sequential, parallel, "{name}");
-            assert_eq!(sequential, parallel_iep, "{name}");
+            let modes = [
+                ("iep", true, 1, false),
+                ("parallel", false, 4, false),
+                ("parallel-iep", true, 4, false),
+                ("hub", false, 1, true),
+                ("hub-iep", true, 1, true),
+                ("hub-parallel", false, 4, true),
+                ("hub-parallel-iep", true, 4, true),
+            ];
+            for (mode_name, use_iep, threads, hub_bitsets) in modes {
+                let got = engine.execute_count(
+                    &plan.plan,
+                    CountOptions {
+                        use_iep,
+                        threads,
+                        prefix_depth: None,
+                        hub_bitsets,
+                    },
+                );
+                assert_eq!(got, sequential, "{name} ({mode_name})");
+            }
         }
     }
 

@@ -16,21 +16,70 @@
 //! transformation, so the grand total over-counts by the number of pattern
 //! automorphisms the *remaining* restrictions fail to eliminate; the final
 //! count is divided by that factor (`ExecutionPlan::iep_redundancy`).
+//!
+//! Like the enumeration kernel, the per-prefix IEP term is allocation-free
+//! in steady state: the parallel executor keeps one [`IepScratch`] per
+//! worker and calls [`iep_term_with`] per task, with all candidate sets,
+//! intermediates, and the inclusion–exclusion bookkeeping living in reused
+//! buffers or on the stack.
 
-use crate::config::{Configuration, ExecutionPlan, IepCorrection};
-use crate::exec::interp;
+use crate::config::{Configuration, ExecutionPlan, IepCorrection, MAX_LOOPS};
+use crate::exec::interp::{self, ExecCtx};
 use graphpi_graph::csr::{CsrGraph, VertexId};
-use graphpi_graph::vertex_set;
+use graphpi_graph::hub::HubGraph;
 use graphpi_pattern::restriction::RestrictionSet;
+
+/// Largest IEP suffix supported (bounded by `2^(k(k-1)/2)` inclusion–
+/// exclusion terms; 6 keeps the term count at 2^15).
+pub const MAX_IEP_SUFFIX: usize = 6;
+
+/// Reusable scratch for [`iep_term_with`]: the per-suffix-vertex candidate
+/// sets plus the intersection buffers. Create once per worker and reuse
+/// across tasks.
+#[derive(Debug, Default)]
+pub struct IepScratch {
+    /// Candidate set of each suffix vertex.
+    sets: Vec<Vec<VertexId>>,
+    /// Materialisation buffer for subset intersections.
+    inter: Vec<VertexId>,
+    /// Ping-pong scratch for k-way intersections.
+    tmp: Vec<VertexId>,
+    /// Bitset scratch for all-hub intersections.
+    words: Vec<u64>,
+}
+
+impl IepScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, k: usize) {
+        if self.sets.len() < k {
+            self.sets.resize_with(k, Vec::new);
+        }
+    }
+}
 
 /// Counts embeddings using IEP over the innermost `plan.iep_suffix_len`
 /// loops. Falls back to plain enumeration when the suffix is shorter than 2
 /// (there is nothing to gain) or when the plan has a single loop.
 pub fn count_embeddings_iep(plan: &ExecutionPlan, graph: &CsrGraph) -> u64 {
+    count_embeddings_iep_in(plan, ExecCtx::new(graph))
+}
+
+/// Hub-accelerated variant of [`count_embeddings_iep`]; returns the same
+/// count as the plain path on the original graph.
+pub fn count_embeddings_iep_hub(plan: &ExecutionPlan, hubs: &HubGraph) -> u64 {
+    count_embeddings_iep_in(plan, ExecCtx::with_hubs(hubs))
+}
+
+/// Context-explicit IEP driver.
+pub fn count_embeddings_iep_in(plan: &ExecutionPlan, ctx: ExecCtx<'_>) -> u64 {
     let k = plan.iep_suffix_len;
     let n = plan.num_loops();
     if k < 2 || n <= k {
-        return interp::count_embeddings(plan, graph);
+        return interp::count_embeddings_in(plan, ctx);
     }
     // When the plan's outer restrictions do not over-count every subgraph by
     // the same factor, run IEP on a restriction-free clone of the plan (see
@@ -49,73 +98,121 @@ pub fn count_embeddings_iep(plan: &ExecutionPlan, graph: &CsrGraph) -> u64 {
         }
     };
     let outer_depth = n - k;
-    let prefixes = interp::enumerate_prefixes(effective_plan, graph, outer_depth);
+    let mut scratch = IepScratch::new();
     let mut total: u64 = 0;
-    for prefix in &prefixes {
-        total += iep_term(effective_plan, graph, prefix);
-    }
+    interp::for_each_prefix(effective_plan, ctx, outer_depth, |prefix| {
+        total += iep_term_with(effective_plan, ctx, prefix, &mut scratch);
+    });
     debug_assert!(divisor >= 1);
     total / divisor
 }
 
 /// Counts embeddings (before dividing by the redundancy factor) contributed
 /// by a single outer-loop prefix. Exposed for the parallel executor.
+///
+/// Allocates fresh scratch; hot loops should hold an [`IepScratch`] and
+/// call [`iep_term_with`] instead.
 pub fn iep_term(plan: &ExecutionPlan, graph: &CsrGraph, prefix: &[VertexId]) -> u64 {
+    let mut scratch = IepScratch::new();
+    iep_term_with(plan, ExecCtx::new(graph), prefix, &mut scratch)
+}
+
+/// Allocation-free variant of [`iep_term`]: reuses the caller's
+/// [`IepScratch`] and supports hub acceleration through the context.
+pub fn iep_term_with(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    prefix: &[VertexId],
+    scratch: &mut IepScratch,
+) -> u64 {
     let n = plan.num_loops();
     let k = n - prefix.len();
     debug_assert!(k >= 1);
+    scratch.ensure(k);
 
     // Candidate set of each suffix vertex: intersection of the neighborhoods
     // of its bound pattern neighbors, minus the already bound vertices.
-    let mut sets: Vec<Vec<VertexId>> = Vec::with_capacity(k);
-    for depth in prefix.len()..n {
+    for (idx, depth) in (prefix.len()..n).enumerate() {
         let loop_plan = &plan.loops[depth];
-        let neighborhoods: Vec<&[VertexId]> = loop_plan
-            .parents
-            .iter()
-            .map(|&p| graph.neighbors(prefix[p]))
-            .collect();
-        let base: Vec<VertexId> = if neighborhoods.is_empty() {
-            graph.vertices().collect()
-        } else if neighborhoods.len() == 1 {
-            neighborhoods[0].to_vec()
+        let set = &mut scratch.sets[idx];
+        if loop_plan.parents.is_empty() {
+            set.clear();
+            set.extend(ctx.graph().vertices());
         } else {
-            vertex_set::intersect_many(&neighborhoods)
-        };
-        sets.push(vertex_set::subtract(&base, prefix));
+            let mut verts = [0 as VertexId; MAX_LOOPS];
+            for (slot, &p) in verts.iter_mut().zip(&loop_plan.parents) {
+                *slot = prefix[p];
+            }
+            interp::intersect_neighborhoods_into(
+                ctx,
+                &verts[..loop_plan.parents.len()],
+                set,
+                &mut scratch.tmp,
+                &mut scratch.words,
+            );
+        }
+        // In-place subtraction of the bound prefix (tiny exclusion list).
+        set.retain(|v| !prefix.contains(v));
     }
-    count_distinct_tuples(&sets)
+    count_distinct_tuples_with(&scratch.sets[..k], &mut scratch.inter, &mut scratch.tmp)
 }
 
 /// Number of ordered tuples `(e_1, …, e_k)` with `e_i ∈ sets[i]` and all
 /// entries pairwise distinct, computed by inclusion–exclusion over equality
 /// pairs with the per-component factorisation of Algorithm 2.
 pub fn count_distinct_tuples(sets: &[Vec<VertexId>]) -> u64 {
+    let mut inter = Vec::new();
+    let mut tmp = Vec::new();
+    count_distinct_tuples_with(sets, &mut inter, &mut tmp)
+}
+
+/// Buffer-reusing core of [`count_distinct_tuples`]: all bookkeeping
+/// (subset cardinalities, equality pairs, union–find) lives on the stack;
+/// only the subset intersections touch the two scratch buffers.
+pub fn count_distinct_tuples_with(
+    sets: &[Vec<VertexId>],
+    inter: &mut Vec<VertexId>,
+    tmp: &mut Vec<VertexId>,
+) -> u64 {
     let k = sets.len();
     assert!(k >= 1, "need at least one candidate set");
-    assert!(k <= 6, "IEP suffix larger than 6 is not supported");
+    assert!(
+        k <= MAX_IEP_SUFFIX,
+        "IEP suffix larger than {MAX_IEP_SUFFIX} is not supported"
+    );
     if k == 1 {
         return sets[0].len() as u64;
     }
 
     // Cardinality of the intersection of every subset of the candidate
-    // sets, indexed by bitmask.
-    let mut subset_card = vec![0i64; 1usize << k];
-    for (mask, card) in subset_card.iter_mut().enumerate().skip(1) {
-        let members: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
-        if members.len() == 1 {
-            *card = sets[members[0]].len() as i64;
+    // sets, indexed by bitmask (2^k <= 64 entries, on the stack).
+    let mut subset_card = [0i64; 1 << MAX_IEP_SUFFIX];
+    for mask in 1usize..(1 << k) {
+        if mask.count_ones() == 1 {
+            subset_card[mask] = sets[mask.trailing_zeros() as usize].len() as i64;
         } else {
-            let slices: Vec<&[VertexId]> = members.iter().map(|&i| sets[i].as_slice()).collect();
-            *card = vertex_set::intersect_many(&slices).len() as i64;
+            let mut slices: [&[VertexId]; MAX_IEP_SUFFIX] = [&[]; MAX_IEP_SUFFIX];
+            let mut m = 0usize;
+            for (i, set) in sets.iter().enumerate().take(k) {
+                if mask & (1 << i) != 0 {
+                    slices[m] = set.as_slice();
+                    m += 1;
+                }
+            }
+            graphpi_graph::vertex_set::intersect_many_into(&slices[..m], inter, tmp);
+            subset_card[mask] = inter.len() as i64;
         }
     }
 
     // All unordered pairs (i, j), i < j.
-    let pairs: Vec<(usize, usize)> = (0..k)
-        .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
-        .collect();
-    let num_pairs = pairs.len();
+    let mut pairs = [(0usize, 0usize); MAX_IEP_SUFFIX * (MAX_IEP_SUFFIX - 1) / 2];
+    let mut num_pairs = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            pairs[num_pairs] = (i, j);
+            num_pairs += 1;
+        }
+    }
 
     let mut total: i64 = 0;
     for pair_mask in 0usize..(1 << num_pairs) {
@@ -127,13 +224,16 @@ pub fn count_distinct_tuples(sets: &[Vec<VertexId>]) -> u64 {
         // Algorithm 2: union-find the suffix vertices along the selected
         // equality pairs, then multiply the intersection cardinalities of
         // the resulting components.
-        let mut parent: Vec<usize> = (0..k).collect();
-        for (bit, &(i, j)) in pairs.iter().enumerate() {
+        let mut parent = [0usize; MAX_IEP_SUFFIX];
+        for (i, slot) in parent.iter_mut().enumerate().take(k) {
+            *slot = i;
+        }
+        for (bit, &(i, j)) in pairs[..num_pairs].iter().enumerate() {
             if pair_mask & (1 << bit) != 0 {
                 union(&mut parent, i, j);
             }
         }
-        let mut component_mask = vec![0usize; k];
+        let mut component_mask = [0usize; MAX_IEP_SUFFIX];
         for v in 0..k {
             component_mask[find(&mut parent, v)] |= 1 << v;
         }
@@ -151,7 +251,7 @@ pub fn count_distinct_tuples(sets: &[Vec<VertexId>]) -> u64 {
     total.max(0) as u64
 }
 
-fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+fn find(parent: &mut [usize], x: usize) -> usize {
     if parent[x] != x {
         let root = find(parent, parent[x]);
         parent[x] = root;
@@ -159,7 +259,7 @@ fn find(parent: &mut Vec<usize>, x: usize) -> usize {
     parent[x]
 }
 
-fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+fn union(parent: &mut [usize], a: usize, b: usize) {
     let ra = find(parent, a);
     let rb = find(parent, b);
     if ra != rb {
@@ -173,6 +273,7 @@ mod tests {
     use crate::config::Configuration;
     use crate::schedule::{efficient_schedules, Schedule};
     use graphpi_graph::generators;
+    use graphpi_graph::hub::{HubGraph, HubOptions};
     use graphpi_pattern::prefab;
     use graphpi_pattern::restriction::{
         generate_restriction_sets, GenerationOptions, RestrictionSet,
@@ -245,7 +346,7 @@ mod tests {
 
     #[test]
     fn iep_matches_enumeration_on_house() {
-        let g = generators::power_law(300, 6, 77);
+        let g = generators::power_law(220, 5, 77);
         let plan = best_effort_plan(prefab::house());
         assert!(plan.iep_suffix_len >= 2);
         assert_eq!(
@@ -273,6 +374,41 @@ mod tests {
             assert_eq!(
                 count_embeddings_iep(&plan, &g),
                 interp::count_embeddings(&plan, &g)
+            );
+        }
+    }
+
+    #[test]
+    fn hub_accelerated_iep_matches_plain() {
+        let g = generators::power_law(200, 6, 55);
+        let hubs = HubGraph::build(
+            &g,
+            HubOptions {
+                max_hubs: 24,
+                min_degree: 4,
+            },
+        );
+        for pattern in [prefab::house(), prefab::p2(), prefab::cycle_6_tri()] {
+            let plan = best_effort_plan(pattern);
+            assert_eq!(
+                count_embeddings_iep_hub(&plan, &hubs),
+                count_embeddings_iep(&plan, &g)
+            );
+        }
+    }
+
+    #[test]
+    fn iep_term_scratch_reuse_matches_fresh() {
+        let g = generators::power_law(150, 5, 63);
+        let plan = best_effort_plan(prefab::house());
+        let outer = plan.num_loops() - plan.iep_suffix_len;
+        let prefixes = interp::enumerate_prefixes(&plan, &g, outer);
+        let ctx = ExecCtx::new(&g);
+        let mut scratch = IepScratch::new();
+        for p in prefixes.iter().take(40) {
+            assert_eq!(
+                iep_term_with(&plan, ctx, p, &mut scratch),
+                iep_term(&plan, &g, p)
             );
         }
     }

@@ -10,30 +10,113 @@
 //! This is the executable counterpart of the code GraphPi generates and
 //! compiles (Figure 5(b)); [`crate::codegen`] renders the same plan as
 //! source text.
+//!
+//! The matching kernel is **allocation-free**: every candidate set is
+//! materialised into a per-depth buffer of a reusable [`SearchBuffers`], the
+//! k-way intersection ping-pongs between that buffer and a shared scratch
+//! (`vertex_set::intersect_many_into`), and the hub-accelerated paths reuse a
+//! shared bitset word buffer. The parallel executor holds one
+//! [`SearchBuffers`] per worker and calls [`count_from_prefix_with`] per
+//! task, so the steady-state worker loop performs no heap allocation at all.
 
-use crate::config::{ExecutionPlan, LoopBound};
+use crate::config::{ExecutionPlan, LoopBound, MAX_LOOPS};
 use graphpi_graph::csr::{CsrGraph, VertexId};
+use graphpi_graph::hub::HubGraph;
 use graphpi_graph::vertex_set;
 
-/// Reusable per-depth scratch buffers for candidate-set materialisation.
+/// The data a plan executes against: a CSR graph, optionally wrapped with
+/// the hub-acceleration structure (degree-descending relabeling + bitset
+/// rows for the high-degree core).
+///
+/// When hubs are present, `graph` **is** the relabeled graph
+/// ([`HubGraph::graph`]); embedding counts are invariant under the
+/// relabeling, so every counting entry point returns identical results with
+/// hubs on or off.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecCtx<'a> {
+    graph: &'a CsrGraph,
+    hubs: Option<&'a HubGraph>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Plain execution over a CSR graph.
+    pub fn new(graph: &'a CsrGraph) -> Self {
+        Self { graph, hubs: None }
+    }
+
+    /// Hub-accelerated execution over the relabeled graph.
+    pub fn with_hubs(hubs: &'a HubGraph) -> Self {
+        Self {
+            graph: hubs.graph(),
+            hubs: Some(hubs),
+        }
+    }
+
+    /// The graph being executed against (relabeled when hubs are on).
+    #[inline]
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+
+    /// The hub structure, if hub acceleration is enabled.
+    #[inline]
+    pub fn hubs(&self) -> Option<&'a HubGraph> {
+        self.hubs
+    }
+}
+
+/// Reusable scratch for the matching kernel: one candidate buffer per loop
+/// depth, a ping-pong buffer for k-way intersections, a bitset word buffer
+/// for all-hub intersections, and the bound-vertex stack.
+///
+/// Create once (per worker, per thread) and reuse across tasks; after the
+/// buffers have grown to their steady-state sizes the kernel allocates
+/// nothing.
 #[derive(Debug, Default)]
 pub struct SearchBuffers {
-    buffers: Vec<Vec<VertexId>>,
+    /// Per-depth candidate materialisation buffers.
+    depth_bufs: Vec<Vec<VertexId>>,
+    /// Ping-pong scratch for multi-way intersections.
+    tmp: Vec<VertexId>,
+    /// Bitset scratch for intersections where every parent is a hub.
+    words: Vec<u64>,
+    /// Bound-vertex stack (prefix + inner-loop bindings).
+    stack: Vec<VertexId>,
 }
 
 impl SearchBuffers {
     /// Creates buffers for a plan with `depth` loops.
     pub fn new(depth: usize) -> Self {
         Self {
-            buffers: vec![Vec::new(); depth],
+            depth_bufs: vec![Vec::new(); depth],
+            tmp: Vec::new(),
+            words: Vec::new(),
+            stack: Vec::with_capacity(depth),
+        }
+    }
+
+    fn ensure_depth(&mut self, depth: usize) {
+        if self.depth_bufs.len() < depth {
+            self.depth_bufs.resize_with(depth, Vec::new);
         }
     }
 }
 
 /// Counts every embedding of the plan's pattern in the data graph.
 pub fn count_embeddings(plan: &ExecutionPlan, graph: &CsrGraph) -> u64 {
+    count_embeddings_in(plan, ExecCtx::new(graph))
+}
+
+/// Counts every embedding using hub-accelerated intersections. Returns the
+/// same count as [`count_embeddings`] on the original graph.
+pub fn count_embeddings_hub(plan: &ExecutionPlan, hubs: &HubGraph) -> u64 {
+    count_embeddings_in(plan, ExecCtx::with_hubs(hubs))
+}
+
+/// Counts every embedding in an explicit execution context.
+pub fn count_embeddings_in(plan: &ExecutionPlan, ctx: ExecCtx<'_>) -> u64 {
     let mut count = 0u64;
-    for_each_embedding(plan, graph, |_| count += 1);
+    for_each_embedding_in(plan, ctx, |_| count += 1);
     count
 }
 
@@ -58,50 +141,81 @@ pub fn list_embeddings(plan: &ExecutionPlan, graph: &CsrGraph) -> Vec<Vec<Vertex
 pub fn for_each_embedding<F: FnMut(&[VertexId])>(
     plan: &ExecutionPlan,
     graph: &CsrGraph,
+    visitor: F,
+) {
+    for_each_embedding_in(plan, ExecCtx::new(graph), visitor);
+}
+
+/// Context-explicit variant of [`for_each_embedding`].
+pub fn for_each_embedding_in<F: FnMut(&[VertexId])>(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
     mut visitor: F,
 ) {
     let n = plan.num_loops();
     if n == 0 {
         return;
     }
-    let mut bound: Vec<VertexId> = Vec::with_capacity(n);
     let mut buffers = SearchBuffers::new(n);
-    for v in graph.vertices() {
-        bound.push(v);
+    let SearchBuffers {
+        depth_bufs,
+        tmp,
+        words,
+        stack,
+    } = &mut buffers;
+    for v in ctx.graph.vertices() {
+        stack.push(v);
         if n == 1 {
-            visitor(&bound);
+            visitor(stack);
         } else {
-            recurse(
-                plan,
-                graph,
-                1,
-                &mut bound,
-                &mut buffers.buffers,
-                &mut visitor,
-            );
+            recurse(plan, ctx, 1, stack, depth_bufs, tmp, words, &mut visitor);
         }
-        bound.pop();
+        stack.pop();
     }
 }
 
 /// Counts embeddings that extend a fixed prefix of bound vertices (the
 /// values chosen by the first `prefix.len()` loops). Used by the parallel
 /// and distributed executors, whose tasks are exactly such prefixes.
+///
+/// Allocates fresh scratch; hot loops should hold a [`SearchBuffers`] and
+/// call [`count_from_prefix_with`] instead.
 pub fn count_from_prefix(plan: &ExecutionPlan, graph: &CsrGraph, prefix: &[VertexId]) -> u64 {
+    let mut buffers = SearchBuffers::new(plan.num_loops());
+    count_from_prefix_with(plan, ExecCtx::new(graph), prefix, &mut buffers)
+}
+
+/// Allocation-free variant of [`count_from_prefix`]: reuses the caller's
+/// [`SearchBuffers`] and supports hub acceleration through the context.
+pub fn count_from_prefix_with(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    prefix: &[VertexId],
+    buffers: &mut SearchBuffers,
+) -> u64 {
     let n = plan.num_loops();
     assert!(prefix.len() <= n && !prefix.is_empty());
-    let mut bound: Vec<VertexId> = prefix.to_vec();
     if prefix.len() == n {
         return 1;
     }
-    let mut buffers = SearchBuffers::new(n);
+    buffers.ensure_depth(n);
+    let SearchBuffers {
+        depth_bufs,
+        tmp,
+        words,
+        stack,
+    } = buffers;
+    stack.clear();
+    stack.extend_from_slice(prefix);
     let mut count = 0u64;
     recurse(
         plan,
-        graph,
+        ctx,
         prefix.len(),
-        &mut bound,
-        &mut buffers.buffers,
+        stack,
+        depth_bufs,
+        tmp,
+        words,
         &mut |_| count += 1,
     );
     count
@@ -117,42 +231,68 @@ pub fn enumerate_prefixes(
     graph: &CsrGraph,
     depth: usize,
 ) -> Vec<Vec<VertexId>> {
-    let n = plan.num_loops();
-    assert!(depth >= 1 && depth <= n);
     let mut result = Vec::new();
-    let mut bound: Vec<VertexId> = Vec::with_capacity(depth);
-    let mut buffers = SearchBuffers::new(n);
-    for v in graph.vertices() {
-        bound.push(v);
-        if depth == 1 {
-            result.push(bound.clone());
-        } else {
-            collect_prefixes(
-                plan,
-                graph,
-                1,
-                depth,
-                &mut bound,
-                &mut buffers.buffers,
-                &mut result,
-            );
-        }
-        bound.pop();
-    }
+    for_each_prefix(plan, ExecCtx::new(graph), depth, |p| {
+        result.push(p.to_vec())
+    });
     result
 }
 
-fn collect_prefixes(
+/// Streaming variant of [`enumerate_prefixes`]: invokes `visitor` once per
+/// valid prefix without materialising the task list. This is what the
+/// parallel executor's master thread uses to feed workers in batches while
+/// enumeration is still running.
+pub fn for_each_prefix<F: FnMut(&[VertexId])>(
     plan: &ExecutionPlan,
-    graph: &CsrGraph,
+    ctx: ExecCtx<'_>,
+    depth: usize,
+    mut visitor: F,
+) {
+    let n = plan.num_loops();
+    assert!(depth >= 1 && depth <= n);
+    let mut buffers = SearchBuffers::new(n);
+    let SearchBuffers {
+        depth_bufs,
+        tmp,
+        words,
+        stack,
+    } = &mut buffers;
+    for v in ctx.graph.vertices() {
+        stack.push(v);
+        if depth == 1 {
+            visitor(stack);
+        } else {
+            collect_prefixes(
+                plan,
+                ctx,
+                1,
+                depth,
+                stack,
+                depth_bufs,
+                tmp,
+                words,
+                &mut visitor,
+            );
+        }
+        stack.pop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_prefixes<F: FnMut(&[VertexId])>(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
     depth: usize,
     target: usize,
     bound: &mut Vec<VertexId>,
     buffers: &mut [Vec<VertexId>],
-    out: &mut Vec<Vec<VertexId>>,
+    tmp: &mut Vec<VertexId>,
+    words: &mut Vec<u64>,
+    visitor: &mut F,
 ) {
     let (current_buf, rest) = buffers.split_first_mut().expect("buffer per depth");
-    let Some((candidates, start, end)) = candidate_range(plan, graph, depth, bound, current_buf)
+    let Some((candidates, start, end)) =
+        candidate_range(plan, ctx, depth, bound, current_buf, tmp, words)
     else {
         return;
     };
@@ -162,25 +302,39 @@ fn collect_prefixes(
         }
         bound.push(v);
         if depth + 1 == target {
-            out.push(bound.clone());
+            visitor(bound);
         } else {
-            collect_prefixes(plan, graph, depth + 1, target, bound, rest, out);
+            collect_prefixes(
+                plan,
+                ctx,
+                depth + 1,
+                target,
+                bound,
+                rest,
+                tmp,
+                words,
+                visitor,
+            );
         }
         bound.pop();
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse<F: FnMut(&[VertexId])>(
     plan: &ExecutionPlan,
-    graph: &CsrGraph,
+    ctx: ExecCtx<'_>,
     depth: usize,
     bound: &mut Vec<VertexId>,
     buffers: &mut [Vec<VertexId>],
+    tmp: &mut Vec<VertexId>,
+    words: &mut Vec<u64>,
     visitor: &mut F,
 ) {
     let n = plan.num_loops();
     let (current_buf, rest) = buffers.split_first_mut().expect("buffer per depth");
-    let Some((candidates, start, end)) = candidate_range(plan, graph, depth, bound, current_buf)
+    let Some((candidates, start, end)) =
+        candidate_range(plan, ctx, depth, bound, current_buf, tmp, words)
     else {
         return;
     };
@@ -201,8 +355,62 @@ fn recurse<F: FnMut(&[VertexId])>(
             continue;
         }
         bound.push(v);
-        recurse(plan, graph, depth + 1, bound, rest, visitor);
+        recurse(plan, ctx, depth + 1, bound, rest, tmp, words, visitor);
         bound.pop();
+    }
+}
+
+/// Materialises `∩_{v ∈ verts} N(v)` into `out`, choosing the cheapest
+/// available strategy:
+///
+/// * no hubs among `verts` — smallest-first k-way merge/galloping
+///   intersection ([`vertex_set::intersect_many_into`]);
+/// * hubs and at least one non-hub — intersect the (small) non-hub lists,
+///   then probe each survivor against the hub bitset rows (`O(result × k)`
+///   regardless of the hubs' degrees);
+/// * every parent a hub — word-AND the bitset rows and extract the set bits.
+///
+/// Allocation-free: `out`, `tmp` and `words` are caller-owned scratch.
+pub(crate) fn intersect_neighborhoods_into(
+    ctx: ExecCtx<'_>,
+    verts: &[VertexId],
+    out: &mut Vec<VertexId>,
+    tmp: &mut Vec<VertexId>,
+    words: &mut Vec<u64>,
+) {
+    debug_assert!(!verts.is_empty() && verts.len() <= MAX_LOOPS);
+    if let Some(hubs) = ctx.hubs {
+        let mut hub_vs = [0 as VertexId; MAX_LOOPS];
+        let mut lists: [&[VertexId]; MAX_LOOPS] = [&[]; MAX_LOOPS];
+        let (mut nh, mut nl) = (0usize, 0usize);
+        for &v in verts {
+            if hubs.is_hub(v) {
+                hub_vs[nh] = v;
+                nh += 1;
+            } else {
+                lists[nl] = ctx.graph.neighbors(v);
+                nl += 1;
+            }
+        }
+        match (nl, nh) {
+            (0, _) => {
+                hubs.and_rows_into(&hub_vs[..nh], words);
+                HubGraph::extract_bits_into(words, out);
+            }
+            (1, _) => hubs.filter_list_into(&hub_vs[..nh], lists[0], out),
+            _ => {
+                vertex_set::intersect_many_into(&lists[..nl], out, tmp);
+                if nh > 0 {
+                    hubs.retain_adjacent_to_all(&hub_vs[..nh], out);
+                }
+            }
+        }
+    } else {
+        let mut lists: [&[VertexId]; MAX_LOOPS] = [&[]; MAX_LOOPS];
+        for (slot, &v) in lists.iter_mut().zip(verts) {
+            *slot = ctx.graph.neighbors(v);
+        }
+        vertex_set::intersect_many_into(&lists[..verts.len()], out, tmp);
     }
 }
 
@@ -210,14 +418,20 @@ fn recurse<F: FnMut(&[VertexId])>(
 /// prefix, returning the slice together with the index range that survives
 /// the restriction bounds. Returns `None` when the range is empty.
 ///
-/// The slice aliases either a CSR adjacency list (single parent) or the
-/// scratch buffer (multiple parents).
+/// The slice aliases either a CSR adjacency list (single non-hub parent) or
+/// the depth's scratch buffer. Allocation-free for any parent count: the
+/// multi-parent branch intersects smallest-first directly into `scratch`
+/// via [`vertex_set::intersect_many_into`] (ping-ponging with `tmp`), and
+/// the hub paths use bit probes or word-ANDs into `words`.
+#[allow(clippy::too_many_arguments)]
 fn candidate_range<'a>(
     plan: &ExecutionPlan,
-    graph: &'a CsrGraph,
+    ctx: ExecCtx<'a>,
     depth: usize,
     bound: &[VertexId],
     scratch: &'a mut Vec<VertexId>,
+    tmp: &mut Vec<VertexId>,
+    words: &mut Vec<u64>,
 ) -> Option<(&'a [VertexId], usize, usize)> {
     let loop_plan = &plan.loops[depth];
     let candidates: &[VertexId] = match loop_plan.parents.len() {
@@ -229,25 +443,22 @@ fn candidate_range<'a>(
             // (needed when executing deliberately inefficient schedules in
             // the Figure 9 experiment).
             scratch.clear();
-            scratch.extend(graph.vertices());
+            scratch.extend(ctx.graph.vertices());
             scratch.as_slice()
         }
-        1 => graph.neighbors(bound[loop_plan.parents[0]]),
-        2 => {
-            let a = graph.neighbors(bound[loop_plan.parents[0]]);
-            let b = graph.neighbors(bound[loop_plan.parents[1]]);
-            vertex_set::intersect_into(a, b, scratch);
-            scratch.as_slice()
-        }
+        1 => ctx.graph.neighbors(bound[loop_plan.parents[0]]),
         _ => {
-            let sets: Vec<&[VertexId]> = loop_plan
-                .parents
-                .iter()
-                .map(|&p| graph.neighbors(bound[p]))
-                .collect();
-            let result = vertex_set::intersect_many(&sets);
-            scratch.clear();
-            scratch.extend_from_slice(&result);
+            let mut verts = [0 as VertexId; MAX_LOOPS];
+            for (slot, &p) in verts.iter_mut().zip(&loop_plan.parents) {
+                *slot = bound[p];
+            }
+            intersect_neighborhoods_into(
+                ctx,
+                &verts[..loop_plan.parents.len()],
+                scratch,
+                tmp,
+                words,
+            );
             scratch.as_slice()
         }
     };
@@ -288,6 +499,7 @@ mod tests {
     use super::*;
     use crate::config::Configuration;
     use crate::schedule::Schedule;
+    use graphpi_graph::hub::{HubGraph, HubOptions};
     use graphpi_graph::{builder::from_edges, generators};
     use graphpi_pattern::automorphism::automorphism_count;
     use graphpi_pattern::prefab;
@@ -395,6 +607,61 @@ mod tests {
                 .map(|p| count_from_prefix(&plan, &g, p))
                 .sum();
             assert_eq!(sum, total, "prefix depth {depth}");
+        }
+    }
+
+    #[test]
+    fn reused_buffers_match_fresh_buffers() {
+        let g = generators::power_law(150, 5, 7);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let plan = plan_for(house, vec![0, 1, 2, 3, 4], sets[0].clone());
+        let prefixes = enumerate_prefixes(&plan, &g, 2);
+        let ctx = ExecCtx::new(&g);
+        let mut buffers = SearchBuffers::new(plan.num_loops());
+        for p in prefixes.iter().take(50) {
+            assert_eq!(
+                count_from_prefix_with(&plan, ctx, p, &mut buffers),
+                count_from_prefix(&plan, &g, p),
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_prefixes_match_materialised() {
+        let g = generators::power_law(120, 5, 17);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let plan = plan_for(house, vec![0, 1, 2, 3, 4], sets[0].clone());
+        for depth in 1..=3 {
+            let materialised = enumerate_prefixes(&plan, &g, depth);
+            let mut streamed = Vec::new();
+            for_each_prefix(&plan, ExecCtx::new(&g), depth, |p| {
+                streamed.push(p.to_vec())
+            });
+            assert_eq!(streamed, materialised, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn hub_context_counts_match_plain() {
+        let g = generators::power_law(180, 5, 99);
+        let hubs = HubGraph::build(
+            &g,
+            HubOptions {
+                max_hubs: 32,
+                min_degree: 4,
+            },
+        );
+        for (name, pattern) in prefab::evaluation_patterns() {
+            let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+            let schedules = crate::schedule::efficient_schedules(&pattern);
+            let plan = Configuration::new(pattern, schedules[0].clone(), sets[0].clone()).compile();
+            assert_eq!(
+                count_embeddings_hub(&plan, &hubs),
+                count_embeddings(&plan, &g),
+                "{name}"
+            );
         }
     }
 

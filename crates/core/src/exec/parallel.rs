@@ -4,18 +4,65 @@
 //! The paper's distributed design has a master thread execute the outermost
 //! loops and pack their bound values into tasks; worker threads unpack a
 //! task and run the remaining inner loops. Within one process the same idea
-//! becomes: enumerate every valid prefix of depth `d` (the *task list*),
-//! push the tasks into a [`crossbeam::deque::Injector`], and let a pool of
-//! workers pop/steal tasks and accumulate local counts. Because real-world
-//! degree distributions are heavily skewed, per-task cost varies by orders
-//! of magnitude, which is exactly why the fine-grained queue plus stealing
-//! is needed for load balance.
+//! becomes a streaming pipeline:
+//!
+//! * The **master** (the calling thread) enumerates valid prefixes of depth
+//!   `d` and pushes them into a global [`Injector`] in fixed-size batches —
+//!   the task list is never materialised, so workers start while the outer
+//!   loops are still running and the queue holds at most a window of tasks.
+//! * Each **worker** owns a lock-free Chase–Lev deque. It pops locally,
+//!   refills with [`Injector::steal_batch_and_pop`] (one lock per batch),
+//!   and steals batches from sibling deques when both run dry. Because
+//!   real-world degree distributions are heavily skewed, per-task cost
+//!   varies by orders of magnitude — fine-grained tasks plus stealing is
+//!   exactly what keeps the load balanced.
+//! * A task is an inline fixed-capacity [`PrefixTask`] (`Copy`, no heap),
+//!   and every worker reuses one [`SearchBuffers`]/[`IepScratch`], so the
+//!   steady-state worker loop performs **no heap allocation**.
+//!
+//! Hub acceleration (degree-descending relabeling + bitset rows for the
+//! high-degree core, see [`graphpi_graph::hub`]) plugs in through
+//! [`ParallelOptions::hub_bitsets`] or a prebuilt [`HubGraph`]; counts are
+//! bit-identical with it on or off.
 
-use crate::config::ExecutionPlan;
-use crate::exec::{iep, interp};
-use crossbeam::deque::{Injector, Steal};
+use crate::config::{ExecutionPlan, MAX_LOOPS};
+use crate::exec::iep::{self, IepScratch};
+use crate::exec::interp::{self, ExecCtx, SearchBuffers};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use graphpi_graph::csr::{CsrGraph, VertexId};
-use std::sync::atomic::{AtomicU64, Ordering};
+use graphpi_graph::hub::{HubGraph, HubOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Default number of prefix tasks pushed to the injector per batch.
+pub const DEFAULT_BATCH_SIZE: usize = 64;
+
+/// A unit of parallel work: the data vertices bound by the outer loops,
+/// stored inline so tasks are `Copy` and never touch the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixTask {
+    len: u8,
+    vertices: [VertexId; MAX_LOOPS],
+}
+
+impl PrefixTask {
+    /// Packs a bound prefix (at most [`MAX_LOOPS`] vertices) into a task.
+    #[inline]
+    pub fn from_slice(prefix: &[VertexId]) -> Self {
+        debug_assert!(prefix.len() <= MAX_LOOPS);
+        let mut vertices = [0 as VertexId; MAX_LOOPS];
+        vertices[..prefix.len()].copy_from_slice(prefix);
+        Self {
+            len: prefix.len() as u8,
+            vertices,
+        }
+    }
+
+    /// The bound vertices in schedule order.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.vertices[..self.len as usize]
+    }
+}
 
 /// How a worker counts the embeddings of one task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +84,14 @@ pub struct ParallelOptions {
     pub prefix_depth: Option<usize>,
     /// Counting mode used by the workers.
     pub mode: CountMode,
+    /// Number of tasks the master pushes to the injector per batch
+    /// (0 = [`DEFAULT_BATCH_SIZE`]). Larger batches amortise queue traffic;
+    /// smaller batches start workers earlier on tiny inputs.
+    pub batch_size: usize,
+    /// Build a [`HubGraph`] (degree-descending relabeling + hub bitsets)
+    /// and execute against it. Prefer [`count_parallel_with_hubs`] with a
+    /// cached index when counting repeatedly on the same graph.
+    pub hub_bitsets: bool,
 }
 
 impl Default for ParallelOptions {
@@ -45,6 +100,8 @@ impl Default for ParallelOptions {
             threads: 0,
             prefix_depth: None,
             mode: CountMode::Enumerate,
+            batch_size: 0,
+            hub_bitsets: false,
         }
     }
 }
@@ -89,6 +146,25 @@ fn clamp_prefix_depth(plan: &ExecutionPlan, options: &ParallelOptions) -> usize 
 
 /// Counts embeddings in parallel.
 pub fn count_parallel(plan: &ExecutionPlan, graph: &CsrGraph, options: ParallelOptions) -> u64 {
+    if options.hub_bitsets {
+        let hubs = HubGraph::build(graph, HubOptions::default());
+        run(plan, ExecCtx::with_hubs(&hubs), options)
+    } else {
+        run(plan, ExecCtx::new(graph), options)
+    }
+}
+
+/// Counts embeddings in parallel against a prebuilt hub index (the
+/// `hub_bitsets` flag is ignored; the index is always used).
+pub fn count_parallel_with_hubs(
+    plan: &ExecutionPlan,
+    hubs: &HubGraph,
+    options: ParallelOptions,
+) -> u64 {
+    run(plan, ExecCtx::with_hubs(hubs), options)
+}
+
+fn run(plan: &ExecutionPlan, ctx: ExecCtx<'_>, options: ParallelOptions) -> u64 {
     let threads = resolve_threads(options.threads);
     let n = plan.num_loops();
     if n == 0 {
@@ -115,45 +191,58 @@ pub fn count_parallel(plan: &ExecutionPlan, graph: &CsrGraph, options: ParallelO
             crate::config::IepCorrection::DivideUnrestricted { .. }
         )
     {
-        return iep::count_embeddings_iep(plan, graph);
+        return iep::count_embeddings_iep_in(plan, ctx);
     }
 
-    let tasks = interp::enumerate_prefixes(plan, graph, depth.min(n));
-    if tasks.is_empty() {
-        return 0;
-    }
     if depth == n {
-        // Degenerate: the prefixes are already full embeddings.
-        return tasks.len() as u64;
+        // Degenerate: the prefixes are already full embeddings; count them
+        // on the master without materialising anything.
+        let mut count = 0u64;
+        interp::for_each_prefix(plan, ctx, depth, |_| count += 1);
+        return count;
     }
 
-    let injector: Injector<Vec<VertexId>> = Injector::new();
-    for t in tasks {
-        injector.push(t);
-    }
+    let batch_size = if options.batch_size == 0 {
+        DEFAULT_BATCH_SIZE
+    } else {
+        options.batch_size
+    };
 
+    let injector: Injector<PrefixTask> = Injector::new();
+    let done = AtomicBool::new(false);
     let total = AtomicU64::new(0);
+
+    let workers: Vec<Worker<PrefixTask>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<PrefixTask>> = workers.iter().map(Worker::stealer).collect();
+
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local = 0u64;
-                loop {
-                    match injector.steal() {
-                        Steal::Success(prefix) => {
-                            local += match mode {
-                                CountMode::Enumerate => {
-                                    interp::count_from_prefix(plan, graph, &prefix)
-                                }
-                                CountMode::Iep => iep::iep_term(plan, graph, &prefix),
-                            };
-                        }
-                        Steal::Empty => break,
-                        Steal::Retry => continue,
-                    }
-                }
-                total.fetch_add(local, Ordering::Relaxed);
+        for (me, worker) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let injector = &injector;
+            let done = &done;
+            let total = &total;
+            scope.spawn(move || {
+                total.fetch_add(
+                    worker_loop(plan, ctx, mode, worker, me, stealers, injector, done),
+                    Ordering::Relaxed,
+                );
             });
         }
+
+        // Master: stream the outer loops, handing tasks out in batches so
+        // workers overlap with enumeration and the queue stays bounded by a
+        // window instead of the full task list.
+        let mut batch: Vec<PrefixTask> = Vec::with_capacity(batch_size);
+        interp::for_each_prefix(plan, ctx, depth, |prefix| {
+            batch.push(PrefixTask::from_slice(prefix));
+            if batch.len() == batch_size {
+                injector.push_batch(batch.drain(..));
+            }
+        });
+        if !batch.is_empty() {
+            injector.push_batch(batch.drain(..));
+        }
+        done.store(true, Ordering::Release);
     });
 
     let raw = total.load(Ordering::Relaxed);
@@ -161,6 +250,80 @@ pub fn count_parallel(plan: &ExecutionPlan, graph: &CsrGraph, options: ParallelO
         CountMode::Enumerate => raw,
         CountMode::Iep => raw / plan.iep_correction.divisor(),
     }
+}
+
+/// One worker: pop locally, refill from the injector in batches, steal
+/// batches from siblings, and count with reusable per-worker scratch.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    mode: CountMode,
+    worker: Worker<PrefixTask>,
+    me: usize,
+    stealers: &[Stealer<PrefixTask>],
+    injector: &Injector<PrefixTask>,
+    done: &AtomicBool,
+) -> u64 {
+    let mut buffers = SearchBuffers::new(plan.num_loops());
+    let mut iep_scratch = IepScratch::new();
+    let mut local = 0u64;
+    loop {
+        match next_task(&worker, me, stealers, injector) {
+            Some(task) => {
+                local += match mode {
+                    CountMode::Enumerate => {
+                        interp::count_from_prefix_with(plan, ctx, task.as_slice(), &mut buffers)
+                    }
+                    CountMode::Iep => {
+                        iep::iep_term_with(plan, ctx, task.as_slice(), &mut iep_scratch)
+                    }
+                };
+            }
+            None => {
+                // No task anywhere. If the master has finished and the
+                // injector is drained, any still-queued task is owned by a
+                // sibling that will process it — safe to retire.
+                if done.load(Ordering::Acquire) && injector.is_empty() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+    local
+}
+
+/// Task acquisition order: own deque, then a batch from the injector, then
+/// batches stolen from siblings.
+fn next_task(
+    worker: &Worker<PrefixTask>,
+    me: usize,
+    stealers: &[Stealer<PrefixTask>],
+    injector: &Injector<PrefixTask>,
+) -> Option<PrefixTask> {
+    if let Some(task) = worker.pop() {
+        return Some(task);
+    }
+    loop {
+        match injector.steal_batch_and_pop(worker) {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for (i, stealer) in stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        match stealer.steal_batch_and_pop(worker) {
+            Steal::Success(task) => return Some(task),
+            // On Empty move to the next victim; on Retry (lost a CAS race)
+            // likewise — the caller's loop revisits every victim anyway.
+            Steal::Empty | Steal::Retry => {}
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -182,7 +345,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_enumeration() {
-        let g = generators::power_law(300, 6, 5);
+        let g = generators::power_law(220, 5, 5);
         for (name, pattern) in prefab::evaluation_patterns().into_iter().take(4) {
             let plan = plan_for(pattern);
             let sequential = interp::count_embeddings(&plan, &g);
@@ -231,10 +394,76 @@ mod tests {
                 ParallelOptions {
                     threads: 3,
                     prefix_depth: Some(depth),
-                    mode: CountMode::Enumerate,
+                    ..Default::default()
                 },
             );
             assert_eq!(got, baseline, "prefix depth {depth}");
+        }
+    }
+
+    #[test]
+    fn batch_sizes_do_not_change_counts() {
+        let g = generators::power_law(200, 5, 77);
+        let plan = plan_for(prefab::rectangle());
+        let baseline = interp::count_embeddings(&plan, &g);
+        for batch_size in [1, 3, 64, 4096] {
+            let got = count_parallel(
+                &plan,
+                &g,
+                ParallelOptions {
+                    threads: 4,
+                    batch_size,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(got, baseline, "batch size {batch_size}");
+        }
+    }
+
+    #[test]
+    fn hub_bitsets_do_not_change_counts() {
+        let g = generators::power_law(250, 6, 31);
+        for (name, pattern) in prefab::evaluation_patterns().into_iter().take(4) {
+            let plan = plan_for(pattern);
+            let plain = interp::count_embeddings(&plan, &g);
+            let hubbed = count_parallel(
+                &plan,
+                &g,
+                ParallelOptions {
+                    threads: 4,
+                    hub_bitsets: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(hubbed, plain, "{name}");
+        }
+    }
+
+    #[test]
+    fn prebuilt_hub_index_matches_plain() {
+        let g = generators::power_law(200, 6, 13);
+        let hubs = HubGraph::build(&g, HubOptions::default());
+        for mode in [CountMode::Enumerate, CountMode::Iep] {
+            let plan = plan_for(prefab::house());
+            let plain = count_parallel(
+                &plan,
+                &g,
+                ParallelOptions {
+                    threads: 3,
+                    mode,
+                    ..Default::default()
+                },
+            );
+            let hubbed = count_parallel_with_hubs(
+                &plan,
+                &hubs,
+                ParallelOptions {
+                    threads: 3,
+                    mode,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(hubbed, plain, "{mode:?}");
         }
     }
 
@@ -252,6 +481,14 @@ mod tests {
         let g = graphpi_graph::GraphBuilder::new().num_vertices(50).build();
         let plan = plan_for(prefab::house());
         assert_eq!(count_parallel(&plan, &g, ParallelOptions::default()), 0);
+    }
+
+    #[test]
+    fn prefix_task_roundtrips() {
+        let task = PrefixTask::from_slice(&[5, 9, 2]);
+        assert_eq!(task.as_slice(), &[5, 9, 2]);
+        let empty = PrefixTask::from_slice(&[]);
+        assert_eq!(empty.as_slice(), &[] as &[VertexId]);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`vertex_set`] — the sorted-set algebra (merge intersection, galloping
 //!   intersection, subtraction) that dominates the cost of nested-loop
 //!   pattern matching.
+//! * [`hub`] — hub acceleration: degree-descending relabeling plus bitset
+//!   adjacency rows for the top-k high-degree core, turning intersections
+//!   against hubs into word-AND popcounts.
 //! * [`generators`] — seeded synthetic graph generators (Erdős–Rényi,
 //!   power-law preferential attachment, complete graphs, …) used as
 //!   stand-ins for the paper's real-world datasets.
@@ -25,6 +28,7 @@ pub mod components;
 pub mod csr;
 pub mod datasets;
 pub mod generators;
+pub mod hub;
 pub mod io;
 pub mod kcore;
 pub mod stats;
@@ -34,6 +38,7 @@ pub mod vertex_set;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use datasets::Dataset;
+pub use hub::{HubGraph, HubOptions};
 pub use stats::GraphStats;
 
 /// Convenience prelude bringing the most common types into scope.

@@ -5,30 +5,47 @@
 //! data graph or the intersection of several neighborhoods materialised into
 //! a scratch buffer.  The paper notes (Section IV-E) that because adjacency
 //! lists are sorted, an intersection costs `O(n + m)` and yields a sorted
-//! result; this module provides that merge intersection, a galloping variant
-//! for very unbalanced inputs, counting-only variants, and subtraction of a
-//! small exclusion set (the `- {v_A, v_B, …}` terms in the generated code).
+//! result.
+//!
+//! All intersection variants — materialising ([`intersect_into`],
+//! [`intersect_many_into`]), counting ([`intersect_count`]) and bound-clamped
+//! counting ([`intersect_count_below`]) — share the same two cores: a linear
+//! merge for balanced inputs and a galloping (exponential) search when one
+//! input is at least `GALLOP_RATIO` times larger, which is the common case
+//! on skewed degree distributions. Bounded variants clamp both inputs with
+//! `partition_point` first so the galloping path applies to them too.
 
 use crate::csr::VertexId;
 
-/// Threshold ratio above which [`intersect_into`] switches from a linear
+/// Threshold ratio above which the intersection kernels switch from a linear
 /// merge to galloping (exponential) search in the larger input.
 const GALLOP_RATIO: usize = 32;
+
+/// Largest number of sets [`intersect_many_into`] accepts (bounded by the
+/// engine's maximum pattern size; keeps the ordering scratch on the stack).
+pub const MAX_INTERSECT_SETS: usize = 16;
+
+/// Shared intersection core: invokes `emit` once per element of `a ∩ b`, in
+/// ascending order, choosing merge or galloping by the size ratio.
+#[inline]
+fn intersect_with(a: &[VertexId], b: &[VertexId], mut emit: impl FnMut(VertexId)) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        gallop_intersect(small, large, &mut emit);
+    } else {
+        merge_intersect(a, b, &mut emit);
+    }
+}
 
 /// Computes `out = a ∩ b` for two sorted, duplicate-free slices.
 ///
 /// `out` is cleared first. The result is sorted and duplicate-free.
 pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
     out.clear();
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if small.is_empty() {
-        return;
-    }
-    if large.len() / small.len() >= GALLOP_RATIO {
-        gallop_intersect(small, large, out);
-    } else {
-        merge_intersect(a, b, out);
-    }
+    intersect_with(a, b, |v| out.push(v));
 }
 
 /// Allocates and returns `a ∩ b`.
@@ -40,71 +57,40 @@ pub fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
 
 /// Returns `|a ∩ b|` without materialising the intersection.
 pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if small.is_empty() {
-        return 0;
-    }
-    if large.len() / small.len() >= GALLOP_RATIO {
-        let mut count = 0usize;
-        let mut lo = 0usize;
-        for &x in small {
-            match large[lo..].binary_search(&x) {
-                Ok(i) => {
-                    count += 1;
-                    lo += i + 1;
-                }
-                Err(i) => lo += i,
-            }
-            if lo >= large.len() {
-                break;
-            }
-        }
-        count
-    } else {
-        let mut i = 0;
-        let mut j = 0;
-        let mut count = 0;
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
-    }
-}
-
-/// Returns `|a ∩ b|` but counts only elements strictly smaller than `bound`.
-///
-/// Used when a restriction `id(x) > id(y)` bounds the candidate set of an
-/// inner loop: only candidates below the already-bound vertex survive.
-pub fn intersect_count_below(a: &[VertexId], b: &[VertexId], bound: VertexId) -> usize {
-    let mut i = 0;
-    let mut j = 0;
-    let mut count = 0;
-    while i < a.len() && j < b.len() {
-        if a[i] >= bound || b[j] >= bound {
-            break;
-        }
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    let mut count = 0usize;
+    intersect_with(a, b, |_| count += 1);
     count
 }
 
-fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+/// Clamps a sorted set to its prefix of elements strictly below `bound`.
+#[inline]
+pub fn clamp_below(a: &[VertexId], bound: VertexId) -> &[VertexId] {
+    &a[..a.partition_point(|&x| x < bound)]
+}
+
+/// Returns `|a ∩ b|` counting only elements strictly smaller than `bound`.
+///
+/// Used when a restriction `id(x) > id(y)` bounds the candidate set of an
+/// inner loop: only candidates below the already-bound vertex survive. Both
+/// inputs are clamped with `partition_point` first, so the count reuses the
+/// same merge/galloping cores as [`intersect_count`].
+pub fn intersect_count_below(a: &[VertexId], b: &[VertexId], bound: VertexId) -> usize {
+    intersect_count(clamp_below(a, bound), clamp_below(b, bound))
+}
+
+/// Materialises `a ∩ b` keeping only elements strictly below `bound`
+/// (bound-clamped sibling of [`intersect_into`]).
+pub fn intersect_into_below(
+    a: &[VertexId],
+    b: &[VertexId],
+    bound: VertexId,
+    out: &mut Vec<VertexId>,
+) {
+    intersect_into(clamp_below(a, bound), clamp_below(b, bound), out);
+}
+
+#[inline]
+fn merge_intersect(a: &[VertexId], b: &[VertexId], emit: &mut impl FnMut(VertexId)) {
     let mut i = 0;
     let mut j = 0;
     while i < a.len() && j < b.len() {
@@ -112,7 +98,7 @@ fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                emit(a[i]);
                 i += 1;
                 j += 1;
             }
@@ -120,7 +106,8 @@ fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
     }
 }
 
-fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+#[inline]
+fn gallop_intersect(small: &[VertexId], large: &[VertexId], emit: &mut impl FnMut(VertexId)) {
     let mut lo = 0usize;
     for &x in small {
         if lo >= large.len() {
@@ -142,7 +129,7 @@ fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<Vertex
         };
         match large[lo..end].binary_search(&x) {
             Ok(i) => {
-                out.push(x);
+                emit(x);
                 lo += i + 1;
             }
             Err(i) => lo += i,
@@ -173,23 +160,59 @@ pub fn subtract_count(a: &[VertexId], excluded: &[VertexId]) -> usize {
     a.iter().filter(|v| !excluded.contains(v)).count()
 }
 
-/// Intersects an arbitrary number of sorted sets. Returns the full universe
-/// copy if `sets` is empty is not meaningful, so `sets` must be non-empty.
-pub fn intersect_many(sets: &[&[VertexId]]) -> Vec<VertexId> {
-    assert!(!sets.is_empty(), "intersect_many requires at least one set");
-    // Intersect smallest-first to keep intermediates tiny.
-    let mut order: Vec<usize> = (0..sets.len()).collect();
-    order.sort_by_key(|&i| sets[i].len());
-    let mut acc: Vec<VertexId> = sets[order[0]].to_vec();
-    let mut scratch = Vec::new();
-    for &i in &order[1..] {
-        intersect_into(&acc, sets[i], &mut scratch);
-        std::mem::swap(&mut acc, &mut scratch);
-        if acc.is_empty() {
-            break;
+/// Intersects an arbitrary number of sorted sets into `out` without heap
+/// allocation: `tmp` is the ping-pong scratch, the set order is kept on the
+/// stack, and the sets are intersected smallest-first so intermediates stay
+/// tiny. `sets` must be non-empty and hold at most [`MAX_INTERSECT_SETS`]
+/// entries; `out` and `tmp` must be distinct buffers (both are clobbered).
+pub fn intersect_many_into(sets: &[&[VertexId]], out: &mut Vec<VertexId>, tmp: &mut Vec<VertexId>) {
+    assert!(
+        !sets.is_empty(),
+        "intersect_many_into requires at least one set"
+    );
+    assert!(
+        sets.len() <= MAX_INTERSECT_SETS,
+        "intersect_many_into supports at most {MAX_INTERSECT_SETS} sets"
+    );
+    match sets.len() {
+        1 => {
+            out.clear();
+            out.extend_from_slice(sets[0]);
+        }
+        2 => intersect_into(sets[0], sets[1], out),
+        k => {
+            // Smallest-first order, computed on the stack.
+            let mut order = [0usize; MAX_INTERSECT_SETS];
+            for (i, slot) in order.iter_mut().enumerate().take(k) {
+                *slot = i;
+            }
+            order[..k].sort_unstable_by_key(|&i| sets[i].len());
+            intersect_into(sets[order[0]], sets[order[1]], out);
+            for &i in &order[2..k] {
+                if out.is_empty() {
+                    break;
+                }
+                intersect_into_swap(sets[i], out, tmp);
+            }
         }
     }
-    acc
+}
+
+/// `out = out ∩ b`, using `tmp` as scratch (cheap `Vec` pointer swap, no
+/// allocation beyond buffer growth).
+#[inline]
+fn intersect_into_swap(b: &[VertexId], out: &mut Vec<VertexId>, tmp: &mut Vec<VertexId>) {
+    tmp.clear();
+    intersect_with(out, b, |v| tmp.push(v));
+    std::mem::swap(out, tmp);
+}
+
+/// Allocating variant of [`intersect_many_into`].
+pub fn intersect_many(sets: &[&[VertexId]]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    intersect_many_into(sets, &mut out, &mut tmp);
+    out
 }
 
 /// Checks that a slice is strictly increasing (sorted, duplicate-free).
@@ -227,6 +250,17 @@ mod tests {
     }
 
     #[test]
+    fn bounded_count_uses_galloping_for_skewed_inputs() {
+        // The small side falls below GALLOP_RATIO of the clamped large side.
+        let small: Vec<u32> = vec![10, 500, 900, 1500];
+        let large: Vec<u32> = (0..2000).collect();
+        assert_eq!(intersect_count_below(&small, &large, 1000), 3);
+        let mut out = Vec::new();
+        intersect_into_below(&small, &large, 1000, &mut out);
+        assert_eq!(out, vec![10, 500, 900]);
+    }
+
+    #[test]
     fn galloping_path_is_exercised() {
         let small: Vec<u32> = vec![10, 500, 900];
         let large: Vec<u32> = (0..1000).collect();
@@ -249,6 +283,22 @@ mod tests {
         let r = intersect_many(&[&a, &b, &c]);
         let expected: Vec<u32> = (0..100).step_by(6).collect();
         assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn many_into_reuses_buffers_without_allocating_more_sets() {
+        let a: Vec<u32> = (0..200).collect();
+        let b: Vec<u32> = (0..200).step_by(2).collect();
+        let c: Vec<u32> = (0..200).step_by(5).collect();
+        let d: Vec<u32> = (0..200).step_by(3).collect();
+        let mut out = Vec::new();
+        let mut tmp = Vec::new();
+        intersect_many_into(&[&a, &b, &c, &d], &mut out, &mut tmp);
+        let expected: Vec<u32> = (0..200).step_by(30).collect();
+        assert_eq!(out, expected);
+        // Reuse the same buffers for a second call.
+        intersect_many_into(&[&a, &b], &mut out, &mut tmp);
+        assert_eq!(out, b);
     }
 
     #[test]
@@ -304,6 +354,9 @@ mod tests {
         fn prop_bounded_count_matches_filter(a in sorted_set(), b in sorted_set(), bound in 0u32..2000) {
             let expected = intersect(&a, &b).into_iter().filter(|&x| x < bound).count();
             prop_assert_eq!(intersect_count_below(&a, &b, bound), expected);
+            let mut out = Vec::new();
+            intersect_into_below(&a, &b, bound, &mut out);
+            prop_assert_eq!(out.len(), expected);
         }
     }
 }

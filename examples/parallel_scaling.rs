@@ -36,7 +36,7 @@ fn main() {
             CountOptions {
                 use_iep: false,
                 threads,
-                prefix_depth: None,
+                ..CountOptions::default()
             },
         );
         let elapsed = start.elapsed().as_secs_f64();

@@ -59,7 +59,7 @@ fn main() {
         CountOptions {
             use_iep: true,
             threads: 1,
-            prefix_depth: None,
+            ..CountOptions::default()
         },
     );
     let parallel = engine.execute_count(
@@ -67,12 +67,24 @@ fn main() {
         CountOptions {
             use_iep: true,
             threads: 0,
-            prefix_depth: None,
+            ..CountOptions::default()
         },
     );
-    println!("house embeddings: {sequential} (enumeration) = {with_iep} (IEP) = {parallel} (parallel IEP)");
+    // Hub acceleration: degree-descending relabeling + bitset rows for the
+    // high-degree core (built once, cached by the engine).
+    let hub_parallel = engine.execute_count(
+        &plan.plan,
+        CountOptions {
+            use_iep: true,
+            threads: 0,
+            hub_bitsets: true,
+            ..CountOptions::default()
+        },
+    );
+    println!("house embeddings: {sequential} (enumeration) = {with_iep} (IEP) = {parallel} (parallel IEP) = {hub_parallel} (hub bitsets)");
     assert_eq!(sequential, with_iep);
     assert_eq!(sequential, parallel);
+    assert_eq!(sequential, hub_parallel);
 
     // 6. List a few embeddings explicitly.
     let embeddings = engine.list(&pattern).unwrap();

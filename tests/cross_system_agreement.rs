@@ -38,7 +38,7 @@ fn all_counts_agree(
             CountOptions {
                 use_iep: true,
                 threads: 1,
-                prefix_depth: None,
+                ..CountOptions::default()
             },
         ),
         (
@@ -46,7 +46,7 @@ fn all_counts_agree(
             CountOptions {
                 use_iep: false,
                 threads: 4,
-                prefix_depth: None,
+                ..CountOptions::default()
             },
         ),
         (
@@ -54,7 +54,25 @@ fn all_counts_agree(
             CountOptions {
                 use_iep: true,
                 threads: 4,
-                prefix_depth: None,
+                ..CountOptions::default()
+            },
+        ),
+        (
+            "hub-sequential",
+            CountOptions {
+                use_iep: false,
+                threads: 1,
+                hub_bitsets: true,
+                ..CountOptions::default()
+            },
+        ),
+        (
+            "hub-parallel-iep",
+            CountOptions {
+                use_iep: true,
+                threads: 4,
+                hub_bitsets: true,
+                ..CountOptions::default()
             },
         ),
     ];
@@ -85,6 +103,21 @@ fn evaluation_patterns_on_uniform_graph() {
 
 #[test]
 fn motifs_on_structured_graphs() {
+    // Tier-1 keeps the two structurally extreme graphs; the tier-2 run
+    // below covers the full family.
+    for (gname, graph) in [
+        ("complete-12", generators::complete(12)),
+        ("grid-6x6", generators::grid(6, 6)),
+    ] {
+        for (name, pattern) in prefab::motifs_3() {
+            all_counts_agree(graph.clone(), &pattern, &format!("{name} on {gname}"));
+        }
+    }
+}
+
+#[test]
+#[ignore = "tier-2: full motif x structured-graph sweep"]
+fn motifs_on_structured_graphs_heavy() {
     for (gname, graph) in [
         ("complete-12", generators::complete(12)),
         ("grid-6x6", generators::grid(6, 6)),

@@ -122,7 +122,7 @@ fn iep_and_enumeration_agree_on_every_stand_in_family() {
                 CountOptions {
                     use_iep: true,
                     threads: 1,
-                    prefix_depth: None,
+                    ..CountOptions::default()
                 },
             );
             assert_eq!(enumerated, iep, "{name}");

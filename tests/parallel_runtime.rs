@@ -1,0 +1,227 @@
+//! Agreement tests for the work-stealing parallel runtime: every
+//! combination of thread count, batch size, counting mode, and hub
+//! acceleration must return counts bit-identical to the sequential
+//! interpreter, on prefab patterns and on randomly generated graphs.
+//!
+//! The default-sized tests run in tier-1 CI; the exhaustive sweeps are
+//! `#[ignore]`d and run by the tier-2 job (`cargo test --release -- --ignored`).
+
+use graphpi::core::config::Configuration;
+use graphpi::core::exec::{interp, parallel};
+use graphpi::core::schedule::efficient_schedules;
+use graphpi::graph::builder::GraphBuilder;
+use graphpi::graph::hub::{HubGraph, HubOptions};
+use graphpi::graph::{generators, CsrGraph};
+use graphpi::pattern::prefab;
+use graphpi::pattern::restriction::{generate_restriction_sets, GenerationOptions};
+use parallel::{count_parallel, count_parallel_with_hubs, CountMode, ParallelOptions};
+use proptest::prelude::*;
+
+fn plan_for(pattern: graphpi::pattern::Pattern) -> graphpi::core::config::ExecutionPlan {
+    let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+    let schedules = efficient_schedules(&pattern);
+    Configuration::new(pattern, schedules[0].clone(), sets[0].clone()).compile()
+}
+
+fn agreement_graphs(scale: usize) -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("power-law", generators::power_law(scale, 5, 11)),
+        ("uniform", generators::erdos_renyi(scale, scale * 4, 22)),
+        (
+            "dense-power-law",
+            generators::power_law(scale * 2 / 3, 8, 33),
+        ),
+    ]
+}
+
+/// The acceptance sweep: `count_parallel` (and its hub-accelerated variant)
+/// must match the sequential interpreter on every prefab evaluation pattern,
+/// across ≥3 thread counts and ≥3 generated graphs, in both counting modes.
+fn run_agreement_sweep(scale: usize, thread_counts: &[usize]) {
+    for (gname, graph) in agreement_graphs(scale) {
+        let hubs = HubGraph::build(
+            &graph,
+            HubOptions {
+                max_hubs: 64,
+                min_degree: 4,
+            },
+        );
+        for (pname, pattern) in prefab::evaluation_patterns() {
+            let plan = plan_for(pattern);
+            let sequential = interp::count_embeddings(&plan, &graph);
+            for &threads in thread_counts {
+                for mode in [CountMode::Enumerate, CountMode::Iep] {
+                    let options = ParallelOptions {
+                        threads,
+                        mode,
+                        ..Default::default()
+                    };
+                    let expected = match mode {
+                        CountMode::Enumerate => sequential,
+                        CountMode::Iep => {
+                            graphpi::core::exec::iep::count_embeddings_iep(&plan, &graph)
+                        }
+                    };
+                    assert_eq!(
+                        count_parallel(&plan, &graph, options),
+                        expected,
+                        "{pname} on {gname}: {threads} threads, {mode:?}, no hubs"
+                    );
+                    assert_eq!(
+                        count_parallel_with_hubs(&plan, &hubs, options),
+                        expected,
+                        "{pname} on {gname}: {threads} threads, {mode:?}, hubs"
+                    );
+                    // IEP totals equal plain enumeration for these plans.
+                    assert_eq!(expected, sequential, "{pname} IEP vs enumeration");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_agrees_with_sequential_across_threads_graphs_and_hubs() {
+    run_agreement_sweep(90, &[1, 2, 4]);
+}
+
+#[test]
+#[ignore = "tier-2: exhaustive agreement sweep on larger graphs"]
+fn parallel_agreement_sweep_heavy() {
+    run_agreement_sweep(250, &[1, 2, 4, 8, 16]);
+}
+
+#[test]
+fn batch_sizes_and_prefix_depths_do_not_change_counts() {
+    let graph = generators::power_law(120, 5, 44);
+    for pattern in [prefab::rectangle(), prefab::house()] {
+        let plan = plan_for(pattern);
+        let sequential = interp::count_embeddings(&plan, &graph);
+        for batch_size in [1, 7, 64, 1024] {
+            for prefix_depth in [None, Some(1), Some(2), Some(3)] {
+                let got = count_parallel(
+                    &plan,
+                    &graph,
+                    ParallelOptions {
+                        threads: 4,
+                        batch_size,
+                        prefix_depth,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    got, sequential,
+                    "batch {batch_size}, depth {prefix_depth:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_option_through_parallel_options_matches_plain() {
+    let graph = generators::power_law(150, 6, 55);
+    let plan = plan_for(prefab::house());
+    let plain = count_parallel(
+        &plan,
+        &graph,
+        ParallelOptions {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    let hubbed = count_parallel(
+        &plan,
+        &graph,
+        ParallelOptions {
+            threads: 4,
+            hub_bitsets: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(plain, hubbed);
+}
+
+/// Strategy: a random simple graph with `4..max_vertices` vertices.
+fn arb_graph(max_vertices: usize, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
+    (
+        4..max_vertices,
+        proptest::collection::vec((0usize..max_vertices, 0usize..max_vertices), 0..max_edges),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::new().num_vertices(n);
+            for (u, v) in edges {
+                if u != v && u < n && v < n {
+                    builder.push_edge(u as u32, v as u32);
+                }
+            }
+            builder.build()
+        })
+}
+
+/// Strategy: a random connected pattern with 3..=5 vertices built by
+/// spanning-tree + extra edges.
+fn arb_pattern() -> impl Strategy<Value = graphpi::pattern::Pattern> {
+    (3usize..=5)
+        .prop_flat_map(|n| {
+            let extra = proptest::collection::vec((0usize..n, 0usize..n), 0..(n * 2));
+            (Just(n), extra)
+        })
+        .prop_map(|(n, extra)| {
+            let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+            for (u, v) in extra {
+                if u != v {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            graphpi::pattern::Pattern::new(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn prop_parallel_matches_sequential_on_random_graphs(
+        graph in arb_graph(28, 90),
+        pattern in arb_pattern(),
+        threads in 1usize..=4,
+        batch_size in 1usize..=64,
+        hub_sel in 0usize..2,
+    ) {
+        let hub = hub_sel == 1;
+        let plan = plan_for(pattern);
+        let sequential = interp::count_embeddings(&plan, &graph);
+        let got = count_parallel(
+            &plan,
+            &graph,
+            ParallelOptions {
+                threads,
+                batch_size,
+                hub_bitsets: hub,
+                ..Default::default()
+            },
+        );
+        prop_assert_eq!(got, sequential);
+    }
+
+    #[test]
+    fn prop_parallel_iep_matches_sequential_iep(
+        graph in arb_graph(24, 70),
+        pattern in arb_pattern(),
+        threads in 1usize..=4,
+    ) {
+        let plan = plan_for(pattern);
+        let expected = graphpi::core::exec::iep::count_embeddings_iep(&plan, &graph);
+        let got = count_parallel(
+            &plan,
+            &graph,
+            ParallelOptions {
+                threads,
+                mode: CountMode::Iep,
+                ..Default::default()
+            },
+        );
+        prop_assert_eq!(got, expected);
+    }
+}

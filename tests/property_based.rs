@@ -51,7 +51,10 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Tier-1 sizing: enough cases to catch regressions while keeping the
+    // default `cargo test -q` fast; the tier-2 job runs the `_heavy`
+    // variants below with more cases on bigger inputs.
+    #![proptest_config(ProptestConfig::with_cases(10))]
 
     #[test]
     fn engine_matches_naive_ground_truth(graph in arb_graph(24, 80), pattern in arb_pattern()) {
@@ -70,7 +73,7 @@ proptest! {
         let enumerated = engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
         let with_iep = engine.execute_count(
             &plan.plan,
-            CountOptions { use_iep: true, threads: 1, prefix_depth: None },
+            CountOptions { use_iep: true, threads: 1, ..CountOptions::default() },
         );
         prop_assert_eq!(enumerated, with_iep);
     }
@@ -105,6 +108,42 @@ proptest! {
         let iep_count = iep::count_embeddings_iep(&plan, &graph);
         let mappings = naive::count_mappings(&pattern, &graph);
         prop_assert!(iep_count <= mappings);
+    }
+}
+
+mod heavy {
+    //! Full-size property runs, tier-2 only (`cargo test --release -- --ignored`).
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        #[ignore = "tier-2: full-size property run"]
+        fn engine_matches_naive_ground_truth_heavy(
+            graph in arb_graph(32, 140),
+            pattern in arb_pattern(),
+        ) {
+            let expected = naive::count_embeddings(&pattern, &graph);
+            let engine = GraphPi::new(graph);
+            let got = engine
+                .count_with(&pattern, PlanOptions::default(), CountOptions::sequential_enumeration())
+                .unwrap();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        #[ignore = "tier-2: full-size property run"]
+        fn iep_matches_enumeration_heavy(graph in arb_graph(30, 120), pattern in arb_pattern()) {
+            let engine = GraphPi::new(graph);
+            let plan = engine.plan(&pattern, PlanOptions::default()).unwrap();
+            let enumerated = engine.execute_count(&plan.plan, CountOptions::sequential_enumeration());
+            let with_iep = engine.execute_count(
+                &plan.plan,
+                CountOptions { use_iep: true, threads: 1, ..CountOptions::default() },
+            );
+            prop_assert_eq!(enumerated, with_iep);
+        }
     }
 }
 

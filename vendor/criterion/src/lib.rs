@@ -6,9 +6,32 @@
 //! and [`black_box`]. Timing is a plain mean over `sample_size` batches
 //! printed to stdout — no statistics, plots, or saved baselines.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// The measured outcome of one `bench_function` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// The benchmark id passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Total number of timed iterations.
+    pub iters: u64,
+}
+
+/// Process-wide registry of completed benchmark results, filled by
+/// [`Criterion::bench_function`]. Lets `harness = false` bench mains emit
+/// machine-readable reports (e.g. `BENCH_micro.json`) after running their
+/// groups.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains and returns every result recorded so far, in execution order.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("bench results poisoned"))
+}
 
 /// Benchmark driver: collects configuration and runs benchmark closures.
 #[derive(Debug, Clone)]
@@ -81,6 +104,14 @@ impl Criterion {
 
         let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
         println!("{id:<40} {:>12}  ({total_iters} iters)", format_ns(mean_ns));
+        RESULTS
+            .lock()
+            .expect("bench results poisoned")
+            .push(BenchResult {
+                id: id.to_string(),
+                mean_ns,
+                iters: total_iters,
+            });
         self
     }
 }
@@ -164,6 +195,18 @@ mod tests {
             })
         });
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn results_are_recorded_for_reporting() {
+        quick().bench_function("stub/registry_test", |b| b.iter(|| black_box(3 * 3)));
+        let results = take_results();
+        let mine = results
+            .iter()
+            .find(|r| r.id == "stub/registry_test")
+            .expect("bench result recorded");
+        assert!(mine.mean_ns >= 0.0);
+        assert!(mine.iters > 0);
     }
 
     #[test]

@@ -1,20 +1,32 @@
-//! Offline stand-in for the `crossbeam` crate, exposing the
-//! [`deque::Injector`] / [`deque::Steal`] API used by the work-stealing
-//! executor. The queue is a mutex-guarded `VecDeque` rather than a lock-free
-//! deque: same FIFO semantics, different contention profile.
+//! Offline stand-in for the `crossbeam` crate, exposing the subset of the
+//! `crossbeam-deque` API used by the work-stealing executor: per-worker
+//! Chase–Lev deques ([`deque::Worker`] / [`deque::Stealer`]) plus a global
+//! FIFO [`deque::Injector`] with batched transfers
+//! ([`deque::Injector::steal_batch_and_pop`]).
+//!
+//! The worker deque is a real lock-free Chase–Lev deque (Chase & Lev,
+//! *Dynamic Circular Work-Stealing Deque*, with the memory orderings of
+//! Lê et al., *Correct and Efficient Work-Stealing for Weak Memory Models*):
+//! the owner pushes and pops at the bottom without contention, thieves CAS
+//! the top. The injector remains mutex-backed — it is the cold path, touched
+//! once per *batch* rather than once per task — and, unlike the previous
+//! stand-in, it **panics on a poisoned mutex** instead of returning
+//! [`deque::Steal::Retry`] forever (which livelocked every worker once any
+//! thread died while holding the lock).
 
 /// Work-stealing queue primitives (`crossbeam-deque` API subset).
 pub mod deque {
+    use std::cell::UnsafeCell;
     use std::collections::VecDeque;
-    use std::sync::Mutex;
+    use std::marker::PhantomData;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering};
+    use std::sync::{Arc, Mutex};
 
-    /// A FIFO queue that any thread can push to and steal from.
-    #[derive(Debug, Default)]
-    pub struct Injector<T> {
-        queue: Mutex<VecDeque<T>>,
-    }
+    /// Default number of tasks moved per batched steal.
+    pub const BATCH: usize = 32;
 
-    /// Outcome of a [`Injector::steal`] attempt.
+    /// Outcome of a steal attempt.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum Steal<T> {
         /// A task was stolen.
@@ -25,6 +37,333 @@ pub mod deque {
         Retry,
     }
 
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// Fixed-capacity ring buffer of `MaybeUninit<T>` slots, indexed by the
+    /// deque's monotonically increasing logical indices.
+    struct RingBuffer<T> {
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+        mask: usize,
+    }
+
+    impl<T> RingBuffer<T> {
+        fn new(capacity: usize) -> Self {
+            debug_assert!(capacity.is_power_of_two());
+            let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect();
+            Self {
+                slots,
+                mask: capacity - 1,
+            }
+        }
+
+        fn capacity(&self) -> usize {
+            self.mask + 1
+        }
+
+        /// # Safety
+        /// The caller must hold exclusive logical ownership of index `i`.
+        unsafe fn write(&self, i: isize, value: T) {
+            (*self.slots[(i as usize) & self.mask].get()).write(value);
+        }
+
+        /// # Safety
+        /// The caller must ensure index `i` holds an initialised value and
+        /// either owns it exclusively or validates the read with a CAS
+        /// before using (and `mem::forget`s the copy on CAS failure).
+        unsafe fn read(&self, i: isize) -> T {
+            (*self.slots[(i as usize) & self.mask].get()).assume_init_read()
+        }
+    }
+
+    /// State shared between one [`Worker`] and its [`Stealer`]s.
+    struct Shared<T> {
+        /// Next index a thief steals from (only ever incremented).
+        top: AtomicIsize,
+        /// Next index the owner pushes to.
+        bottom: AtomicIsize,
+        /// Current ring buffer.
+        buffer: AtomicPtr<RingBuffer<T>>,
+        /// Buffers retired by growth. Thieves may still be reading a retired
+        /// buffer when the owner swaps in a larger one, so retired buffers
+        /// stay allocated until the deque itself is dropped (growth is rare:
+        /// amortised O(log n) buffers for n pushes).
+        retired: Mutex<Vec<*mut RingBuffer<T>>>,
+    }
+
+    unsafe impl<T: Send> Send for Shared<T> {}
+    unsafe impl<T: Send> Sync for Shared<T> {}
+
+    impl<T> Drop for Shared<T> {
+        fn drop(&mut self) {
+            // Sole owner at this point: drop the remaining tasks, the live
+            // buffer, and every retired buffer.
+            let top = self.top.load(Ordering::Relaxed);
+            let bottom = self.bottom.load(Ordering::Relaxed);
+            let buffer = self.buffer.load(Ordering::Relaxed);
+            unsafe {
+                for i in top..bottom {
+                    drop((*buffer).read(i));
+                }
+                drop(Box::from_raw(buffer));
+            }
+            for &retired in self
+                .retired
+                .lock()
+                .expect("deque retired-buffer list poisoned")
+                .iter()
+            {
+                unsafe { drop(Box::from_raw(retired)) };
+            }
+        }
+    }
+
+    /// The owner handle of a Chase–Lev work-stealing deque.
+    ///
+    /// `Worker` is `Send` but deliberately not `Sync`: exactly one thread
+    /// may push/pop at the bottom. Any number of [`Stealer`]s (obtained via
+    /// [`Worker::stealer`]) may concurrently steal from the top.
+    pub struct Worker<T> {
+        shared: Arc<Shared<T>>,
+        /// Opt out of `Sync` (raw pointers are `!Sync`).
+        _not_sync: PhantomData<*mut ()>,
+    }
+
+    unsafe impl<T: Send> Send for Worker<T> {}
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_lifo()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Worker").field("len", &self.len()).finish()
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a new deque whose owner pops in LIFO order (the order
+        /// that keeps the working set cache-hot; thieves always steal the
+        /// oldest task, FIFO from their point of view).
+        pub fn new_lifo() -> Self {
+            let buffer = Box::into_raw(Box::new(RingBuffer::new(64)));
+            Self {
+                shared: Arc::new(Shared {
+                    top: AtomicIsize::new(0),
+                    bottom: AtomicIsize::new(0),
+                    buffer: AtomicPtr::new(buffer),
+                    retired: Mutex::new(Vec::new()),
+                }),
+                _not_sync: PhantomData,
+            }
+        }
+
+        /// Creates a [`Stealer`] handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+
+        /// Observed number of queued tasks.
+        pub fn len(&self) -> usize {
+            let bottom = self.shared.bottom.load(Ordering::Relaxed);
+            let top = self.shared.top.load(Ordering::Relaxed);
+            bottom.saturating_sub(top).max(0) as usize
+        }
+
+        /// Whether the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Pushes a task at the bottom (owner only).
+        pub fn push(&self, task: T) {
+            let shared = &*self.shared;
+            let bottom = shared.bottom.load(Ordering::Relaxed);
+            let top = shared.top.load(Ordering::Acquire);
+            let mut buffer = shared.buffer.load(Ordering::Relaxed);
+            unsafe {
+                if bottom - top >= (*buffer).capacity() as isize {
+                    buffer = self.grow(top, bottom, buffer);
+                }
+                (*buffer).write(bottom, task);
+            }
+            shared.bottom.store(bottom + 1, Ordering::Release);
+        }
+
+        /// Pops the most recently pushed task (owner only).
+        pub fn pop(&self) -> Option<T> {
+            let shared = &*self.shared;
+            let bottom = shared.bottom.load(Ordering::Relaxed) - 1;
+            let buffer = shared.buffer.load(Ordering::Relaxed);
+            shared.bottom.store(bottom, Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let top = shared.top.load(Ordering::Relaxed);
+
+            if top > bottom {
+                // Deque was empty; restore bottom.
+                shared.bottom.store(bottom + 1, Ordering::Relaxed);
+                return None;
+            }
+            let task = unsafe { (*buffer).read(bottom) };
+            if top == bottom {
+                // Last task: race against thieves for it.
+                let won = shared
+                    .top
+                    .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                shared.bottom.store(bottom + 1, Ordering::Relaxed);
+                if won {
+                    Some(task)
+                } else {
+                    // A thief got it; it owns the value now.
+                    std::mem::forget(task);
+                    None
+                }
+            } else {
+                Some(task)
+            }
+        }
+
+        /// Doubles the buffer, copying the live range `[top, bottom)`. The
+        /// old buffer is retired (kept allocated) because thieves may still
+        /// be reading from it.
+        unsafe fn grow(
+            &self,
+            top: isize,
+            bottom: isize,
+            old: *mut RingBuffer<T>,
+        ) -> *mut RingBuffer<T> {
+            let new = Box::into_raw(Box::new(RingBuffer::new((*old).capacity() * 2)));
+            for i in top..bottom {
+                // Copy (not move): the old slot stays untouched for racing
+                // thieves; ownership is logically transferred to the new
+                // buffer, and retired buffers are never read() at drop.
+                let value = std::ptr::read((*old).slots[(i as usize) & (*old).mask].get());
+                (*new).slots[(i as usize) & (*new).mask].get().write(value);
+            }
+            self.shared
+                .retired
+                .lock()
+                .expect("deque retired-buffer list poisoned")
+                .push(old);
+            self.shared.buffer.store(new, Ordering::Release);
+            new
+        }
+    }
+
+    /// A thief handle of a Chase–Lev deque. Cloneable and shareable across
+    /// threads.
+    pub struct Stealer<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    unsafe impl<T: Send> Send for Stealer<T> {}
+    unsafe impl<T: Send> Sync for Stealer<T> {}
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Stealer").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Observed number of queued tasks.
+        pub fn len(&self) -> usize {
+            let top = self.shared.top.load(Ordering::Relaxed);
+            let bottom = self.shared.bottom.load(Ordering::Relaxed);
+            bottom.saturating_sub(top).max(0) as usize
+        }
+
+        /// Whether the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Attempts to steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            let shared = &*self.shared;
+            let top = shared.top.load(Ordering::Acquire);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let bottom = shared.bottom.load(Ordering::Acquire);
+            if top >= bottom {
+                return Steal::Empty;
+            }
+            let buffer = shared.buffer.load(Ordering::Acquire);
+            let task = unsafe { (*buffer).read(top) };
+            if shared
+                .top
+                .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(task)
+            } else {
+                // Lost the race; the value belongs to whoever won.
+                std::mem::forget(task);
+                Steal::Retry
+            }
+        }
+
+        /// Steals a batch of tasks (up to half the victim's queue, capped at
+        /// [`BATCH`]), moving all but the first into `dest` and returning the
+        /// first.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            match self.steal() {
+                Steal::Success(first) => {
+                    // Grab up to half of what remains, one CAS each; every
+                    // single steal is linearisable so the batch as a whole
+                    // cannot lose or duplicate tasks.
+                    let extra = (self.len() / 2).min(BATCH - 1);
+                    for _ in 0..extra {
+                        match self.steal() {
+                            Steal::Success(task) => dest.push(task),
+                            Steal::Empty | Steal::Retry => break,
+                        }
+                    }
+                    Steal::Success(first)
+                }
+                other => other,
+            }
+        }
+    }
+
+    /// A global FIFO queue every thread can push to and steal from.
+    ///
+    /// Mutex-backed by design: the executor touches it once per *batch*
+    /// ([`Injector::push_batch`] / [`Injector::steal_batch_and_pop`]), so
+    /// lock traffic is amortised over [`BATCH`] tasks. A poisoned mutex
+    /// panics — the previous stand-in returned [`Steal::Retry`] forever,
+    /// livelocking every surviving worker.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
     impl<T> Injector<T> {
         /// Creates an empty queue.
         pub fn new() -> Self {
@@ -33,42 +372,64 @@ pub mod deque {
             }
         }
 
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // Propagate a worker's death instead of spinning forever.
+            self.queue.lock().expect("injector mutex poisoned")
+        }
+
         /// Appends a task at the back of the queue.
         pub fn push(&self, task: T) {
-            self.queue
-                .lock()
-                .expect("injector poisoned")
-                .push_back(task);
+            self.lock().push_back(task);
+        }
+
+        /// Appends every task of a batch, taking the lock once.
+        pub fn push_batch(&self, tasks: impl IntoIterator<Item = T>) {
+            let mut queue = self.lock();
+            queue.extend(tasks);
         }
 
         /// Attempts to pop the task at the front of the queue.
         pub fn steal(&self) -> Steal<T> {
-            match self.queue.lock() {
-                Ok(mut q) => match q.pop_front() {
-                    Some(task) => Steal::Success(task),
-                    None => Steal::Empty,
-                },
-                Err(_) => Steal::Retry,
+            match self.lock().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
             }
+        }
+
+        /// Pops up to [`BATCH`] tasks, pushing all but the first into `dest`
+        /// and returning the first. One lock acquisition per batch.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.lock();
+            let first = match queue.pop_front() {
+                Some(task) => task,
+                None => return Steal::Empty,
+            };
+            let extra = queue.len().min(BATCH - 1);
+            for _ in 0..extra {
+                // `extra <= len`, so the pops cannot fail.
+                dest.push(queue.pop_front().expect("len-checked pop"));
+            }
+            Steal::Success(first)
         }
 
         /// Returns `true` if the queue was observed empty.
         pub fn is_empty(&self) -> bool {
-            self.queue.lock().expect("injector poisoned").is_empty()
+            self.lock().is_empty()
         }
 
         /// Returns the observed queue length.
         pub fn len(&self) -> usize {
-            self.queue.lock().expect("injector poisoned").len()
+            self.lock().len()
         }
     }
 
     #[cfg(test)]
     mod tests {
         use super::*;
+        use std::sync::atomic::AtomicU64;
 
         #[test]
-        fn fifo_until_empty() {
+        fn injector_fifo_until_empty() {
             let inj = Injector::new();
             for i in 0..5 {
                 inj.push(i);
@@ -82,19 +443,19 @@ pub mod deque {
         }
 
         #[test]
-        fn concurrent_stealing_drains_everything() {
+        fn injector_concurrent_stealing_drains_everything() {
             let inj = Injector::new();
             let n = 10_000u64;
             for i in 0..n {
                 inj.push(i);
             }
-            let total = std::sync::atomic::AtomicU64::new(0);
+            let total = AtomicU64::new(0);
             std::thread::scope(|s| {
                 for _ in 0..4 {
                     s.spawn(|| loop {
                         match inj.steal() {
                             Steal::Success(v) => {
-                                total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                                total.fetch_add(v, Ordering::Relaxed);
                             }
                             Steal::Empty => break,
                             Steal::Retry => continue,
@@ -102,10 +463,241 @@ pub mod deque {
                     });
                 }
             });
-            assert_eq!(
-                total.load(std::sync::atomic::Ordering::Relaxed),
-                n * (n - 1) / 2
-            );
+            assert_eq!(total.load(Ordering::Relaxed), n * (n - 1) / 2);
+        }
+
+        #[test]
+        fn worker_lifo_pop_stealer_fifo_steal() {
+            let w: Worker<u32> = Worker::new_lifo();
+            let s = w.stealer();
+            for i in 0..4 {
+                w.push(i);
+            }
+            assert_eq!(w.len(), 4);
+            assert_eq!(w.pop(), Some(3)); // owner pops newest
+            assert_eq!(s.steal(), Steal::Success(0)); // thief steals oldest
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn worker_grows_past_initial_capacity() {
+            let w: Worker<usize> = Worker::new_lifo();
+            for i in 0..10_000 {
+                w.push(i);
+            }
+            assert_eq!(w.len(), 10_000);
+            for i in (0..10_000).rev() {
+                assert_eq!(w.pop(), Some(i));
+            }
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn batch_steal_moves_tasks_into_destination() {
+            let inj = Injector::new();
+            inj.push_batch(0..100u32);
+            let w: Worker<u32> = Worker::new_lifo();
+            let got = inj.steal_batch_and_pop(&w);
+            assert_eq!(got, Steal::Success(0));
+            assert_eq!(w.len(), BATCH - 1);
+            assert_eq!(inj.len(), 100 - BATCH);
+        }
+
+        #[test]
+        fn stealer_batch_steals_up_to_half() {
+            let victim: Worker<u32> = Worker::new_lifo();
+            for i in 0..100 {
+                victim.push(i);
+            }
+            let dest: Worker<u32> = Worker::new_lifo();
+            let got = victim.stealer().steal_batch_and_pop(&dest);
+            assert_eq!(got, Steal::Success(0));
+            assert!(dest.len() < BATCH);
+            assert!(dest.len() + victim.len() == 99);
+        }
+
+        #[test]
+        fn drop_releases_queued_tasks() {
+            // Heap-allocated tasks left in the deque must be freed on drop
+            // (covers the live buffer, and growth retires buffers cleanly).
+            let w: Worker<Box<u64>> = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(Box::new(i));
+            }
+            let _ = w.pop();
+            drop(w);
+        }
+
+        /// Concurrent owner pops + multiple thieves: every task is received
+        /// exactly once (checksum + per-task seen bitmap).
+        fn stress_once(num_tasks: usize, thieves: usize) {
+            let w: Worker<usize> = Worker::new_lifo();
+            let stealer = w.stealer();
+            let seen: Vec<std::sync::atomic::AtomicU8> = (0..num_tasks)
+                .map(|_| std::sync::atomic::AtomicU8::new(0))
+                .collect();
+            let done = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|s| {
+                for _ in 0..thieves {
+                    s.spawn(|| {
+                        let local: Worker<usize> = Worker::new_lifo();
+                        loop {
+                            let task = match local.pop() {
+                                Some(t) => Some(t),
+                                None => stealer.steal_batch_and_pop(&local).success(),
+                            };
+                            match task {
+                                Some(t) => {
+                                    assert_eq!(seen[t].fetch_add(1, Ordering::Relaxed), 0);
+                                }
+                                None => {
+                                    if done.load(Ordering::Acquire) && stealer.is_empty() {
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    });
+                }
+                // Owner interleaves pushes with occasional pops.
+                let mut popped = 0usize;
+                for i in 0..num_tasks {
+                    w.push(i);
+                    if i % 7 == 0 {
+                        if let Some(t) = w.pop() {
+                            assert_eq!(seen[t].fetch_add(1, Ordering::Relaxed), 0);
+                            popped += 1;
+                        }
+                    }
+                }
+                // Drain whatever the thieves left behind.
+                while let Some(t) = w.pop() {
+                    assert_eq!(seen[t].fetch_add(1, Ordering::Relaxed), 0);
+                    popped += 1;
+                }
+                let _ = popped;
+                done.store(true, Ordering::Release);
+            });
+            for (i, flag) in seen.iter().enumerate() {
+                assert_eq!(
+                    flag.load(Ordering::Relaxed),
+                    1,
+                    "task {i} lost or duplicated"
+                );
+            }
+        }
+
+        #[test]
+        fn chase_lev_stress_no_lost_or_duplicated_tasks() {
+            stress_once(20_000, 3);
+        }
+
+        /// The executor's full topology: multiple producers pushing batches
+        /// into the injector, workers refilling their deques from the
+        /// injector and stealing from each other. Every task must be
+        /// received exactly once.
+        #[test]
+        fn pipeline_stress_no_lost_or_duplicated_tasks() {
+            const PRODUCERS: usize = 3;
+            const WORKERS: usize = 4;
+            const PER_PRODUCER: usize = 10_000;
+            let injector: Injector<usize> = Injector::new();
+            let seen: Vec<std::sync::atomic::AtomicU8> = (0..PRODUCERS * PER_PRODUCER)
+                .map(|_| std::sync::atomic::AtomicU8::new(0))
+                .collect();
+            let done = std::sync::atomic::AtomicBool::new(false);
+            let workers: Vec<Worker<usize>> = (0..WORKERS).map(|_| Worker::new_lifo()).collect();
+            let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+            std::thread::scope(|s| {
+                for p in 0..PRODUCERS {
+                    let injector = &injector;
+                    s.spawn(move || {
+                        let base = p * PER_PRODUCER;
+                        for chunk in (0..PER_PRODUCER).collect::<Vec<_>>().chunks(17) {
+                            injector.push_batch(chunk.iter().map(|i| base + i));
+                        }
+                    });
+                }
+                let producers_done = &done;
+                for (me, worker) in workers.into_iter().enumerate() {
+                    let injector = &injector;
+                    let stealers = &stealers;
+                    let seen = &seen;
+                    s.spawn(move || loop {
+                        let task = worker.pop().or_else(|| {
+                            injector.steal_batch_and_pop(&worker).success().or_else(|| {
+                                stealers
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(i, _)| *i != me)
+                                    .find_map(|(_, st)| st.steal_batch_and_pop(&worker).success())
+                            })
+                        });
+                        match task {
+                            Some(t) => {
+                                assert_eq!(seen[t].fetch_add(1, Ordering::Relaxed), 0);
+                            }
+                            None => {
+                                if producers_done.load(Ordering::Acquire) && injector.is_empty() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+                // This scope block returns once the producers AND workers
+                // finish, so flip `done` from here once every task has been
+                // seen. Bounded wait: a lost task (sum stuck low) or a
+                // duplicated one (sum overshoots, never equal) must fail
+                // with diagnostics, not hang CI.
+                let seen_all = || {
+                    seen.iter()
+                        .map(|f| f.load(Ordering::Relaxed) as usize)
+                        .sum::<usize>()
+                        == PRODUCERS * PER_PRODUCER
+                };
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                while !seen_all() {
+                    if std::time::Instant::now() > deadline {
+                        // Release the workers before panicking so the scope
+                        // can join them.
+                        done.store(true, Ordering::Release);
+                        let missing: Vec<usize> = seen
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, f)| f.load(Ordering::Relaxed) == 0)
+                            .map(|(i, _)| i)
+                            .collect();
+                        panic!(
+                            "pipeline stress timed out: {} tasks unseen (first few: {:?})",
+                            missing.len(),
+                            &missing[..missing.len().min(8)]
+                        );
+                    }
+                    std::thread::yield_now();
+                }
+                done.store(true, Ordering::Release);
+            });
+            for (i, flag) in seen.iter().enumerate() {
+                assert_eq!(
+                    flag.load(Ordering::Relaxed),
+                    1,
+                    "task {i} lost or duplicated"
+                );
+            }
+        }
+
+        #[test]
+        #[ignore = "tier-2: long-running randomized stress"]
+        fn chase_lev_stress_heavy() {
+            for round in 0..20 {
+                stress_once(50_000, 2 + (round % 5));
+            }
         }
     }
 }
