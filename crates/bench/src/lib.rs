@@ -131,6 +131,23 @@ pub fn twitter(scale: f64) -> BenchDataset {
     }
 }
 
+/// Serving-workload stand-in: a modest power-law graph sized so that one
+/// query's matching work is tens of microseconds — the regime where the
+/// per-call fixed costs (planning, thread spawn/join) dominate and the
+/// warm [`graphpi_core::engine::Session`] path pays off. Used by
+/// `benches/serving.rs`.
+pub fn serving_dataset(scale: f64) -> BenchDataset {
+    let graph = generators::power_law(scaled(100, scale), 2, 0xBEEF07);
+    BenchDataset {
+        name: "Serving",
+        // Purely synthetic — no real-world counterpart, so the "original"
+        // metadata is the stand-in's own size.
+        original_vertices: graph.num_vertices() as u64,
+        original_edges: graph.num_edges(),
+        graph,
+    }
+}
+
 /// The five datasets used in the single-node comparison figures, in paper
 /// order (Figure 8, Figure 10).
 pub fn bench_datasets(scale: f64) -> Vec<BenchDataset> {

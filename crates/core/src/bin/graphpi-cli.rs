@@ -4,14 +4,23 @@
 //! graphpi-cli stats --graph edges.txt
 //! graphpi-cli plan  --graph edges.txt --pattern p3
 //! graphpi-cli count --graph edges.txt --pattern house [--threads 8] [--no-iep] [--hubs] [--list 5]
+//! graphpi-cli count --graph edges.txt --pattern house --repeat 50 --session
 //! ```
 //!
 //! The graph is a whitespace-separated edge list (`#`/`%` comments allowed).
 //! Patterns are named (`triangle`, `rectangle`, `house`, `cycle6tri`,
 //! `p1`..`p6`, `cliqueK`, `cycleK`, `pathK`, `starK`) or given explicitly as
 //! `adj:<0/1 adjacency matrix string>` in row-major order.
+//!
+//! `--repeat N` runs the count N times. Without `--session` every
+//! iteration pays the full cold path (re-plan + spawn/join worker
+//! threads); with `--session` the query runs on a persistent worker pool
+//! with a compiled-plan cache, so iterations after the first are the warm
+//! serving path. The reported cold/warm split is the amortization this
+//! distinction buys.
 
 use graphpi_core::codegen::{generate, Language};
+use graphpi_core::config::PoolOptions;
 use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
 use graphpi_graph::io;
 use graphpi_pattern::{prefab, Pattern};
@@ -27,6 +36,8 @@ struct CliArgs {
     use_iep: bool,
     hub_bitsets: bool,
     list: usize,
+    repeat: usize,
+    session: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +48,8 @@ enum Command {
 }
 
 const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <edge-list> \
-[--pattern <name|adj:...>] [--threads N] [--no-iep] [--hubs] [--list N]";
+[--pattern <name|adj:...>] [--threads N] [--no-iep] [--hubs] [--list N] \
+[--repeat N] [--session]";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut iter = args.iter();
@@ -53,6 +65,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut use_iep = true;
     let mut hub_bitsets = false;
     let mut list = 0usize;
+    let mut repeat = 1usize;
+    let mut session = false;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--graph" => graph_path = Some(iter.next().ok_or("--graph needs a value")?.clone()),
@@ -66,6 +80,17 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             }
             "--no-iep" => use_iep = false,
             "--hubs" => hub_bitsets = true,
+            "--session" => session = true,
+            "--repeat" => {
+                repeat = iter
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|_| "--repeat must be an integer".to_string())?;
+                if repeat == 0 {
+                    return Err("--repeat must be at least 1".to_string());
+                }
+            }
             "--list" => {
                 list = iter
                     .next()
@@ -88,6 +113,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         use_iep,
         hub_bitsets,
         list,
+        repeat,
+        session,
     })
 }
 
@@ -172,17 +199,68 @@ fn run(args: CliArgs) -> Result<(), String> {
         return Ok(());
     }
 
-    let start = std::time::Instant::now();
-    let count = engine.execute_count(
-        &plan.plan,
-        CountOptions {
-            use_iep: args.use_iep,
-            threads: args.threads,
-            prefix_depth: None,
-            hub_bitsets: args.hub_bitsets,
-        },
-    );
-    println!("embeddings: {count}  ({:?})", start.elapsed());
+    let count_options = CountOptions {
+        use_iep: args.use_iep,
+        threads: args.threads,
+        prefix_depth: None,
+        hub_bitsets: args.hub_bitsets,
+    };
+    let mut timings: Vec<std::time::Duration> = Vec::with_capacity(args.repeat);
+    let mut count = 0u64;
+    if args.session {
+        // Warm serving path: persistent pool + compiled-plan cache. The
+        // first iteration pays planning (a cache miss); the rest are warm.
+        let session = engine.session_with(
+            PoolOptions {
+                threads: args.threads,
+                ..PoolOptions::default()
+            },
+            PlanOptions::default(),
+            count_options,
+        );
+        for _ in 0..args.repeat {
+            let start = std::time::Instant::now();
+            count = session.count(&pattern).map_err(|e| e.to_string())?;
+            timings.push(start.elapsed());
+        }
+        let stats = session.cache_stats();
+        println!(
+            "session: {} workers, plan cache {} hit(s) / {} miss(es)",
+            session.pool().threads(),
+            stats.hits,
+            stats.misses
+        );
+    } else {
+        // Cold path: every iteration re-plans and spawns/joins a fresh set
+        // of worker threads, like independent CLI invocations would.
+        for _ in 0..args.repeat {
+            let start = std::time::Instant::now();
+            let iter_plan = engine
+                .plan(&pattern, PlanOptions::default())
+                .map_err(|e| e.to_string())?;
+            count = engine.execute_count(&iter_plan.plan, count_options);
+            timings.push(start.elapsed());
+        }
+    }
+    println!("embeddings: {count}  ({:?})", timings[0]);
+    if args.repeat > 1 {
+        let rest = &timings[1..];
+        let rest_min = rest.iter().min().expect("repeat > 1");
+        let rest_avg = rest.iter().sum::<std::time::Duration>() / rest.len() as u32;
+        if args.session {
+            // Iterations after the first hit the plan cache and warm pool.
+            println!(
+                "repeat x{}: cold {:?}, warm avg {:?}, warm min {:?}",
+                args.repeat, timings[0], rest_avg, rest_min
+            );
+        } else {
+            // Every iteration re-plans and re-spawns: all cold.
+            println!(
+                "repeat x{}: first {:?}, avg {:?}, min {:?} (every iteration cold; use --session for the warm path)",
+                args.repeat, timings[0], rest_avg, rest_min
+            );
+        }
+    }
     if args.list > 0 {
         let embeddings = graphpi_core::exec::interp::list_embeddings(&plan.plan, engine.graph());
         for emb in embeddings.iter().take(args.list) {
@@ -232,6 +310,71 @@ mod tests {
         assert_eq!(args.threads, 4);
         assert!(!args.use_iep);
         assert_eq!(args.list, 3);
+    }
+
+    #[test]
+    fn parses_repeat_and_session_flags() {
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--repeat",
+            "20",
+            "--session",
+        ]))
+        .unwrap();
+        assert_eq!(args.repeat, 20);
+        assert!(args.session);
+        // Defaults: one iteration, no session.
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+        ]))
+        .unwrap();
+        assert_eq!(args.repeat, 1);
+        assert!(!args.session);
+        // Zero repeats is rejected.
+        assert!(parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--repeat",
+            "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn session_repeat_end_to_end_on_a_temporary_graph() {
+        // Unique per process so concurrent test runs on a shared machine
+        // cannot race on the same file.
+        let dir =
+            std::env::temp_dir().join(format!("graphpi_cli_session_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "0 1\n1 2\n0 2\n2 3\n1 3\n").unwrap();
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            path.to_str().unwrap(),
+            "--pattern",
+            "triangle",
+            "--threads",
+            "2",
+            "--repeat",
+            "3",
+            "--session",
+        ]))
+        .unwrap();
+        assert!(run(args).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

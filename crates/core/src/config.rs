@@ -30,6 +30,29 @@ use graphpi_pattern::restriction::RestrictionSet;
 /// allocation.
 pub const MAX_LOOPS: usize = 8;
 
+/// Options for the long-lived serving path: the persistent
+/// [`crate::exec::pool::WorkerPool`] and the compiled-plan cache behind a
+/// [`crate::engine::Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolOptions {
+    /// Number of persistent worker threads (0 = all available cores). Fixed
+    /// at pool construction; per-call thread overrides are ignored by the
+    /// pool.
+    pub threads: usize,
+    /// Capacity of the compiled-plan LRU cache, in plans. A capacity of 0
+    /// disables caching (every query re-plans).
+    pub cache_capacity: usize,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_capacity: 64,
+        }
+    }
+}
+
 /// A schedule paired with a restriction set for a specific pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Configuration {

@@ -10,8 +10,9 @@
 //! 3. **Execution** — the plan runs on the data graph sequentially, in
 //!    parallel, or on the simulated cluster, with or without IEP counting.
 
-use crate::config::{Configuration, ExecutionPlan, MAX_LOOPS};
+use crate::config::{Configuration, ExecutionPlan, PoolOptions, MAX_LOOPS};
 use crate::error::EngineError;
+use crate::exec::pool::WorkerPool;
 use crate::exec::{iep, interp, parallel};
 use crate::perf_model::{select_best, CostEstimate, PerformanceModel};
 use crate::schedule::{efficient_schedules, Schedule};
@@ -20,7 +21,9 @@ use graphpi_graph::hub::{HubGraph, HubOptions};
 use graphpi_graph::stats::GraphStats;
 use graphpi_pattern::pattern::Pattern;
 use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions, RestrictionSet};
-use std::sync::{Arc, OnceLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Largest pattern size the planner accepts (the paper evaluates up to 6–7
@@ -84,6 +87,23 @@ impl CountOptions {
             use_iep: false,
             threads: 1,
             ..Self::default()
+        }
+    }
+
+    /// Derives the executor options once. Call sites that execute many
+    /// plans (a [`Session`], a repeat loop) derive this a single time and
+    /// pass it by reference instead of rebuilding it per count.
+    pub fn parallel_options(&self) -> parallel::ParallelOptions {
+        parallel::ParallelOptions {
+            threads: self.threads,
+            prefix_depth: self.prefix_depth,
+            mode: if self.use_iep {
+                parallel::CountMode::Iep
+            } else {
+                parallel::CountMode::Enumerate
+            },
+            hub_bitsets: self.hub_bitsets,
+            ..Default::default()
         }
     }
 }
@@ -248,6 +268,30 @@ impl GraphPi {
 
     /// Executes an already-compiled plan and returns the embedding count.
     pub fn execute_count(&self, plan: &ExecutionPlan, options: CountOptions) -> u64 {
+        // Derived exactly once per call (a Session derives it once per
+        // session instead) and passed down by reference.
+        let parallel_options = options.parallel_options();
+        self.execute_count_prepared(plan, &options, &parallel_options)
+    }
+
+    /// [`GraphPi::execute_count`] with the executor options pre-derived:
+    /// the hot entry point for repeated counting, where the caller holds
+    /// one [`parallel::ParallelOptions`] and passes it by reference.
+    pub fn execute_count_prepared(
+        &self,
+        plan: &ExecutionPlan,
+        options: &CountOptions,
+        parallel_options: &parallel::ParallelOptions,
+    ) -> u64 {
+        // The pair must agree on the counting mode: the sequential dispatch
+        // below reads `options.use_iep`, the parallel executors read
+        // `parallel_options.mode`. Derive the latter with
+        // [`CountOptions::parallel_options`].
+        debug_assert_eq!(
+            parallel_options.mode == parallel::CountMode::Iep,
+            options.use_iep,
+            "parallel_options must be derived from the same CountOptions"
+        );
         let threads = if options.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -255,30 +299,18 @@ impl GraphPi {
         } else {
             options.threads
         };
-        let parallel_options = |use_iep: bool| parallel::ParallelOptions {
-            threads,
-            prefix_depth: options.prefix_depth,
-            mode: if use_iep {
-                parallel::CountMode::Iep
-            } else {
-                parallel::CountMode::Enumerate
-            },
-            ..Default::default()
-        };
         if options.hub_bitsets {
             let hubs = self.hub_index();
             return match (options.use_iep, threads) {
                 (false, 1) => interp::count_embeddings_hub(plan, hubs),
                 (true, 1) => iep::count_embeddings_iep_hub(plan, hubs),
-                (use_iep, _) => {
-                    parallel::count_parallel_with_hubs(plan, hubs, parallel_options(use_iep))
-                }
+                (_, _) => parallel::count_parallel_with_hubs(plan, hubs, *parallel_options),
             };
         }
         match (options.use_iep, threads) {
             (false, 1) => interp::count_embeddings(plan, &self.graph),
             (true, 1) => iep::count_embeddings_iep(plan, &self.graph),
-            (use_iep, _) => parallel::count_parallel(plan, &self.graph, parallel_options(use_iep)),
+            (_, _) => parallel::count_parallel(plan, &self.graph, *parallel_options),
         }
     }
 
@@ -301,6 +333,324 @@ impl GraphPi {
     ) -> u64 {
         let plan = Configuration::new(pattern.clone(), schedule, restrictions).compile();
         self.execute_count(&plan, options)
+    }
+
+    /// Opens a long-lived serving [`Session`] with default options: a
+    /// persistent worker pool sized to the machine and a 64-plan LRU cache.
+    pub fn session(&self) -> Session<'_> {
+        self.session_with(
+            PoolOptions::default(),
+            PlanOptions::default(),
+            CountOptions::default(),
+        )
+    }
+
+    /// Opens a [`Session`] with explicit pool/planning/execution options.
+    /// `count_options.threads` is superseded by `pool_options.threads`: the
+    /// worker count is fixed when the pool is spawned.
+    pub fn session_with(
+        &self,
+        pool_options: PoolOptions,
+        plan_options: PlanOptions,
+        count_options: CountOptions,
+    ) -> Session<'_> {
+        self.session_shared(
+            Arc::new(WorkerPool::new(pool_options.threads)),
+            Arc::new(PlanCache::new(pool_options.cache_capacity)),
+            plan_options,
+            count_options,
+        )
+    }
+
+    /// Opens a [`Session`] on an existing pool and plan cache, so several
+    /// engines (or several sessions over one engine) can share both. Plan
+    /// cache keys include the graph-stats fingerprint, so sessions over
+    /// different graphs can safely share one cache.
+    pub fn session_shared(
+        &self,
+        pool: Arc<WorkerPool>,
+        cache: Arc<PlanCache>,
+        plan_options: PlanOptions,
+        count_options: CountOptions,
+    ) -> Session<'_> {
+        let parallel_options = count_options.parallel_options();
+        Session {
+            engine: self,
+            pool,
+            cache,
+            plan_options,
+            count_options,
+            parallel_options,
+        }
+    }
+}
+
+/// Key identifying a compiled plan: the labeled pattern bytes, the planning
+/// caps, and the graph-stats fingerprint the cost model ranked candidates
+/// with — everything the planner's output depends on. Deliberately *not*
+/// keyed on the IEP flag: plans are IEP-agnostic (every plan carries its
+/// `iep_suffix_len`/`iep_correction`; the counting mode is chosen at
+/// execution time), so keying on it would store byte-identical plans twice
+/// and halve the effective LRU capacity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    pattern: Vec<u8>,
+    max_restriction_sets: usize,
+    max_schedules: usize,
+    graph_fingerprint: u64,
+}
+
+impl PlanKey {
+    fn new(pattern: &Pattern, plan_options: &PlanOptions, stats: &GraphStats) -> Self {
+        Self {
+            pattern: pattern.canonical_bytes(),
+            max_restriction_sets: plan_options.max_restriction_sets,
+            max_schedules: plan_options.max_schedules,
+            graph_fingerprint: stats.fingerprint(),
+        }
+    }
+}
+
+/// A snapshot of [`PlanCache`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the planner.
+    pub misses: u64,
+    /// Entries evicted to make room (LRU order).
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub len: usize,
+    /// Maximum number of cached plans (0 = caching disabled).
+    pub capacity: usize,
+}
+
+struct CacheEntry {
+    plan: Arc<Plan>,
+    /// Logical timestamp of the last hit (monotone per cache).
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<PlanKey, CacheEntry>,
+    clock: u64,
+}
+
+/// A thread-safe LRU cache of compiled [`Plan`]s, keyed by
+/// (pattern bytes, planning caps, graph-stats fingerprint).
+///
+/// Planning (schedule enumeration + restriction generation + cost-model
+/// ranking) is the per-query fixed cost the paper's batch setting never
+/// amortized; in a serving setting repeated patterns skip it entirely.
+/// Eviction scans for the least-recently-used entry — O(len), which is
+/// irrelevant at plan-cache capacities (planning is micro- to milliseconds;
+/// capacities are tens of entries).
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (0 disables
+    /// caching: every lookup is a miss and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached plan for `key`, or runs `plan_fn` and caches its
+    /// success. `plan_fn` runs outside the cache lock, so a slow planning
+    /// run does not block hits on other keys; two threads racing on the
+    /// same cold key may both plan, and the loser's (identical) plan wins.
+    fn get_or_plan(
+        &self,
+        key: PlanKey,
+        plan_fn: impl FnOnce() -> Result<Plan, EngineError>,
+    ) -> Result<Arc<Plan>, EngineError> {
+        if self.capacity > 0 {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.plan));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(plan_fn()?);
+        if self.capacity > 0 {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+                if let Some(lru) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.map.remove(&lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            inner.map.insert(
+                key,
+                CacheEntry {
+                    plan: Arc::clone(&plan),
+                    last_used: clock,
+                },
+            );
+        }
+        Ok(plan)
+    }
+
+    /// Counter snapshot (hits/misses/evictions/occupancy).
+    pub fn stats(&self) -> CacheStats {
+        let len = self.inner.lock().expect("plan cache poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every cached plan (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache poisoned").map.clear();
+    }
+}
+
+/// A long-lived query session: the warm serving path.
+///
+/// A `Session` pairs the engine with a persistent [`WorkerPool`] and a
+/// compiled-[`PlanCache`] (both behind `Arc`, so sessions are cheap to
+/// share and clone across threads). A warm [`Session::count`] call
+/// performs **no thread spawn, no planning, and no steady-state
+/// allocation** — only the matching work itself:
+///
+/// ```
+/// use graphpi_core::engine::GraphPi;
+/// use graphpi_graph::generators;
+/// use graphpi_pattern::prefab;
+///
+/// let engine = GraphPi::new(generators::power_law(300, 5, 7));
+/// let session = engine.session();
+/// let cold = session.count(&prefab::house()).unwrap();
+/// let warm = session.count(&prefab::house()).unwrap(); // cached plan, warm pool
+/// assert_eq!(cold, warm);
+/// assert_eq!(session.cache_stats().hits, 1);
+/// ```
+///
+/// Concurrent counts from threads sharing a session serialize on the
+/// pool's submit lock (one job at a time); the plan cache itself is
+/// concurrent.
+#[derive(Debug)]
+pub struct Session<'g> {
+    engine: &'g GraphPi,
+    pool: Arc<WorkerPool>,
+    cache: Arc<PlanCache>,
+    plan_options: PlanOptions,
+    count_options: CountOptions,
+    /// Derived once at session construction and passed by reference on
+    /// every count (the per-call rebuild this replaces showed up at
+    /// serving-path granularity).
+    parallel_options: parallel::ParallelOptions,
+}
+
+impl<'g> Session<'g> {
+    /// The engine this session serves queries for.
+    pub fn engine(&self) -> &'g GraphPi {
+        self.engine
+    }
+
+    /// The persistent worker pool (shared across clones of this session).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The compiled-plan cache (shared across clones of this session).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Plan-cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Returns the compiled plan for `pattern`, planning at most once per
+    /// (pattern, planning-options, graph) triple. The same cached plan
+    /// serves both IEP and enumeration counting.
+    pub fn plan_cached(&self, pattern: &Pattern) -> Result<Arc<Plan>, EngineError> {
+        let key = PlanKey::new(pattern, &self.plan_options, &self.engine.stats);
+        self.cache
+            .get_or_plan(key, || self.engine.plan(pattern, self.plan_options))
+    }
+
+    /// Counts embeddings of `pattern` on the warm path: cached plan,
+    /// persistent pool, session-wide execution options.
+    pub fn count(&self, pattern: &Pattern) -> Result<u64, EngineError> {
+        let plan = self.plan_cached(pattern)?;
+        Ok(self.execute(&plan.plan, &self.count_options, &self.parallel_options))
+    }
+
+    /// Counts embeddings with per-call execution options (IEP, hub
+    /// acceleration, prefix depth). The worker count is the pool's — the
+    /// `threads` field is ignored.
+    pub fn count_with(
+        &self,
+        pattern: &Pattern,
+        count_options: CountOptions,
+    ) -> Result<u64, EngineError> {
+        let plan = self.plan_cached(pattern)?;
+        let parallel_options = count_options.parallel_options();
+        Ok(self.execute(&plan.plan, &count_options, &parallel_options))
+    }
+
+    /// Executes an already-compiled plan on the session pool.
+    pub fn execute_count(&self, plan: &ExecutionPlan) -> u64 {
+        self.execute(plan, &self.count_options, &self.parallel_options)
+    }
+
+    fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        count_options: &CountOptions,
+        parallel_options: &parallel::ParallelOptions,
+    ) -> u64 {
+        if count_options.hub_bitsets {
+            self.pool
+                .count_with_hubs(plan, self.engine.hub_index(), parallel_options)
+        } else {
+            self.pool.count_in(
+                plan,
+                interp::ExecCtx::new(&self.engine.graph),
+                parallel_options,
+            )
+        }
     }
 }
 
@@ -450,5 +800,202 @@ mod tests {
         let engine = engine();
         let plan = engine.plan(&prefab::p3(), PlanOptions::default()).unwrap();
         assert!(plan.preprocessing_time.as_nanos() > 0);
+    }
+
+    fn small_session_options() -> (PoolOptions, PlanOptions, CountOptions) {
+        (
+            PoolOptions {
+                threads: 2,
+                cache_capacity: 8,
+            },
+            PlanOptions::default(),
+            CountOptions::default(),
+        )
+    }
+
+    #[test]
+    fn session_counts_match_engine_counts() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        for (name, pattern) in prefab::evaluation_patterns().into_iter().take(3) {
+            assert_eq!(
+                session.count(&pattern).unwrap(),
+                engine.count(&pattern).unwrap(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_count_with_overrides_execution_options() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        let pattern = prefab::house();
+        let expected = engine.count(&pattern).unwrap();
+        for (use_iep, hub_bitsets) in [(false, false), (true, false), (false, true), (true, true)] {
+            let got = session
+                .count_with(
+                    &pattern,
+                    CountOptions {
+                        use_iep,
+                        hub_bitsets,
+                        ..CountOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(got, expected, "iep={use_iep} hub={hub_bitsets}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        let pattern = prefab::rectangle();
+        session.count(&pattern).unwrap();
+        session.count(&pattern).unwrap();
+        session.count(&pattern).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.len, 1);
+        // A different pattern is a fresh miss.
+        session.count(&prefab::triangle()).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 2);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let engine = engine();
+        let session = engine.session_with(
+            PoolOptions {
+                threads: 1,
+                cache_capacity: 2,
+            },
+            PlanOptions::default(),
+            CountOptions::default(),
+        );
+        let a = prefab::triangle();
+        let b = prefab::rectangle();
+        let c = prefab::house();
+        session.count(&a).unwrap(); // cache: [a]
+        session.count(&b).unwrap(); // cache: [a, b]
+        session.count(&a).unwrap(); // hit; b is now LRU
+        session.count(&c).unwrap(); // evicts b
+        let stats = session.cache_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.len, 2);
+        session.count(&a).unwrap(); // still cached
+        assert_eq!(session.cache_stats().hits, 2);
+        session.count(&b).unwrap(); // must re-plan
+        assert_eq!(session.cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = engine();
+        let session = engine.session_with(
+            PoolOptions {
+                threads: 1,
+                cache_capacity: 0,
+            },
+            PlanOptions::default(),
+            CountOptions::default(),
+        );
+        let pattern = prefab::triangle();
+        let expected = engine.count(&pattern).unwrap();
+        assert_eq!(session.count(&pattern).unwrap(), expected);
+        assert_eq!(session.count(&pattern).unwrap(), expected);
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 0);
+    }
+
+    #[test]
+    fn shared_cache_keys_on_graph_fingerprint() {
+        // Two engines over different graphs share one cache and one pool;
+        // the fingerprint in the key keeps their plans (and counts) apart.
+        let engine_a = GraphPi::new(generators::power_law(220, 5, 11));
+        let engine_b = GraphPi::new(generators::erdos_renyi(150, 900, 12));
+        let pool = Arc::new(WorkerPool::new(2));
+        let cache = Arc::new(PlanCache::new(8));
+        let session_a = engine_a.session_shared(
+            Arc::clone(&pool),
+            Arc::clone(&cache),
+            PlanOptions::default(),
+            CountOptions::default(),
+        );
+        let session_b = engine_b.session_shared(
+            Arc::clone(&pool),
+            Arc::clone(&cache),
+            PlanOptions::default(),
+            CountOptions::default(),
+        );
+        let pattern = prefab::house();
+        assert_eq!(
+            session_a.count(&pattern).unwrap(),
+            engine_a.count(&pattern).unwrap()
+        );
+        assert_eq!(
+            session_b.count(&pattern).unwrap(),
+            engine_b.count(&pattern).unwrap()
+        );
+        // Same pattern, different graphs: two cache entries, zero hits.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.hits, 0);
+        // Re-counting hits each engine's own entry.
+        session_a.count(&pattern).unwrap();
+        session_b.count(&pattern).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn session_is_usable_from_multiple_threads() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        let pattern = prefab::house();
+        let expected = engine.count(&pattern).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let session = &session;
+                let pattern = &pattern;
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        assert_eq!(session.count(pattern).unwrap(), expected);
+                    }
+                });
+            }
+        });
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 12);
+        assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn cache_clear_preserves_counters() {
+        let cache = PlanCache::new(4);
+        let engine = engine();
+        let session = engine.session_shared(
+            Arc::new(WorkerPool::new(1)),
+            Arc::new(cache),
+            PlanOptions::default(),
+            CountOptions::default(),
+        );
+        session.count(&prefab::triangle()).unwrap();
+        session.cache().clear();
+        let stats = session.cache_stats();
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.misses, 1);
+        session.count(&prefab::triangle()).unwrap();
+        assert_eq!(session.cache_stats().misses, 2);
     }
 }

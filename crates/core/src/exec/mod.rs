@@ -6,6 +6,10 @@
 //!   over the innermost independent loops (Section IV-D).
 //! * [`parallel`] — multi-threaded execution with fine-grained prefix tasks
 //!   and work stealing (the single-node half of Section IV-E).
+//! * [`pool`] — a persistent work-stealing worker pool that runs the same
+//!   task protocol as [`parallel`] but keeps workers (and their scratch)
+//!   alive across jobs: the warm serving path behind
+//!   [`crate::engine::Session`].
 //! * [`cluster`] — a simulated multi-node cluster reproducing the paper's
 //!   distributed task-partitioning and work-stealing design for the
 //!   scalability experiments.
@@ -14,3 +18,4 @@ pub mod cluster;
 pub mod iep;
 pub mod interp;
 pub mod parallel;
+pub mod pool;

@@ -118,7 +118,9 @@ pub fn default_prefix_depth(plan: &ExecutionPlan) -> usize {
     }
 }
 
-fn resolve_threads(requested: usize) -> usize {
+/// Resolves a requested worker count (0 = all available cores). Shared by
+/// the scoped executor and [`crate::exec::pool::WorkerPool`].
+pub(crate) fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
@@ -164,13 +166,43 @@ pub fn count_parallel_with_hubs(
     run(plan, ExecCtx::with_hubs(hubs), options)
 }
 
-fn run(plan: &ExecutionPlan, ctx: ExecCtx<'_>, options: ParallelOptions) -> u64 {
-    let threads = resolve_threads(options.threads);
+/// The execution strategy resolved from a plan and the requested options —
+/// the single source of truth for mode degradation, sequential fallbacks and
+/// degenerate depths, shared by the scoped executor ([`count_parallel`]) and
+/// the persistent pool ([`crate::exec::pool::WorkerPool`]), which is what
+/// keeps their counts bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecPath {
+    /// The plan has no loops; the count is zero.
+    Empty,
+    /// IEP with non-uniform prefix restrictions: delegate to the sequential
+    /// implementation (rare fallback, not worth a parallel variant of the
+    /// unrestricted re-plan).
+    SequentialIep,
+    /// The prefixes are already full embeddings; count them on the calling
+    /// thread without materialising anything.
+    MasterOnly {
+        /// The (full) prefix depth.
+        depth: usize,
+    },
+    /// The real parallel job: stream depth-`depth` prefixes to workers.
+    Tasks {
+        /// Effective counting mode (IEP may degrade to enumeration).
+        mode: CountMode,
+        /// Task prefix depth.
+        depth: usize,
+        /// Tasks per injector batch.
+        batch_size: usize,
+    },
+}
+
+/// Resolves how a plan must execute under the given options.
+pub(crate) fn resolve_path(plan: &ExecutionPlan, options: &ParallelOptions) -> ExecPath {
     let n = plan.num_loops();
     if n == 0 {
-        return 0;
+        return ExecPath::Empty;
     }
-    let depth = clamp_prefix_depth(plan, &options);
+    let depth = clamp_prefix_depth(plan, options);
 
     // IEP with a too-short suffix silently degrades to enumeration, exactly
     // like the sequential path.
@@ -182,30 +214,101 @@ fn run(plan: &ExecutionPlan, ctx: ExecCtx<'_>, options: ParallelOptions) -> u64 
         options.mode
     };
 
-    // For IEP with non-uniform prefix restrictions, delegate to the
-    // sequential implementation (rare fallback path, not worth a parallel
-    // variant of the unrestricted re-plan).
     if mode == CountMode::Iep
         && matches!(
             plan.iep_correction,
             crate::config::IepCorrection::DivideUnrestricted { .. }
         )
     {
-        return iep::count_embeddings_iep_in(plan, ctx);
+        return ExecPath::SequentialIep;
     }
 
     if depth == n {
-        // Degenerate: the prefixes are already full embeddings; count them
-        // on the master without materialising anything.
-        let mut count = 0u64;
-        interp::for_each_prefix(plan, ctx, depth, |_| count += 1);
-        return count;
+        return ExecPath::MasterOnly { depth };
     }
 
     let batch_size = if options.batch_size == 0 {
         DEFAULT_BATCH_SIZE
     } else {
         options.batch_size
+    };
+    ExecPath::Tasks {
+        mode,
+        depth,
+        batch_size,
+    }
+}
+
+/// Executes the non-task [`ExecPath`] variants on the calling thread.
+/// Returns `None` for [`ExecPath::Tasks`], which needs workers.
+pub(crate) fn run_degenerate(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    path: ExecPath,
+) -> Option<u64> {
+    match path {
+        ExecPath::Empty => Some(0),
+        ExecPath::SequentialIep => Some(iep::count_embeddings_iep_in(plan, ctx)),
+        ExecPath::MasterOnly { depth } => {
+            let mut count = 0u64;
+            interp::for_each_prefix(plan, ctx, depth, |_| count += 1);
+            Some(count)
+        }
+        ExecPath::Tasks { .. } => None,
+    }
+}
+
+/// The master side of a parallel job: streams the outer loops, handing tasks
+/// out in batches so workers overlap with enumeration and the queue stays
+/// bounded by a window instead of the full task list. `after_batch` runs
+/// once per pushed batch (and once after `done` is set) — the pool uses it
+/// to unpark idle workers; the scoped path passes a no-op.
+pub(crate) fn stream_tasks(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    depth: usize,
+    batch_size: usize,
+    injector: &Injector<PrefixTask>,
+    done: &AtomicBool,
+    after_batch: impl Fn(),
+) {
+    let mut batch: Vec<PrefixTask> = Vec::with_capacity(batch_size);
+    interp::for_each_prefix(plan, ctx, depth, |prefix| {
+        batch.push(PrefixTask::from_slice(prefix));
+        if batch.len() == batch_size {
+            injector.push_batch(batch.drain(..));
+            after_batch();
+        }
+    });
+    if !batch.is_empty() {
+        injector.push_batch(batch.drain(..));
+        after_batch();
+    }
+    done.store(true, Ordering::Release);
+    after_batch();
+}
+
+/// Applies the IEP over-counting correction to a job's raw total.
+pub(crate) fn finalize_count(raw: u64, mode: CountMode, plan: &ExecutionPlan) -> u64 {
+    match mode {
+        CountMode::Enumerate => raw,
+        CountMode::Iep => raw / plan.iep_correction.divisor(),
+    }
+}
+
+fn run(plan: &ExecutionPlan, ctx: ExecCtx<'_>, options: ParallelOptions) -> u64 {
+    let threads = resolve_threads(options.threads);
+    let path = resolve_path(plan, &options);
+    if let Some(count) = run_degenerate(plan, ctx, path) {
+        return count;
+    }
+    let ExecPath::Tasks {
+        mode,
+        depth,
+        batch_size,
+    } = path
+    else {
+        unreachable!("run_degenerate handles every other path");
     };
 
     let injector: Injector<PrefixTask> = Injector::new();
@@ -222,62 +325,64 @@ fn run(plan: &ExecutionPlan, ctx: ExecCtx<'_>, options: ParallelOptions) -> u64 
             let done = &done;
             let total = &total;
             scope.spawn(move || {
+                // Scoped workers are born and die with this one job, so
+                // their scratch lives on their stack frame; pool workers
+                // pass in scratch that survives across jobs.
+                let mut buffers = SearchBuffers::new(plan.num_loops());
+                let mut iep_scratch = IepScratch::new();
                 total.fetch_add(
-                    worker_loop(plan, ctx, mode, worker, me, stealers, injector, done),
+                    process_tasks(
+                        plan,
+                        ctx,
+                        mode,
+                        &worker,
+                        me,
+                        stealers,
+                        injector,
+                        done,
+                        &mut buffers,
+                        &mut iep_scratch,
+                        std::thread::yield_now,
+                    ),
                     Ordering::Relaxed,
                 );
             });
         }
 
-        // Master: stream the outer loops, handing tasks out in batches so
-        // workers overlap with enumeration and the queue stays bounded by a
-        // window instead of the full task list.
-        let mut batch: Vec<PrefixTask> = Vec::with_capacity(batch_size);
-        interp::for_each_prefix(plan, ctx, depth, |prefix| {
-            batch.push(PrefixTask::from_slice(prefix));
-            if batch.len() == batch_size {
-                injector.push_batch(batch.drain(..));
-            }
-        });
-        if !batch.is_empty() {
-            injector.push_batch(batch.drain(..));
-        }
-        done.store(true, Ordering::Release);
+        stream_tasks(plan, ctx, depth, batch_size, &injector, &done, || {});
     });
 
-    let raw = total.load(Ordering::Relaxed);
-    match mode {
-        CountMode::Enumerate => raw,
-        CountMode::Iep => raw / plan.iep_correction.divisor(),
-    }
+    finalize_count(total.load(Ordering::Relaxed), mode, plan)
 }
 
-/// One worker: pop locally, refill from the injector in batches, steal
-/// batches from siblings, and count with reusable per-worker scratch.
+/// One worker's task-processing loop for one job: pop locally, refill from
+/// the injector in batches, steal batches from siblings, and count with the
+/// caller-provided reusable scratch. `idle` runs when no task is available
+/// anywhere but the job is not finished (scoped workers yield; pool workers
+/// park with a timeout). Returns the worker's local total.
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
+pub(crate) fn process_tasks(
     plan: &ExecutionPlan,
     ctx: ExecCtx<'_>,
     mode: CountMode,
-    worker: Worker<PrefixTask>,
+    worker: &Worker<PrefixTask>,
     me: usize,
     stealers: &[Stealer<PrefixTask>],
     injector: &Injector<PrefixTask>,
     done: &AtomicBool,
+    buffers: &mut SearchBuffers,
+    iep_scratch: &mut IepScratch,
+    idle: impl Fn(),
 ) -> u64 {
-    let mut buffers = SearchBuffers::new(plan.num_loops());
-    let mut iep_scratch = IepScratch::new();
     let mut local = 0u64;
     loop {
-        match next_task(&worker, me, stealers, injector) {
+        match next_task(worker, me, stealers, injector) {
             Some(task) => {
                 local += match mode {
                     CountMode::Enumerate => {
-                        interp::count_from_prefix_with(plan, ctx, task.as_slice(), &mut buffers)
+                        interp::count_from_prefix_with(plan, ctx, task.as_slice(), buffers)
                     }
-                    CountMode::Iep => {
-                        iep::iep_term_with(plan, ctx, task.as_slice(), &mut iep_scratch)
-                    }
+                    CountMode::Iep => iep::iep_term_with(plan, ctx, task.as_slice(), iep_scratch),
                 };
             }
             None => {
@@ -287,7 +392,7 @@ fn worker_loop(
                 if done.load(Ordering::Acquire) && injector.is_empty() {
                     break;
                 }
-                std::thread::yield_now();
+                idle();
             }
         }
     }

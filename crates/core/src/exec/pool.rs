@@ -1,0 +1,705 @@
+//! A persistent work-stealing worker pool: the warm serving path.
+//!
+//! [`super::parallel::count_parallel`] spawns and joins a fresh
+//! `std::thread::scope` per call. That is the right shape for one-shot batch
+//! counting, but in a long-lived service handling many queries the fixed
+//! costs dominate at fine task granularity: thread spawn/join is on the
+//! order of a millisecond, and every spawn re-allocates the per-worker
+//! search scratch. [`WorkerPool`] removes both:
+//!
+//! * **Workers are spawned once** and live as long as the pool. Between
+//!   jobs they park on a condvar; within a job, a worker that runs out of
+//!   stealable tasks parks on a [`crossbeam::sync::Parker`] with a short
+//!   timeout (bounding steal latency) instead of spinning.
+//! * Each worker keeps its Chase–Lev deque, [`SearchBuffers`] and
+//!   [`IepScratch`] **alive across jobs**, so the warm path performs zero
+//!   thread spawns and zero steady-state allocation.
+//! * Jobs run the exact same `process_tasks` worker loop and
+//!   `resolve_path` strategy resolution (both in [`super::parallel`]) as
+//!   the scoped executor, which is what keeps pooled counts bit-identical
+//!   to scoped counts.
+//!
+//! Two properties tune the pool for *small* queries, where a naive pool
+//! would drown the matching work in handshake overhead:
+//!
+//! * **Lazy wakeups** — posting a job wakes nobody by itself; the master
+//!   issues one `notify_one` per pushed batch *once more than a full batch
+//!   of backlog is sitting unclaimed in the injector*, so a query the
+//!   master can chew alone pays zero context switches while a large
+//!   query's backlog ramps up the whole pool batch by batch. Workers that
+//!   never wake for a job simply skip its epoch; workers already active
+//!   but momentarily out of work self-wake every [`IDLE_PARK`], and the
+//!   job-end unpark broadcast retires them promptly.
+//! * **Caller-runs master helping** — after streaming, the submitting
+//!   thread drains the injector itself (with its own persistent scratch,
+//!   kept behind the submit lock). Tiny jobs often complete entirely on
+//!   the caller with a single worker assisting; job completion waits only
+//!   for workers that actually *activated* (picked the job up), not for
+//!   every pool thread to cycle through a wake/retire handshake.
+//!
+//! One job runs at a time; concurrent [`WorkerPool::count_in`] calls from
+//! different threads serialize on the submit lock, which is what a shared
+//! [`crate::engine::Session`] relies on.
+
+use crate::config::{ExecutionPlan, MAX_LOOPS};
+use crate::exec::iep::{self, IepScratch};
+use crate::exec::interp::{self, ExecCtx, SearchBuffers};
+use crate::exec::parallel::{self, CountMode, ExecPath, ParallelOptions, PrefixTask};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::sync::{Parker, Unparker};
+use graphpi_graph::csr::CsrGraph;
+use graphpi_graph::hub::{HubGraph, HubOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an in-job idle worker sleeps before re-checking the injector
+/// and sibling deques. Short enough that steal latency stays invisible next
+/// to task runtimes, long enough to release the core on an oversubscribed
+/// machine.
+const IDLE_PARK: Duration = Duration::from_micros(50);
+
+/// A unit of work posted to the pool: type-erased pointers to the
+/// submitter's stack. Sound because [`WorkerPool::count_in`] does not return
+/// (or unwind) past the pointees until every *activated* worker has retired
+/// from the job, and workers can only dereference these pointers after
+/// activating (observing `job` as `Some` under the state lock) — see
+/// [`JobGuard`].
+#[derive(Clone, Copy)]
+struct Job {
+    plan: *const ExecutionPlan,
+    graph: *const CsrGraph,
+    /// Null when executing without hub acceleration.
+    hubs: *const HubGraph,
+    mode: CountMode,
+    injector: *const Injector<PrefixTask>,
+    producer_done: *const AtomicBool,
+    total: *const AtomicU64,
+}
+
+// SAFETY: the pointees are Sync (plan/graph/hubs are shared immutably;
+// injector/flags are designed for concurrent access) and their lifetime is
+// enforced by the completion protocol described on `Job`.
+unsafe impl Send for Job {}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled (one waiter per pushed batch) when job work may be
+    /// available, and broadcast on shutdown.
+    job_ready: Condvar,
+    /// Signaled when the last activated worker retires from the current job.
+    job_done: Condvar,
+}
+
+struct State {
+    /// Id of the most recently posted job (0 = none yet). A worker
+    /// activates for a given epoch at most once.
+    epoch: u64,
+    /// The posted job; cleared when the job completes, so late-waking
+    /// workers can never observe dangling job pointers.
+    job: Option<Job>,
+    /// Workers currently activated on (processing) the current job.
+    active: usize,
+    /// Set when a worker unwinds mid-job; the submitter re-raises after
+    /// the job completes, mirroring the scoped executor's panic
+    /// propagation through `thread::scope`.
+    panicked: bool,
+    shutdown: bool,
+}
+
+/// Locks the pool state, recovering from poisoning: every critical section
+/// re-establishes the state invariants before unlocking, so a panic while
+/// holding the lock leaves consistent data behind and the pool stays
+/// usable after a failed query.
+fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The persistent scratch of the master (submitting) side, kept behind the
+/// submit lock so repeated queries reuse it: master helping allocates
+/// nothing in steady state, same as the workers.
+struct MasterScratch {
+    buffers: SearchBuffers,
+    iep: IepScratch,
+    /// The master's own deque for batched injector drains (one injector
+    /// lock per [`crossbeam::deque::BATCH`] tasks instead of one per task).
+    /// Not registered with the worker stealers: the master only ever holds
+    /// one stolen batch at a time, so the imbalance is bounded by it.
+    deque: Worker<PrefixTask>,
+}
+
+/// A persistent pool of work-stealing workers (see the module docs).
+///
+/// Dropping the pool shuts the workers down and joins them.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Wakes in-job idle workers (one [`Parker`] per worker).
+    unparkers: Vec<Unparker>,
+    /// Serializes jobs (one at a time; submitters queue here) and owns the
+    /// master-side scratch.
+    submit: Mutex<MasterScratch>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (0 = all available cores). The
+    /// workers are created parked and consume no CPU until a job arrives.
+    pub fn new(threads: usize) -> Self {
+        let threads = parallel::resolve_threads(threads);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+
+        let deques: Vec<Worker<PrefixTask>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Arc<Vec<Stealer<PrefixTask>>> =
+            Arc::new(deques.iter().map(Worker::stealer).collect());
+
+        let mut unparkers = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for (me, deque) in deques.into_iter().enumerate() {
+            let parker = Parker::new();
+            unparkers.push(parker.unparker());
+            let shared = Arc::clone(&shared);
+            let stealers = Arc::clone(&stealers);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("graphpi-pool-{me}"))
+                    .spawn(move || worker_thread(shared, me, deque, stealers, parker))
+                    .expect("spawn pool worker"),
+            );
+        }
+
+        Self {
+            shared,
+            unparkers,
+            submit: Mutex::new(MasterScratch {
+                buffers: SearchBuffers::new(MAX_LOOPS),
+                iep: IepScratch::new(),
+                deque: Worker::new_lifo(),
+            }),
+            threads,
+            handles,
+        }
+    }
+
+    /// Number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Counts embeddings on the pool, mirroring
+    /// [`parallel::count_parallel`] (including the `hub_bitsets` flag, which
+    /// builds a throwaway [`HubGraph`]; prefer [`WorkerPool::count_with_hubs`]
+    /// or a [`crate::engine::Session`] with a cached index when counting
+    /// repeatedly). `options.threads` is ignored — the pool size is fixed at
+    /// construction.
+    pub fn count(&self, plan: &ExecutionPlan, graph: &CsrGraph, options: &ParallelOptions) -> u64 {
+        if options.hub_bitsets {
+            let hubs = HubGraph::build(graph, HubOptions::default());
+            self.count_in(plan, ExecCtx::with_hubs(&hubs), options)
+        } else {
+            self.count_in(plan, ExecCtx::new(graph), options)
+        }
+    }
+
+    /// Counts embeddings on the pool against a prebuilt hub index.
+    pub fn count_with_hubs(
+        &self,
+        plan: &ExecutionPlan,
+        hubs: &HubGraph,
+        options: &ParallelOptions,
+    ) -> u64 {
+        self.count_in(plan, ExecCtx::with_hubs(hubs), options)
+    }
+
+    /// Counts embeddings in an explicit execution context. This is the warm
+    /// serving path: no thread is spawned and no steady-state allocation is
+    /// performed by the workers or the master.
+    pub fn count_in(
+        &self,
+        plan: &ExecutionPlan,
+        ctx: ExecCtx<'_>,
+        options: &ParallelOptions,
+    ) -> u64 {
+        let path = parallel::resolve_path(plan, options);
+        if let Some(count) = parallel::run_degenerate(plan, ctx, path) {
+            return count;
+        }
+        let ExecPath::Tasks {
+            mode,
+            depth,
+            batch_size,
+        } = path
+        else {
+            unreachable!("run_degenerate handles every other path");
+        };
+
+        // One job at a time: later submitters (other threads sharing a
+        // Session) queue here until the current job completes. The guard
+        // doubles as the master's persistent scratch. Poisoning is
+        // recovered: the scratch buffers are (re)cleared at every use, so
+        // a previous query's panic must not brick the session.
+        let mut scratch = self
+            .submit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        let injector: Injector<PrefixTask> = Injector::new();
+        let producer_done = AtomicBool::new(false);
+        let total = AtomicU64::new(0);
+        let job = Job {
+            plan,
+            graph: ctx.graph(),
+            hubs: ctx
+                .hubs()
+                .map_or(std::ptr::null(), |h| h as *const HubGraph),
+            mode,
+            injector: &injector,
+            producer_done: &producer_done,
+            total: &total,
+        };
+
+        // A previous query that panicked mid-drain may have left its tasks
+        // in the master deque; they belong to a dead job and must not leak
+        // into this one. No-op (a single None pop) on the normal path.
+        while scratch.deque.pop().is_some() {}
+
+        {
+            let mut state = lock_state(&self.shared);
+            debug_assert!(state.job.is_none() && state.active == 0);
+            state.epoch += 1;
+            state.job = Some(job);
+            state.panicked = false;
+            // No wakeup yet: workers are woken one per pushed batch, so a
+            // small job does not pay `threads` context switches.
+        }
+
+        // From here on the job is visible to the workers; the guard blocks
+        // (even on unwind) until every activated worker has retired, so the
+        // pointees on this stack frame outlive all worker accesses.
+        let guard = JobGuard {
+            shared: &self.shared,
+            producer_done: &producer_done,
+            unparkers: &self.unparkers,
+            injector: &injector,
+        };
+
+        parallel::stream_tasks(
+            plan,
+            ctx,
+            depth,
+            batch_size,
+            &injector,
+            &producer_done,
+            || {
+                // Backlog-driven ramp-up: wake one dormant worker per pushed
+                // batch, but only once more than a full batch is sitting
+                // unclaimed — a job small enough for the master alone never
+                // pays a single context switch, while a large job's backlog
+                // wakes the whole pool batch by batch. Already-active idle
+                // workers are not swept here (that would be O(threads) per
+                // batch): their park timeout bounds re-check latency to
+                // `IDLE_PARK`.
+                if injector.len() > batch_size {
+                    self.shared.job_ready.notify_one();
+                }
+            },
+        );
+
+        // Master helping (caller-runs): drain the injector on this thread
+        // with the persistent scratch. Small jobs complete right here while
+        // the woken workers assist; the guard then only waits for workers
+        // that actually activated.
+        let mut local = 0u64;
+        loop {
+            let task = match scratch.deque.pop() {
+                Some(task) => task,
+                None => match injector.steal_batch_and_pop(&scratch.deque) {
+                    Steal::Success(task) => task,
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                },
+            };
+            local += match mode {
+                CountMode::Enumerate => {
+                    interp::count_from_prefix_with(plan, ctx, task.as_slice(), &mut scratch.buffers)
+                }
+                CountMode::Iep => iep::iep_term_with(plan, ctx, task.as_slice(), &mut scratch.iep),
+            };
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+
+        drop(guard); // waits for the activated workers, then clears the job
+
+        if lock_state(&self.shared).panicked {
+            panic!("a pool worker panicked while executing this query");
+        }
+        parallel::finalize_count(total.load(Ordering::Relaxed), mode, plan)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock_state(&self.shared);
+            state.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Completes a job: blocks until every activated worker has retired, then
+/// clears the job slot (so late-waking workers skip the epoch instead of
+/// dereferencing dead pointers). Runs on drop so that even a panicking
+/// master cannot unwind past stack data the workers still reference.
+struct JobGuard<'a> {
+    shared: &'a Shared,
+    producer_done: &'a AtomicBool,
+    unparkers: &'a [Unparker],
+    injector: &'a Injector<PrefixTask>,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        // Normal path: the master already set `producer_done` and drained
+        // the injector. On unwind neither holds, so finish both here —
+        // unprocessed tasks are discarded (the count is unwinding anyway)
+        // to guarantee the workers' retire condition becomes true.
+        self.producer_done.store(true, Ordering::Release);
+        loop {
+            match self.injector.steal() {
+                Steal::Success(_) => {}
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        for unparker in self.unparkers {
+            unparker.unpark();
+        }
+        let mut state = lock_state(self.shared);
+        while state.active > 0 {
+            state = self
+                .shared
+                .job_done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state.job = None;
+    }
+}
+
+/// The persistent worker body: wait for a job epoch, activate, run the
+/// shared `parallel::process_tasks` loop with scratch that survives
+/// across jobs, retire, repeat. Workers that sleep through a short job
+/// simply skip its epoch.
+fn worker_thread(
+    shared: Arc<Shared>,
+    me: usize,
+    deque: Worker<PrefixTask>,
+    stealers: Arc<Vec<Stealer<PrefixTask>>>,
+    parker: Parker,
+) {
+    // The scratch that makes the warm path allocation-free: created once
+    // per worker and reused for every job the pool ever runs.
+    let mut buffers = SearchBuffers::new(MAX_LOOPS);
+    let mut iep_scratch = IepScratch::new();
+    let mut last_epoch = 0u64;
+
+    loop {
+        let job = {
+            let mut state = lock_state(&shared);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch > last_epoch {
+                    last_epoch = state.epoch;
+                    if let Some(job) = state.job {
+                        state.active += 1;
+                        break job;
+                    }
+                    // The job already completed before this worker woke:
+                    // skip the epoch and keep waiting.
+                }
+                state = shared
+                    .job_ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+
+        // Retire even if the counting code below panics: without this a
+        // worker panic would leave `active` elevated forever and deadlock
+        // the submitter (and every later query) in `JobGuard`. The drop
+        // also records the panic so the submitter can re-raise it, and
+        // drains this worker's deque so stale tasks cannot be stolen by
+        // live workers during a later job.
+        let retire = RetireGuard {
+            shared: &shared,
+            deque: &deque,
+        };
+
+        // SAFETY: this worker activated (incremented `active`) while the
+        // job was posted; `count_in` keeps every pointer in `job` alive
+        // until `active` returns to zero (enforced by `JobGuard`).
+        let local = unsafe {
+            let plan = &*job.plan;
+            let ctx = if job.hubs.is_null() {
+                ExecCtx::new(&*job.graph)
+            } else {
+                ExecCtx::with_hubs(&*job.hubs)
+            };
+            parallel::process_tasks(
+                plan,
+                ctx,
+                job.mode,
+                &deque,
+                me,
+                &stealers,
+                &*job.injector,
+                &*job.producer_done,
+                &mut buffers,
+                &mut iep_scratch,
+                || parker.park_timeout(IDLE_PARK),
+            )
+        };
+        // SAFETY: same lifetime argument; the add happens before retiring.
+        unsafe {
+            (*job.total).fetch_add(local, Ordering::Relaxed);
+        }
+
+        drop(retire);
+    }
+}
+
+/// Decrements `active` (and wakes the submitter when it reaches zero) even
+/// on unwind, recording whether the worker retired by panicking and
+/// discarding any tasks the unwound worker still held (they belong to the
+/// failed job; leaking them to a later job's stealers would corrupt its
+/// count).
+struct RetireGuard<'a> {
+    shared: &'a Shared,
+    deque: &'a Worker<PrefixTask>,
+}
+
+impl Drop for RetireGuard<'_> {
+    fn drop(&mut self) {
+        // Only ever non-empty when unwinding (normal retirement implies
+        // the worker drained its deque), but draining unconditionally is a
+        // single cheap None pop.
+        while self.deque.pop().is_some() {}
+        let mut state = lock_state(self.shared);
+        if std::thread::panicking() {
+            state.panicked = true;
+        }
+        state.active -= 1;
+        if state.active == 0 {
+            self.shared.job_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::exec::{interp, parallel::count_parallel};
+    use crate::schedule::efficient_schedules;
+    use graphpi_graph::generators;
+    use graphpi_pattern::prefab;
+    use graphpi_pattern::restriction::{generate_restriction_sets, GenerationOptions};
+
+    fn plan_for(pattern: graphpi_pattern::Pattern) -> ExecutionPlan {
+        let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+        let schedules = efficient_schedules(&pattern);
+        Configuration::new(pattern, schedules[0].clone(), sets[0].clone()).compile()
+    }
+
+    #[test]
+    fn pool_matches_scoped_execution() {
+        let g = generators::power_law(200, 5, 9);
+        let pool = WorkerPool::new(3);
+        for (name, pattern) in prefab::evaluation_patterns().into_iter().take(3) {
+            let plan = plan_for(pattern);
+            for mode in [CountMode::Enumerate, CountMode::Iep] {
+                let options = ParallelOptions {
+                    threads: 3,
+                    mode,
+                    ..Default::default()
+                };
+                assert_eq!(
+                    pool.count(&plan, &g, &options),
+                    count_parallel(&plan, &g, options),
+                    "{name} ({mode:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_many_jobs() {
+        let g = generators::power_law(150, 5, 4);
+        let pool = WorkerPool::new(2);
+        let plan = plan_for(prefab::house());
+        let expected = interp::count_embeddings(&plan, &g);
+        for _ in 0..25 {
+            assert_eq!(pool.count(&plan, &g, &ParallelOptions::default()), expected);
+        }
+    }
+
+    #[test]
+    fn pool_alternates_between_plans_and_graphs() {
+        let g1 = generators::power_law(150, 5, 1);
+        let g2 = generators::erdos_renyi(120, 700, 2);
+        let house = plan_for(prefab::house());
+        let tri = plan_for(prefab::triangle());
+        let pool = WorkerPool::new(2);
+        let options = ParallelOptions::default();
+        for _ in 0..5 {
+            assert_eq!(
+                pool.count(&house, &g1, &options),
+                interp::count_embeddings(&house, &g1)
+            );
+            assert_eq!(
+                pool.count(&tri, &g2, &options),
+                interp::count_embeddings(&tri, &g2)
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let g = generators::power_law(150, 5, 17);
+        let pool = WorkerPool::new(1);
+        let plan = plan_for(prefab::rectangle());
+        assert_eq!(
+            pool.count(&plan, &g, &ParallelOptions::default()),
+            interp::count_embeddings(&plan, &g)
+        );
+    }
+
+    #[test]
+    fn pool_handles_degenerate_paths() {
+        let pool = WorkerPool::new(2);
+        // Empty graph.
+        let g = graphpi_graph::GraphBuilder::new().num_vertices(40).build();
+        let plan = plan_for(prefab::house());
+        assert_eq!(pool.count(&plan, &g, &ParallelOptions::default()), 0);
+        // Full-depth prefixes (master-only path).
+        let g = generators::erdos_renyi(60, 250, 3);
+        let edge_plan = plan_for(graphpi_pattern::Pattern::new(2, &[(0, 1)]));
+        let options = ParallelOptions {
+            prefix_depth: Some(2),
+            ..Default::default()
+        };
+        assert_eq!(
+            pool.count(&edge_plan, &g, &options),
+            interp::count_embeddings(&edge_plan, &g)
+        );
+    }
+
+    #[test]
+    fn pool_with_prebuilt_hubs_matches_plain() {
+        let g = generators::power_law(180, 6, 23);
+        let hubs = HubGraph::build(&g, HubOptions::default());
+        let pool = WorkerPool::new(2);
+        let plan = plan_for(prefab::house());
+        let options = ParallelOptions::default();
+        assert_eq!(
+            pool.count_with_hubs(&plan, &hubs, &options),
+            pool.count(&plan, &g, &options)
+        );
+    }
+
+    #[test]
+    fn dropping_an_idle_pool_joins_cleanly() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_correctly() {
+        let g = generators::power_law(150, 5, 31);
+        let pool = WorkerPool::new(2);
+        let plan = plan_for(prefab::house());
+        let expected = interp::count_embeddings(&plan, &g);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let pool = &pool;
+                let plan = &plan;
+                let g = &g;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        assert_eq!(pool.count(plan, g, &ParallelOptions::default()), expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_query_does_not_brick_the_pool() {
+        let g = generators::power_law(120, 5, 3);
+        let pool = WorkerPool::new(2);
+        let good = plan_for(prefab::house());
+        let expected = interp::count_embeddings(&good, &g);
+        // Corrupt a plan so task processing indexes out of bounds: loop 1
+        // claims a parent at position 3, but only one vertex is bound.
+        let mut bad = plan_for(graphpi_pattern::Pattern::new(2, &[(0, 1)]));
+        bad.loops[1].parents = vec![3];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.count(&bad, &g, &ParallelOptions::default())
+        }));
+        assert!(result.is_err(), "corrupted plan must panic");
+        // The pool must remain fully usable afterwards.
+        for _ in 0..3 {
+            assert_eq!(pool.count(&good, &g, &ParallelOptions::default()), expected);
+        }
+    }
+
+    #[test]
+    fn pool_iep_unrestricted_fallback_matches_sequential() {
+        use crate::schedule::Schedule;
+        use graphpi_pattern::restriction::RestrictionSet;
+        let g = generators::erdos_renyi(100, 500, 5);
+        let pattern = prefab::path_pattern(5);
+        let schedule = Schedule::new(&pattern, vec![2, 1, 3, 0, 4]);
+        let restrictions = RestrictionSet::from_pairs(&[(2, 1)]);
+        let plan = Configuration::new(pattern, schedule, restrictions).compile();
+        let pool = WorkerPool::new(2);
+        let options = ParallelOptions {
+            mode: CountMode::Iep,
+            ..Default::default()
+        };
+        assert_eq!(
+            pool.count(&plan, &g, &options),
+            crate::exec::iep::count_embeddings_iep(&plan, &g)
+        );
+    }
+}

@@ -43,17 +43,21 @@ pub mod exec;
 pub mod perf_model;
 pub mod schedule;
 
-pub use config::{Configuration, ExecutionPlan, IepCorrection};
-pub use engine::{CountOptions, GraphPi, Plan, PlanOptions};
+pub use config::{Configuration, ExecutionPlan, IepCorrection, PoolOptions};
+pub use engine::{CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, Session};
 pub use error::EngineError;
+pub use exec::pool::WorkerPool;
 pub use perf_model::PerformanceModel;
 pub use schedule::Schedule;
 
 /// Convenience prelude for downstream code and examples.
 pub mod prelude {
-    pub use crate::config::Configuration;
-    pub use crate::engine::{CountOptions, GraphPi, Plan, PlanOptions};
+    pub use crate::config::{Configuration, PoolOptions};
+    pub use crate::engine::{
+        CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, Session,
+    };
     pub use crate::error::EngineError;
+    pub use crate::exec::pool::WorkerPool;
     pub use crate::perf_model::PerformanceModel;
     pub use crate::schedule::Schedule;
     pub use graphpi_graph::prelude::*;

@@ -79,6 +79,30 @@ impl GraphStats {
         }
     }
 
+    /// A stable 64-bit fingerprint of the integer statistics (`|V|`, `|E|`,
+    /// triangle count, max degree), FNV-1a over their little-endian bytes.
+    /// Two graphs with the same fingerprint are planned identically by the
+    /// cost model (which only reads these numbers), so the fingerprint is
+    /// the graph component of compiled-plan cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut hash = FNV_OFFSET;
+        let words = [
+            self.num_vertices as u64,
+            self.num_edges,
+            self.triangle_count,
+            self.max_degree as u64,
+        ];
+        for word in words {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+
     /// Expected cardinality of the neighborhood of a random vertex,
     /// `2|E| / |V|` (Section IV-C, "Estimation of Cardinalities").
     pub fn expected_neighborhood_size(&self) -> f64 {
@@ -131,6 +155,25 @@ mod tests {
         let e3 = s.expected_intersection_size(3);
         assert!(e1 > e2 && e2 > e3, "{e1} {e2} {e3}");
         assert!((e1 - s.expected_neighborhood_size()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs_and_is_stable() {
+        let a = GraphStats::compute(&generators::power_law(200, 5, 1));
+        let b = GraphStats::compute(&generators::power_law(200, 5, 2));
+        let a_again = GraphStats::compute(&generators::power_law(200, 5, 1));
+        assert_eq!(a.fingerprint(), a_again.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Sensitive to each component.
+        let base = GraphStats::from_counts(100, 500, 40, 12);
+        assert_ne!(
+            base.fingerprint(),
+            GraphStats::from_counts(101, 500, 40, 12).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            GraphStats::from_counts(100, 500, 41, 12).fingerprint()
+        );
     }
 
     #[test]

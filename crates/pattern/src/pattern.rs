@@ -236,6 +236,32 @@ impl Pattern {
         }
         s
     }
+
+    /// A compact byte serialisation of the pattern: the vertex count
+    /// followed by the row-major adjacency matrix packed eight bits per
+    /// byte. Two patterns produce the same bytes **iff** they are equal as
+    /// labeled graphs (same `==`/`Hash` identity, *not* isomorphism
+    /// classes), which makes this the natural key for plan caches and
+    /// other pattern-indexed maps.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.adj.len().div_ceil(8));
+        debug_assert!(self.n < 256, "pattern sizes are tiny by construction");
+        out.push(self.n as u8);
+        let mut acc = 0u8;
+        for (i, &bit) in self.adj.iter().enumerate() {
+            if bit {
+                acc |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(acc);
+                acc = 0;
+            }
+        }
+        if self.adj.len() % 8 != 0 {
+            out.push(acc);
+        }
+        out
+    }
 }
 
 impl fmt::Debug for Pattern {
@@ -336,5 +362,36 @@ mod tests {
     fn disconnected_pattern_detected() {
         let p = Pattern::new(4, &[(0, 1), (2, 3)]);
         assert!(!p.is_connected());
+    }
+
+    #[test]
+    fn canonical_bytes_identify_labeled_patterns() {
+        let tri = Pattern::new(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(tri.canonical_bytes(), tri.clone().canonical_bytes());
+        // Different structure, same size: different bytes.
+        let path = Pattern::new(3, &[(0, 1), (1, 2)]);
+        assert_ne!(tri.canonical_bytes(), path.canonical_bytes());
+        // Same structure, different size: different bytes.
+        assert_ne!(
+            Pattern::empty(2).canonical_bytes(),
+            Pattern::empty(3).canonical_bytes()
+        );
+        // Size header + ceil(9/8) packed bytes for a 3-vertex pattern.
+        assert_eq!(tri.canonical_bytes().len(), 1 + 2);
+        // Roundtrip sanity against the string serialisation: byte equality
+        // must match string equality on a small pattern family.
+        let patterns = [
+            tri,
+            path,
+            Pattern::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]),
+        ];
+        for a in &patterns {
+            for b in &patterns {
+                assert_eq!(
+                    a.canonical_bytes() == b.canonical_bytes(),
+                    a.to_adjacency_string() == b.to_adjacency_string()
+                );
+            }
+        }
     }
 }

@@ -13,6 +13,7 @@ use graphpi::core::codegen::{generate, Language};
 use graphpi::core::engine::{CountOptions, GraphPi, PlanOptions};
 use graphpi::graph::generators;
 use graphpi::pattern::prefab;
+use std::time::Instant;
 
 fn main() {
     // 1. A data graph. Any edge list works (see `graphpi::graph::io`); here
@@ -92,4 +93,27 @@ fn main() {
     for emb in embeddings.iter().take(5) {
         println!("  {emb:?}");
     }
+
+    // 7. The serving path: a long-lived Session owns a persistent worker
+    //    pool and a compiled-plan cache. The first count is cold (plans and
+    //    fills the cache); repeats skip planning and thread spawning
+    //    entirely.
+    let session = engine.session();
+    let start = Instant::now();
+    let cold = session.count(&pattern).unwrap();
+    let cold_time = start.elapsed();
+    let start = Instant::now();
+    let mut warm = 0;
+    let warm_iters = 5;
+    for _ in 0..warm_iters {
+        warm = session.count(&pattern).unwrap();
+    }
+    let warm_time = start.elapsed() / warm_iters;
+    assert_eq!(cold, warm);
+    let stats = session.cache_stats();
+    println!(
+        "\nserving session: cold query {cold_time:?}, warm query {warm_time:?} \
+         (plan cache: {} hit(s), {} miss(es))",
+        stats.hits, stats.misses
+    );
 }

@@ -1,0 +1,240 @@
+//! Serving-path acceptance suite: the persistent worker pool and the
+//! plan-cached [`Session`] API must be **bit-identical** to the established
+//! execution paths under every combination of thread count, batch size,
+//! hub acceleration and counting mode.
+
+use graphpi::core::config::{Configuration, PoolOptions};
+use graphpi::core::engine::{CountOptions, GraphPi, PlanCache, PlanOptions};
+use graphpi::core::exec::interp;
+use graphpi::core::exec::parallel::{count_parallel, CountMode, ParallelOptions};
+use graphpi::core::exec::pool::WorkerPool;
+use graphpi::core::schedule::efficient_schedules;
+use graphpi::graph::generators;
+use graphpi::graph::hub::{HubGraph, HubOptions};
+use graphpi::pattern::prefab;
+use graphpi::pattern::restriction::{generate_restriction_sets, GenerationOptions};
+use std::sync::Arc;
+
+fn plan_for(pattern: graphpi::pattern::Pattern) -> graphpi::core::config::ExecutionPlan {
+    let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
+    let schedules = efficient_schedules(&pattern);
+    Configuration::new(pattern, schedules[0].clone(), sets[0].clone()).compile()
+}
+
+/// The tentpole agreement sweep: pooled execution must match the scoped
+/// spawn-per-call path (and the sequential interpreter) exactly, across
+/// thread counts × batch sizes × hub on/off × counting modes.
+#[test]
+fn pooled_execution_is_bit_identical_to_scoped() {
+    let graph = generators::power_law(180, 5, 123);
+    let hubs = HubGraph::build(&graph, HubOptions::default());
+    for (name, pattern) in prefab::evaluation_patterns().into_iter().take(3) {
+        let plan = plan_for(pattern);
+        let sequential = interp::count_embeddings(&plan, &graph);
+        for &threads in &[1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            for &batch_size in &[1usize, 64] {
+                for mode in [CountMode::Enumerate, CountMode::Iep] {
+                    for hubbed in [false, true] {
+                        let options = ParallelOptions {
+                            threads,
+                            mode,
+                            batch_size,
+                            ..Default::default()
+                        };
+                        let scoped = if hubbed {
+                            graphpi::core::exec::parallel::count_parallel_with_hubs(
+                                &plan, &hubs, options,
+                            )
+                        } else {
+                            count_parallel(&plan, &graph, options)
+                        };
+                        let pooled = if hubbed {
+                            pool.count_with_hubs(&plan, &hubs, &options)
+                        } else {
+                            pool.count(&plan, &graph, &options)
+                        };
+                        assert_eq!(
+                            pooled, scoped,
+                            "{name}: pooled vs scoped (threads={threads}, \
+                             batch={batch_size}, mode={mode:?}, hubs={hubbed})"
+                        );
+                        assert_eq!(
+                            pooled, sequential,
+                            "{name}: pooled vs sequential (threads={threads}, \
+                             batch={batch_size}, mode={mode:?}, hubs={hubbed})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One pool re-used for many different plans/options must never leak state
+/// between jobs (tasks, counts or scratch).
+#[test]
+fn pool_state_is_isolated_between_jobs() {
+    let graph = generators::power_law(160, 5, 77);
+    let pool = WorkerPool::new(3);
+    let plans: Vec<_> = prefab::evaluation_patterns()
+        .into_iter()
+        .take(4)
+        .map(|(name, p)| (name, plan_for(p)))
+        .collect();
+    let expected: Vec<u64> = plans
+        .iter()
+        .map(|(_, plan)| interp::count_embeddings(plan, &graph))
+        .collect();
+    for round in 0..3 {
+        for ((name, plan), &want) in plans.iter().zip(&expected) {
+            assert_eq!(
+                pool.count(plan, &graph, &ParallelOptions::default()),
+                want,
+                "{name} (round {round})"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_agrees_with_engine_for_every_mode() {
+    let graph = generators::power_law(200, 5, 55);
+    let engine = GraphPi::new(graph);
+    let session = engine.session_with(
+        PoolOptions {
+            threads: 2,
+            cache_capacity: 16,
+        },
+        PlanOptions::default(),
+        CountOptions::default(),
+    );
+    for (name, pattern) in prefab::evaluation_patterns().into_iter().take(3) {
+        let expected = engine.count(&pattern).unwrap();
+        assert_eq!(session.count(&pattern).unwrap(), expected, "{name}");
+        for (use_iep, hub_bitsets) in [(false, false), (true, true)] {
+            let got = session
+                .count_with(
+                    &pattern,
+                    CountOptions {
+                        use_iep,
+                        hub_bitsets,
+                        ..CountOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(got, expected, "{name} (iep={use_iep}, hubs={hub_bitsets})");
+        }
+    }
+}
+
+/// Warm repeats hit the plan cache and stay bit-identical.
+#[test]
+fn warm_repeats_hit_the_cache_and_agree() {
+    let engine = GraphPi::new(generators::power_law(170, 5, 31));
+    let session = engine.session();
+    let pattern = prefab::house();
+    let cold = session.count(&pattern).unwrap();
+    for _ in 0..10 {
+        assert_eq!(session.count(&pattern).unwrap(), cold);
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 10);
+}
+
+/// A session shared by reference across threads serves concurrent queries
+/// correctly (jobs serialize internally on the pool).
+#[test]
+fn session_shared_across_threads_agrees() {
+    let engine = GraphPi::new(generators::power_law(160, 5, 91));
+    let session = engine.session_with(
+        PoolOptions {
+            threads: 2,
+            cache_capacity: 8,
+        },
+        PlanOptions::default(),
+        CountOptions::default(),
+    );
+    let patterns = [prefab::triangle(), prefab::rectangle(), prefab::house()];
+    let expected: Vec<u64> = patterns.iter().map(|p| engine.count(p).unwrap()).collect();
+    std::thread::scope(|scope| {
+        for offset in 0..3usize {
+            let session = &session;
+            let patterns = &patterns;
+            let expected = &expected;
+            scope.spawn(move || {
+                for i in 0..6usize {
+                    let idx = (offset + i) % patterns.len();
+                    assert_eq!(session.count(&patterns[idx]).unwrap(), expected[idx]);
+                }
+            });
+        }
+    });
+    // The cache plans outside its lock, so with 3 threads up to 3 racing
+    // planners per cold key are legitimate; everything else must be hits.
+    let stats = session.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 18);
+    assert!(stats.misses <= patterns.len() as u64 * 3);
+}
+
+/// A cache shared between engines over different graphs must key on the
+/// graph fingerprint: same pattern, different graph, different entry.
+#[test]
+fn shared_cache_is_keyed_by_graph() {
+    let engine_a = GraphPi::new(generators::power_law(150, 5, 7));
+    let engine_b = GraphPi::new(generators::power_law(150, 5, 8));
+    let pool = Arc::new(WorkerPool::new(2));
+    let cache = Arc::new(PlanCache::new(8));
+    let session_a = engine_a.session_shared(
+        Arc::clone(&pool),
+        Arc::clone(&cache),
+        PlanOptions::default(),
+        CountOptions::default(),
+    );
+    let session_b = engine_b.session_shared(
+        Arc::clone(&pool),
+        Arc::clone(&cache),
+        PlanOptions::default(),
+        CountOptions::default(),
+    );
+    let pattern = prefab::house();
+    let count_a = session_a.count(&pattern).unwrap();
+    let count_b = session_b.count(&pattern).unwrap();
+    assert_eq!(count_a, engine_a.count(&pattern).unwrap());
+    assert_eq!(count_b, engine_b.count(&pattern).unwrap());
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 2, "one planning run per graph");
+    assert_eq!(stats.len, 2, "one entry per graph");
+}
+
+/// LRU capacity pressure: old entries are evicted, recently used survive,
+/// and counts never change either way.
+#[test]
+fn lru_eviction_preserves_correctness() {
+    let engine = GraphPi::new(generators::power_law(150, 5, 19));
+    let session = engine.session_with(
+        PoolOptions {
+            threads: 1,
+            cache_capacity: 2,
+        },
+        PlanOptions::default(),
+        CountOptions::default(),
+    );
+    let patterns: Vec<_> = prefab::evaluation_patterns()
+        .into_iter()
+        .take(4)
+        .map(|(_, p)| p)
+        .collect();
+    let expected: Vec<u64> = patterns.iter().map(|p| engine.count(p).unwrap()).collect();
+    // Two rotations through four patterns with capacity two: constant
+    // churn, counts stay exact.
+    for _ in 0..2 {
+        for (p, &want) in patterns.iter().zip(&expected) {
+            assert_eq!(session.count(p).unwrap(), want);
+        }
+    }
+    let stats = session.cache_stats();
+    assert!(stats.evictions >= 4, "evictions: {}", stats.evictions);
+    assert_eq!(stats.len, 2);
+}

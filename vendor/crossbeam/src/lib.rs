@@ -2,7 +2,9 @@
 //! `crossbeam-deque` API used by the work-stealing executor: per-worker
 //! Chase–Lev deques ([`deque::Worker`] / [`deque::Stealer`]) plus a global
 //! FIFO [`deque::Injector`] with batched transfers
-//! ([`deque::Injector::steal_batch_and_pop`]).
+//! ([`deque::Injector::steal_batch_and_pop`]) — and the subset of
+//! `crossbeam-utils`' parking API ([`sync::Parker`] / [`sync::Unparker`])
+//! used by the persistent worker pool to idle without burning a core.
 //!
 //! The worker deque is a real lock-free Chase–Lev deque (Chase & Lev,
 //! *Dynamic Circular Work-Stealing Deque*, with the memory orderings of
@@ -698,6 +700,205 @@ pub mod deque {
             for round in 0..20 {
                 stress_once(50_000, 2 + (round % 5));
             }
+        }
+    }
+}
+
+/// Thread parking primitives (`crossbeam-utils::sync` API subset).
+pub mod sync {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    /// Shared parking state: a one-shot token plus the condvar the parked
+    /// thread sleeps on. The token makes `unpark` permits sticky — an
+    /// `unpark` delivered *before* the matching `park` is not lost, which is
+    /// what makes the "check for work, then park" pattern race-free.
+    #[derive(Debug, Default)]
+    struct ParkState {
+        /// One wake-up permit. Stored outside the mutex so `unpark` on an
+        /// already-tokened parker is a single atomic store.
+        token: AtomicBool,
+        /// Guards the sleep itself (condvars need a mutex).
+        lock: Mutex<()>,
+        cvar: Condvar,
+    }
+
+    /// The parking side of a [`Parker`]/[`Unparker`] pair.
+    ///
+    /// A `Parker` is owned by exactly one thread, which calls [`Parker::park`]
+    /// or [`Parker::park_timeout`]; any number of [`Unparker`] clones may
+    /// wake it from other threads. Consecutive `unpark`s collapse into a
+    /// single token, so a parked consumer must re-check its wake condition
+    /// in a loop, exactly like a condvar wait.
+    #[derive(Debug)]
+    pub struct Parker {
+        state: Arc<ParkState>,
+        /// Opt out of `Sync`: one thread parks (mirrors the real crate).
+        _not_sync: std::marker::PhantomData<*mut ()>,
+    }
+
+    unsafe impl Send for Parker {}
+
+    impl Default for Parker {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Parker {
+        /// Creates a parker with no pending token.
+        pub fn new() -> Self {
+            Self {
+                state: Arc::new(ParkState::default()),
+                _not_sync: std::marker::PhantomData,
+            }
+        }
+
+        /// Creates an [`Unparker`] handle for this parker.
+        pub fn unparker(&self) -> Unparker {
+            Unparker {
+                state: Arc::clone(&self.state),
+            }
+        }
+
+        /// Blocks until an [`Unparker::unpark`] token arrives (consuming a
+        /// token delivered earlier returns immediately).
+        pub fn park(&self) {
+            self.park_inner(None);
+        }
+
+        /// Like [`Parker::park`] but gives up after `timeout`. Used by pool
+        /// workers that ran out of local work: sleeping with a short timeout
+        /// bounds steal latency while still releasing the core.
+        pub fn park_timeout(&self, timeout: Duration) {
+            self.park_inner(Some(timeout));
+        }
+
+        fn park_inner(&self, timeout: Option<Duration>) {
+            // Fast path: a token is already banked.
+            if self.state.token.swap(false, Ordering::Acquire) {
+                return;
+            }
+            let mut guard = self.state.lock.lock().expect("parker mutex poisoned");
+            let deadline = timeout.map(|t| std::time::Instant::now() + t);
+            loop {
+                if self.state.token.swap(false, Ordering::Acquire) {
+                    return;
+                }
+                match deadline {
+                    None => {
+                        guard = self.state.cvar.wait(guard).expect("parker mutex poisoned");
+                    }
+                    Some(deadline) => {
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            return;
+                        }
+                        let (g, _timed_out) = self
+                            .state
+                            .cvar
+                            .wait_timeout(guard, deadline - now)
+                            .expect("parker mutex poisoned");
+                        guard = g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The waking side of a [`Parker`]. Clone freely and share across
+    /// threads.
+    #[derive(Debug, Clone)]
+    pub struct Unparker {
+        state: Arc<ParkState>,
+    }
+
+    impl Unparker {
+        /// Banks one wake-up token and wakes the parked thread if there is
+        /// one. Tokens do not accumulate: unparking twice before a park
+        /// wakes exactly one park.
+        pub fn unpark(&self) {
+            self.state.token.store(true, Ordering::Release);
+            // Take the lock before notifying so the store cannot slot into
+            // the parked thread's check-then-wait window.
+            drop(self.state.lock.lock().expect("parker mutex poisoned"));
+            self.state.cvar.notify_one();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::AtomicUsize;
+
+        #[test]
+        fn unpark_before_park_returns_immediately() {
+            let p = Parker::new();
+            p.unparker().unpark();
+            p.park(); // must not block
+        }
+
+        #[test]
+        fn park_timeout_expires_without_token() {
+            let p = Parker::new();
+            let start = std::time::Instant::now();
+            p.park_timeout(Duration::from_millis(10));
+            assert!(start.elapsed() >= Duration::from_millis(5));
+        }
+
+        #[test]
+        fn tokens_do_not_accumulate() {
+            let p = Parker::new();
+            let u = p.unparker();
+            u.unpark();
+            u.unpark();
+            p.park(); // consumes the single banked token
+            let start = std::time::Instant::now();
+            p.park_timeout(Duration::from_millis(10)); // must wait
+            assert!(start.elapsed() >= Duration::from_millis(5));
+        }
+
+        #[test]
+        fn unpark_wakes_a_parked_thread() {
+            let p = Parker::new();
+            let u = p.unparker();
+            let woke = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let woke = &woke;
+                // Parker is deliberately !Sync: move it into its thread.
+                s.spawn(move || {
+                    p.park();
+                    woke.fetch_add(1, Ordering::SeqCst);
+                });
+                std::thread::sleep(Duration::from_millis(20));
+                u.unpark();
+            });
+            assert_eq!(woke.load(Ordering::SeqCst), 1);
+        }
+
+        /// Strictly alternating ping-pong: tokens never collapse (unlike N
+        /// blind unparks against N parks, which would deadlock by design),
+        /// so this exercises the sleep/wake handshake hundreds of times.
+        #[test]
+        fn repeated_park_unpark_rounds() {
+            let a = Parker::new();
+            let ua = a.unparker();
+            let b = Parker::new();
+            let ub = b.unparker();
+            let rounds = 200usize;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        a.park();
+                        ub.unpark();
+                    }
+                });
+                for _ in 0..rounds {
+                    ua.unpark();
+                    b.park();
+                }
+            });
         }
     }
 }
