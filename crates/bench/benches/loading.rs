@@ -1,0 +1,170 @@
+//! Ingest-path benchmarks: text parse vs binary copy-load vs zero-copy
+//! mmap open, and serial vs parallel CSR construction — the data-plane
+//! costs that gate every dataset-scale experiment.
+//!
+//! Results are printed *and* written to `BENCH_loading.json` as
+//! `{op, ns_per_iter, graph, threads}` records (`GRAPHPI_BENCH_JSON_DIR`
+//! overrides the output directory), mirroring `BENCH_micro.json`.
+//!
+//! Correctness is asserted before anything is timed: every load path must
+//! produce a graph with the same `GraphStats::fingerprint`, and the binary
+//! paths must reproduce the saved graph exactly.
+
+use criterion::{black_box, criterion_group, Criterion};
+use graphpi_bench::{scale_from_env, write_bench_json, BenchRecord};
+use graphpi_graph::builder::build_from_edge_slice;
+use graphpi_graph::csr::VertexId;
+use graphpi_graph::{generators, io, GraphStats};
+
+/// Thread count used by the parallel-build bench: the available cores
+/// (capped), but at least 2 so the parallel code path is always the one
+/// being measured — on a single-core box this honestly reports its
+/// orchestration overhead instead of silently collapsing to serial.
+fn build_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8)
+}
+
+/// The bench dataset: a power-law graph scaled by `GRAPHPI_BENCH_SCALE`
+/// (~120k raw edges at scale 1.0 — large enough that parse, sort and
+/// placement dominate thread orchestration).
+fn dataset() -> graphpi_graph::CsrGraph {
+    let scale = scale_from_env();
+    let n = ((20_000.0 * scale) as usize).max(500);
+    generators::power_law(n, 6, 0x10AD)
+}
+
+struct LoadFixture {
+    dir: std::path::PathBuf,
+    text_path: std::path::PathBuf,
+    bin_path: std::path::PathBuf,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl LoadFixture {
+    fn create() -> Self {
+        let graph = dataset();
+        let dir =
+            std::env::temp_dir().join(format!("graphpi_loading_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create bench dir");
+        let text_path = dir.join("bench_graph.txt");
+        let bin_path = dir.join("bench_graph.bin");
+        io::save_edge_list(&graph, &text_path).expect("write text");
+        io::save_binary(&graph, &bin_path).expect("write binary");
+        let edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+
+        // Agreement gate: all load paths must describe the same graph.
+        let reference = GraphStats::compute(&graph).fingerprint();
+        let text = io::load_edge_list(&text_path).expect("text load");
+        assert_eq!(GraphStats::compute(&text).fingerprint(), reference);
+        let copied = io::load_binary(&bin_path).expect("binary load");
+        assert_eq!(copied, graph);
+        let mapped = io::load_binary_mmap(&bin_path).expect("mmap load");
+        assert_eq!(mapped, graph);
+        assert_eq!(GraphStats::compute(&mapped).fingerprint(), reference);
+        // And both build paths must construct it identically.
+        assert_eq!(build_from_edge_slice(&edges, 0, 1), graph);
+        assert_eq!(build_from_edge_slice(&edges, 0, build_threads()), graph);
+
+        println!(
+            "loading bench graph: {} vertices, {} edges, binary {} bytes, mmap={}",
+            graph.num_vertices(),
+            graph.num_edges(),
+            std::fs::metadata(&bin_path).map(|m| m.len()).unwrap_or(0),
+            mapped.is_memory_mapped(),
+        );
+        Self {
+            dir,
+            text_path,
+            bin_path,
+            edges,
+        }
+    }
+}
+
+fn bench_loading(c: &mut Criterion) {
+    let fixture = LoadFixture::create();
+
+    c.bench_function("loading/text_load", |bench| {
+        bench.iter(|| black_box(io::load_edge_list(&fixture.text_path).expect("text load")))
+    });
+    c.bench_function("loading/binary_load_copy", |bench| {
+        bench.iter(|| black_box(io::load_binary(&fixture.bin_path).expect("binary load")))
+    });
+    c.bench_function("loading/binary_load_mmap", |bench| {
+        bench.iter(|| black_box(io::load_binary_mmap(&fixture.bin_path).expect("mmap load")))
+    });
+    c.bench_function("loading/build_serial", |bench| {
+        bench.iter(|| black_box(build_from_edge_slice(black_box(&fixture.edges), 0, 1)))
+    });
+    let threads = build_threads();
+    c.bench_function("loading/build_parallel", |bench| {
+        bench.iter(|| black_box(build_from_edge_slice(black_box(&fixture.edges), 0, threads)))
+    });
+    c.bench_function("loading/convert_text_to_binary", |bench| {
+        let out = fixture.dir.join("bench_convert.bin");
+        bench.iter(|| {
+            let g = io::load_edge_list(&fixture.text_path).expect("text load");
+            io::save_binary(&g, &out).expect("binary save");
+        })
+    });
+
+    std::fs::remove_dir_all(&fixture.dir).ok();
+}
+
+criterion_group!(
+    name = loading;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_loading
+);
+
+fn main() {
+    loading();
+
+    let threads = build_threads();
+    let records: Vec<BenchRecord> = criterion::take_results()
+        .iter()
+        .map(|r| {
+            let t = if r.id == "loading/build_parallel" {
+                threads
+            } else {
+                1
+            };
+            BenchRecord::new(r.id.clone(), r.mean_ns, "LoadBench", t)
+        })
+        .collect();
+    write_bench_json("BENCH_loading.json", &records).expect("write BENCH_loading.json");
+
+    let mean_of = |op: &str| {
+        records
+            .iter()
+            .find(|r| r.op == op)
+            .map(|r| r.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    let text = mean_of("loading/text_load");
+    let copy = mean_of("loading/binary_load_copy");
+    let mmap = mean_of("loading/binary_load_mmap");
+    let serial = mean_of("loading/build_serial");
+    let parallel = mean_of("loading/build_parallel");
+    println!(
+        "load speedup vs text parse: binary copy {:.2}x, mmap {:.2}x",
+        text / copy,
+        text / mmap,
+    );
+    println!(
+        "build speedup vs serial: parallel({threads} threads) {:.2}x",
+        serial / parallel,
+    );
+    // The headline the ingest overhaul is judged on: the old pipeline
+    // (text parse + serial build) vs the new one (mmap open + parallel
+    // build; the mmap number already contains full validation).
+    println!(
+        "ingest pipeline speedup: (text+serial {:.2} ms) / (mmap+parallel {:.2} ms) = {:.2}x",
+        (text + serial) / 1e6,
+        (mmap + parallel) / 1e6,
+        (text + serial) / (mmap + parallel),
+    );
+}

@@ -81,6 +81,81 @@ fn bench_intersections(c: &mut Criterion) {
     });
 }
 
+/// Per-kernel intersection entries: every core (balanced merge, skewed
+/// galloping, bound-clamped, materialising) timed once with the kernels
+/// pinned to the scalar reference and once with runtime auto-detection
+/// (SSE/AVX2 where the CPU supports it). The op names are stable across
+/// machines; on hardware without SIMD support the two rows coincide.
+fn bench_intersection_kernels(c: &mut Criterion) {
+    // Irregular sorted sets (xorshift gaps): `step_by` inputs are perfectly
+    // periodic, which lets the scalar merge ride the branch predictor;
+    // adjacency lists of real graphs are not, and the SIMD kernels are
+    // branchless. The gap distributions give a ~25% overlap.
+    fn irregular_sorted(n: usize, max_gap: u64, seed: u64) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut value = 0u32;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            value += 1 + (state % max_gap) as u32;
+            out.push(value);
+        }
+        out
+    }
+    let a = irregular_sorted(5_000, 4, 0xA11CE);
+    let b = irregular_sorted(3_300, 6, 0xB0B);
+    let small = irregular_sorted(100, 250, 0xCAFE);
+    let mut out = Vec::new();
+    for force_scalar in [true, false] {
+        vertex_set::set_force_scalar(force_scalar);
+        let tag = if force_scalar {
+            "scalar"
+        } else {
+            vertex_set::active_kernel().name()
+        };
+        let suffix = if force_scalar { "scalar" } else { "auto" };
+        println!("intersection kernels [{suffix}]: dispatching to {tag}");
+        c.bench_function(&format!("intersect_kernel/merge_count_{suffix}"), |bench| {
+            bench.iter(|| black_box(vertex_set::intersect_count(black_box(&a), black_box(&b))))
+        });
+        c.bench_function(&format!("intersect_kernel/merge_into_{suffix}"), |bench| {
+            bench.iter(|| {
+                vertex_set::intersect_into(black_box(&a), black_box(&b), &mut out);
+                black_box(out.len())
+            })
+        });
+        c.bench_function(
+            &format!("intersect_kernel/gallop_count_{suffix}"),
+            |bench| {
+                bench.iter(|| {
+                    black_box(vertex_set::intersect_count(
+                        black_box(&small),
+                        black_box(&a),
+                    ))
+                })
+            },
+        );
+        c.bench_function(&format!("intersect_kernel/gallop_into_{suffix}"), |bench| {
+            bench.iter(|| {
+                vertex_set::intersect_into(black_box(&small), black_box(&a), &mut out);
+                black_box(out.len())
+            })
+        });
+        c.bench_function(&format!("intersect_kernel/count_below_{suffix}"), |bench| {
+            bench.iter(|| {
+                black_box(vertex_set::intersect_count_below(
+                    black_box(&a),
+                    black_box(&b),
+                    black_box(5_000),
+                ))
+            })
+        });
+    }
+    vertex_set::set_force_scalar(false);
+}
+
 fn bench_triangles(c: &mut Criterion) {
     let graph = generators::power_law(2_000, 8, 7);
     c.bench_function("triangles/power_law_2k", |bench| {
@@ -158,6 +233,17 @@ fn bench_parallel_counting(c: &mut Criterion) {
     c.bench_function("parallel_count/chase_lev_hub", |bench| {
         bench.iter(|| black_box(count_parallel_with_hubs(&plan, black_box(&hubs), options)))
     });
+    // Same runtime with the intersection kernels pinned to the scalar
+    // reference: the end-to-end cost of turning SIMD off (counts are
+    // bit-identical — asserted above via `expected`).
+    vertex_set::set_force_scalar(true);
+    assert_eq!(count_parallel(&plan, graph, options), expected);
+    vertex_set::set_force_scalar(false);
+    c.bench_function("parallel_count/chase_lev_scalar_kernels", |bench| {
+        vertex_set::set_force_scalar(true);
+        bench.iter(|| black_box(count_parallel(&plan, black_box(graph), options)));
+        vertex_set::set_force_scalar(false);
+    });
 
     // Fine-grained regime: triangles at prefix depth 2 yield tens of
     // thousands of sub-microsecond tasks, so per-task queue traffic and
@@ -208,7 +294,7 @@ fn bench_parallel_counting(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_intersections, bench_triangles, bench_preprocessing, bench_parallel_counting
+    targets = bench_intersections, bench_intersection_kernels, bench_triangles, bench_preprocessing, bench_parallel_counting
 );
 
 fn main() {
@@ -247,4 +333,28 @@ fn main() {
             baseline / hub
         );
     }
+    println!(
+        "intersection kernels: dispatching to `{}`",
+        vertex_set::active_kernel().name()
+    );
+    for op in [
+        "merge_count",
+        "merge_into",
+        "gallop_count",
+        "gallop_into",
+        "count_below",
+    ] {
+        let scalar = mean_of(&format!("intersect_kernel/{op}_scalar"));
+        let auto = mean_of(&format!("intersect_kernel/{op}_auto"));
+        println!(
+            "intersect_kernel/{op}: scalar {scalar:.1} ns, auto {auto:.1} ns, speedup {:.2}x",
+            scalar / auto
+        );
+    }
+    let scalar_e2e = mean_of("parallel_count/chase_lev_scalar_kernels");
+    let auto_e2e = mean_of("parallel_count/chase_lev");
+    println!(
+        "parallel_count (house, 8 threads): scalar kernels {:.2}x slower than auto",
+        scalar_e2e / auto_e2e
+    );
 }

@@ -66,6 +66,15 @@ pub struct CountOptions {
     /// built lazily once per engine and cached; counts are bit-identical
     /// with this on or off.
     pub hub_bitsets: bool,
+    /// Pin the sorted-set intersection kernels to the portable scalar
+    /// reference instead of the runtime-detected SIMD family. Kernel
+    /// dispatch is **process-global** (`graphpi_graph::vertex_set`), and
+    /// each engine/session count applies this field authoritatively —
+    /// `true` pins scalar, `false` restores auto-detection (except under
+    /// the sticky `GRAPHPI_FORCE_SCALAR` environment pin, which keeps the
+    /// whole process scalar regardless). Counts are bit-identical with
+    /// this on or off — the agreement suites enforce it.
+    pub scalar_kernels: bool,
 }
 
 impl Default for CountOptions {
@@ -75,6 +84,7 @@ impl Default for CountOptions {
             threads: 0,
             prefix_depth: None,
             hub_bitsets: false,
+            scalar_kernels: false,
         }
     }
 }
@@ -292,6 +302,10 @@ impl GraphPi {
             options.use_iep,
             "parallel_options must be derived from the same CountOptions"
         );
+        // Authoritative per call: dispatch is process-global, so this call's
+        // setting becomes the process setting (the `GRAPHPI_FORCE_SCALAR`
+        // environment pin is folded into detection and stays sticky).
+        graphpi_graph::vertex_set::set_force_scalar(options.scalar_kernels);
         let threads = if options.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -641,6 +655,9 @@ impl<'g> Session<'g> {
         count_options: &CountOptions,
         parallel_options: &parallel::ParallelOptions,
     ) -> u64 {
+        // Same contract as `GraphPi::execute_count_prepared`: the per-call
+        // knob is authoritative for the process-global kernel dispatch.
+        graphpi_graph::vertex_set::set_force_scalar(count_options.scalar_kernels);
         if count_options.hub_bitsets {
             self.pool
                 .count_with_hubs(plan, self.engine.hub_index(), parallel_options)
@@ -729,6 +746,7 @@ mod tests {
                         threads,
                         prefix_depth: None,
                         hub_bitsets,
+                        scalar_kernels: false,
                     },
                 );
                 assert_eq!(got, sequential, "{name} ({mode_name})");

@@ -28,7 +28,7 @@
 //!   master can chew alone pays zero context switches while a large
 //!   query's backlog ramps up the whole pool batch by batch. Workers that
 //!   never wake for a job simply skip its epoch; workers already active
-//!   but momentarily out of work self-wake every [`IDLE_PARK`], and the
+//!   but momentarily out of work self-wake every `IDLE_PARK`, and the
 //!   job-end unpark broadcast retires them promptly.
 //! * **Caller-runs master helping** — after streaming, the submitting
 //!   thread drains the injector itself (with its own persistent scratch,

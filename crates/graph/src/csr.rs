@@ -6,6 +6,7 @@
 //! [`CsrGraph`] follows that layout: a `offsets` array of length `|V| + 1`
 //! and a flat `neighbors` array of length `2|E|`.
 
+use crate::mmap::SharedSlice;
 use std::fmt;
 
 /// Identifier of a vertex in a data graph.
@@ -17,14 +18,17 @@ pub type VertexId = u32;
 /// An immutable undirected graph in CSR form with sorted adjacency lists.
 ///
 /// Construct through [`crate::GraphBuilder`] (which deduplicates edges,
-/// drops self loops and sorts neighborhoods) or the generators in
-/// [`crate::generators`].
-#[derive(Clone, PartialEq, Eq)]
+/// drops self loops and sorts neighborhoods), the generators in
+/// [`crate::generators`], or zero-copy from a binary file with
+/// [`crate::io::load_binary_mmap`] — the CSR arrays are
+/// [`SharedSlice`]s, so a graph either owns its storage or is a view over
+/// a memory-mapped region; every consumer sees plain `&[_]` slices.
+#[derive(Clone)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
-    offsets: Vec<usize>,
+    offsets: SharedSlice<usize>,
     /// Concatenated, per-vertex-sorted adjacency lists.
-    neighbors: Vec<VertexId>,
+    neighbors: SharedSlice<VertexId>,
     /// Number of undirected edges (each stored twice in `neighbors`).
     num_edges: u64,
 }
@@ -37,6 +41,18 @@ impl CsrGraph {
     /// sorted (no duplicates) and free of self loops. These invariants are
     /// checked in debug builds.
     pub fn from_raw_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        Self::from_shared_parts(offsets.into(), neighbors.into())
+    }
+
+    /// Shared-storage sibling of [`CsrGraph::from_raw_parts`], used by the
+    /// zero-copy loader. Callers constructing mapped graphs must have run
+    /// **release-mode** validation of the same invariants first (the binary
+    /// loader validates bounds, monotonicity and sortedness on open);
+    /// construction itself re-checks them only in debug builds.
+    pub(crate) fn from_shared_parts(
+        offsets: SharedSlice<usize>,
+        neighbors: SharedSlice<VertexId>,
+    ) -> Self {
         debug_assert!(!offsets.is_empty(), "offsets must contain at least [0]");
         debug_assert_eq!(*offsets.first().unwrap(), 0);
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
@@ -62,6 +78,23 @@ impl CsrGraph {
             neighbors,
             num_edges,
         }
+    }
+
+    /// Whether the CSR arrays are views over a memory-mapped region (true
+    /// for graphs opened with [`crate::io::load_binary_mmap`] on supported
+    /// targets) rather than owned heap vectors.
+    pub fn is_memory_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.neighbors.is_mapped()
+    }
+
+    /// The raw offsets array (`n + 1` entries), for the binary writer.
+    pub(crate) fn offsets_slice(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array, for the binary writer.
+    pub(crate) fn neighbors_slice(&self) -> &[VertexId] {
+        &self.neighbors
     }
 
     /// Number of vertices.
@@ -174,6 +207,18 @@ impl CsrGraph {
             + self.neighbors.len() * std::mem::size_of::<VertexId>()
     }
 }
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality over the CSR arrays: a mapped graph equals
+        // the owned graph it was serialised from.
+        self.num_edges == other.num_edges
+            && *self.offsets == *other.offsets
+            && *self.neighbors == *other.neighbors
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl fmt::Debug for CsrGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -31,6 +31,7 @@ pub mod generators;
 pub mod hub;
 pub mod io;
 pub mod kcore;
+pub mod mmap;
 pub mod stats;
 pub mod triangles;
 pub mod vertex_set;

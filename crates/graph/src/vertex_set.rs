@@ -9,13 +9,34 @@
 //!
 //! All intersection variants — materialising ([`intersect_into`],
 //! [`intersect_many_into`]), counting ([`intersect_count`]) and bound-clamped
-//! counting ([`intersect_count_below`]) — share the same two cores: a linear
+//! counting ([`intersect_count_below`]) — share the same routing: a linear
 //! merge for balanced inputs and a galloping (exponential) search when one
 //! input is at least `GALLOP_RATIO` times larger, which is the common case
 //! on skewed degree distributions. Bounded variants clamp both inputs with
 //! `partition_point` first so the galloping path applies to them too.
+//!
+//! # Kernel dispatch
+//!
+//! On `x86_64` both regimes have SIMD implementations (the `x86`
+//! submodule): 4-lane
+//! SSE/SSSE3 and 8-lane AVX2 block merges, and an AVX2 block-based galloping
+//! kernel for skewed inputs. The best available kernel is detected once at
+//! runtime with `is_x86_feature_detected!` and every public API routes
+//! through it, so `exec::interp`, `iep` and `hub` consumers get the speedup
+//! with zero call-site churn. Counts are **bit-identical** across kernels —
+//! the proptest agreement suite and the end-to-end scalar-vs-auto tests
+//! enforce this.
+//!
+//! Dispatch is process-global and can be pinned to the scalar reference
+//! with [`set_force_scalar`] or the `GRAPHPI_FORCE_SCALAR` environment
+//! variable (read once, at first use) — the knob CI uses to keep both paths
+//! green.
 
 use crate::csr::VertexId;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+#[cfg(target_arch = "x86_64")]
+mod x86;
 
 /// Threshold ratio above which the intersection kernels switch from a linear
 /// merge to galloping (exponential) search in the larger input.
@@ -25,19 +46,88 @@ const GALLOP_RATIO: usize = 32;
 /// engine's maximum pattern size; keeps the ordering scratch on the stack).
 pub const MAX_INTERSECT_SETS: usize = 16;
 
-/// Shared intersection core: invokes `emit` once per element of `a ∩ b`, in
-/// ascending order, choosing merge or galloping by the size ratio.
-#[inline]
-fn intersect_with(a: &[VertexId], b: &[VertexId], mut emit: impl FnMut(VertexId)) {
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if small.is_empty() {
-        return;
+/// The intersection kernel family the dispatcher selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable scalar merge/galloping cores (the reference).
+    Scalar,
+    /// 4-lane SSE block merge (SSSE3 compaction); scalar galloping.
+    Sse,
+    /// 8-lane AVX2 block merge plus AVX2 block-based galloping.
+    Avx2,
+}
+
+impl Kernel {
+    /// Short stable name (`scalar`, `sse`, `avx2`) for logs and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Sse => "sse",
+            Kernel::Avx2 => "avx2",
+        }
     }
-    if large.len() / small.len() >= GALLOP_RATIO {
-        gallop_intersect(small, large, &mut emit);
+}
+
+/// Runtime force-scalar override ([`set_force_scalar`]).
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Cached detection result: 0 = undetected, else `Kernel as u8 + 1`.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+
+#[cold]
+fn detect_kernel() -> Kernel {
+    // The `GRAPHPI_FORCE_SCALAR` environment pin is **sticky**: it makes
+    // the *detected* kernel Scalar for the lifetime of the process, so
+    // [`set_force_scalar`]`(false)` cannot release it and a test run
+    // under the CI scalar leg stays scalar throughout. Folding the pin
+    // into the single `DETECTED` atomic also means no thread can ever
+    // observe detection complete but the pin unpublished.
+    let env_forced = std::env::var("GRAPHPI_FORCE_SCALAR")
+        .map(|v| matches!(v.as_str(), "1" | "true" | "yes" | "on"))
+        .unwrap_or(false);
+    #[cfg(target_arch = "x86_64")]
+    let kernel = if env_forced {
+        Kernel::Scalar
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        Kernel::Avx2
+    } else if std::arch::is_x86_feature_detected!("ssse3") {
+        Kernel::Sse
     } else {
-        merge_intersect(a, b, &mut emit);
+        Kernel::Scalar
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let kernel = {
+        let _ = env_forced;
+        Kernel::Scalar
+    };
+    DETECTED.store(kernel as u8 + 1, Ordering::Relaxed);
+    kernel
+}
+
+/// The kernel the next intersection will run on: the best CPU-supported
+/// SIMD family, unless scalar is forced (runtime knob or environment).
+#[inline]
+pub fn active_kernel() -> Kernel {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        return Kernel::Scalar;
     }
+    match DETECTED.load(Ordering::Relaxed) {
+        0 => detect_kernel(),
+        1 => Kernel::Scalar,
+        2 => Kernel::Sse,
+        _ => Kernel::Avx2,
+    }
+}
+
+/// Forces (or releases) the portable scalar kernels, process-wide.
+///
+/// Counts are bit-identical either way; this exists so tests, benches and
+/// the CLI/CI can exercise and time both dispatch paths deterministically.
+/// The `GRAPHPI_FORCE_SCALAR=1` environment pin is sticky:
+/// `set_force_scalar(false)` releases only the runtime knob, so a process
+/// launched under the CI scalar leg runs scalar throughout.
+pub fn set_force_scalar(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Relaxed);
 }
 
 /// Computes `out = a ∩ b` for two sorted, duplicate-free slices.
@@ -45,7 +135,28 @@ fn intersect_with(a: &[VertexId], b: &[VertexId], mut emit: impl FnMut(VertexId)
 /// `out` is cleared first. The result is sorted and duplicate-free.
 pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
     out.clear();
-    intersect_with(a, b, |v| out.push(v));
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        #[cfg(target_arch = "x86_64")]
+        if active_kernel() == Kernel::Avx2 {
+            // SAFETY: AVX2 support proven by `active_kernel`.
+            unsafe { x86::gallop_into_avx2(small, large, out) };
+            return;
+        }
+        gallop_intersect(small, large, &mut |v| out.push(v));
+    } else {
+        #[cfg(target_arch = "x86_64")]
+        match active_kernel() {
+            // SAFETY: the matching feature was proven by `active_kernel`.
+            Kernel::Avx2 => return unsafe { x86::merge_into_avx2(a, b, out) },
+            Kernel::Sse => return unsafe { x86::merge_into_sse(a, b, out) },
+            Kernel::Scalar => {}
+        }
+        merge_intersect(a, b, &mut |v| out.push(v));
+    }
 }
 
 /// Allocates and returns `a ∩ b`.
@@ -57,9 +168,31 @@ pub fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
 
 /// Returns `|a ∩ b|` without materialising the intersection.
 pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
-    let mut count = 0usize;
-    intersect_with(a, b, |_| count += 1);
-    count
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        #[cfg(target_arch = "x86_64")]
+        if active_kernel() == Kernel::Avx2 {
+            // SAFETY: AVX2 support proven by `active_kernel`.
+            return unsafe { x86::gallop_count_avx2(small, large) };
+        }
+        let mut count = 0usize;
+        gallop_intersect(small, large, &mut |_| count += 1);
+        count
+    } else {
+        #[cfg(target_arch = "x86_64")]
+        match active_kernel() {
+            // SAFETY: the matching feature was proven by `active_kernel`.
+            Kernel::Avx2 => return unsafe { x86::merge_count_avx2(a, b) },
+            Kernel::Sse => return unsafe { x86::merge_count_sse(a, b) },
+            Kernel::Scalar => {}
+        }
+        let mut count = 0usize;
+        merge_intersect(a, b, &mut |_| count += 1);
+        count
+    }
 }
 
 /// Clamps a sorted set to its prefix of elements strictly below `bound`.
@@ -73,7 +206,7 @@ pub fn clamp_below(a: &[VertexId], bound: VertexId) -> &[VertexId] {
 /// Used when a restriction `id(x) > id(y)` bounds the candidate set of an
 /// inner loop: only candidates below the already-bound vertex survive. Both
 /// inputs are clamped with `partition_point` first, so the count reuses the
-/// same merge/galloping cores as [`intersect_count`].
+/// same merge/galloping kernels as [`intersect_count`].
 pub fn intersect_count_below(a: &[VertexId], b: &[VertexId], bound: VertexId) -> usize {
     intersect_count(clamp_below(a, bound), clamp_below(b, bound))
 }
@@ -202,8 +335,7 @@ pub fn intersect_many_into(sets: &[&[VertexId]], out: &mut Vec<VertexId>, tmp: &
 /// allocation beyond buffer growth).
 #[inline]
 fn intersect_into_swap(b: &[VertexId], out: &mut Vec<VertexId>, tmp: &mut Vec<VertexId>) {
-    tmp.clear();
-    intersect_with(out, b, |v| tmp.push(v));
+    intersect_into(out, b, tmp);
     std::mem::swap(out, tmp);
 }
 
@@ -305,6 +437,74 @@ mod tests {
     #[should_panic]
     fn intersect_many_empty_panics() {
         let _ = intersect_many(&[]);
+    }
+
+    /// Serialises the tests that toggle the process-global force flag, so
+    /// one test's toggles cannot interleave with another's assertions
+    /// about kernel *state* (result agreement is interleaving-proof, state
+    /// inspection is not).
+    static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn kernel_reporting_is_consistent() {
+        let _guard = TOGGLE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_force_scalar(false);
+        let k = active_kernel();
+        assert!(!k.name().is_empty());
+        // Forcing scalar must be observable and reversible.
+        set_force_scalar(true);
+        assert_eq!(active_kernel(), Kernel::Scalar);
+        set_force_scalar(false);
+        assert_eq!(active_kernel(), k);
+    }
+
+    /// Runs `f` under both the scalar and the auto-detected kernel and
+    /// asserts the results agree (every kernel must agree on every input
+    /// at any time). Holds [`TOGGLE_LOCK`] so the flag flips cannot race
+    /// `kernel_reporting_is_consistent`'s state assertions.
+    fn assert_kernels_agree<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+        let _guard = TOGGLE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_force_scalar(true);
+        let scalar = f();
+        set_force_scalar(false);
+        let auto = f();
+        assert_eq!(scalar, auto);
+    }
+
+    #[test]
+    fn simd_agrees_on_block_boundary_adversaries() {
+        // Matches placed exactly at 4- and 8-lane block boundaries, plus
+        // runs of near-misses (x+1) that defeat naive lane compares.
+        let a: Vec<u32> = (0..256).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..256)
+            .map(|i| if i % 8 == 7 { i * 3 } else { i * 3 + 1 })
+            .collect();
+        assert_kernels_agree(|| intersect(&a, &b));
+        assert_kernels_agree(|| intersect_count(&a, &b));
+        // Fully identical inputs: every lane matches in every block.
+        assert_kernels_agree(|| intersect(&a, &a));
+        assert_kernels_agree(|| intersect_count(&a, &a));
+        // Skewed: galloping kernels.
+        let large: Vec<u32> = (0..10_000).collect();
+        let small: Vec<u32> = (0..10_000).step_by(613).collect();
+        assert_kernels_agree(|| intersect(&small, &large));
+        assert_kernels_agree(|| intersect_count(&small, &large));
+        assert_kernels_agree(|| intersect_count_below(&small, &large, 5_000));
+    }
+
+    #[test]
+    fn simd_agrees_near_u32_max() {
+        // The AVX2 ordered compares must be unsigned: values above 2^31
+        // would flip order under a signed interpretation.
+        let a: Vec<u32> = (0..200).map(|i| u32::MAX - 3 * (200 - i)).collect();
+        let b: Vec<u32> = (0..200).map(|i| u32::MAX - 2 * (300 - i)).collect();
+        assert_kernels_agree(|| intersect(&a, &b));
+        let small: Vec<u32> = a.iter().copied().step_by(67).collect();
+        assert_kernels_agree(|| intersect_count(&small, &b));
     }
 
     fn sorted_set() -> impl Strategy<Value = Vec<u32>> {
