@@ -26,6 +26,17 @@
 //! The run asserts warm < spawn-per-call at every thread count, so the CI
 //! bench smoke step fails if the serving path ever regresses below the
 //! cold path.
+//!
+//! A second section measures the **concurrent-client** regime the
+//! multi-tenant pool exists for: 1/2/4/8 client threads hammering one
+//! shared warm session (`serving/multi_client_warm`, the `threads` field
+//! carries the client count) against the submit-lock-serialized baseline
+//! the pool used to be (`serving/multi_client_serialized`, emulated by an
+//! external mutex around every query). On a box with ≥ 4 cores at full
+//! bench scale, 4-client concurrent throughput is asserted ≥ 2× the
+//! serialized baseline; on smaller boxes the ratio is reported but not
+//! enforced (with one core there is no parallelism for concurrency to
+//! exploit).
 
 use graphpi_bench::{
     banner, scale_from_env, serving_dataset, write_bench_json, BenchRecord, Table,
@@ -175,5 +186,133 @@ fn main() {
     if let Some(ratio) = ratio_at_8 {
         println!("8-thread warm speedup over spawn-per-call: {ratio:.1}x");
     }
+
+    bench_concurrent_clients(&engine, &pattern, dataset.name, &mut records);
+
     write_bench_json("BENCH_serving.json", &records).expect("write BENCH_serving.json");
+}
+
+/// Client thread counts of the concurrency matrix (the acceptance number is
+/// the 4-client row).
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Warm queries each client runs per cell.
+const CLIENT_ITERS: usize = 30;
+
+/// Pool workers backing the shared session in the concurrency matrix.
+const CONCURRENT_POOL_THREADS: usize = 4;
+
+/// Times `clients` threads each running [`CLIENT_ITERS`] warm queries on
+/// the shared session, asserting every count; returns aggregate ns/query.
+/// `serialize` wraps each query in one external mutex, reproducing the
+/// one-job-at-a-time behavior of the pre-multi-tenant pool as the baseline.
+fn run_clients(
+    session: &Session<'_>,
+    pattern: &graphpi_pattern::Pattern,
+    clients: usize,
+    expected: u64,
+    serialize: bool,
+) -> f64 {
+    let submit_lock = std::sync::Mutex::new(());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let submit_lock = &submit_lock;
+            scope.spawn(move || {
+                for _ in 0..CLIENT_ITERS {
+                    let guard = serialize.then(|| submit_lock.lock().expect("submit lock"));
+                    let got = session.count(pattern).expect("client count");
+                    drop(guard);
+                    assert_eq!(got, expected, "client count diverged");
+                }
+            });
+        }
+    });
+    start.elapsed().as_nanos() as f64 / (clients * CLIENT_ITERS) as f64
+}
+
+/// The concurrent-client section: shared warm session, concurrent vs
+/// externally-serialized throughput at 1/2/4/8 clients.
+fn bench_concurrent_clients(
+    engine: &GraphPi,
+    pattern: &graphpi_pattern::Pattern,
+    graph: &str,
+    records: &mut Vec<BenchRecord>,
+) {
+    let session = engine.session_with(
+        PoolOptions {
+            threads: CONCURRENT_POOL_THREADS,
+            max_in_flight: CLIENT_COUNTS[CLIENT_COUNTS.len() - 1],
+            ..PoolOptions::default()
+        },
+        PlanOptions::default(),
+        CountOptions {
+            use_iep: false,
+            prefix_depth: Some(PREFIX_DEPTH),
+            ..CountOptions::default()
+        },
+    );
+    let expected = session.count(pattern).expect("warm-up count");
+
+    banner(
+        "Concurrent clients: multi-tenant pool vs submit-lock-serialized baseline",
+        &format!(
+            "house pattern, shared warm session, {CONCURRENT_POOL_THREADS} pool workers, \
+             {CLIENT_ITERS} queries/client"
+        ),
+    );
+    let mut table = Table::new(vec![
+        "clients",
+        "serialized",
+        "concurrent",
+        "agg q/s",
+        "speedup",
+    ]);
+    let mut ratio_at_4 = None;
+    for &clients in &CLIENT_COUNTS {
+        let serialized_ns = run_clients(&session, pattern, clients, expected, true);
+        let concurrent_ns = run_clients(&session, pattern, clients, expected, false);
+        let ratio = serialized_ns / concurrent_ns;
+        if clients == 4 {
+            ratio_at_4 = Some(ratio);
+        }
+        table.row(vec![
+            format!("{clients}"),
+            format!("{:.1} us", serialized_ns / 1e3),
+            format!("{:.1} us", concurrent_ns / 1e3),
+            format!("{:.0}", 1e9 / concurrent_ns),
+            format!("{ratio:.1}x"),
+        ]);
+        records.push(BenchRecord::new(
+            "serving/multi_client_serialized",
+            serialized_ns,
+            graph.to_string(),
+            clients,
+        ));
+        records.push(BenchRecord::new(
+            "serving/multi_client_warm",
+            concurrent_ns,
+            graph.to_string(),
+            clients,
+        ));
+    }
+    table.print();
+    println!("\nembeddings per query: {expected} (bit-identical across every client and mode)");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some(ratio) = ratio_at_4 {
+        println!("4-client concurrent speedup over serialized submission: {ratio:.1}x");
+        if cores >= 4 && scale_from_env() >= 1.0 {
+            assert!(
+                ratio >= 2.0,
+                "4-client concurrent throughput must be >= 2x the serialized baseline \
+                 on a multi-core bench box (got {ratio:.2}x on {cores} cores)"
+            );
+        } else {
+            println!(
+                "(ratio not enforced: {cores} core(s), scale {:.1})",
+                scale_from_env()
+            );
+        }
+    }
 }

@@ -25,6 +25,14 @@
 //! serving path. The reported cold/warm split is the amortization this
 //! distinction buys.
 //!
+//! `--clients N` (requires `--session`) is the concurrent-load mode: N
+//! client threads share one session and each runs `--repeat` queries
+//! simultaneously, exercising the pool's multi-job scheduler. The report is
+//! aggregate throughput plus the plan-cache counters (which must satisfy
+//! hits + misses = total queries). `--max-in-flight N` caps how many of
+//! those jobs the pool runs at once (0 = automatic); extra clients block,
+//! which is the pool's backpressure.
+//!
 //! `--scalar-kernels` pins the sorted-set intersection kernels to the
 //! portable scalar reference (process-wide) instead of the runtime-detected
 //! SIMD family; counts are bit-identical either way.
@@ -62,6 +70,8 @@ struct CliArgs {
     list: usize,
     repeat: usize,
     session: bool,
+    clients: usize,
+    max_in_flight: usize,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,7 +87,7 @@ enum Command {
 
 const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <path> \
 [--format auto|text|binary] [--pattern <name|adj:...>] [--threads N] [--no-iep] [--hubs] \
-[--scalar-kernels] [--list N] [--repeat N] [--session]\n\
+[--scalar-kernels] [--list N] [--repeat N] [--session] [--clients N] [--max-in-flight N]\n\
        graphpi-cli convert <edge-list> <binary-out>";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
@@ -110,6 +120,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 list: 0,
                 repeat: 1,
                 session: false,
+                clients: 1,
+                max_in_flight: 0,
             });
         }
         other => return Err(format!("unknown command {other:?}\n{USAGE}")),
@@ -124,6 +136,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut list = 0usize;
     let mut repeat = 1usize;
     let mut session = false;
+    let mut clients = 1usize;
+    let mut max_in_flight = 0usize;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--graph" => graph_path = Some(iter.next().ok_or("--graph needs a value")?.clone()),
@@ -164,12 +178,39 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|_| "--list must be an integer".to_string())?
             }
+            "--clients" => {
+                clients = iter
+                    .next()
+                    .ok_or("--clients needs a value")?
+                    .parse()
+                    .map_err(|_| "--clients must be an integer".to_string())?;
+                if clients == 0 {
+                    return Err("--clients must be at least 1".to_string());
+                }
+            }
+            "--max-in-flight" => {
+                max_in_flight = iter
+                    .next()
+                    .ok_or("--max-in-flight needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-in-flight must be an integer".to_string())?
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
     let graph_path = graph_path.ok_or_else(|| format!("--graph is required\n{USAGE}"))?;
     if !matches!(command, Command::Stats) && pattern.is_none() {
         return Err(format!("--pattern is required for this command\n{USAGE}"));
+    }
+    if clients > 1 && !session {
+        return Err("--clients requires --session (the concurrent-load mode \
+                    runs on the shared session pool)"
+            .to_string());
+    }
+    if max_in_flight > 0 && !session {
+        return Err(
+            "--max-in-flight requires --session (only the session pool schedules jobs)".to_string(),
+        );
     }
     Ok(CliArgs {
         command,
@@ -183,6 +224,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         list,
         repeat,
         session,
+        clients,
+        max_in_flight,
     })
 }
 
@@ -335,11 +378,59 @@ fn run(args: CliArgs) -> Result<(), String> {
         let session = engine.session_with(
             PoolOptions {
                 threads: args.threads,
+                max_in_flight: args.max_in_flight,
                 ..PoolOptions::default()
             },
             PlanOptions::default(),
             count_options,
         );
+        if args.clients > 1 {
+            // Concurrent-load mode: N clients share the session, each
+            // running `repeat` queries as simultaneous jobs on the pool.
+            // One cold query first so the comparison below is warm-path.
+            let cold_start = std::time::Instant::now();
+            count = session.count(&pattern).map_err(|e| e.to_string())?;
+            let cold = cold_start.elapsed();
+            let expected = count;
+            let start = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for client in 0..args.clients {
+                    let session = &session;
+                    let pattern = &pattern;
+                    scope.spawn(move || {
+                        for _ in 0..args.repeat {
+                            let got = session
+                                .count(pattern)
+                                .unwrap_or_else(|e| panic!("client {client}: {e}"));
+                            assert_eq!(got, expected, "client {client} observed a diverging count");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed();
+            let queries = (args.clients * args.repeat) as u32;
+            let stats = session.cache_stats();
+            println!(
+                "session: {} workers, max {} jobs in flight, plan cache {} hit(s) / {} miss(es)",
+                session.pool().threads(),
+                session.pool().max_in_flight(),
+                stats.hits,
+                stats.misses
+            );
+            println!(
+                "clients x{}: cold {:?}; {} warm queries in {:?} -> {:.0} queries/s aggregate \
+                 ({:?}/query)",
+                args.clients,
+                cold,
+                queries,
+                elapsed,
+                queries as f64 / elapsed.as_secs_f64(),
+                elapsed / queries,
+            );
+            debug_assert_eq!(stats.hits + stats.misses, u64::from(queries) + 1);
+            println!("embeddings: {count}  (bit-identical across all clients)");
+            return Ok(());
+        }
         for _ in 0..args.repeat {
             let start = std::time::Instant::now();
             count = session.count(&pattern).map_err(|e| e.to_string())?;
@@ -517,6 +608,71 @@ mod tests {
             "0",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_clients_flags() {
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--session",
+            "--clients",
+            "4",
+            "--max-in-flight",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(args.clients, 4);
+        assert_eq!(args.max_in_flight, 2);
+        assert!(args.session);
+        // Defaults.
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+        ]))
+        .unwrap();
+        assert_eq!(args.clients, 1);
+        assert_eq!(args.max_in_flight, 0);
+        // Zero clients and clients-without-session are rejected.
+        for bad in [
+            vec![
+                "count",
+                "--graph",
+                "g.txt",
+                "--pattern",
+                "house",
+                "--session",
+                "--clients",
+                "0",
+            ],
+            vec![
+                "count",
+                "--graph",
+                "g.txt",
+                "--pattern",
+                "house",
+                "--clients",
+                "2",
+            ],
+            // --max-in-flight only means something on the session pool.
+            vec![
+                "count",
+                "--graph",
+                "g.txt",
+                "--pattern",
+                "house",
+                "--max-in-flight",
+                "2",
+            ],
+        ] {
+            assert!(parse_args(&strings(&bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct PoolOptions {
     /// Capacity of the compiled-plan LRU cache, in plans. A capacity of 0
     /// disables caching (every query re-plans).
     pub cache_capacity: usize,
+    /// Maximum number of jobs the pool keeps in flight simultaneously
+    /// (0 = automatic: `max(threads, 2)`). Submitting threads beyond the
+    /// limit block until a running job completes — that blocking is the
+    /// pool's backpressure, bounding queue memory and scheduling overhead
+    /// under unbounded client fan-in.
+    pub max_in_flight: usize,
 }
 
 impl Default for PoolOptions {
@@ -49,6 +55,7 @@ impl Default for PoolOptions {
         Self {
             threads: 0,
             cache_capacity: 64,
+            max_in_flight: 0,
         }
     }
 }

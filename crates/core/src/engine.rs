@@ -361,7 +361,9 @@ impl GraphPi {
 
     /// Opens a [`Session`] with explicit pool/planning/execution options.
     /// `count_options.threads` is superseded by `pool_options.threads`: the
-    /// worker count is fixed when the pool is spawned.
+    /// worker count is fixed when the pool is spawned. Likewise
+    /// `pool_options.max_in_flight` fixes how many concurrent jobs the pool
+    /// accepts before submitters block (backpressure).
     pub fn session_with(
         &self,
         pool_options: PoolOptions,
@@ -369,7 +371,10 @@ impl GraphPi {
         count_options: CountOptions,
     ) -> Session<'_> {
         self.session_shared(
-            Arc::new(WorkerPool::new(pool_options.threads)),
+            Arc::new(WorkerPool::with_max_in_flight(
+                pool_options.threads,
+                pool_options.max_in_flight,
+            )),
             Arc::new(PlanCache::new(pool_options.cache_capacity)),
             plan_options,
             count_options,
@@ -578,9 +583,13 @@ impl PlanCache {
 /// assert_eq!(session.cache_stats().hits, 1);
 /// ```
 ///
-/// Concurrent counts from threads sharing a session serialize on the
-/// pool's submit lock (one job at a time); the plan cache itself is
-/// concurrent.
+/// Sessions are fully concurrent: threads sharing a session (or sessions
+/// sharing a pool) run their queries as simultaneous jobs on the
+/// multi-tenant pool, up to the pool's
+/// [`max_in_flight`](crate::config::PoolOptions::max_in_flight) limit —
+/// beyond it, extra submitters block until a job completes (backpressure).
+/// The plan cache is concurrent as well, and counts stay bit-identical to
+/// sequential execution regardless of how many clients are in flight.
 #[derive(Debug)]
 pub struct Session<'g> {
     engine: &'g GraphPi,
@@ -825,6 +834,7 @@ mod tests {
             PoolOptions {
                 threads: 2,
                 cache_capacity: 8,
+                ..PoolOptions::default()
             },
             PlanOptions::default(),
             CountOptions::default(),
@@ -894,6 +904,7 @@ mod tests {
             PoolOptions {
                 threads: 1,
                 cache_capacity: 2,
+                ..PoolOptions::default()
             },
             PlanOptions::default(),
             CountOptions::default(),
@@ -921,6 +932,7 @@ mod tests {
             PoolOptions {
                 threads: 1,
                 cache_capacity: 0,
+                ..PoolOptions::default()
             },
             PlanOptions::default(),
             CountOptions::default(),

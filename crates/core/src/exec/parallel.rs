@@ -258,11 +258,33 @@ pub(crate) fn run_degenerate(
     }
 }
 
-/// The master side of a parallel job: streams the outer loops, handing tasks
-/// out in batches so workers overlap with enumeration and the queue stays
-/// bounded by a window instead of the full task list. `after_batch` runs
-/// once per pushed batch (and once after `done` is set) — the pool uses it
-/// to unpark idle workers; the scoped path passes a no-op.
+/// The producer core shared by the scoped executor and the pool: enumerates
+/// depth-`depth` prefixes and hands them out in batches of `batch_size`
+/// through `emit`, which drains the batch into whatever queue the caller
+/// uses. Tasks never materialise as a full list — workers overlap with
+/// enumeration and the queue stays bounded by a window.
+pub(crate) fn stream_prefix_batches(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    depth: usize,
+    batch_size: usize,
+    mut emit: impl FnMut(&mut Vec<PrefixTask>),
+) {
+    let mut batch: Vec<PrefixTask> = Vec::with_capacity(batch_size);
+    interp::for_each_prefix(plan, ctx, depth, |prefix| {
+        batch.push(PrefixTask::from_slice(prefix));
+        if batch.len() == batch_size {
+            emit(&mut batch);
+        }
+    });
+    if !batch.is_empty() {
+        emit(&mut batch);
+    }
+}
+
+/// The master side of a scoped parallel job: streams prefix batches into the
+/// shared injector and marks `done`. `after_batch` runs once per pushed
+/// batch (and once after `done` is set).
 pub(crate) fn stream_tasks(
     plan: &ExecutionPlan,
     ctx: ExecCtx<'_>,
@@ -272,20 +294,32 @@ pub(crate) fn stream_tasks(
     done: &AtomicBool,
     after_batch: impl Fn(),
 ) {
-    let mut batch: Vec<PrefixTask> = Vec::with_capacity(batch_size);
-    interp::for_each_prefix(plan, ctx, depth, |prefix| {
-        batch.push(PrefixTask::from_slice(prefix));
-        if batch.len() == batch_size {
-            injector.push_batch(batch.drain(..));
-            after_batch();
-        }
-    });
-    if !batch.is_empty() {
+    stream_prefix_batches(plan, ctx, depth, batch_size, |batch| {
         injector.push_batch(batch.drain(..));
         after_batch();
-    }
+    });
     done.store(true, Ordering::Release);
     after_batch();
+}
+
+/// Counts the embeddings of one prefix task — the single per-task kernel
+/// every executor shares (scoped workers, pool workers serving any job, and
+/// the pool's caller-runs master helping), which is what keeps their counts
+/// bit-identical: a job's total is the same sum of the same per-task terms
+/// regardless of which threads ran them.
+#[inline]
+pub(crate) fn count_one_task(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    mode: CountMode,
+    prefix: &[VertexId],
+    buffers: &mut SearchBuffers,
+    iep_scratch: &mut IepScratch,
+) -> u64 {
+    match mode {
+        CountMode::Enumerate => interp::count_from_prefix_with(plan, ctx, prefix, buffers),
+        CountMode::Iep => iep::iep_term_with(plan, ctx, prefix, iep_scratch),
+    }
 }
 
 /// Applies the IEP over-counting correction to a job's raw total.
@@ -378,12 +412,7 @@ pub(crate) fn process_tasks(
     loop {
         match next_task(worker, me, stealers, injector) {
             Some(task) => {
-                local += match mode {
-                    CountMode::Enumerate => {
-                        interp::count_from_prefix_with(plan, ctx, task.as_slice(), buffers)
-                    }
-                    CountMode::Iep => iep::iep_term_with(plan, ctx, task.as_slice(), iep_scratch),
-                };
+                local += count_one_task(plan, ctx, mode, task.as_slice(), buffers, iep_scratch);
             }
             None => {
                 // No task anywhere. If the master has finished and the

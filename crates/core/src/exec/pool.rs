@@ -1,112 +1,224 @@
-//! A persistent work-stealing worker pool: the warm serving path.
+//! A persistent, **multi-tenant** work-stealing worker pool: the warm
+//! serving path.
 //!
 //! [`super::parallel::count_parallel`] spawns and joins a fresh
 //! `std::thread::scope` per call. That is the right shape for one-shot batch
 //! counting, but in a long-lived service handling many queries the fixed
 //! costs dominate at fine task granularity: thread spawn/join is on the
 //! order of a millisecond, and every spawn re-allocates the per-worker
-//! search scratch. [`WorkerPool`] removes both:
+//! search scratch. [`WorkerPool`] removes both, and (unlike its first
+//! incarnation, which serialized every job on a submit lock) runs **several
+//! jobs concurrently**:
 //!
-//! * **Workers are spawned once** and live as long as the pool. Between
-//!   jobs they park on a condvar; within a job, a worker that runs out of
-//!   stealable tasks parks on a [`crossbeam::sync::Parker`] with a short
-//!   timeout (bounding steal latency) instead of spinning.
-//! * Each worker keeps its Chase–Lev deque, [`SearchBuffers`] and
-//!   [`IepScratch`] **alive across jobs**, so the warm path performs zero
-//!   thread spawns and zero steady-state allocation.
-//! * Jobs run the exact same `process_tasks` worker loop and
-//!   `resolve_path` strategy resolution (both in [`super::parallel`]) as
-//!   the scoped executor, which is what keeps pooled counts bit-identical
-//!   to scoped counts.
+//! * **Workers are spawned once** and live as long as the pool, keeping
+//!   their Chase–Lev deque, [`SearchBuffers`] and [`IepScratch`] alive
+//!   across jobs, so the warm path performs zero thread spawns and zero
+//!   steady-state allocation.
+//! * **Jobs occupy slots.** The pool owns a fixed table of
+//!   [`max_in_flight`](WorkerPool::max_in_flight) job slots. Each slot has
+//!   its **own injector lane**, and every queued task is **tagged** with its
+//!   slot index, so one worker can drain tasks from several active jobs
+//!   without ever mixing their counts: the per-task kernel
+//!   (`parallel::count_one_task`, shared with the scoped executor — which
+//!   is what keeps pooled counts bit-identical to scoped counts) adds into
+//!   the owning slot's total.
+//! * **Completion is accounting, not thread handshakes.** Each slot counts
+//!   its published-but-unfinished tasks (`pending`); a job is complete when
+//!   its producer has finished streaming and `pending` returns to zero.
+//!   Workers never "join" a job, so a worker that sleeps through a small
+//!   job costs it nothing.
+//! * **Backpressure**: submitting more than `max_in_flight` concurrent jobs
+//!   blocks the extra submitters until a slot frees up, bounding queue
+//!   memory and scheduling overhead instead of accepting unbounded fan-in.
+//! * **Panic isolation per job.** Workers run every task under
+//!   `catch_unwind`: a poisoned plan marks *its own* slot panicked (the
+//!   submitter re-raises after the job completes, mirroring the scoped
+//!   executor's propagation through `thread::scope`) while tasks of
+//!   concurrent jobs keep executing normally and the worker thread itself
+//!   survives for the next job.
 //!
 //! Two properties tune the pool for *small* queries, where a naive pool
 //! would drown the matching work in handshake overhead:
 //!
-//! * **Lazy wakeups** — posting a job wakes nobody by itself; the master
+//! * **Lazy wakeups** — posting a job wakes nobody by itself; the submitter
 //!   issues one `notify_one` per pushed batch *once more than a full batch
-//!   of backlog is sitting unclaimed in the injector*, so a query the
-//!   master can chew alone pays zero context switches while a large
-//!   query's backlog ramps up the whole pool batch by batch. Workers that
-//!   never wake for a job simply skip its epoch; workers already active
-//!   but momentarily out of work self-wake every `IDLE_PARK`, and the
-//!   job-end unpark broadcast retires them promptly.
+//!   of backlog is sitting unclaimed in its lane*, so a query the submitter
+//!   can chew alone pays zero context switches while a large query's
+//!   backlog ramps up the pool batch by batch. Idle workers poll with a
+//!   short [`Parker`] timeout for a few milliseconds, then park on the
+//!   wakeup condvar until backlog reappears.
 //! * **Caller-runs master helping** — after streaming, the submitting
-//!   thread drains the injector itself (with its own persistent scratch,
-//!   kept behind the submit lock). Tiny jobs often complete entirely on
-//!   the caller with a single worker assisting; job completion waits only
-//!   for workers that actually *activated* (picked the job up), not for
-//!   every pool thread to cycle through a wake/retire handshake.
+//!   thread drains its own job's lane itself (with the slot's persistent
+//!   scratch). Tiny jobs often complete entirely on the caller; job
+//!   completion waits only for tasks some worker actually picked up.
 //!
-//! One job runs at a time; concurrent [`WorkerPool::count_in`] calls from
-//! different threads serialize on the submit lock, which is what a shared
-//! [`crate::engine::Session`] relies on.
+//! # Safety model
+//!
+//! A slot stores type-erased pointers to the submitter's stack frame
+//! (plan/graph/hub index). Their validity is guaranteed by the accounting
+//! protocol: a worker only dereferences them while it holds a popped,
+//! not-yet-accounted task of that job, `pending` is incremented before a
+//! task is published and decremented only after the worker is done touching
+//! the job, and the submitter does not return (or unwind, see `JobGuard`)
+//! past the pointees until `pending` reaches zero with streaming finished.
+//! A slot cannot be reused for a new job before that point, so a task's tag
+//! always resolves to the job that created it. The happens-before edges
+//! come from the injector (mutex-backed in the vendored `crossbeam`), the
+//! Chase–Lev release/acquire pair on sibling steals, and the acquire/release
+//! discipline on `pending`.
 
 use crate::config::{ExecutionPlan, MAX_LOOPS};
-use crate::exec::iep::{self, IepScratch};
-use crate::exec::interp::{self, ExecCtx, SearchBuffers};
+use crate::exec::iep::IepScratch;
+use crate::exec::interp::{ExecCtx, SearchBuffers};
 use crate::exec::parallel::{self, CountMode, ExecPath, ParallelOptions, PrefixTask};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::sync::{Parker, Unparker};
 use graphpi_graph::csr::CsrGraph;
 use graphpi_graph::hub::{HubGraph, HubOptions};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long an in-job idle worker sleeps before re-checking the injector
-/// and sibling deques. Short enough that steal latency stays invisible next
-/// to task runtimes, long enough to release the core on an oversubscribed
+/// How long an idle worker naps before re-checking the job lanes and
+/// sibling deques. Short enough that steal latency stays invisible next to
+/// task runtimes, long enough to release the core on an oversubscribed
 /// machine.
 const IDLE_PARK: Duration = Duration::from_micros(50);
 
-/// A unit of work posted to the pool: type-erased pointers to the
-/// submitter's stack. Sound because [`WorkerPool::count_in`] does not return
-/// (or unwind) past the pointees until every *activated* worker has retired
-/// from the job, and workers can only dereference these pointers after
-/// activating (observing `job` as `Some` under the state lock) — see
-/// [`JobGuard`].
+/// Consecutive empty-handed naps before a worker stops polling and parks on
+/// the wakeup condvar (≈3 ms of patience at [`IDLE_PARK`]): bounds idle CPU
+/// between jobs without adding wakeup latency during one.
+const DEEP_IDLE_ROUNDS: u32 = 64;
+
+/// A queued unit of work: a prefix task tagged with the slot index of the
+/// job it belongs to. Tags are what let one worker serve several concurrent
+/// jobs without mixing their counts.
 #[derive(Clone, Copy)]
-struct Job {
-    plan: *const ExecutionPlan,
-    graph: *const CsrGraph,
-    /// Null when executing without hub acceleration.
-    hubs: *const HubGraph,
-    mode: CountMode,
-    injector: *const Injector<PrefixTask>,
-    producer_done: *const AtomicBool,
-    total: *const AtomicU64,
+struct TaggedTask {
+    slot: u32,
+    task: PrefixTask,
 }
 
-// SAFETY: the pointees are Sync (plan/graph/hubs are shared immutably;
-// injector/flags are designed for concurrent access) and their lifetime is
-// enforced by the completion protocol described on `Job`.
-unsafe impl Send for Job {}
+/// One job slot: a lane of the multi-tenant scheduler, owned by exactly one
+/// submitter at a time (enforced by the free-list in [`State`]).
+///
+/// The pointer fields are type-erased references into the owning
+/// submitter's stack; see the module-level safety model for why reading
+/// them while holding an unaccounted task of this slot is sound. They are
+/// atomics only to give the slot a safe `Sync` story — every access is
+/// `Relaxed`, ordered by the queue transfer that delivered the task.
+struct JobSlot {
+    plan: AtomicPtr<ExecutionPlan>,
+    graph: AtomicPtr<CsrGraph>,
+    /// Null when executing without hub acceleration.
+    hubs: AtomicPtr<HubGraph>,
+    /// Effective counting mode (`true` = one IEP term per task).
+    iep_mode: AtomicBool,
+    /// This job's task lane. Pool-owned (not on the submitter's stack), so
+    /// workers may probe any slot's lane at any time; a free slot's lane is
+    /// simply empty.
+    injector: Injector<TaggedTask>,
+    /// Tasks published but not yet fully processed. Incremented by the
+    /// submitter *before* publishing, decremented by whoever finishes (or
+    /// discards) a task. `producer_done && pending == 0` is job completion.
+    pending: AtomicU64,
+    /// No more tasks will be published to this job.
+    producer_done: AtomicBool,
+    /// Raw embedding total (pre-IEP-correction) of the current job.
+    total: AtomicU64,
+    /// A task of this job panicked; the submitter re-raises on completion.
+    /// Concurrent jobs are unaffected.
+    panicked: AtomicBool,
+    /// Completion handshake: the submitter waits here for `pending == 0`;
+    /// the worker that retires the last task notifies.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    /// The persistent master-side scratch of this lane, used by the
+    /// slot-owning submitter for caller-runs helping: repeated queries
+    /// allocate nothing, same as the workers.
+    scratch: Mutex<MasterScratch>,
+}
+
+impl JobSlot {
+    fn new() -> Self {
+        Self {
+            plan: AtomicPtr::new(std::ptr::null_mut()),
+            graph: AtomicPtr::new(std::ptr::null_mut()),
+            hubs: AtomicPtr::new(std::ptr::null_mut()),
+            iep_mode: AtomicBool::new(false),
+            injector: Injector::new(),
+            pending: AtomicU64::new(0),
+            producer_done: AtomicBool::new(false),
+            total: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            scratch: Mutex::new(MasterScratch {
+                buffers: SearchBuffers::new(MAX_LOOPS),
+                iep: IepScratch::new(),
+                deque: Worker::new_lifo(),
+            }),
+        }
+    }
+
+    /// Locks this slot's master scratch, recovering from poisoning (the
+    /// scratch buffers are (re)cleared at every use, so a previous query's
+    /// panic must not brick the lane).
+    fn lock_scratch(&self) -> std::sync::MutexGuard<'_, MasterScratch> {
+        self.scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Accounts one finished/discarded task; wakes the submitter when this
+    /// was the last one of a fully streamed job. The `Release` in the
+    /// `fetch_sub` is what publishes the worker's reads of the job pointers
+    /// (and its `total` contribution) to the submitter's `Acquire` load.
+    fn account_task(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1
+            && self.producer_done.load(Ordering::Acquire)
+        {
+            let _done = self
+                .done_lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// The persistent scratch of one lane's master (submitting) side.
+struct MasterScratch {
+    buffers: SearchBuffers,
+    iep: IepScratch,
+    /// The master's own deque for batched lane drains (one injector lock
+    /// per [`crossbeam::deque::BATCH`] tasks instead of one per task). Not
+    /// registered with the worker stealers: the master only ever holds one
+    /// stolen batch at a time, so the imbalance is bounded by it.
+    deque: Worker<TaggedTask>,
+}
 
 /// State shared between the pool handle and its worker threads.
 struct Shared {
     state: Mutex<State>,
-    /// Signaled (one waiter per pushed batch) when job work may be
-    /// available, and broadcast on shutdown.
+    /// Signaled (one waiter per pushed batch with backlog) when job work
+    /// may be available, and broadcast on shutdown.
     job_ready: Condvar,
-    /// Signaled when the last activated worker retires from the current job.
-    job_done: Condvar,
+    /// Signaled when a job slot frees up — the backpressure queue blocked
+    /// submitters wait on.
+    slot_free: Condvar,
+    /// Set (then broadcast) when the pool is dropped.
+    shutdown: AtomicBool,
+    /// The fixed job-slot table (`max_in_flight` lanes).
+    slots: Box<[JobSlot]>,
 }
 
 struct State {
-    /// Id of the most recently posted job (0 = none yet). A worker
-    /// activates for a given epoch at most once.
-    epoch: u64,
-    /// The posted job; cleared when the job completes, so late-waking
-    /// workers can never observe dangling job pointers.
-    job: Option<Job>,
-    /// Workers currently activated on (processing) the current job.
-    active: usize,
-    /// Set when a worker unwinds mid-job; the submitter re-raises after
-    /// the job completes, mirroring the scoped executor's panic
-    /// propagation through `thread::scope`.
-    panicked: bool,
-    shutdown: bool,
+    /// Indices of slots not currently owned by a job (jobs in flight =
+    /// total slots minus this list's length).
+    free_slots: Vec<u32>,
 }
 
 /// Locks the pool state, recovering from poisoning: every critical section
@@ -120,29 +232,14 @@ fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// The persistent scratch of the master (submitting) side, kept behind the
-/// submit lock so repeated queries reuse it: master helping allocates
-/// nothing in steady state, same as the workers.
-struct MasterScratch {
-    buffers: SearchBuffers,
-    iep: IepScratch,
-    /// The master's own deque for batched injector drains (one injector
-    /// lock per [`crossbeam::deque::BATCH`] tasks instead of one per task).
-    /// Not registered with the worker stealers: the master only ever holds
-    /// one stolen batch at a time, so the imbalance is bounded by it.
-    deque: Worker<PrefixTask>,
-}
-
-/// A persistent pool of work-stealing workers (see the module docs).
+/// A persistent pool of work-stealing workers serving multiple concurrent
+/// jobs (see the module docs).
 ///
 /// Dropping the pool shuts the workers down and joins them.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    /// Wakes in-job idle workers (one [`Parker`] per worker).
+    /// Wakes polling idle workers (one [`Parker`] per worker).
     unparkers: Vec<Unparker>,
-    /// Serializes jobs (one at a time; submitters queue here) and owns the
-    /// master-side scratch.
-    submit: Mutex<MasterScratch>,
     threads: usize,
     handles: Vec<JoinHandle<()>>,
 }
@@ -151,29 +248,44 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("threads", &self.threads)
+            .field("max_in_flight", &self.shared.slots.len())
+            .field("in_flight", &self.in_flight())
             .finish_non_exhaustive()
     }
 }
 
 impl WorkerPool {
-    /// Spawns a pool with `threads` workers (0 = all available cores). The
-    /// workers are created parked and consume no CPU until a job arrives.
+    /// Spawns a pool with `threads` workers (0 = all available cores) and
+    /// the automatic in-flight job limit (see
+    /// [`WorkerPool::with_max_in_flight`]). The workers are created parked
+    /// and consume no CPU until a job arrives.
     pub fn new(threads: usize) -> Self {
+        Self::with_max_in_flight(threads, 0)
+    }
+
+    /// Spawns a pool with `threads` workers (0 = all available cores) and
+    /// room for `max_in_flight` concurrent jobs (0 = automatic:
+    /// `max(threads, 2)`). Submitters beyond the limit block until a slot
+    /// frees up — that blocking *is* the pool's backpressure.
+    pub fn with_max_in_flight(threads: usize, max_in_flight: usize) -> Self {
         let threads = parallel::resolve_threads(threads);
+        let max_in_flight = if max_in_flight > 0 {
+            max_in_flight
+        } else {
+            threads.max(2)
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                epoch: 0,
-                job: None,
-                active: 0,
-                panicked: false,
-                shutdown: false,
+                free_slots: (0..max_in_flight as u32).collect(),
             }),
             job_ready: Condvar::new(),
-            job_done: Condvar::new(),
+            slot_free: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            slots: (0..max_in_flight).map(|_| JobSlot::new()).collect(),
         });
 
-        let deques: Vec<Worker<PrefixTask>> = (0..threads).map(|_| Worker::new_lifo()).collect();
-        let stealers: Arc<Vec<Stealer<PrefixTask>>> =
+        let deques: Vec<Worker<TaggedTask>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Arc<Vec<Stealer<TaggedTask>>> =
             Arc::new(deques.iter().map(Worker::stealer).collect());
 
         let mut unparkers = Vec::with_capacity(threads);
@@ -186,7 +298,7 @@ impl WorkerPool {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("graphpi-pool-{me}"))
-                    .spawn(move || worker_thread(shared, me, deque, stealers, parker))
+                    .spawn(move || worker_thread(&shared, me, &deque, &stealers, &parker))
                     .expect("spawn pool worker"),
             );
         }
@@ -194,11 +306,6 @@ impl WorkerPool {
         Self {
             shared,
             unparkers,
-            submit: Mutex::new(MasterScratch {
-                buffers: SearchBuffers::new(MAX_LOOPS),
-                iep: IepScratch::new(),
-                deque: Worker::new_lifo(),
-            }),
             threads,
             handles,
         }
@@ -207,6 +314,24 @@ impl WorkerPool {
     /// Number of persistent workers.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Maximum number of jobs the pool keeps in flight simultaneously;
+    /// extra submitters block until a slot frees.
+    pub fn max_in_flight(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Number of jobs currently in flight (owned slots).
+    pub fn in_flight(&self) -> usize {
+        self.shared.slots.len() - lock_state(&self.shared).free_slots.len()
+    }
+
+    /// Number of pool worker threads still alive. Always equals
+    /// [`WorkerPool::threads`] — workers survive panicking jobs — and is
+    /// exposed so tests can prove exactly that.
+    pub fn live_workers(&self) -> usize {
+        self.handles.iter().filter(|h| !h.is_finished()).count()
     }
 
     /// Counts embeddings on the pool, mirroring
@@ -236,7 +361,9 @@ impl WorkerPool {
 
     /// Counts embeddings in an explicit execution context. This is the warm
     /// serving path: no thread is spawned and no steady-state allocation is
-    /// performed by the workers or the master.
+    /// performed by the workers or the master. Safe to call from any number
+    /// of threads concurrently — up to [`WorkerPool::max_in_flight`] jobs
+    /// run simultaneously, later submitters block until a slot frees.
     pub fn count_in(
         &self,
         plan: &ExecutionPlan,
@@ -245,6 +372,8 @@ impl WorkerPool {
     ) -> u64 {
         let path = parallel::resolve_path(plan, options);
         if let Some(count) = parallel::run_degenerate(plan, ctx, path) {
+            // Degenerate paths run entirely on the calling thread: no slot,
+            // no queue, naturally concurrent.
             return count;
         }
         let ExecPath::Tasks {
@@ -256,116 +385,126 @@ impl WorkerPool {
             unreachable!("run_degenerate handles every other path");
         };
 
-        // One job at a time: later submitters (other threads sharing a
-        // Session) queue here until the current job completes. The guard
-        // doubles as the master's persistent scratch. Poisoning is
-        // recovered: the scratch buffers are (re)cleared at every use, so
-        // a previous query's panic must not brick the session.
-        let mut scratch = self
-            .submit
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot_idx = self.acquire_slot();
+        let shared = &*self.shared;
+        let slot = &shared.slots[slot_idx];
 
-        let injector: Injector<PrefixTask> = Injector::new();
-        let producer_done = AtomicBool::new(false);
-        let total = AtomicU64::new(0);
-        let job = Job {
-            plan,
-            graph: ctx.graph(),
-            hubs: ctx
-                .hubs()
-                .map_or(std::ptr::null(), |h| h as *const HubGraph),
-            mode,
-            injector: &injector,
-            producer_done: &producer_done,
-            total: &total,
-        };
-
-        // A previous query that panicked mid-drain may have left its tasks
-        // in the master deque; they belong to a dead job and must not leak
-        // into this one. No-op (a single None pop) on the normal path.
-        while scratch.deque.pop().is_some() {}
-
-        {
-            let mut state = lock_state(&self.shared);
-            debug_assert!(state.job.is_none() && state.active == 0);
-            state.epoch += 1;
-            state.job = Some(job);
-            state.panicked = false;
-            // No wakeup yet: workers are woken one per pushed batch, so a
-            // small job does not pay `threads` context switches.
-        }
-
-        // From here on the job is visible to the workers; the guard blocks
-        // (even on unwind) until every activated worker has retired, so the
-        // pointees on this stack frame outlive all worker accesses.
-        let guard = JobGuard {
-            shared: &self.shared,
-            producer_done: &producer_done,
-            unparkers: &self.unparkers,
-            injector: &injector,
-        };
-
-        parallel::stream_tasks(
-            plan,
-            ctx,
-            depth,
-            batch_size,
-            &injector,
-            &producer_done,
-            || {
-                // Backlog-driven ramp-up: wake one dormant worker per pushed
-                // batch, but only once more than a full batch is sitting
-                // unclaimed — a job small enough for the master alone never
-                // pays a single context switch, while a large job's backlog
-                // wakes the whole pool batch by batch. Already-active idle
-                // workers are not swept here (that would be O(threads) per
-                // batch): their park timeout bounds re-check latency to
-                // `IDLE_PARK`.
-                if injector.len() > batch_size {
-                    self.shared.job_ready.notify_one();
-                }
-            },
+        // Install the job. We own the slot exclusively and the previous
+        // job's completion protocol left the lane drained, so plain stores
+        // are enough: the injector push below publishes everything.
+        debug_assert_eq!(slot.pending.load(Ordering::Relaxed), 0);
+        slot.total.store(0, Ordering::Relaxed);
+        slot.producer_done.store(false, Ordering::Relaxed);
+        slot.panicked.store(false, Ordering::Relaxed);
+        slot.plan
+            .store(plan as *const ExecutionPlan as *mut _, Ordering::Relaxed);
+        slot.graph
+            .store(ctx.graph() as *const CsrGraph as *mut _, Ordering::Relaxed);
+        slot.hubs.store(
+            ctx.hubs()
+                .map_or(std::ptr::null_mut(), |h| h as *const HubGraph as *mut _),
+            Ordering::Relaxed,
         );
+        slot.iep_mode
+            .store(mode == CountMode::Iep, Ordering::Relaxed);
 
-        // Master helping (caller-runs): drain the injector on this thread
-        // with the persistent scratch. Small jobs complete right here while
-        // the woken workers assist; the guard then only waits for workers
-        // that actually activated.
+        // Completion guard *before* the scratch lock: on unwind the scratch
+        // guard drops (and unlocks) first, so `JobGuard::drop` can relock it
+        // to drain the master deque.
+        let guard = JobGuard { shared, slot_idx };
+        let mut scratch_guard = slot.lock_scratch();
+        let scratch = &mut *scratch_guard;
+        debug_assert!(scratch.deque.is_empty());
+
+        let tag = slot_idx as u32;
+        parallel::stream_prefix_batches(plan, ctx, depth, batch_size, |batch| {
+            // Account before publishing so `pending` can never be observed
+            // at zero while tasks sit in the lane.
+            slot.pending
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            slot.injector
+                .push_batch(batch.drain(..).map(|task| TaggedTask { slot: tag, task }));
+            // Backlog-driven ramp-up: wake one dormant worker per pushed
+            // batch, but only once more than a full batch is sitting
+            // unclaimed — a job small enough for this thread alone never
+            // pays a single context switch, while a large job's backlog
+            // wakes the pool batch by batch. The empty critical section
+            // closes the check-to-wait window of a worker about to park.
+            if slot.injector.len() > batch_size {
+                drop(lock_state(shared));
+                shared.job_ready.notify_one();
+            }
+        });
+        slot.producer_done.store(true, Ordering::Release);
+
+        // Master helping (caller-runs): drain this job's own lane with the
+        // lane's persistent scratch. Master-popped tasks are accounted at
+        // pop — the pointees live on this very stack frame, so only
+        // *worker*-held tasks need the completion accounting — which makes
+        // a panic below leave no unaccounted in-hand task behind.
         let mut local = 0u64;
         loop {
-            let task = match scratch.deque.pop() {
+            let tagged = match scratch.deque.pop() {
                 Some(task) => task,
-                None => match injector.steal_batch_and_pop(&scratch.deque) {
+                None => match slot.injector.steal_batch_and_pop(&scratch.deque) {
                     Steal::Success(task) => task,
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 },
             };
-            local += match mode {
-                CountMode::Enumerate => {
-                    interp::count_from_prefix_with(plan, ctx, task.as_slice(), &mut scratch.buffers)
-                }
-                CountMode::Iep => iep::iep_term_with(plan, ctx, task.as_slice(), &mut scratch.iep),
-            };
+            slot.pending.fetch_sub(1, Ordering::Relaxed);
+            if slot.panicked.load(Ordering::Relaxed) {
+                // A worker already poisoned this job: discard instead of
+                // burning time on a result that will be thrown away.
+                continue;
+            }
+            local += parallel::count_one_task(
+                plan,
+                ctx,
+                mode,
+                tagged.task.as_slice(),
+                &mut scratch.buffers,
+                &mut scratch.iep,
+            );
         }
-        total.fetch_add(local, Ordering::Relaxed);
+        slot.total.fetch_add(local, Ordering::Relaxed);
 
-        drop(guard); // waits for the activated workers, then clears the job
-
-        if lock_state(&self.shared).panicked {
+        drop(scratch_guard);
+        let (raw, panicked) = guard.finish();
+        if panicked {
             panic!("a pool worker panicked while executing this query");
         }
-        parallel::finalize_count(total.load(Ordering::Relaxed), mode, plan)
+        parallel::finalize_count(raw, mode, plan)
+    }
+
+    /// Claims a free job slot, blocking while `max_in_flight` jobs are
+    /// already running (the pool's backpressure).
+    fn acquire_slot(&self) -> usize {
+        let mut state = lock_state(&self.shared);
+        loop {
+            if let Some(idx) = state.free_slots.pop() {
+                return idx as usize;
+            }
+            state = self
+                .shared
+                .slot_free
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut state = lock_state(&self.shared);
-            state.shutdown = true;
-            self.shared.job_ready.notify_all();
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Empty critical section: a worker between its shutdown check and
+        // its condvar wait holds the state lock, so acquiring it here
+        // guarantees the broadcast below reaches every sleeper.
+        drop(lock_state(&self.shared));
+        self.shared.job_ready.notify_all();
+        self.shared.slot_free.notify_all();
+        for unparker in &self.unparkers {
+            unparker.unpark();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -373,155 +512,225 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Completes a job: blocks until every activated worker has retired, then
-/// clears the job slot (so late-waking workers skip the epoch instead of
-/// dereferencing dead pointers). Runs on drop so that even a panicking
-/// master cannot unwind past stack data the workers still reference.
+/// Completes a job: finishes the accounting (discarding any tasks the
+/// unwinding master left queued), blocks until every worker-held task of
+/// the job retires, then frees the slot. Runs on drop so that even a
+/// panicking master cannot unwind past stack data the workers still
+/// reference; the normal path calls [`JobGuard::finish`] to also read the
+/// job's results before the slot can be reused.
 struct JobGuard<'a> {
     shared: &'a Shared,
-    producer_done: &'a AtomicBool,
-    unparkers: &'a [Unparker],
-    injector: &'a Injector<PrefixTask>,
+    slot_idx: usize,
+}
+
+impl JobGuard<'_> {
+    /// Normal-path completion: returns the raw total and the panic flag
+    /// (read *before* the slot is released, after which another submitter
+    /// may reset them).
+    fn finish(self) -> (u64, bool) {
+        let result = self.complete();
+        std::mem::forget(self); // completion already ran; skip Drop
+        result
+    }
+
+    fn complete(&self) -> (u64, bool) {
+        let slot = &self.shared.slots[self.slot_idx];
+        // Normal path: the master already set `producer_done` and drained
+        // the lane, so everything below is a no-op until the wait. On
+        // unwind neither holds: finish streaming bookkeeping and discard
+        // the unprocessed backlog (the count is unwinding anyway) so the
+        // retire condition can become true.
+        slot.producer_done.store(true, Ordering::Release);
+        {
+            let scratch = slot.lock_scratch();
+            loop {
+                let popped = match scratch.deque.pop() {
+                    Some(task) => Some(task),
+                    None => loop {
+                        match slot.injector.steal() {
+                            Steal::Success(task) => break Some(task),
+                            Steal::Empty => break None,
+                            Steal::Retry => continue,
+                        }
+                    },
+                };
+                match popped {
+                    // Any task still physically present in the deque or the
+                    // lane is by definition unaccounted (accounting happens
+                    // at pop), so account each as it is discarded.
+                    Some(_) => slot.pending.fetch_sub(1, Ordering::Relaxed),
+                    None => break,
+                };
+            }
+        }
+        // Wait for worker-held tasks to retire; their `Release` decrements
+        // paired with this `Acquire` load make every worker access to the
+        // submitter's stack happen-before the return.
+        {
+            let mut done = slot
+                .done_lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while slot.pending.load(Ordering::Acquire) > 0 {
+                done = slot
+                    .done_cv
+                    .wait(done)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let raw = slot.total.load(Ordering::Relaxed);
+        let panicked = slot.panicked.load(Ordering::Relaxed);
+        // Free the slot (and wake one blocked submitter).
+        let mut state = lock_state(self.shared);
+        state.free_slots.push(self.slot_idx as u32);
+        drop(state);
+        self.shared.slot_free.notify_one();
+        (raw, panicked)
+    }
 }
 
 impl Drop for JobGuard<'_> {
     fn drop(&mut self) {
-        // Normal path: the master already set `producer_done` and drained
-        // the injector. On unwind neither holds, so finish both here —
-        // unprocessed tasks are discarded (the count is unwinding anyway)
-        // to guarantee the workers' retire condition becomes true.
-        self.producer_done.store(true, Ordering::Release);
+        let _ = self.complete();
+    }
+}
+
+/// The persistent worker body: scan the job lanes and sibling deques for
+/// tagged tasks (any mix of concurrent jobs), execute each against its own
+/// job's plan with scratch that survives across jobs, and idle adaptively
+/// (short [`Parker`] naps first, deep condvar sleep after
+/// [`DEEP_IDLE_ROUNDS`] empty rounds).
+fn worker_thread(
+    shared: &Shared,
+    me: usize,
+    deque: &Worker<TaggedTask>,
+    stealers: &[Stealer<TaggedTask>],
+    parker: &Parker,
+) {
+    // The scratch that makes the warm path allocation-free: created once
+    // per worker and reused for every task of every job the pool ever runs.
+    let mut buffers = SearchBuffers::new(MAX_LOOPS);
+    let mut iep_scratch = IepScratch::new();
+    let mut rotation = me; // fairness: stagger which lane each worker scans first
+    let mut idle_rounds = 0u32;
+
+    loop {
+        match next_task(deque, me, stealers, &shared.slots, &mut rotation) {
+            Some(tagged) => {
+                idle_rounds = 0;
+                let slot = &shared.slots[tagged.slot as usize];
+                run_task(slot, &tagged.task, &mut buffers, &mut iep_scratch);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if idle_rounds < DEEP_IDLE_ROUNDS {
+                    idle_rounds += 1;
+                    parker.park_timeout(IDLE_PARK);
+                } else {
+                    // Deep sleep until a submitter's backlog notify (or
+                    // shutdown). Re-check for backlog under the state lock:
+                    // a batch pushed before this point is visible here, and
+                    // one pushed after will re-notify while we wait.
+                    let state = lock_state(shared);
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if shared.slots.iter().all(|s| s.injector.is_empty()) {
+                        let woken = shared
+                            .job_ready
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        drop(woken);
+                    }
+                    idle_rounds = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one tagged task against its job slot, isolating panics to that
+/// job, then accounts it. Tasks of a job already marked panicked are
+/// discarded (accounted without execution).
+fn run_task(
+    slot: &JobSlot,
+    task: &PrefixTask,
+    buffers: &mut SearchBuffers,
+    iep_scratch: &mut IepScratch,
+) {
+    if !slot.panicked.load(Ordering::Relaxed) {
+        // SAFETY: we hold a popped, not-yet-accounted task of this slot's
+        // job, so the submitter is still blocked from returning and the
+        // pointers are live (module-level safety model). The queue hop that
+        // delivered the task orders these loads after the submitter's
+        // stores.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            let plan = &*slot.plan.load(Ordering::Relaxed);
+            let hubs = slot.hubs.load(Ordering::Relaxed);
+            let ctx = if hubs.is_null() {
+                ExecCtx::new(&*slot.graph.load(Ordering::Relaxed))
+            } else {
+                ExecCtx::with_hubs(&*hubs)
+            };
+            let mode = if slot.iep_mode.load(Ordering::Relaxed) {
+                CountMode::Iep
+            } else {
+                CountMode::Enumerate
+            };
+            parallel::count_one_task(plan, ctx, mode, task.as_slice(), buffers, iep_scratch)
+        }));
+        match result {
+            Ok(count) => {
+                slot.total.fetch_add(count, Ordering::Relaxed);
+            }
+            // Poison only this job; the worker thread survives and the
+            // scratch is safe to reuse (it is re-cleared at every use).
+            Err(_) => slot.panicked.store(true, Ordering::Relaxed),
+        }
+    }
+    slot.account_task();
+}
+
+/// Task acquisition order: own deque, then a batch from some job lane
+/// (rotating the starting lane per call so workers spread across jobs),
+/// then batches stolen from sibling deques. Tags keep concurrent jobs'
+/// tasks apart wherever they travel.
+fn next_task(
+    deque: &Worker<TaggedTask>,
+    me: usize,
+    stealers: &[Stealer<TaggedTask>],
+    slots: &[JobSlot],
+    rotation: &mut usize,
+) -> Option<TaggedTask> {
+    if let Some(task) = deque.pop() {
+        return Some(task);
+    }
+    let lanes = slots.len();
+    *rotation = (*rotation + 1) % lanes;
+    for i in 0..lanes {
+        let slot = &slots[(*rotation + i) % lanes];
         loop {
-            match self.injector.steal() {
-                Steal::Success(_) => {}
+            match slot.injector.steal_batch_and_pop(deque) {
+                Steal::Success(task) => return Some(task),
                 Steal::Empty => break,
                 Steal::Retry => continue,
             }
         }
-        for unparker in self.unparkers {
-            unparker.unpark();
-        }
-        let mut state = lock_state(self.shared);
-        while state.active > 0 {
-            state = self
-                .shared
-                .job_done
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-        state.job = None;
     }
-}
-
-/// The persistent worker body: wait for a job epoch, activate, run the
-/// shared `parallel::process_tasks` loop with scratch that survives
-/// across jobs, retire, repeat. Workers that sleep through a short job
-/// simply skip its epoch.
-fn worker_thread(
-    shared: Arc<Shared>,
-    me: usize,
-    deque: Worker<PrefixTask>,
-    stealers: Arc<Vec<Stealer<PrefixTask>>>,
-    parker: Parker,
-) {
-    // The scratch that makes the warm path allocation-free: created once
-    // per worker and reused for every job the pool ever runs.
-    let mut buffers = SearchBuffers::new(MAX_LOOPS);
-    let mut iep_scratch = IepScratch::new();
-    let mut last_epoch = 0u64;
-
-    loop {
-        let job = {
-            let mut state = lock_state(&shared);
-            loop {
-                if state.shutdown {
-                    return;
-                }
-                if state.epoch > last_epoch {
-                    last_epoch = state.epoch;
-                    if let Some(job) = state.job {
-                        state.active += 1;
-                        break job;
-                    }
-                    // The job already completed before this worker woke:
-                    // skip the epoch and keep waiting.
-                }
-                state = shared
-                    .job_ready
-                    .wait(state)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-        };
-
-        // Retire even if the counting code below panics: without this a
-        // worker panic would leave `active` elevated forever and deadlock
-        // the submitter (and every later query) in `JobGuard`. The drop
-        // also records the panic so the submitter can re-raise it, and
-        // drains this worker's deque so stale tasks cannot be stolen by
-        // live workers during a later job.
-        let retire = RetireGuard {
-            shared: &shared,
-            deque: &deque,
-        };
-
-        // SAFETY: this worker activated (incremented `active`) while the
-        // job was posted; `count_in` keeps every pointer in `job` alive
-        // until `active` returns to zero (enforced by `JobGuard`).
-        let local = unsafe {
-            let plan = &*job.plan;
-            let ctx = if job.hubs.is_null() {
-                ExecCtx::new(&*job.graph)
-            } else {
-                ExecCtx::with_hubs(&*job.hubs)
-            };
-            parallel::process_tasks(
-                plan,
-                ctx,
-                job.mode,
-                &deque,
-                me,
-                &stealers,
-                &*job.injector,
-                &*job.producer_done,
-                &mut buffers,
-                &mut iep_scratch,
-                || parker.park_timeout(IDLE_PARK),
-            )
-        };
-        // SAFETY: same lifetime argument; the add happens before retiring.
-        unsafe {
-            (*job.total).fetch_add(local, Ordering::Relaxed);
+    for (i, stealer) in stealers.iter().enumerate() {
+        if i == me {
+            continue;
         }
-
-        drop(retire);
-    }
-}
-
-/// Decrements `active` (and wakes the submitter when it reaches zero) even
-/// on unwind, recording whether the worker retired by panicking and
-/// discarding any tasks the unwound worker still held (they belong to the
-/// failed job; leaking them to a later job's stealers would corrupt its
-/// count).
-struct RetireGuard<'a> {
-    shared: &'a Shared,
-    deque: &'a Worker<PrefixTask>,
-}
-
-impl Drop for RetireGuard<'_> {
-    fn drop(&mut self) {
-        // Only ever non-empty when unwinding (normal retirement implies
-        // the worker drained its deque), but draining unconditionally is a
-        // single cheap None pop.
-        while self.deque.pop().is_some() {}
-        let mut state = lock_state(self.shared);
-        if std::thread::panicking() {
-            state.panicked = true;
-        }
-        state.active -= 1;
-        if state.active == 0 {
-            self.shared.job_done.notify_all();
+        match stealer.steal_batch_and_pop(deque) {
+            Steal::Success(task) => return Some(task),
+            // On Empty move to the next victim; on Retry (lost a CAS race)
+            // likewise — the worker's outer loop revisits every victim.
+            Steal::Empty | Steal::Retry => {}
         }
     }
+    None
 }
 
 #[cfg(test)]
@@ -538,6 +747,14 @@ mod tests {
         let sets = generate_restriction_sets(&pattern, GenerationOptions::default());
         let schedules = efficient_schedules(&pattern);
         Configuration::new(pattern, schedules[0].clone(), sets[0].clone()).compile()
+    }
+
+    /// A plan corrupted so task processing indexes out of bounds: loop 1
+    /// claims a parent at position 3, but only one vertex is bound.
+    fn poison_plan() -> ExecutionPlan {
+        let mut bad = plan_for(graphpi_pattern::Pattern::new(2, &[(0, 1)]));
+        bad.loops[1].parents = vec![3];
+        bad
     }
 
     #[test]
@@ -640,13 +857,25 @@ mod tests {
     fn dropping_an_idle_pool_joins_cleanly() {
         let pool = WorkerPool::new(4);
         assert_eq!(pool.threads(), 4);
+        assert_eq!(pool.live_workers(), 4);
         drop(pool); // must not hang
     }
 
     #[test]
-    fn concurrent_submitters_serialize_correctly() {
+    fn max_in_flight_resolution() {
+        let pool = WorkerPool::with_max_in_flight(3, 0);
+        assert_eq!(pool.max_in_flight(), 3);
+        assert_eq!(pool.in_flight(), 0);
+        let pool = WorkerPool::with_max_in_flight(1, 0);
+        assert_eq!(pool.max_in_flight(), 2, "floor of two lanes");
+        let pool = WorkerPool::with_max_in_flight(2, 7);
+        assert_eq!(pool.max_in_flight(), 7);
+    }
+
+    #[test]
+    fn concurrent_submitters_compute_exact_counts() {
         let g = generators::power_law(150, 5, 31);
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::with_max_in_flight(2, 3);
         let plan = plan_for(prefab::house());
         let expected = interp::count_embeddings(&plan, &g);
         std::thread::scope(|scope| {
@@ -661,6 +890,90 @@ mod tests {
                 });
             }
         });
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_mixed_jobs_do_not_mix_counts() {
+        // Different plans and different modes in flight at once: every
+        // submitter must get exactly its own job's count.
+        let g = generators::power_law(160, 5, 13);
+        let pool = WorkerPool::with_max_in_flight(2, 4);
+        let plans: Vec<ExecutionPlan> = [prefab::triangle(), prefab::rectangle(), prefab::house()]
+            .into_iter()
+            .map(plan_for)
+            .collect();
+        let expected: Vec<u64> = plans
+            .iter()
+            .map(|p| interp::count_embeddings(p, &g))
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, (plan, &want)) in plans.iter().zip(&expected).enumerate() {
+                let pool = &pool;
+                let g = &g;
+                scope.spawn(move || {
+                    let mode = if i % 2 == 0 {
+                        CountMode::Enumerate
+                    } else {
+                        CountMode::Iep
+                    };
+                    let options = ParallelOptions {
+                        mode,
+                        batch_size: 1 + i, // tiny batches force worker traffic
+                        ..Default::default()
+                    };
+                    for _ in 0..6 {
+                        assert_eq!(pool.count(plan, g, &options), want, "job {i}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn backpressure_blocks_beyond_max_in_flight() {
+        let g = generators::power_law(170, 5, 41);
+        let pool = WorkerPool::with_max_in_flight(2, 2);
+        let plan = plan_for(prefab::house());
+        let expected = interp::count_embeddings(&plan, &g);
+        let max_seen = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let sampler = {
+                let pool = &pool;
+                let max_seen = &max_seen;
+                let stop = &stop;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        max_seen.fetch_max(pool.in_flight() as u64, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            let submitters: Vec<_> = (0..5)
+                .map(|_| {
+                    let pool = &pool;
+                    let plan = &plan;
+                    let g = &g;
+                    scope.spawn(move || {
+                        for _ in 0..4 {
+                            assert_eq!(pool.count(plan, g, &ParallelOptions::default()), expected);
+                        }
+                    })
+                })
+                .collect();
+            for handle in submitters {
+                handle.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            sampler.join().unwrap();
+        });
+        assert!(
+            max_seen.load(Ordering::Relaxed) <= 2,
+            "in_flight exceeded max_in_flight: {}",
+            max_seen.load(Ordering::Relaxed)
+        );
+        assert_eq!(pool.in_flight(), 0);
     }
 
     #[test]
@@ -669,18 +982,93 @@ mod tests {
         let pool = WorkerPool::new(2);
         let good = plan_for(prefab::house());
         let expected = interp::count_embeddings(&good, &g);
-        // Corrupt a plan so task processing indexes out of bounds: loop 1
-        // claims a parent at position 3, but only one vertex is bound.
-        let mut bad = plan_for(graphpi_pattern::Pattern::new(2, &[(0, 1)]));
-        bad.loops[1].parents = vec![3];
+        let bad = poison_plan();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.count(&bad, &g, &ParallelOptions::default())
         }));
         assert!(result.is_err(), "corrupted plan must panic");
-        // The pool must remain fully usable afterwards.
+        // The pool must remain fully usable afterwards — including the
+        // worker threads, which survive the panicking job.
+        assert_eq!(pool.live_workers(), 2, "workers must survive a bad job");
         for _ in 0..3 {
             assert_eq!(pool.count(&good, &g, &ParallelOptions::default()), expected);
         }
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn repeated_panics_leave_all_workers_alive() {
+        // Regression for the original pool, whose workers unwound and died
+        // with the first panicking task they executed: enough bad jobs
+        // would silently strip the pool down to master-only execution.
+        let g = generators::power_law(120, 5, 7);
+        let pool = WorkerPool::new(2);
+        let good = plan_for(prefab::house());
+        let expected = interp::count_embeddings(&good, &g);
+        let bad = poison_plan();
+        for _ in 0..4 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Tiny batches maximise the chance workers (not just the
+                // master) execute poisoned tasks.
+                pool.count(
+                    &bad,
+                    &g,
+                    &ParallelOptions {
+                        batch_size: 1,
+                        ..Default::default()
+                    },
+                )
+            }));
+            assert!(result.is_err());
+            assert_eq!(pool.count(&good, &g, &ParallelOptions::default()), expected);
+        }
+        assert_eq!(pool.live_workers(), 2);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_from_concurrent_jobs() {
+        let g = generators::power_law(150, 5, 57);
+        let pool = WorkerPool::with_max_in_flight(2, 3);
+        let good = plan_for(prefab::house());
+        let expected = interp::count_embeddings(&good, &g);
+        let bad = poison_plan();
+        std::thread::scope(|scope| {
+            // One thread keeps submitting poisoned jobs...
+            let poisoner = {
+                let pool = &pool;
+                let bad = &bad;
+                let g = &g;
+                scope.spawn(move || {
+                    for _ in 0..6 {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            pool.count(
+                                bad,
+                                g,
+                                &ParallelOptions {
+                                    batch_size: 1,
+                                    ..Default::default()
+                                },
+                            )
+                        }));
+                        assert!(result.is_err());
+                    }
+                })
+            };
+            // ...while two others demand exact counts throughout.
+            for _ in 0..2 {
+                let pool = &pool;
+                let good = &good;
+                let g = &g;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        assert_eq!(pool.count(good, g, &ParallelOptions::default()), expected);
+                    }
+                });
+            }
+            poisoner.join().unwrap();
+        });
+        assert_eq!(pool.live_workers(), 2);
+        assert_eq!(pool.in_flight(), 0);
     }
 
     #[test]

@@ -610,6 +610,74 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Zero-length and sub-magic-size files must sniff as text and produce
+    /// a typed error from the binary loaders — never a panic or an
+    /// out-of-bounds read. Regression suite for the `--format auto` front
+    /// end path, which feeds whatever the user points it at straight into
+    /// [`sniff_is_binary`] and then one of the loaders.
+    #[test]
+    fn zero_length_and_sub_magic_files_are_handled_cleanly() {
+        // Every prefix of both magics, from the empty file up to one byte
+        // short of a full magic, plus arbitrary short junk.
+        let mut contents: Vec<Vec<u8>> = Vec::new();
+        for len in 0..8 {
+            contents.push(BINARY_MAGIC_V2[..len].to_vec());
+            contents.push(BINARY_MAGIC_V1[..len].to_vec());
+        }
+        contents.push(b"x".to_vec());
+        contents.push(b"1234567".to_vec());
+        for (i, bytes) in contents.iter().enumerate() {
+            let path = temp_dir().join(format!("short_{i}.bin"));
+            std::fs::write(&path, bytes).unwrap();
+            assert!(
+                !sniff_is_binary(&path),
+                "{} bytes of {:?} must sniff as text",
+                bytes.len(),
+                bytes
+            );
+            for result in [load_binary(&path), load_binary_mmap(&path)] {
+                assert!(
+                    matches!(result, Err(LoadError::BadFormat(_))),
+                    "short file {i} ({} bytes) must be a typed error, got {result:?}",
+                    bytes.len()
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// A file holding exactly the 8 magic bytes and nothing else sniffs as
+    /// binary (the magic is all the sniff reads) but then fails header
+    /// validation with a typed truncation error on both loaders.
+    #[test]
+    fn magic_only_files_sniff_binary_but_fail_validation() {
+        for (name, magic) in [("v2", BINARY_MAGIC_V2), ("v1", BINARY_MAGIC_V1)] {
+            let path = temp_dir().join(format!("magic_only_{name}.bin"));
+            std::fs::write(&path, magic).unwrap();
+            assert!(sniff_is_binary(&path), "{name} magic must sniff binary");
+            for result in [load_binary(&path), load_binary_mmap(&path)] {
+                assert!(
+                    matches!(result, Err(LoadError::BadFormat(_))),
+                    "magic-only {name} file must be a typed error, got {result:?}"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// Sniffing a missing file reports text (the subsequent load produces
+    /// the real IO error), and an empty edge list parses as the empty
+    /// graph rather than failing.
+    #[test]
+    fn sniff_missing_file_and_empty_edge_list() {
+        assert!(!sniff_is_binary("/nonexistent/graphpi/sniff.bin"));
+        let g = read_edge_list(&b""[..]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        let g = read_edge_list(&b"# only a comment\n\n"[..]).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
     #[test]
     fn bad_magic_rejected() {
         let path = temp_dir().join("bad.bin");

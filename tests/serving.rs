@@ -105,6 +105,7 @@ fn session_agrees_with_engine_for_every_mode() {
         PoolOptions {
             threads: 2,
             cache_capacity: 16,
+            ..PoolOptions::default()
         },
         PlanOptions::default(),
         CountOptions::default(),
@@ -143,8 +144,198 @@ fn warm_repeats_hit_the_cache_and_agree() {
     assert_eq!(stats.hits, 10);
 }
 
+/// The concurrency matrix of the multi-tenant pool: several submitter
+/// threads keep distinct jobs (different plans × modes × batch sizes) in
+/// flight simultaneously, and every single result must equal the
+/// sequential interpreter's. This is the bit-identity guarantee of the
+/// tentpole sweep above, extended to *overlapping* jobs.
+#[test]
+fn concurrent_jobs_on_one_pool_are_bit_identical() {
+    let graph = generators::power_law(170, 5, 201);
+    let plans: Vec<_> = prefab::evaluation_patterns()
+        .into_iter()
+        .take(4)
+        .map(|(name, p)| (name, plan_for(p)))
+        .collect();
+    let expected: Vec<u64> = plans
+        .iter()
+        .map(|(_, plan)| interp::count_embeddings(plan, &graph))
+        .collect();
+    for &(threads, max_in_flight) in &[(1usize, 2usize), (2, 2), (2, 4), (4, 3)] {
+        let pool = WorkerPool::with_max_in_flight(threads, max_in_flight);
+        std::thread::scope(|scope| {
+            for (i, ((name, plan), &want)) in plans.iter().zip(&expected).enumerate() {
+                let pool = &pool;
+                let graph = &graph;
+                scope.spawn(move || {
+                    let options = ParallelOptions {
+                        mode: if i % 2 == 0 {
+                            CountMode::Enumerate
+                        } else {
+                            CountMode::Iep
+                        },
+                        batch_size: [1, 8, 64][i % 3],
+                        ..Default::default()
+                    };
+                    for round in 0..4 {
+                        assert_eq!(
+                            pool.count(plan, graph, &options),
+                            want,
+                            "{name} (round {round}, threads={threads}, \
+                             max_in_flight={max_in_flight})"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.in_flight(), 0);
+    }
+}
+
+/// The serving stress test: N client threads × M mixed patterns hammer one
+/// shared `Session` concurrently. Every count must match the sequential
+/// engine, and the cache counters must stay consistent (each query is
+/// exactly one hit or one miss: hits + misses == queries).
+#[test]
+fn concurrent_clients_stress_shared_session() {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 6;
+    let engine = GraphPi::new(generators::power_law(170, 5, 333));
+    let session = engine.session_with(
+        PoolOptions {
+            threads: 2,
+            cache_capacity: 8,
+            max_in_flight: CLIENTS,
+        },
+        PlanOptions::default(),
+        CountOptions::default(),
+    );
+    let patterns: Vec<_> = prefab::evaluation_patterns()
+        .into_iter()
+        .take(4)
+        .map(|(_, p)| p)
+        .collect();
+    let expected: Vec<u64> = patterns.iter().map(|p| engine.count(p).unwrap()).collect();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let session = &session;
+            let patterns = &patterns;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Stagger the pattern mix per client so distinct plans
+                    // overlap in flight.
+                    let idx = (client + round) % patterns.len();
+                    assert_eq!(
+                        session.count(&patterns[idx]).unwrap(),
+                        expected[idx],
+                        "client {client}, round {round}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        (CLIENTS * ROUNDS) as u64,
+        "every query is exactly one hit or one miss"
+    );
+    // The cache plans outside its lock, so with CLIENTS threads up to
+    // CLIENTS racing planners per cold key are legitimate.
+    assert!(stats.misses >= patterns.len() as u64);
+    assert!(stats.misses <= (patterns.len() * CLIENTS) as u64);
+    assert_eq!(session.pool().in_flight(), 0);
+}
+
+/// A poisoned job must not disturb concurrent jobs on the same session
+/// pool, and the pool (including its worker threads) must stay fully
+/// usable afterwards.
+#[test]
+fn concurrent_panicking_job_leaves_other_jobs_exact() {
+    let graph = generators::power_law(150, 5, 91);
+    let pool = WorkerPool::with_max_in_flight(2, 3);
+    let good = plan_for(prefab::house());
+    let expected = interp::count_embeddings(&good, &graph);
+    // Corrupt a plan so task processing indexes out of bounds.
+    let mut bad = plan_for(graphpi::pattern::Pattern::new(2, &[(0, 1)]));
+    bad.loops[1].parents = vec![3];
+    std::thread::scope(|scope| {
+        let poisoner = {
+            let pool = &pool;
+            let bad = &bad;
+            let graph = &graph;
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pool.count(
+                            bad,
+                            graph,
+                            &ParallelOptions {
+                                batch_size: 1,
+                                ..Default::default()
+                            },
+                        )
+                    }));
+                    assert!(result.is_err(), "corrupted plan must panic");
+                }
+            })
+        };
+        for _ in 0..2 {
+            let pool = &pool;
+            let good = &good;
+            let graph = &graph;
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    assert_eq!(
+                        pool.count(good, graph, &ParallelOptions::default()),
+                        expected
+                    );
+                }
+            });
+        }
+        poisoner.join().unwrap();
+    });
+    // Workers survive panicking jobs (they used to unwind and die), and a
+    // fresh job on the same pool still counts exactly.
+    assert_eq!(pool.live_workers(), 2);
+    assert_eq!(
+        pool.count(&good, &graph, &ParallelOptions::default()),
+        expected
+    );
+    assert_eq!(pool.in_flight(), 0);
+}
+
+/// Backpressure: a pool with `max_in_flight = 1` degrades gracefully to
+/// one-job-at-a-time under concurrent submitters — exact counts, blocked
+/// (not rejected) submissions, nothing in flight afterwards.
+#[test]
+fn concurrent_submitters_respect_backpressure_limit() {
+    let graph = generators::power_law(150, 5, 77);
+    let pool = WorkerPool::with_max_in_flight(2, 1);
+    assert_eq!(pool.max_in_flight(), 1);
+    let plan = plan_for(prefab::house());
+    let expected = interp::count_embeddings(&plan, &graph);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let pool = &pool;
+            let plan = &plan;
+            let graph = &graph;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    assert_eq!(
+                        pool.count(plan, graph, &ParallelOptions::default()),
+                        expected
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(pool.in_flight(), 0);
+}
+
 /// A session shared by reference across threads serves concurrent queries
-/// correctly (jobs serialize internally on the pool).
+/// correctly (jobs overlap on the multi-tenant pool).
 #[test]
 fn session_shared_across_threads_agrees() {
     let engine = GraphPi::new(generators::power_law(160, 5, 91));
@@ -152,6 +343,7 @@ fn session_shared_across_threads_agrees() {
         PoolOptions {
             threads: 2,
             cache_capacity: 8,
+            ..PoolOptions::default()
         },
         PlanOptions::default(),
         CountOptions::default(),
@@ -217,6 +409,7 @@ fn lru_eviction_preserves_correctness() {
         PoolOptions {
             threads: 1,
             cache_capacity: 2,
+            ..PoolOptions::default()
         },
         PlanOptions::default(),
         CountOptions::default(),
