@@ -1,0 +1,143 @@
+//! Network serving benchmark: remote counts over a loopback socket vs the
+//! same warm [`Session`] called in process.
+//!
+//! The delta between the two columns is the whole serving stack — frame
+//! encode/decode, one TCP round trip, admission, and the server's
+//! dispatch — so it bounds the price of putting GraphPi behind a socket.
+//! A multi-client section then drives 1/2/4 concurrent connections at one
+//! server to show the handler-per-connection model scales past a single
+//! client's round-trip latency.
+//!
+//! Results are printed and written to `BENCH_net.json` as
+//! `{op, ns_per_iter, graph, threads}` records (`net/in_process_warm`,
+//! `net/remote_warm`, and `net/remote_multi_client`, whose `threads` field
+//! carries the client count). Every remote count is asserted bit-identical
+//! to the in-process count — the acceptance criterion of the serving PR —
+//! so a correctness regression fails the bench before any number is
+//! reported.
+
+use graphpi_bench::{
+    banner, scale_from_env, serving_dataset, write_bench_json, BenchRecord, Table,
+};
+use graphpi_core::config::ServeOptions;
+use graphpi_core::engine::GraphPi;
+use graphpi_core::net::{Client, Server};
+use graphpi_pattern::prefab;
+use std::time::Instant;
+
+/// Warm queries per measured cell.
+const ITERS: usize = 100;
+
+/// Connection counts of the multi-client section.
+const CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let scale = scale_from_env();
+    let dataset = serving_dataset(scale);
+    banner(
+        "Network serving: loopback remote counts vs in-process session",
+        &format!(
+            "house pattern, {ITERS} queries/cell; {}",
+            dataset.describe()
+        ),
+    );
+    let engine = GraphPi::new(dataset.graph.clone());
+    let pattern = prefab::house();
+
+    // In-process column: the session the server would build, minus the
+    // socket. Warm it so both columns measure the cached-plan regime.
+    let session = engine.session();
+    let expected = session.count(&pattern).expect("in-process count");
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        assert_eq!(session.count(&pattern).unwrap(), expected);
+    }
+    let in_process_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+
+    let server = Server::bind("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr();
+    let graph = dataset.name.to_string();
+    let mut records = vec![BenchRecord::new(
+        "net/in_process_warm",
+        in_process_ns,
+        graph.clone(),
+        1,
+    )];
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&engine).expect("serve"));
+
+        // Single-client round-trip latency.
+        let mut client = Client::connect(addr).expect("connect");
+        assert_eq!(client.count(&pattern).expect("warm-up").count, expected);
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            let got = client.count(&pattern).expect("remote count").count;
+            assert_eq!(got, expected, "remote count diverged from in-process");
+        }
+        let remote_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        records.push(BenchRecord::new(
+            "net/remote_warm",
+            remote_ns,
+            graph.clone(),
+            1,
+        ));
+
+        let mut table = Table::new(vec!["mode", "ns/query", "q/s", "overhead"]);
+        table.row(vec![
+            "in-process".into(),
+            format!("{:.1} us", in_process_ns / 1e3),
+            format!("{:.0}", 1e9 / in_process_ns),
+            "-".into(),
+        ]);
+        table.row(vec![
+            "remote".into(),
+            format!("{:.1} us", remote_ns / 1e3),
+            format!("{:.0}", 1e9 / remote_ns),
+            format!("{:.1} us", (remote_ns - in_process_ns) / 1e3),
+        ]);
+        table.print();
+        println!("\nembeddings per query: {expected} (bit-identical in-process and over the wire)");
+
+        // Multi-client aggregate throughput, one connection per client.
+        let mut multi = Table::new(vec!["clients", "agg ns/query", "agg q/s"]);
+        for &clients in &CLIENT_COUNTS {
+            let start = Instant::now();
+            std::thread::scope(|inner| {
+                for _ in 0..clients {
+                    inner.spawn(|| {
+                        let mut client = Client::connect(addr).expect("connect");
+                        for _ in 0..ITERS {
+                            let got = client.count(&pattern).expect("remote count").count;
+                            assert_eq!(got, expected, "concurrent remote count diverged");
+                        }
+                    });
+                }
+            });
+            let agg_ns = start.elapsed().as_nanos() as f64 / (clients * ITERS) as f64;
+            multi.row(vec![
+                format!("{clients}"),
+                format!("{:.1} us", agg_ns / 1e3),
+                format!("{:.0}", 1e9 / agg_ns),
+            ]);
+            records.push(BenchRecord::new(
+                "net/remote_multi_client",
+                agg_ns,
+                graph.clone(),
+                clients,
+            ));
+        }
+        println!();
+        multi.print();
+
+        handle.shutdown();
+        let report = serving.join().expect("serve thread");
+        println!(
+            "\nserver drained: {} connections, {} queries",
+            report.connections, report.queries
+        );
+    });
+
+    write_bench_json("BENCH_net.json", &records).expect("write BENCH_net.json");
+}

@@ -6,6 +6,7 @@
 //! graphpi-cli count   --graph edges.txt --pattern house [--threads 8] [--no-iep] [--hubs] [--list 5]
 //! graphpi-cli count   --graph graph.bin --format binary --pattern house --repeat 50 --session
 //! graphpi-cli convert edges.txt graph.bin
+//! graphpi-cli remote  --addr 127.0.0.1:7431 --pattern house --clients 4 --repeat 8 --stats
 //! ```
 //!
 //! Graphs load from a whitespace-separated edge list (`#`/`%` comments
@@ -36,10 +37,21 @@
 //! `--scalar-kernels` pins the sorted-set intersection kernels to the
 //! portable scalar reference (process-wide) instead of the runtime-detected
 //! SIMD family; counts are bit-identical either way.
+//!
+//! `remote` talks to a running `graphpi-server` over the wire protocol
+//! (`docs/protocol.md`): `--pattern` counts remotely (`--clients N` opens N
+//! concurrent connections, each running `--repeat` queries, and verifies
+//! every observed count is bit-identical), `--stats` prints the server's
+//! counters and latency histogram, `--ping` is a liveness probe,
+//! `--probe-malformed` sends a garbage frame and verifies the server
+//! answers with a typed error and keeps serving, and `--shutdown` asks the
+//! server to drain gracefully.
 
 use graphpi_core::codegen::{generate, Language};
 use graphpi_core::config::PoolOptions;
 use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
+use graphpi_core::net::protocol::{self, LatencyHistogram};
+use graphpi_core::net::{Client, NetError, RemoteCountOptions};
 use graphpi_graph::csr::CsrGraph;
 use graphpi_graph::{io, vertex_set};
 use graphpi_pattern::{prefab, Pattern};
@@ -83,12 +95,32 @@ enum Command {
     Convert {
         output: String,
     },
+    /// Talk to a running `graphpi-server` over the wire protocol.
+    Remote(RemoteArgs),
+}
+
+/// `remote` subcommand invocation: which server to talk to and what to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RemoteArgs {
+    addr: String,
+    pattern: Option<String>,
+    clients: usize,
+    repeat: usize,
+    no_iep: bool,
+    hubs: bool,
+    deadline_ms: u32,
+    ping: bool,
+    stats: bool,
+    shutdown: bool,
+    probe_malformed: bool,
 }
 
 const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <path> \
 [--format auto|text|binary] [--pattern <name|adj:...>] [--threads N] [--no-iep] [--hubs] \
 [--scalar-kernels] [--list N] [--repeat N] [--session] [--clients N] [--max-in-flight N]\n\
-       graphpi-cli convert <edge-list> <binary-out>";
+       graphpi-cli convert <edge-list> <binary-out>\n\
+       graphpi-cli remote [--addr host:port] [--pattern <name>] [--clients N] [--repeat N] \
+[--no-iep] [--hubs] [--deadline-ms N] [--ping] [--stats] [--probe-malformed] [--shutdown]";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut iter = args.iter();
@@ -111,6 +143,24 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     output: output.clone(),
                 },
                 graph_path: input.clone(),
+                format: GraphFormat::Auto,
+                pattern: None,
+                threads: 0,
+                use_iep: true,
+                hub_bitsets: false,
+                scalar_kernels: false,
+                list: 0,
+                repeat: 1,
+                session: false,
+                clients: 1,
+                max_in_flight: 0,
+            });
+        }
+        Some("remote") => {
+            let remote = parse_remote_args(iter.as_slice())?;
+            return Ok(CliArgs {
+                command: Command::Remote(remote),
+                graph_path: String::new(),
                 format: GraphFormat::Auto,
                 pattern: None,
                 threads: 0,
@@ -229,6 +279,240 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     })
 }
 
+/// Parses the flags after `remote`.
+fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
+    let mut remote = RemoteArgs {
+        addr: "127.0.0.1:7431".to_string(),
+        pattern: None,
+        clients: 1,
+        repeat: 1,
+        no_iep: false,
+        hubs: false,
+        deadline_ms: 0,
+        ping: false,
+        stats: false,
+        shutdown: false,
+        probe_malformed: false,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--addr" => remote.addr = iter.next().ok_or("--addr needs a value")?.clone(),
+            "--pattern" => {
+                remote.pattern = Some(iter.next().ok_or("--pattern needs a value")?.clone())
+            }
+            "--clients" => {
+                remote.clients = iter
+                    .next()
+                    .ok_or("--clients needs a value")?
+                    .parse()
+                    .map_err(|_| "--clients must be an integer".to_string())?;
+                if remote.clients == 0 {
+                    return Err("--clients must be at least 1".to_string());
+                }
+            }
+            "--repeat" => {
+                remote.repeat = iter
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|_| "--repeat must be an integer".to_string())?;
+                if remote.repeat == 0 {
+                    return Err("--repeat must be at least 1".to_string());
+                }
+            }
+            "--deadline-ms" => {
+                remote.deadline_ms = iter
+                    .next()
+                    .ok_or("--deadline-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms must be an integer".to_string())?
+            }
+            "--no-iep" => remote.no_iep = true,
+            "--hubs" => remote.hubs = true,
+            "--ping" => remote.ping = true,
+            "--stats" => remote.stats = true,
+            "--shutdown" => remote.shutdown = true,
+            "--probe-malformed" => remote.probe_malformed = true,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if remote.pattern.is_none()
+        && !(remote.ping || remote.stats || remote.shutdown || remote.probe_malformed)
+    {
+        return Err(format!(
+            "remote needs something to do: --pattern, --ping, --stats, --probe-malformed \
+             or --shutdown\n{USAGE}"
+        ));
+    }
+    Ok(remote)
+}
+
+/// Sends a deliberately malformed frame (wrong magic) on a raw socket and
+/// verifies the server answers with a typed error (or cleanly drops the
+/// connection) and keeps serving afterwards.
+fn probe_malformed(addr: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("failed to connect to {addr}: {e}"))?;
+    // Valid length prefix, corrupt magic: the server must not crash.
+    let mut garbage = Vec::new();
+    garbage.extend_from_slice(&8u32.to_le_bytes());
+    garbage.extend_from_slice(b"XXxx\x01\x02\x03\x04");
+    stream
+        .write_all(&garbage)
+        .map_err(|e| format!("probe write failed: {e}"))?;
+    match protocol::read_frame(&mut stream) {
+        Ok(frame) if frame.opcode == protocol::op::ERROR => {
+            let detail = protocol::WireError::decode(&frame.payload)
+                .map(|e| e.code.to_string())
+                .unwrap_or_else(|| "undecodable".to_string());
+            println!("probe: malformed frame answered with typed error ({detail})");
+        }
+        Ok(frame) => {
+            return Err(format!(
+                "probe: unexpected reply opcode {:#04x} to a malformed frame",
+                frame.opcode
+            ))
+        }
+        Err(NetError::Closed) => println!("probe: malformed frame dropped the connection cleanly"),
+        Err(e) => return Err(format!("probe: unexpected failure: {e}")),
+    }
+    // The server must still be alive for everyone else.
+    Client::connect(addr)
+        .and_then(|mut c| c.ping())
+        .map_err(|e| format!("probe: server unreachable after malformed frame: {e}"))?;
+    println!("probe: server still answers ping after the malformed frame");
+    Ok(())
+}
+
+/// Prints a `STATS_OK` snapshot in human-readable form.
+fn print_remote_stats(stats: &protocol::StatsOk) {
+    println!(
+        "server: {} live workers, {}/{} jobs in flight, {} queued, {} active-era connections",
+        stats.live_workers,
+        stats.in_flight,
+        stats.max_in_flight,
+        stats.queued,
+        stats.connections_total
+    );
+    println!(
+        "queries: {} executed, {} deadline-exceeded, {} protocol errors",
+        stats.queries_total, stats.deadline_exceeded, stats.protocol_errors
+    );
+    println!(
+        "plan cache: {} hit(s) / {} miss(es), {} eviction(s), {}/{} plans, {} warm-started",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_len,
+        stats.cache_capacity,
+        stats.warm_started
+    );
+    if stats.latency.total() > 0 {
+        let p50 = stats.latency.percentile_upper_bound_micros(0.50).unwrap();
+        let p99 = stats.latency.percentile_upper_bound_micros(0.99).unwrap();
+        println!(
+            "latency: {} samples, p50 < {}us, p99 < {}us",
+            stats.latency.total(),
+            p50,
+            p99
+        );
+        let buckets: Vec<String> = stats
+            .latency
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, count)| {
+                format!(
+                    ">={}us: {count}",
+                    LatencyHistogram::bucket_floor_micros(index)
+                )
+            })
+            .collect();
+        println!("latency histogram: {}", buckets.join("  "));
+    }
+}
+
+/// Runs the `remote` subcommand against a live `graphpi-server`.
+fn run_remote(args: &RemoteArgs) -> Result<(), String> {
+    if args.probe_malformed {
+        probe_malformed(&args.addr)?;
+    }
+    if args.ping {
+        Client::connect(&args.addr)
+            .and_then(|mut c| c.ping())
+            .map_err(|e| format!("ping failed: {e}"))?;
+        println!("ping: ok ({})", args.addr);
+    }
+    if let Some(name) = &args.pattern {
+        let pattern = resolve_pattern(name)?;
+        let options = RemoteCountOptions {
+            no_iep: args.no_iep,
+            hub_bitsets: args.hubs,
+            deadline_ms: args.deadline_ms,
+        };
+        let start = std::time::Instant::now();
+        // Every client thread opens its own connection and runs `repeat`
+        // queries; all observed counts must be bit-identical.
+        let counts: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|client_index| {
+                    let addr = &args.addr;
+                    let pattern = &pattern;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr)
+                            .map_err(|e| format!("client {client_index}: connect: {e}"))?;
+                        let mut observed = Vec::with_capacity(args.repeat);
+                        for _ in 0..args.repeat {
+                            let result = client
+                                .count_with(pattern, options)
+                                .map_err(|e| format!("client {client_index}: {e}"))?;
+                            observed.push(result.count);
+                        }
+                        Ok(observed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("remote client thread panicked"))
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        let mut all_counts = Vec::new();
+        for result in counts {
+            all_counts.extend(result?);
+        }
+        let first = all_counts[0];
+        if all_counts.iter().any(|&c| c != first) {
+            return Err("remote clients observed diverging counts".to_string());
+        }
+        let queries = all_counts.len() as u32;
+        println!(
+            "remote count {name}: {first} embeddings  ({queries} queries x{} client(s) in {:?}, \
+             {:.0} queries/s)",
+            args.clients,
+            elapsed,
+            f64::from(queries) / elapsed.as_secs_f64()
+        );
+    }
+    if args.stats {
+        let stats = Client::connect(&args.addr)
+            .and_then(|mut c| c.stats())
+            .map_err(|e| format!("stats failed: {e}"))?;
+        print_remote_stats(&stats);
+    }
+    if args.shutdown {
+        Client::connect(&args.addr)
+            .and_then(|mut c| c.shutdown_server())
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("shutdown: server is draining");
+    }
+    Ok(())
+}
+
 /// Resolves a pattern name (or `adj:` string, or `cliqueK`/`cycleK`/...).
 fn resolve_pattern(name: &str) -> Result<Pattern, String> {
     let lower = name.to_ascii_lowercase();
@@ -316,6 +600,9 @@ fn run(args: CliArgs) -> Result<(), String> {
     }
     if let Command::Convert { output } = &args.command {
         return run_convert(&args.graph_path, output);
+    }
+    if let Command::Remote(remote) = &args.command {
+        return run_remote(remote);
     }
     let load_start = std::time::Instant::now();
     let graph = load_graph(&args.graph_path, args.format)?;
@@ -697,6 +984,49 @@ mod tests {
         .unwrap();
         assert!(run(args).is_ok());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parses_remote_invocation() {
+        let args = parse_args(&strings(&[
+            "remote",
+            "--addr",
+            "127.0.0.1:9000",
+            "--pattern",
+            "house",
+            "--clients",
+            "4",
+            "--repeat",
+            "8",
+            "--deadline-ms",
+            "250",
+            "--no-iep",
+            "--stats",
+        ]))
+        .unwrap();
+        let Command::Remote(remote) = args.command else {
+            panic!("expected a remote command");
+        };
+        assert_eq!(remote.addr, "127.0.0.1:9000");
+        assert_eq!(remote.pattern.as_deref(), Some("house"));
+        assert_eq!(remote.clients, 4);
+        assert_eq!(remote.repeat, 8);
+        assert_eq!(remote.deadline_ms, 250);
+        assert!(remote.no_iep);
+        assert!(remote.stats);
+        assert!(!remote.shutdown);
+
+        // Action-free remote invocations are rejected; action flags alone
+        // are fine (default address).
+        assert!(parse_args(&strings(&["remote"])).is_err());
+        assert!(parse_args(&strings(&["remote", "--addr", "h:1"])).is_err());
+        for solo in ["--ping", "--stats", "--shutdown", "--probe-malformed"] {
+            let parsed = parse_args(&strings(&["remote", solo])).unwrap();
+            assert!(matches!(parsed.command, Command::Remote(_)), "{solo}");
+        }
+        assert!(parse_args(&strings(&["remote", "--clients", "0", "--ping"])).is_err());
+        assert!(parse_args(&strings(&["remote", "--repeat", "0", "--ping"])).is_err());
+        assert!(parse_args(&strings(&["remote", "--bogus"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The GraphPi network server binary.
+//!
+//! ```text
+//! graphpi-server --graph edges.txt [--listen 127.0.0.1:7431] [--threads N]
+//!                [--cache-capacity N] [--max-in-flight N]
+//!                [--max-connections N] [--persist plans.gppc]
+//! ```
+//!
+//! Loads the data graph once (text edge list or the checksummed binary
+//! format, auto-sniffed; binary opens zero-copy via mmap), binds the
+//! listener, prints one `listening on <addr>` line to stdout, and serves
+//! the wire protocol documented in `docs/protocol.md` until a client sends
+//! the `SHUTDOWN` opcode. Shutdown is graceful: in-flight queries finish
+//! and, with `--persist`, the plan cache's keys are written so the next
+//! start re-plans them (warm start) before the first query arrives.
+
+use graphpi_core::config::{PoolOptions, ServeOptions};
+use graphpi_core::engine::GraphPi;
+use graphpi_core::net::Server;
+use graphpi_graph::csr::CsrGraph;
+use graphpi_graph::io;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: graphpi-server --graph <path> [--listen <addr:port>] \
+[--threads N] [--cache-capacity N] [--max-in-flight N] [--max-connections N] \
+[--persist <path>]";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ServerArgs {
+    graph_path: String,
+    listen: String,
+    threads: usize,
+    cache_capacity: usize,
+    max_in_flight: usize,
+    max_connections: usize,
+    persist: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
+    let mut graph_path = None;
+    let mut listen = "127.0.0.1:7431".to_string();
+    let mut threads = 0usize;
+    let mut cache_capacity = 64usize;
+    let mut max_in_flight = 0usize;
+    let mut max_connections = 64usize;
+    let mut persist = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--graph" => graph_path = Some(iter.next().ok_or("--graph needs a value")?.clone()),
+            "--listen" => listen = iter.next().ok_or("--listen needs a value")?.clone(),
+            "--persist" => persist = Some(iter.next().ok_or("--persist needs a value")?.clone()),
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?
+            }
+            "--cache-capacity" => {
+                cache_capacity = iter
+                    .next()
+                    .ok_or("--cache-capacity needs a value")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity must be an integer".to_string())?
+            }
+            "--max-in-flight" => {
+                max_in_flight = iter
+                    .next()
+                    .ok_or("--max-in-flight needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-in-flight must be an integer".to_string())?
+            }
+            "--max-connections" => {
+                max_connections = iter
+                    .next()
+                    .ok_or("--max-connections needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-connections must be an integer".to_string())?
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(ServerArgs {
+        graph_path: graph_path.ok_or_else(|| format!("--graph is required\n{USAGE}"))?,
+        listen,
+        threads,
+        cache_capacity,
+        max_in_flight,
+        max_connections,
+        persist,
+    })
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    if io::sniff_is_binary(path) {
+        io::load_binary_mmap(path).map_err(|e| format!("failed to load {path}: {e}"))
+    } else {
+        io::load_edge_list(path).map_err(|e| format!("failed to load {path}: {e}"))
+    }
+}
+
+fn run(args: ServerArgs) -> Result<(), String> {
+    let load_start = std::time::Instant::now();
+    let graph = load_graph(&args.graph_path)?;
+    eprintln!(
+        "graph: {} vertices, {} edges (loaded in {:?})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        load_start.elapsed()
+    );
+    let engine = GraphPi::new(graph);
+
+    let options = ServeOptions {
+        pool: PoolOptions {
+            threads: args.threads,
+            cache_capacity: args.cache_capacity,
+            max_in_flight: args.max_in_flight,
+        },
+        max_connections: args.max_connections,
+        persist_path: args.persist.as_ref().map(std::path::PathBuf::from),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(&args.listen, options).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // The one stdout line scripts wait for (the port matters when binding
+    // to port 0).
+    println!("listening on {addr}");
+    eprintln!(
+        "pool: {} workers, max {} jobs in flight, plan cache capacity {}",
+        server.pool().threads(),
+        server.pool().max_in_flight(),
+        args.cache_capacity
+    );
+
+    let report = server.serve(&engine).map_err(|e| e.to_string())?;
+    eprintln!(
+        "drained: {} connections, {} queries; warm start {}/{} keys, {} plan keys persisted",
+        report.connections,
+        report.queries,
+        report.warm_start.warmed,
+        report.warm_start.applicable,
+        report.saved_plans
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let args = parse_args(&strings(&[
+            "--graph",
+            "g.txt",
+            "--listen",
+            "0.0.0.0:9000",
+            "--threads",
+            "4",
+            "--cache-capacity",
+            "16",
+            "--max-in-flight",
+            "2",
+            "--max-connections",
+            "8",
+            "--persist",
+            "plans.gppc",
+        ]))
+        .unwrap();
+        assert_eq!(args.graph_path, "g.txt");
+        assert_eq!(args.listen, "0.0.0.0:9000");
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.cache_capacity, 16);
+        assert_eq!(args.max_in_flight, 2);
+        assert_eq!(args.max_connections, 8);
+        assert_eq!(args.persist.as_deref(), Some("plans.gppc"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let args = parse_args(&strings(&["--graph", "g.txt"])).unwrap();
+        assert_eq!(args.listen, "127.0.0.1:7431");
+        assert_eq!(args.threads, 0);
+        assert_eq!(args.cache_capacity, 64);
+        assert!(args.persist.is_none());
+        assert!(parse_args(&strings(&[])).is_err(), "--graph is required");
+        assert!(parse_args(&strings(&["--graph"])).is_err());
+        assert!(parse_args(&strings(&["--graph", "g", "--threads", "x"])).is_err());
+        assert!(parse_args(&strings(&["--bogus"])).is_err());
+    }
+}

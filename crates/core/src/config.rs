@@ -60,6 +60,38 @@ impl Default for PoolOptions {
     }
 }
 
+/// Options for the network serving layer ([`crate::net::server::Server`]):
+/// the session resources plus the server's own limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker pool + plan cache configuration for the served session.
+    pub pool: PoolOptions,
+    /// Maximum simultaneously connected clients (0 = unlimited). Excess
+    /// connections are answered with a typed `TooManyConnections` error
+    /// and closed.
+    pub max_connections: usize,
+    /// Per-connection read timeout: the poll granularity at which idle
+    /// connection handlers notice a drain. Also the stall bound — a peer
+    /// that goes quiet *mid-frame* for longer than this is cut off
+    /// (anti-slowloris), while a peer idle *between* frames just keeps
+    /// the connection open.
+    pub read_timeout: std::time::Duration,
+    /// Where to persist the plan cache's keys at shutdown and warm-start
+    /// from at boot (`None` = no persistence). See [`crate::persist`].
+    pub persist_path: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            pool: PoolOptions::default(),
+            max_connections: 64,
+            read_timeout: std::time::Duration::from_millis(50),
+            persist_path: None,
+        }
+    }
+}
+
 /// A schedule paired with a restriction set for a specific pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Configuration {

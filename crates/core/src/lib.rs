@@ -40,24 +40,31 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod net;
 pub mod perf_model;
+pub mod persist;
 pub mod schedule;
 
-pub use config::{Configuration, ExecutionPlan, IepCorrection, PoolOptions};
-pub use engine::{CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, Session};
+pub use config::{Configuration, ExecutionPlan, IepCorrection, PoolOptions, ServeOptions};
+pub use engine::{
+    CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, SavedPlanKey, Session,
+    WarmStartReport,
+};
 pub use error::EngineError;
 pub use exec::pool::WorkerPool;
+pub use net::{Client, NetError, Server, ServerHandle};
 pub use perf_model::PerformanceModel;
 pub use schedule::Schedule;
 
 /// Convenience prelude for downstream code and examples.
 pub mod prelude {
-    pub use crate::config::{Configuration, PoolOptions};
+    pub use crate::config::{Configuration, PoolOptions, ServeOptions};
     pub use crate::engine::{
         CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, Session,
     };
     pub use crate::error::EngineError;
     pub use crate::exec::pool::WorkerPool;
+    pub use crate::net::{Client, NetError, Server, ServerHandle};
     pub use crate::perf_model::PerformanceModel;
     pub use crate::schedule::Schedule;
     pub use graphpi_graph::prelude::*;

@@ -1,0 +1,150 @@
+//! The GraphPi client library: a thin, synchronous request/response layer
+//! over any [`Transport`].
+//!
+//! `Client` is what `graphpi-cli remote` and the network tests are built
+//! on. Each method sends exactly one request frame and blocks for exactly
+//! one response frame; a typed server error ([`op::ERROR`]) surfaces as
+//! [`NetError::Remote`] with its [`ErrorCode`] intact, so callers can
+//! distinguish "your deadline expired" from "your pattern is disconnected"
+//! without string matching.
+
+use super::protocol::{
+    op, CountOk, CountRequest, ErrorCode, Frame, NetError, StatsOk, TcpTransport, Transport,
+    WireError,
+};
+use graphpi_pattern::Pattern;
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+/// Per-query options for [`Client::count_with`] — the wire-level mirror of
+/// the server-side execution flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteCountOptions {
+    /// Disable Inclusion–Exclusion counting for this query.
+    pub no_iep: bool,
+    /// Execute against the hub-accelerated layout.
+    pub hub_bitsets: bool,
+    /// Deadline in milliseconds covering queueing + execution (0 = none).
+    pub deadline_ms: u32,
+}
+
+/// A successful remote count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteCount {
+    /// Number of embeddings found.
+    pub count: u64,
+    /// Server-side execution time (excludes queueing and network).
+    pub elapsed: Duration,
+}
+
+/// A synchronous GraphPi protocol client over any [`Transport`].
+#[derive(Debug)]
+pub struct Client<T: Transport = TcpTransport> {
+    transport: T,
+}
+
+impl Client<TcpTransport> {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Ok(Self::new(TcpTransport::connect(addr)?))
+    }
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps an existing transport.
+    pub fn new(transport: T) -> Self {
+        Self { transport }
+    }
+
+    /// Consumes the client, returning its transport.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// Sends one request and receives its response, surfacing server
+    /// [`op::ERROR`] frames as [`NetError::Remote`].
+    fn roundtrip(&mut self, request: &Frame, expect: u8) -> Result<Frame, NetError> {
+        self.transport.send(request)?;
+        let response = loop {
+            match self.transport.recv() {
+                Ok(frame) => break frame,
+                // Only surfaced when the caller configured a read timeout
+                // on the transport; the query is still running, keep
+                // waiting.
+                Err(NetError::Idle) => continue,
+                Err(error) => return Err(error),
+            }
+        };
+        if response.opcode == op::ERROR {
+            let error = WireError::decode(&response.payload)
+                .ok_or(NetError::Protocol("undecodable error payload"))?;
+            return Err(error.into_net_error());
+        }
+        if response.opcode != expect {
+            return Err(NetError::Protocol(
+                "response opcode does not match the request",
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe: sends `PING`, expects the payload echoed back.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        let payload = vec![0xA5, 0x5A, 0x42];
+        let response = self.roundtrip(&Frame::new(op::PING, payload.clone()), op::PONG)?;
+        if response.payload != payload {
+            return Err(NetError::Protocol("pong payload was not echoed"));
+        }
+        Ok(())
+    }
+
+    /// Counts embeddings of `pattern` with default options.
+    pub fn count(&mut self, pattern: &Pattern) -> Result<RemoteCount, NetError> {
+        self.count_with(pattern, RemoteCountOptions::default())
+    }
+
+    /// Counts embeddings with explicit per-query options.
+    pub fn count_with(
+        &mut self,
+        pattern: &Pattern,
+        options: RemoteCountOptions,
+    ) -> Result<RemoteCount, NetError> {
+        let request = CountRequest {
+            no_iep: options.no_iep,
+            hub_bitsets: options.hub_bitsets,
+            deadline_ms: options.deadline_ms,
+            pattern: pattern.canonical_bytes(),
+        };
+        let response = self.roundtrip(&Frame::new(op::COUNT, request.encode()), op::COUNT_OK)?;
+        let ok = CountOk::decode(&response.payload)
+            .ok_or(NetError::Protocol("undecodable COUNT_OK payload"))?;
+        Ok(RemoteCount {
+            count: ok.count,
+            elapsed: Duration::from_micros(ok.elapsed_micros),
+        })
+    }
+
+    /// Fetches the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsOk, NetError> {
+        let response = self.roundtrip(&Frame::new(op::STATS, vec![]), op::STATS_OK)?;
+        StatsOk::decode(&response.payload).ok_or(NetError::Protocol("undecodable STATS_OK payload"))
+    }
+
+    /// Asks the server to drain and exit. The server acknowledges, then
+    /// closes this connection.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        self.roundtrip(&Frame::new(op::SHUTDOWN, vec![]), op::SHUTDOWN_OK)?;
+        Ok(())
+    }
+}
+
+/// Convenience: is this error the server saying "deadline exceeded"?
+pub fn is_deadline_exceeded(error: &NetError) -> bool {
+    matches!(
+        error,
+        NetError::Remote {
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        }
+    )
+}

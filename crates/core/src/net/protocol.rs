@@ -1,0 +1,878 @@
+//! The GraphPi wire protocol: length-prefixed binary frames over a byte
+//! stream.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     length  u32 LE: number of bytes that follow (4 + payload)
+//! 4       2     magic   "GP"
+//! 6       1     version 0x01
+//! 7       1     opcode  see [`op`]
+//! 8       len-4 payload opcode-specific (see the codec structs below)
+//! ```
+//!
+//! The length prefix covers the magic/version/opcode header, so
+//! `length >= 4` always, and is capped at [`MAX_FRAME_LEN`] — a reader can
+//! always either consume a whole well-formed frame or fail with a typed
+//! [`NetError`] *before* allocating attacker-controlled amounts of memory.
+//! All integers are little-endian; patterns travel as
+//! [`Pattern::canonical_bytes`](graphpi_pattern::Pattern::canonical_bytes),
+//! the same invertible encoding the plan cache keys on.
+//!
+//! The codec here is transport-agnostic: [`read_frame`]/[`write_frame`]
+//! work over any `Read`/`Write` (the tests drive them over in-memory
+//! cursors), and the [`Transport`] trait is the seam behind which an async
+//! or HTTP frontend can land later without touching the engine. The
+//! blocking [`TcpTransport`] is the only implementation today.
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// First two payload bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"GP";
+
+/// Current protocol version. Servers refuse anything else with
+/// [`ErrorCode::UnsupportedVersion`] and close the connection.
+pub const VERSION: u8 = 1;
+
+/// Bytes of header covered by the length prefix (magic + version + opcode).
+pub const HEADER_LEN: usize = 4;
+
+/// Upper bound on the length prefix. Patterns are ≤ 8 vertices and stats
+/// are fixed-size, so real frames are tiny; the cap exists so a corrupt or
+/// hostile length prefix cannot make the reader allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Opcode bytes. Requests have the high bit clear, responses set
+/// (`0x80 | request`); [`ERROR`](op::ERROR) is the one shared response
+/// for every failure.
+pub mod op {
+    /// Count embeddings of a pattern ([`super::CountRequest`] payload).
+    pub const COUNT: u8 = 0x01;
+    /// Fetch server counters (empty payload).
+    pub const STATS: u8 = 0x02;
+    /// Liveness probe; the payload is echoed back verbatim.
+    pub const PING: u8 = 0x03;
+    /// Ask the server to drain and exit (empty payload).
+    pub const SHUTDOWN: u8 = 0x04;
+    /// Successful count ([`super::CountOk`] payload).
+    pub const COUNT_OK: u8 = 0x81;
+    /// Counter snapshot ([`super::StatsOk`] payload).
+    pub const STATS_OK: u8 = 0x82;
+    /// Ping reply (echoed payload).
+    pub const PONG: u8 = 0x83;
+    /// Shutdown acknowledged; the server is now draining.
+    pub const SHUTDOWN_OK: u8 = 0x84;
+    /// Typed failure ([`super::WireError`] payload).
+    pub const ERROR: u8 = 0x7F;
+}
+
+/// Typed error codes carried by [`op::ERROR`] frames. The comment on each
+/// variant states whether the server keeps the connection open after
+/// sending it — malformed *framing* closes (the stream can no longer be
+/// trusted to be in sync), malformed *content* inside a well-formed frame
+/// does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Unparseable frame header or truncated stream. Connection closes.
+    BadFrame,
+    /// Version byte is not [`VERSION`]. Connection closes.
+    UnsupportedVersion,
+    /// Well-formed frame with an opcode the server does not know.
+    /// Connection stays open.
+    UnknownOpcode,
+    /// Well-formed frame whose payload failed to decode (including pattern
+    /// bytes that are not a valid canonical pattern). Connection stays open.
+    BadPayload,
+    /// The engine rejected the pattern (empty, disconnected, too large).
+    /// Connection stays open.
+    PatternRejected,
+    /// The query's deadline expired (while queued for admission, or before
+    /// the result could be sent). Connection stays open.
+    DeadlineExceeded,
+    /// The server is draining and accepts no new work. Connection closes.
+    ShuttingDown,
+    /// Length prefix exceeds [`MAX_FRAME_LEN`]. Connection closes.
+    FrameTooLarge,
+    /// The query panicked inside the engine. Connection stays open (the
+    /// worker pool isolates the panic to the job's slot).
+    Internal,
+    /// The server is at its connection limit. Connection closes.
+    TooManyConnections,
+    /// A code this build does not know (forward compatibility).
+    Other(u8),
+}
+
+impl ErrorCode {
+    /// The wire byte for this code.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::UnsupportedVersion => 2,
+            ErrorCode::UnknownOpcode => 3,
+            ErrorCode::BadPayload => 4,
+            ErrorCode::PatternRejected => 5,
+            ErrorCode::DeadlineExceeded => 6,
+            ErrorCode::ShuttingDown => 7,
+            ErrorCode::FrameTooLarge => 8,
+            ErrorCode::Internal => 9,
+            ErrorCode::TooManyConnections => 10,
+            ErrorCode::Other(code) => code,
+        }
+    }
+
+    /// Decodes a wire byte (unknown bytes become [`ErrorCode::Other`]).
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::BadPayload,
+            5 => ErrorCode::PatternRejected,
+            6 => ErrorCode::DeadlineExceeded,
+            7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::FrameTooLarge,
+            9 => ErrorCode::Internal,
+            10 => ErrorCode::TooManyConnections,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::BadFrame => write!(f, "bad frame"),
+            ErrorCode::UnsupportedVersion => write!(f, "unsupported protocol version"),
+            ErrorCode::UnknownOpcode => write!(f, "unknown opcode"),
+            ErrorCode::BadPayload => write!(f, "bad payload"),
+            ErrorCode::PatternRejected => write!(f, "pattern rejected"),
+            ErrorCode::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ErrorCode::ShuttingDown => write!(f, "server shutting down"),
+            ErrorCode::FrameTooLarge => write!(f, "frame too large"),
+            ErrorCode::Internal => write!(f, "internal server error"),
+            ErrorCode::TooManyConnections => write!(f, "too many connections"),
+            ErrorCode::Other(code) => write!(f, "error code {code}"),
+        }
+    }
+}
+
+/// Errors raised by the codec and transports.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket/file I/O failed.
+    Io(std::io::Error),
+    /// The peer closed the stream cleanly (EOF on a frame boundary).
+    Closed,
+    /// The stream ended or stalled in the middle of a frame — the reader
+    /// can no longer trust its framing and must drop the connection.
+    Truncated,
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// The version byte is not [`VERSION`] (carries the byte seen).
+    UnsupportedVersion(u8),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (carries the length).
+    FrameTooLarge(usize),
+    /// The read timed out with no bytes consumed — not an error; poll
+    /// again. Only surfaced by transports with a read timeout configured.
+    Idle,
+    /// The peer violated the protocol in a way framing cannot express
+    /// (e.g. a response with the wrong opcode).
+    Protocol(&'static str),
+    /// The server answered with a typed [`op::ERROR`] frame.
+    Remote {
+        /// The typed error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Truncated => write!(f, "stream truncated mid-frame"),
+            NetError::BadMagic => write!(f, "bad frame magic"),
+            NetError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            NetError::FrameTooLarge(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            NetError::Idle => write!(f, "read timed out with no data"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NetError::Remote { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// One decoded frame: the opcode byte plus its raw payload. The opcode is
+/// kept raw (not an enum) so unknown opcodes survive decoding and can be
+/// answered with a typed [`ErrorCode::UnknownOpcode`] instead of killing
+/// the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The opcode byte (see [`op`]).
+    pub opcode: u8,
+    /// The opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame from an opcode and payload.
+    pub fn new(opcode: u8, payload: Vec<u8>) -> Self {
+        Self { opcode, payload }
+    }
+
+    /// An [`op::ERROR`] frame carrying `code` and `message` (truncated to
+    /// `u16::MAX` bytes).
+    pub fn error(code: ErrorCode, message: &str) -> Self {
+        Self::new(op::ERROR, WireError::new(code, message).encode())
+    }
+
+    /// Serialises the frame (length prefix + header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let len = HEADER_LEN + self.payload.len();
+        let mut out = Vec::with_capacity(4 + len);
+        out.extend_from_slice(&(len as u32).to_le_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.opcode);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Reads exactly `buf.len()` bytes. `at_boundary` marks a read that starts
+/// on a frame boundary: there, EOF is a clean [`NetError::Closed`] and a
+/// zero-byte timeout is [`NetError::Idle`]. Once any byte of a frame has
+/// been consumed, EOF and timeouts become [`NetError::Truncated`] — the
+/// stream's framing can no longer be trusted.
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<(), NetError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    NetError::Closed
+                } else {
+                    NetError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(if at_boundary && filled == 0 {
+                    NetError::Idle
+                } else {
+                    NetError::Truncated
+                });
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from `reader`, validating length, magic and version.
+/// Works over any byte stream. At a frame boundary, zero bytes followed
+/// by EOF is a clean close and zero bytes followed by a timeout is
+/// [`NetError::Idle`]; any partially-read frame that stalls or hits EOF
+/// is [`NetError::Truncated`].
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Frame, NetError> {
+    let mut len_buf = [0u8; 4];
+    read_full(reader, &mut len_buf, true)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len < HEADER_LEN {
+        return Err(NetError::Protocol(
+            "length prefix shorter than the frame header",
+        ));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    read_full(reader, &mut body, false)?;
+    if body[..2] != MAGIC {
+        return Err(NetError::BadMagic);
+    }
+    if body[2] != VERSION {
+        return Err(NetError::UnsupportedVersion(body[2]));
+    }
+    Ok(Frame {
+        opcode: body[3],
+        payload: body[HEADER_LEN..].to_vec(),
+    })
+}
+
+/// Writes one frame to `writer` and flushes it.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<(), NetError> {
+    writer.write_all(&frame.encode())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// A bidirectional frame channel. The engine-facing server and client code
+/// speak only this trait, so an async or HTTP transport can be swapped in
+/// without touching either.
+pub trait Transport {
+    /// Sends one frame.
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError>;
+    /// Receives one frame (blocking up to the transport's read timeout,
+    /// surfacing [`NetError::Idle`] on a quiet timeout).
+    fn recv(&mut self) -> Result<Frame, NetError>;
+}
+
+/// Blocking TCP transport ([`TcpStream`] + Nagle disabled — frames are
+/// small and latency-sensitive).
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps an accepted or connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        stream.set_nodelay(true).ok();
+        Self { stream }
+    }
+
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Ok(Self::new(TcpStream::connect(addr)?))
+    }
+
+    /// Sets the read timeout ([`NetError::Idle`] on quiet expiry).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// The wrapped stream (for peer-address logging and shutdown).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        read_frame(&mut self.stream)
+    }
+}
+
+/// [`op::COUNT`] payload: execution flags, a deadline, and the pattern.
+///
+/// ```text
+/// offset  size  field
+/// 0       1     flags       bit0 = disable IEP, bit1 = hub bitsets
+/// 1       4     deadline_ms u32 LE, 0 = no deadline
+/// 5       ...   pattern     Pattern::canonical_bytes
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountRequest {
+    /// Disable Inclusion–Exclusion counting for this query.
+    pub no_iep: bool,
+    /// Execute against the hub-accelerated layout.
+    pub hub_bitsets: bool,
+    /// Query deadline in milliseconds (0 = none). The deadline covers
+    /// admission queueing and execution; an expired query gets
+    /// [`ErrorCode::DeadlineExceeded`].
+    pub deadline_ms: u32,
+    /// The pattern, as canonical bytes.
+    pub pattern: Vec<u8>,
+}
+
+impl CountRequest {
+    const FLAG_NO_IEP: u8 = 1 << 0;
+    const FLAG_HUBS: u8 = 1 << 1;
+
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.pattern.len());
+        let mut flags = 0u8;
+        if self.no_iep {
+            flags |= Self::FLAG_NO_IEP;
+        }
+        if self.hub_bitsets {
+            flags |= Self::FLAG_HUBS;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        out.extend_from_slice(&self.pattern);
+        out
+    }
+
+    /// Parses a payload; `None` on truncation or unknown flag bits (the
+    /// pattern bytes themselves are validated later by
+    /// `Pattern::from_canonical_bytes`).
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() < 5 {
+            return None;
+        }
+        let flags = payload[0];
+        if flags & !(Self::FLAG_NO_IEP | Self::FLAG_HUBS) != 0 {
+            return None;
+        }
+        let deadline_ms = u32::from_le_bytes(payload[1..5].try_into().ok()?);
+        Some(Self {
+            no_iep: flags & Self::FLAG_NO_IEP != 0,
+            hub_bitsets: flags & Self::FLAG_HUBS != 0,
+            deadline_ms,
+            pattern: payload[5..].to_vec(),
+        })
+    }
+}
+
+/// [`op::COUNT_OK`] payload: the embedding count and the server-side
+/// execution time (`[u64 count][u64 elapsed_micros]`, LE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountOk {
+    /// Number of embeddings found.
+    pub count: u64,
+    /// Server-side execution time in microseconds (excludes queueing).
+    pub elapsed_micros: u64,
+}
+
+impl CountOk {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.elapsed_micros.to_le_bytes());
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly 16 bytes.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            count: u64::from_le_bytes(payload[..8].try_into().ok()?),
+            elapsed_micros: u64::from_le_bytes(payload[8..].try_into().ok()?),
+        })
+    }
+}
+
+/// Number of buckets in the serving latency histogram: bucket 0 holds
+/// sub-microsecond samples, bucket `b ≥ 1` holds `[2^(b-1), 2^b)`
+/// microseconds, and the last bucket absorbs everything slower (≈ 36
+/// minutes), so no sample is ever dropped.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A log2 latency histogram over microseconds (see [`HISTOGRAM_BUCKETS`]
+/// for the bucket layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample counts per bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket index for a sample of `micros` microseconds.
+    pub fn bucket_index(micros: u64) -> usize {
+        if micros == 0 {
+            0
+        } else {
+            ((micros.ilog2() as usize) + 1).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, micros: u64) {
+        self.buckets[Self::bucket_index(micros)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive lower bound (in microseconds) of bucket `index`.
+    pub fn bucket_floor_micros(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// An upper bound (in microseconds) below which at least `p` (0..=1.0)
+    /// of the samples fall — the histogram-resolution percentile. Returns
+    /// `None` when the histogram is empty.
+    pub fn percentile_upper_bound_micros(&self, p: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target.max(1) {
+                return Some(if index + 1 < HISTOGRAM_BUCKETS {
+                    1u64 << index
+                } else {
+                    u64::MAX
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// [`op::STATS_OK`] payload: a full server counter snapshot. Fixed-size:
+/// seven `u32` gauges, eight `u64` counters, then the 32-bucket latency
+/// histogram (all LE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsOk {
+    /// Worker threads currently alive in the pool.
+    pub live_workers: u32,
+    /// The pool's concurrent-job limit.
+    pub max_in_flight: u32,
+    /// Jobs executing on the pool right now.
+    pub in_flight: u32,
+    /// Count requests waiting for admission (queue depth).
+    pub queued: u32,
+    /// Plans currently in the cache.
+    pub cache_len: u32,
+    /// Plan-cache capacity.
+    pub cache_capacity: u32,
+    /// Plans re-planned into the cache by warm start at boot.
+    pub warm_started: u32,
+    /// Connections accepted since boot.
+    pub connections_total: u64,
+    /// Count queries that entered execution (admitted; includes rejected
+    /// patterns and late completions, excludes queries cancelled while
+    /// queued). With a cold boot, `cache_hits + cache_misses ==
+    /// queries_total + warm_started`.
+    pub queries_total: u64,
+    /// Queries whose deadline expired (while queued or before reply).
+    pub deadline_exceeded: u64,
+    /// Malformed frames / protocol violations observed.
+    pub protocol_errors: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Plan-cache evictions.
+    pub cache_evictions: u64,
+    /// Reserved (always 0 in this version).
+    pub reserved: u64,
+    /// Per-query execution latency histogram.
+    pub latency: LatencyHistogram,
+}
+
+impl StatsOk {
+    const ENCODED_LEN: usize = 7 * 4 + 8 * 8 + HISTOGRAM_BUCKETS * 8;
+
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        for gauge in [
+            self.live_workers,
+            self.max_in_flight,
+            self.in_flight,
+            self.queued,
+            self.cache_len,
+            self.cache_capacity,
+            self.warm_started,
+        ] {
+            out.extend_from_slice(&gauge.to_le_bytes());
+        }
+        for counter in [
+            self.connections_total,
+            self.queries_total,
+            self.deadline_exceeded,
+            self.protocol_errors,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.reserved,
+        ] {
+            out.extend_from_slice(&counter.to_le_bytes());
+        }
+        for bucket in self.latency.buckets {
+            out.extend_from_slice(&bucket.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly the fixed size.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let mut pos = 0usize;
+        let mut next_u32 = || {
+            let v = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            v
+        };
+        let live_workers = next_u32();
+        let max_in_flight = next_u32();
+        let in_flight = next_u32();
+        let queued = next_u32();
+        let cache_len = next_u32();
+        let cache_capacity = next_u32();
+        let warm_started = next_u32();
+        let mut next_u64 = || {
+            let v = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            v
+        };
+        let connections_total = next_u64();
+        let queries_total = next_u64();
+        let deadline_exceeded = next_u64();
+        let protocol_errors = next_u64();
+        let cache_hits = next_u64();
+        let cache_misses = next_u64();
+        let cache_evictions = next_u64();
+        let reserved = next_u64();
+        let mut latency = LatencyHistogram::default();
+        for bucket in latency.buckets.iter_mut() {
+            *bucket = next_u64();
+        }
+        Some(Self {
+            live_workers,
+            max_in_flight,
+            in_flight,
+            queued,
+            cache_len,
+            cache_capacity,
+            warm_started,
+            connections_total,
+            queries_total,
+            deadline_exceeded,
+            protocol_errors,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            reserved,
+            latency,
+        })
+    }
+}
+
+/// [`op::ERROR`] payload: `[u8 code][u16 msg_len][msg utf8]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The typed error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error payload, truncating the message to `u16::MAX` bytes.
+    pub fn new(code: ErrorCode, message: &str) -> Self {
+        let mut message = message.to_string();
+        if message.len() > usize::from(u16::MAX) {
+            // Truncate on a char boundary.
+            let mut cut = usize::from(u16::MAX);
+            while !message.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            message.truncate(cut);
+        }
+        Self { code, message }
+    }
+
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3 + self.message.len());
+        out.push(self.code.code());
+        out.extend_from_slice(&(self.message.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.message.as_bytes());
+        out
+    }
+
+    /// Parses a payload; `None` on truncation, trailing bytes, or
+    /// non-UTF-8 text.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() < 3 {
+            return None;
+        }
+        let code = ErrorCode::from_code(payload[0]);
+        let msg_len = u16::from_le_bytes(payload[1..3].try_into().ok()?) as usize;
+        let text = payload.get(3..)?;
+        if text.len() != msg_len {
+            return None;
+        }
+        Some(Self {
+            code,
+            message: String::from_utf8(text.to_vec()).ok()?,
+        })
+    }
+
+    /// Converts into the error the client surfaces.
+    pub fn into_net_error(self) -> NetError {
+        NetError::Remote {
+            code: self.code,
+            message: self.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trips_through_a_byte_stream() {
+        for frame in [
+            Frame::new(op::PING, vec![]),
+            Frame::new(op::COUNT, vec![1, 2, 3, 4, 5, 6]),
+            Frame::new(0xEE, vec![0; 1000]),
+            Frame::error(ErrorCode::BadPayload, "nope"),
+        ] {
+            let bytes = frame.encode();
+            let mut cursor = Cursor::new(bytes);
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+            // Nothing left: a second read sees clean EOF.
+            assert!(matches!(read_frame(&mut cursor), Err(NetError::Closed)));
+        }
+    }
+
+    #[test]
+    fn malformed_streams_yield_typed_errors() {
+        // Truncated length prefix.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(vec![7u8, 0])),
+            Err(NetError::Truncated)
+        ));
+        // Length shorter than the header.
+        let mut short = Vec::new();
+        short.extend_from_slice(&3u32.to_le_bytes());
+        short.extend_from_slice(b"GP\x01");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(short)),
+            Err(NetError::Protocol(_))
+        ));
+        // Oversized length prefix fails before any allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(huge)),
+            Err(NetError::FrameTooLarge(_))
+        ));
+        // Wrong magic.
+        let mut bad_magic = Frame::new(op::PING, vec![]).encode();
+        bad_magic[4] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad_magic)),
+            Err(NetError::BadMagic)
+        ));
+        // Wrong version.
+        let mut bad_version = Frame::new(op::PING, vec![]).encode();
+        bad_version[6] = 9;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad_version)),
+            Err(NetError::UnsupportedVersion(9))
+        ));
+        // Body truncated mid-frame.
+        let full = Frame::new(op::COUNT, vec![1, 2, 3]).encode();
+        for cut in 1..full.len() {
+            let result = read_frame(&mut Cursor::new(full[..cut].to_vec()));
+            assert!(result.is_err(), "cut at {cut} must not parse");
+        }
+    }
+
+    #[test]
+    fn payload_codecs_round_trip() {
+        let req = CountRequest {
+            no_iep: true,
+            hub_bitsets: false,
+            deadline_ms: 1234,
+            pattern: vec![3, 0b110, 0b101, 0b011],
+        };
+        assert_eq!(CountRequest::decode(&req.encode()).unwrap(), req);
+        assert!(CountRequest::decode(&[]).is_none());
+        assert!(
+            CountRequest::decode(&[0xFF, 0, 0, 0, 0, 1]).is_none(),
+            "unknown flags"
+        );
+
+        let ok = CountOk {
+            count: u64::MAX - 3,
+            elapsed_micros: 17,
+        };
+        assert_eq!(CountOk::decode(&ok.encode()).unwrap(), ok);
+        assert!(CountOk::decode(&ok.encode()[..15]).is_none());
+
+        let mut stats = StatsOk {
+            live_workers: 4,
+            queries_total: 99,
+            cache_hits: 90,
+            cache_misses: 9,
+            ..StatsOk::default()
+        };
+        stats.latency.record(0);
+        stats.latency.record(1);
+        stats.latency.record(1500);
+        assert_eq!(StatsOk::decode(&stats.encode()).unwrap(), stats);
+        assert!(StatsOk::decode(&stats.encode()[1..]).is_none());
+
+        let err = WireError::new(ErrorCode::DeadlineExceeded, "too slow");
+        assert_eq!(WireError::decode(&err.encode()).unwrap(), err);
+        assert!(WireError::decode(&err.encode()[..2]).is_none());
+        // Message length must match exactly.
+        let mut padded = err.encode();
+        padded.push(0);
+        assert!(WireError::decode(&padded).is_none());
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for byte in 0u8..=255 {
+            assert_eq!(ErrorCode::from_code(byte).code(), byte);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_micros() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            HISTOGRAM_BUCKETS - 1
+        );
+        let mut h = LatencyHistogram::default();
+        for us in [0, 1, 2, 3, 900, 1_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.total(), 6);
+        assert!(h.percentile_upper_bound_micros(0.5).unwrap() <= 1 << 10);
+        assert!(LatencyHistogram::bucket_floor_micros(0) == 0);
+        assert!(LatencyHistogram::bucket_floor_micros(11) == 1024);
+    }
+}

@@ -1,0 +1,579 @@
+//! The blocking TCP server: one [`crate::engine::Session`] served to many
+//! connections over the [`super::protocol`] wire format.
+//!
+//! # Architecture
+//!
+//! One thread (the caller of [`Server::serve`]) runs a non-blocking accept
+//! loop; every accepted connection gets a scoped handler thread that speaks
+//! strict request/response framing. Handlers never touch each other's
+//! state, so **a bad frame kills its connection, never the server**:
+//! framing errors (bad magic, wrong version, oversized length, mid-frame
+//! truncation) answer with a typed error frame and close that one
+//! connection, while content errors inside a well-formed frame (unknown
+//! opcode, bad payload, rejected pattern, expired deadline) answer and keep
+//! the connection open.
+//!
+//! Queries execute on the shared multi-tenant
+//! [`WorkerPool`] through an **admission
+//! gate** sized to the pool's `max_in_flight`. The gate, not the pool, is
+//! where excess queries wait — unlike the pool's own blocking submit path,
+//! a gated wait can observe the query's deadline, so a queued query whose
+//! deadline expires is cancelled *without ever executing* (true
+//! cancellation, not post-hoc reporting). Deadlines are also re-checked
+//! after execution, so a reply never claims to have met a deadline it
+//! missed. A query that panics inside the engine is isolated twice: the
+//! pool contains it to the job's slot, and the handler's `catch_unwind`
+//! converts it into an [`ErrorCode::Internal`] response.
+//!
+//! Graceful shutdown (the `SHUTDOWN` opcode or [`ServerHandle::shutdown`])
+//! flips the draining flag: the accept loop stops and **closes the
+//! listener** (new connects are refused at the OS level), in-flight queries
+//! run to completion and their replies are delivered, idle connections are
+//! told [`ErrorCode::ShuttingDown`] and closed, and — when a persistence
+//! path is configured — the plan cache's keys are saved for the next
+//! process's warm start ([`crate::persist`]).
+
+use crate::config::{PoolOptions, ServeOptions};
+use crate::engine::{CountOptions, GraphPi, PlanCache, PlanOptions, Session, WarmStartReport};
+use crate::exec::pool::WorkerPool;
+use crate::net::protocol::{
+    op, CountOk, CountRequest, ErrorCode, Frame, LatencyHistogram, NetError, StatsOk, TcpTransport,
+    Transport, HISTOGRAM_BUCKETS,
+};
+use crate::persist;
+use graphpi_pattern::Pattern;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the accept loop naps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Server counters, shared between the accept loop, the connection
+/// handlers, and `STATS` replies. Plain relaxed atomics: these are
+/// monotonic counters and gauges, not synchronization.
+#[derive(Default)]
+struct Metrics {
+    connections_total: AtomicU64,
+    active_connections: AtomicUsize,
+    queries_total: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    protocol_errors: AtomicU64,
+    queued: AtomicUsize,
+    warm_started: AtomicUsize,
+    latency: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Metrics {
+    fn record_latency(&self, micros: u64) {
+        self.latency[LatencyHistogram::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn latency_snapshot(&self) -> LatencyHistogram {
+        let mut hist = LatencyHistogram::default();
+        for (bucket, counter) in hist.buckets.iter_mut().zip(self.latency.iter()) {
+            *bucket = counter.load(Ordering::Relaxed);
+        }
+        hist
+    }
+}
+
+/// A counting gate in front of the worker pool, sized to the pool's
+/// `max_in_flight`. Handlers wait *here* instead of inside the pool's
+/// blocking submit path because a gate wait can time out: that is what
+/// turns a queued query's deadline into real cancellation.
+struct Admission {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Admission {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Acquires a permit, giving up at `deadline`. Returns `false` on
+    /// expiry without consuming a permit.
+    fn acquire_until(&self, deadline: Option<Instant>) -> bool {
+        let mut permits = self.permits.lock().expect("admission gate poisoned");
+        loop {
+            if *permits > 0 {
+                *permits -= 1;
+                return true;
+            }
+            match deadline {
+                None => {
+                    permits = self
+                        .available
+                        .wait(permits)
+                        .expect("admission gate poisoned");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return false;
+                    }
+                    permits = self
+                        .available
+                        .wait_timeout(permits, deadline - now)
+                        .expect("admission gate poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut permits = self.permits.lock().expect("admission gate poisoned");
+        *permits += 1;
+        self.available.notify_one();
+    }
+}
+
+/// Remote control for a running [`Server`]: clonable, valid across
+/// threads, obtained from [`Server::handle`] before `serve` consumes the
+/// server.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    draining: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the OS-assigned port
+    /// when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: stop accepting, finish in-flight
+    /// queries, persist the plan cache, return from `serve`.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// What [`Server::serve`] reports after draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerReport {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Count queries that entered execution.
+    pub queries: u64,
+    /// The warm-start outcome at boot (zero when no persistence path or no
+    /// snapshot existed).
+    pub warm_start: WarmStartReport,
+    /// Plan-cache keys persisted at shutdown (zero without a path).
+    pub saved_plans: usize,
+}
+
+/// A bound-but-not-yet-serving GraphPi TCP server. Construction binds the
+/// listener (so the OS-assigned port is known and a [`ServerHandle`] can
+/// be taken); [`Server::serve`] then consumes the server and blocks until
+/// drained.
+pub struct Server {
+    listener: TcpListener,
+    pool: Arc<WorkerPool>,
+    cache: Arc<PlanCache>,
+    options: ServeOptions,
+    draining: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` with a fresh pool and plan cache per
+    /// `options.pool`.
+    pub fn bind(addr: impl ToSocketAddrs, options: ServeOptions) -> Result<Server, NetError> {
+        let PoolOptions {
+            threads,
+            cache_capacity,
+            max_in_flight,
+        } = options.pool;
+        Self::bind_shared(
+            addr,
+            Arc::new(WorkerPool::with_max_in_flight(threads, max_in_flight)),
+            Arc::new(PlanCache::new(cache_capacity)),
+            options,
+        )
+    }
+
+    /// Binds `addr` on an existing pool and cache — the constructor tests
+    /// use to keep their own handle on the pool (e.g. to assert
+    /// `live_workers()` across fault injection), and the one that lets
+    /// several servers share one pool.
+    pub fn bind_shared(
+        addr: impl ToSocketAddrs,
+        pool: Arc<WorkerPool>,
+        cache: Arc<PlanCache>,
+        options: ServeOptions,
+    ) -> Result<Server, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            pool,
+            cache,
+            options,
+            draining: Arc::new(AtomicBool::new(false)),
+            metrics: Arc::new(Metrics::default()),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A clonable remote control (take it before [`Server::serve`]).
+    pub fn handle(&self) -> Result<ServerHandle, NetError> {
+        Ok(ServerHandle {
+            draining: Arc::clone(&self.draining),
+            addr: self.listener.local_addr()?,
+        })
+    }
+
+    /// The worker pool queries execute on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Serves `engine` until drained (via the `SHUTDOWN` opcode or
+    /// [`ServerHandle::shutdown`]), then returns lifetime totals. Consumes
+    /// the server so the listener is provably closed when this returns.
+    pub fn serve(self, engine: &GraphPi) -> Result<ServerReport, NetError> {
+        let Server {
+            listener,
+            pool,
+            cache,
+            options,
+            draining,
+            metrics,
+        } = self;
+        let session = engine.session_shared(
+            Arc::clone(&pool),
+            Arc::clone(&cache),
+            PlanOptions::default(),
+            CountOptions::default(),
+        );
+
+        // Warm start: re-plan the previous process's working set so its
+        // patterns are cache hits from the first query. A missing snapshot
+        // is a cold start; a corrupt one is ignored (it must never prevent
+        // serving) and will be overwritten at shutdown.
+        let mut warm = WarmStartReport::default();
+        if let Some(path) = &options.persist_path {
+            if let Ok(snapshot) = persist::load_plan_cache(path) {
+                warm = session.warm_start(&snapshot.keys);
+                metrics.warm_started.store(warm.warmed, Ordering::Relaxed);
+            }
+        }
+
+        let admission = Admission::new(pool.max_in_flight());
+        std::thread::scope(|scope| {
+            // The accept loop owns the listener; dropping it on drain is
+            // what makes "rejects new connections" an OS-level refusal
+            // rather than an unanswered socket.
+            let listener = listener;
+            loop {
+                if draining.load(Ordering::Acquire) {
+                    drop(listener);
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                        let limit = options.max_connections;
+                        if limit > 0 && metrics.active_connections.load(Ordering::Relaxed) >= limit
+                        {
+                            let mut transport = TcpTransport::new(stream);
+                            let _ = transport.send(&Frame::error(
+                                ErrorCode::TooManyConnections,
+                                &format!("connection limit {limit} reached"),
+                            ));
+                            continue;
+                        }
+                        metrics.active_connections.fetch_add(1, Ordering::Relaxed);
+                        let session = &session;
+                        let metrics = &metrics;
+                        let admission = &admission;
+                        let draining = &draining;
+                        let read_timeout = options.read_timeout;
+                        scope.spawn(move || {
+                            handle_connection(
+                                stream,
+                                session,
+                                metrics,
+                                admission,
+                                draining,
+                                read_timeout,
+                            );
+                            metrics.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    // Transient per-connection accept failures (e.g. the
+                    // peer reset before accept) must not stop the server.
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            // Scope exit waits for every handler: that wait IS the drain.
+        });
+
+        let saved_plans = match &options.persist_path {
+            Some(path) => persist::save_plan_cache(&cache, path).unwrap_or(0),
+            None => 0,
+        };
+        Ok(ServerReport {
+            connections: metrics.connections_total.load(Ordering::Relaxed),
+            queries: metrics.queries_total.load(Ordering::Relaxed),
+            warm_start: warm,
+            saved_plans,
+        })
+    }
+}
+
+/// Speaks the protocol with one client until EOF, a framing error, or
+/// drain. Never panics outward and never takes the server down.
+fn handle_connection(
+    stream: TcpStream,
+    session: &Session<'_>,
+    metrics: &Metrics,
+    admission: &Admission,
+    draining: &AtomicBool,
+    read_timeout: Duration,
+) {
+    // The read timeout is the handler's poll granularity: an idle wait
+    // wakes up this often to notice a drain. Zero would mean non-blocking
+    // reads (a busy loop), so it is clamped away.
+    let timeout = if read_timeout.is_zero() {
+        Duration::from_millis(50)
+    } else {
+        read_timeout
+    };
+    stream.set_read_timeout(Some(timeout)).ok();
+    let mut transport = TcpTransport::new(stream);
+    loop {
+        if draining.load(Ordering::Acquire) {
+            let _ = transport.send(&Frame::error(
+                ErrorCode::ShuttingDown,
+                "server is draining; reconnect later",
+            ));
+            return;
+        }
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(NetError::Idle) => continue,
+            Err(NetError::Closed) => return,
+            Err(error) => {
+                // Framing is broken: answer with the matching typed code
+                // (best-effort — the peer may already be gone) and drop
+                // this one connection.
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let code = match &error {
+                    NetError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+                    NetError::FrameTooLarge(_) => ErrorCode::FrameTooLarge,
+                    _ => ErrorCode::BadFrame,
+                };
+                let _ = transport.send(&Frame::error(code, &error.to_string()));
+                return;
+            }
+        };
+        let keep_alive = match frame.opcode {
+            op::PING => transport.send(&Frame::new(op::PONG, frame.payload)).is_ok(),
+            op::STATS => {
+                let reply = stats_frame(session, metrics);
+                transport.send(&reply).is_ok()
+            }
+            op::COUNT => handle_count(&mut transport, &frame.payload, session, metrics, admission),
+            op::SHUTDOWN => {
+                draining.store(true, Ordering::Release);
+                let _ = transport.send(&Frame::new(op::SHUTDOWN_OK, vec![]));
+                false
+            }
+            other => {
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                transport
+                    .send(&Frame::error(
+                        ErrorCode::UnknownOpcode,
+                        &format!(
+                            "opcode {other:#04x} is not part of protocol v{}",
+                            super::protocol::VERSION
+                        ),
+                    ))
+                    .is_ok()
+            }
+        };
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Runs one `COUNT` request end to end. Returns whether the connection
+/// stays open (false only when the reply could not be sent).
+fn handle_count(
+    transport: &mut TcpTransport,
+    payload: &[u8],
+    session: &Session<'_>,
+    metrics: &Metrics,
+    admission: &Admission,
+) -> bool {
+    let request = match CountRequest::decode(payload) {
+        Some(request) => request,
+        None => {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&Frame::error(
+                    ErrorCode::BadPayload,
+                    "count payload must be [flags u8][deadline_ms u32][pattern bytes]",
+                ))
+                .is_ok();
+        }
+    };
+    let pattern = match Pattern::from_canonical_bytes(&request.pattern) {
+        Some(pattern) => pattern,
+        None => {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&Frame::error(
+                    ErrorCode::BadPayload,
+                    "pattern bytes are not a valid canonical pattern",
+                ))
+                .is_ok();
+        }
+    };
+    let deadline = (request.deadline_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(u64::from(request.deadline_ms)));
+
+    // Queue for admission. On expiry the query is cancelled having
+    // consumed no pool slot and no worker time.
+    metrics.queued.fetch_add(1, Ordering::Relaxed);
+    let admitted = admission.acquire_until(deadline);
+    metrics.queued.fetch_sub(1, Ordering::Relaxed);
+    if !admitted {
+        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        return transport
+            .send(&Frame::error(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired while queued; the query was not executed",
+            ))
+            .is_ok();
+    }
+
+    metrics.queries_total.fetch_add(1, Ordering::Relaxed);
+    let count_options = CountOptions {
+        use_iep: !request.no_iep,
+        hub_bitsets: request.hub_bitsets,
+        ..CountOptions::default()
+    };
+    let start = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        session.count_with(&pattern, count_options)
+    }));
+    let elapsed = start.elapsed();
+    admission.release();
+
+    let reply = match outcome {
+        Err(_) => Frame::error(
+            ErrorCode::Internal,
+            "query panicked; the worker pool isolated it",
+        ),
+        Ok(Err(engine_error)) => {
+            Frame::error(ErrorCode::PatternRejected, &engine_error.to_string())
+        }
+        Ok(Ok(count)) => {
+            let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+            metrics.record_latency(micros);
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                Frame::error(
+                    ErrorCode::DeadlineExceeded,
+                    "query completed after its deadline",
+                )
+            } else {
+                Frame::new(
+                    op::COUNT_OK,
+                    CountOk {
+                        count,
+                        elapsed_micros: micros,
+                    }
+                    .encode(),
+                )
+            }
+        }
+    };
+    transport.send(&reply).is_ok()
+}
+
+/// Builds a `STATS_OK` reply from the live counters.
+fn stats_frame(session: &Session<'_>, metrics: &Metrics) -> Frame {
+    let pool = session.pool();
+    let cache = session.cache_stats();
+    let stats = StatsOk {
+        live_workers: pool.live_workers() as u32,
+        max_in_flight: pool.max_in_flight() as u32,
+        in_flight: pool.in_flight() as u32,
+        queued: metrics.queued.load(Ordering::Relaxed) as u32,
+        cache_len: cache.len as u32,
+        cache_capacity: cache.capacity as u32,
+        warm_started: metrics.warm_started.load(Ordering::Relaxed) as u32,
+        connections_total: metrics.connections_total.load(Ordering::Relaxed),
+        queries_total: metrics.queries_total.load(Ordering::Relaxed),
+        deadline_exceeded: metrics.deadline_exceeded.load(Ordering::Relaxed),
+        protocol_errors: metrics.protocol_errors.load(Ordering::Relaxed),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        reserved: 0,
+        latency: metrics.latency_snapshot(),
+    };
+    Frame::new(op::STATS_OK, stats.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_gate_respects_deadlines() {
+        let gate = Admission::new(1);
+        assert!(gate.acquire_until(None));
+        // Second acquire with an already-expired deadline fails fast.
+        let past = Instant::now();
+        assert!(!gate.acquire_until(Some(past)));
+        // ... and with a short future deadline, fails after it passes.
+        let start = Instant::now();
+        assert!(!gate.acquire_until(Some(start + Duration::from_millis(20))));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // Releasing lets a waiter through.
+        gate.release();
+        assert!(gate.acquire_until(Some(Instant::now() + Duration::from_secs(1))));
+    }
+
+    #[test]
+    fn zero_capacity_gate_still_admits_one() {
+        let gate = Admission::new(0);
+        assert!(gate.acquire_until(None));
+    }
+}

@@ -262,6 +262,45 @@ impl Pattern {
         }
         out
     }
+
+    /// Decodes the byte serialisation produced by
+    /// [`Pattern::canonical_bytes`], validating it structurally: the length
+    /// must match the declared vertex count exactly, the matrix must be
+    /// symmetric with a zero diagonal, and the padding bits of the final
+    /// byte must be zero. Returns `None` for any malformed input — this is
+    /// the decoder used at trust boundaries (the wire protocol, persisted
+    /// plan-cache keys), so it must never panic.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Option<Pattern> {
+        let (&n_byte, packed) = bytes.split_first()?;
+        let n = n_byte as usize;
+        let bits = n * n;
+        if packed.len() != bits.div_ceil(8) {
+            return None;
+        }
+        let bit_at = |i: usize| packed[i / 8] & (1 << (i % 8)) != 0;
+        // Padding bits beyond n*n must be zero, so encoding is canonical.
+        for i in bits..packed.len() * 8 {
+            if bit_at(i) {
+                return None;
+            }
+        }
+        let mut p = Pattern::empty(n);
+        for u in 0..n {
+            if bit_at(u * n + u) {
+                return None; // self loop
+            }
+            for v in (u + 1)..n {
+                let forward = bit_at(u * n + v);
+                if forward != bit_at(v * n + u) {
+                    return None; // asymmetric
+                }
+                if forward {
+                    p.add_edge(u, v);
+                }
+            }
+        }
+        Some(p)
+    }
 }
 
 impl fmt::Debug for Pattern {
@@ -393,5 +432,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn canonical_bytes_round_trip() {
+        for p in [
+            house(),
+            Pattern::new(3, &[(0, 1), (1, 2), (0, 2)]),
+            Pattern::empty(1),
+            Pattern::empty(0),
+            Pattern::new(8, &[(0, 1), (2, 3), (4, 5), (6, 7), (0, 7)]),
+        ] {
+            assert_eq!(Pattern::from_canonical_bytes(&p.canonical_bytes()), Some(p));
+        }
+    }
+
+    #[test]
+    fn malformed_canonical_bytes_rejected() {
+        // Empty input, truncated body, oversized body.
+        assert_eq!(Pattern::from_canonical_bytes(&[]), None);
+        let good = house().canonical_bytes();
+        assert_eq!(Pattern::from_canonical_bytes(&good[..good.len() - 1]), None);
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(Pattern::from_canonical_bytes(&long), None);
+        // Self loop: bit (0,0) set on a 2-vertex pattern.
+        assert_eq!(Pattern::from_canonical_bytes(&[2, 0b0001]), None);
+        // Asymmetric: bit (0,1) set but (1,0) clear.
+        assert_eq!(Pattern::from_canonical_bytes(&[2, 0b0010]), None);
+        // Nonzero padding bits beyond n*n.
+        assert_eq!(Pattern::from_canonical_bytes(&[2, 0b1_0110]), None);
+        // The symmetric single edge decodes fine.
+        assert_eq!(
+            Pattern::from_canonical_bytes(&[2, 0b0110]),
+            Some(Pattern::new(2, &[(0, 1)]))
+        );
     }
 }
