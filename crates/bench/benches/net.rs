@@ -10,20 +10,26 @@
 //!
 //! Results are printed and written to `BENCH_net.json` as
 //! `{op, ns_per_iter, graph, threads}` records (`net/in_process_warm`,
-//! `net/remote_warm`, and `net/remote_multi_client`, whose `threads` field
-//! carries the client count). Every remote count is asserted bit-identical
-//! to the in-process count — the acceptance criterion of the serving PR —
-//! so a correctness regression fails the bench before any number is
-//! reported.
+//! `net/remote_warm`, `net/remote_multi_client` — whose `threads` field
+//! carries the client count — `net/remote_retry_overhead`, and
+//! `net/chaos_recovery`). The last two price the resilience layer: the
+//! retrying client on a healthy connection (bookkeeping only, no faults)
+//! and throughput with ~2% of wire operations failing through the seeded
+//! chaos injector (retries + reconnects + request-ID replay included).
+//! Every remote count is asserted bit-identical to the in-process count —
+//! the acceptance criterion of the serving PR — so a correctness
+//! regression fails the bench before any number is reported.
 
 use graphpi_bench::{
     banner, scale_from_env, serving_dataset, write_bench_json, BenchRecord, Table,
 };
 use graphpi_core::config::ServeOptions;
 use graphpi_core::engine::GraphPi;
-use graphpi_core::net::{Client, Server};
+use graphpi_core::net::{
+    ChaosConfig, ChaosConnector, Client, RetryPolicy, RetryingClient, Server, Transport,
+};
 use graphpi_pattern::prefab;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Warm queries per measured cell.
 const ITERS: usize = 100;
@@ -130,6 +136,89 @@ fn main() {
         }
         println!();
         multi.print();
+
+        // Resilience column 1: the retrying client on a healthy
+        // connection — its request-ID tagging and retry bookkeeping are
+        // pure overhead here, so the delta vs `net/remote_warm` is the
+        // price of making every query safely resendable.
+        let mut retrying = RetryingClient::connect_tcp(
+            addr,
+            RetryPolicy {
+                max_attempts: 4,
+                initial_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            }
+            .with_seed(1),
+        );
+        assert_eq!(retrying.count(&pattern).expect("warm-up").count, expected);
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            let got = retrying.count(&pattern).expect("retrying count").count;
+            assert_eq!(got, expected, "retrying count diverged");
+        }
+        let retry_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        records.push(BenchRecord::new(
+            "net/remote_retry_overhead",
+            retry_ns,
+            graph.clone(),
+            1,
+        ));
+
+        // Resilience column 2: the same queries with ~2% of wire
+        // operations faulted by the seeded chaos injector. The number is
+        // sustained throughput *including* reconnects, backoff sleeps,
+        // and request-ID replays — recovery priced end to end.
+        let connector = ChaosConnector::new(addr, ChaosConfig::gentle(0xBE7C));
+        let mut chaotic = RetryingClient::new(
+            move || {
+                let transport = connector.connect()?;
+                Ok(Box::new(transport) as Box<dyn Transport + Send>)
+            },
+            RetryPolicy {
+                max_attempts: 16,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(10),
+                ..RetryPolicy::default()
+            }
+            .with_seed(2),
+        );
+        assert_eq!(chaotic.count(&pattern).expect("warm-up").count, expected);
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            let got = chaotic.count(&pattern).expect("chaotic count").count;
+            assert_eq!(got, expected, "count diverged under chaos");
+        }
+        let chaos_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        records.push(BenchRecord::new(
+            "net/chaos_recovery",
+            chaos_ns,
+            graph.clone(),
+            1,
+        ));
+        let chaos_stats = chaotic.stats();
+
+        let mut resilience = Table::new(vec!["mode", "ns/query", "q/s", "vs remote"]);
+        resilience.row(vec![
+            "retrying (no faults)".into(),
+            format!("{:.1} us", retry_ns / 1e3),
+            format!("{:.0}", 1e9 / retry_ns),
+            format!("{:+.1} us", (retry_ns - remote_ns) / 1e3),
+        ]);
+        resilience.row(vec![
+            "chaos (~2% faults)".into(),
+            format!("{:.1} us", chaos_ns / 1e3),
+            format!("{:.0}", 1e9 / chaos_ns),
+            format!("{:+.1} us", (chaos_ns - remote_ns) / 1e3),
+        ]);
+        println!();
+        resilience.print();
+        println!(
+            "\nchaos run: {} attempts, {} retries, {} reconnects for {} queries",
+            chaos_stats.attempts,
+            chaos_stats.retries,
+            chaos_stats.connects,
+            ITERS + 1
+        );
 
         handle.shutdown();
         let report = serving.join().expect("serve thread");

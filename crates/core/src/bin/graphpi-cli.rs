@@ -45,17 +45,31 @@
 //! counters and latency histogram, `--ping` is a liveness probe,
 //! `--probe-malformed` sends a garbage frame and verifies the server
 //! answers with a typed error and keeps serving, and `--shutdown` asks the
-//! server to drain gracefully.
+//! server to drain gracefully. `--retries N` and `--backoff-ms N` run the
+//! counts through the resilient retrying client (automatic reconnect,
+//! request-ID idempotency, exponential backoff with jitter), and
+//! `--chaos-seed N` additionally routes each connection through the
+//! in-process seeded fault injector — a manual probe of the same machinery
+//! the chaos tests drive.
+//!
+//! `chaos-proxy` runs the standalone byte-level fault-injecting TCP proxy
+//! between real clients and a real server (prints one
+//! `proxying on <addr>` line to stdout, then serves until killed).
 
 use graphpi_core::codegen::{generate, Language};
 use graphpi_core::config::PoolOptions;
 use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
 use graphpi_core::net::protocol::{self, LatencyHistogram};
-use graphpi_core::net::{Client, NetError, RemoteCountOptions};
+use graphpi_core::net::{
+    ChaosConfig, ChaosConnector, ChaosProxy, Client, NetError, RemoteCountOptions, RetryPolicy,
+    RetryStats, RetryingClient, Transport,
+};
 use graphpi_graph::csr::CsrGraph;
 use graphpi_graph::{io, vertex_set};
 use graphpi_pattern::{prefab, Pattern};
+use std::net::ToSocketAddrs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// How to interpret the `--graph` file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +111,8 @@ enum Command {
     },
     /// Talk to a running `graphpi-server` over the wire protocol.
     Remote(RemoteArgs),
+    /// Run the byte-level fault-injecting TCP proxy.
+    ChaosProxy(ChaosProxyArgs),
 }
 
 /// `remote` subcommand invocation: which server to talk to and what to do.
@@ -109,10 +125,25 @@ struct RemoteArgs {
     no_iep: bool,
     hubs: bool,
     deadline_ms: u32,
+    retries: u32,
+    backoff_ms: u64,
+    chaos_seed: Option<u64>,
     ping: bool,
     stats: bool,
     shutdown: bool,
     probe_malformed: bool,
+}
+
+/// `chaos-proxy` subcommand invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChaosProxyArgs {
+    listen: String,
+    upstream: String,
+    seed: u64,
+    stall_per_mille: u32,
+    stall_ms: u64,
+    reset_per_mille: u32,
+    partial_per_mille: u32,
 }
 
 const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <path> \
@@ -120,7 +151,10 @@ const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <path> \
 [--scalar-kernels] [--list N] [--repeat N] [--session] [--clients N] [--max-in-flight N]\n\
        graphpi-cli convert <edge-list> <binary-out>\n\
        graphpi-cli remote [--addr host:port] [--pattern <name>] [--clients N] [--repeat N] \
-[--no-iep] [--hubs] [--deadline-ms N] [--ping] [--stats] [--probe-malformed] [--shutdown]";
+[--no-iep] [--hubs] [--deadline-ms N] [--retries N] [--backoff-ms N] [--chaos-seed N] \
+[--ping] [--stats] [--probe-malformed] [--shutdown]\n\
+       graphpi-cli chaos-proxy --upstream host:port [--listen host:port] [--seed N] \
+[--stall-per-mille N] [--stall-ms N] [--reset-per-mille N] [--partial-per-mille N]";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut iter = args.iter();
@@ -143,6 +177,24 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     output: output.clone(),
                 },
                 graph_path: input.clone(),
+                format: GraphFormat::Auto,
+                pattern: None,
+                threads: 0,
+                use_iep: true,
+                hub_bitsets: false,
+                scalar_kernels: false,
+                list: 0,
+                repeat: 1,
+                session: false,
+                clients: 1,
+                max_in_flight: 0,
+            });
+        }
+        Some("chaos-proxy") => {
+            let proxy = parse_chaos_proxy_args(iter.as_slice())?;
+            return Ok(CliArgs {
+                command: Command::ChaosProxy(proxy),
+                graph_path: String::new(),
                 format: GraphFormat::Auto,
                 pattern: None,
                 threads: 0,
@@ -289,6 +341,9 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
         no_iep: false,
         hubs: false,
         deadline_ms: 0,
+        retries: 1,
+        backoff_ms: 10,
+        chaos_seed: None,
         ping: false,
         stats: false,
         shutdown: false,
@@ -328,6 +383,31 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
                     .parse()
                     .map_err(|_| "--deadline-ms must be an integer".to_string())?
             }
+            "--retries" => {
+                remote.retries = iter
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|_| "--retries must be an integer".to_string())?;
+                if remote.retries == 0 {
+                    return Err("--retries must be at least 1 (the first attempt)".to_string());
+                }
+            }
+            "--backoff-ms" => {
+                remote.backoff_ms = iter
+                    .next()
+                    .ok_or("--backoff-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--backoff-ms must be an integer".to_string())?
+            }
+            "--chaos-seed" => {
+                remote.chaos_seed = Some(
+                    iter.next()
+                        .ok_or("--chaos-seed needs a value")?
+                        .parse()
+                        .map_err(|_| "--chaos-seed must be an integer".to_string())?,
+                )
+            }
             "--no-iep" => remote.no_iep = true,
             "--hubs" => remote.hubs = true,
             "--ping" => remote.ping = true,
@@ -345,7 +425,109 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
              or --shutdown\n{USAGE}"
         ));
     }
+    if remote.chaos_seed.is_some() && remote.retries == 1 {
+        return Err(
+            "--chaos-seed without --retries would fail on the first injected fault; \
+             give the client retries (e.g. --retries 8)"
+                .to_string(),
+        );
+    }
     Ok(remote)
+}
+
+/// Parses the flags after `chaos-proxy`.
+fn parse_chaos_proxy_args(args: &[String]) -> Result<ChaosProxyArgs, String> {
+    let mut proxy = ChaosProxyArgs {
+        listen: "127.0.0.1:0".to_string(),
+        upstream: String::new(),
+        seed: 0,
+        stall_per_mille: 50,
+        stall_ms: 2,
+        reset_per_mille: 20,
+        partial_per_mille: 20,
+    };
+    fn per_mille(name: &str, value: Option<&String>) -> Result<u32, String> {
+        let value: u32 = value
+            .ok_or(format!("{name} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{name} must be an integer"))?;
+        if value > 1000 {
+            return Err(format!("{name} is per mille (0..=1000)"));
+        }
+        Ok(value)
+    }
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--listen" => proxy.listen = iter.next().ok_or("--listen needs a value")?.clone(),
+            "--upstream" => proxy.upstream = iter.next().ok_or("--upstream needs a value")?.clone(),
+            "--seed" => {
+                proxy.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--stall-ms" => {
+                proxy.stall_ms = iter
+                    .next()
+                    .ok_or("--stall-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--stall-ms must be an integer".to_string())?
+            }
+            "--stall-per-mille" => {
+                proxy.stall_per_mille = per_mille("--stall-per-mille", iter.next())?
+            }
+            "--reset-per-mille" => {
+                proxy.reset_per_mille = per_mille("--reset-per-mille", iter.next())?
+            }
+            "--partial-per-mille" => {
+                proxy.partial_per_mille = per_mille("--partial-per-mille", iter.next())?
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if proxy.upstream.is_empty() {
+        return Err(format!(
+            "chaos-proxy requires --upstream <host:port>\n{USAGE}"
+        ));
+    }
+    Ok(proxy)
+}
+
+/// Resolves `host:port` to a socket address.
+fn resolve_addr(addr: &str) -> Result<std::net::SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolved to no addresses"))
+}
+
+/// Runs the chaos proxy until the process is killed.
+fn run_chaos_proxy(args: &ChaosProxyArgs) -> Result<(), String> {
+    let upstream = resolve_addr(&args.upstream)?;
+    let config = ChaosConfig {
+        seed: args.seed,
+        stall_per_mille: args.stall_per_mille,
+        stall_ms: args.stall_ms,
+        reset_per_mille: args.reset_per_mille,
+        partial_write_per_mille: args.partial_per_mille,
+        ..ChaosConfig::default()
+    };
+    let proxy = ChaosProxy::bind(&args.listen, upstream, config)
+        .map_err(|e| format!("failed to bind {}: {e}", args.listen))?;
+    let addr = proxy.local_addr().map_err(|e| e.to_string())?;
+    // The one stdout line scripts wait for.
+    println!("proxying on {addr}");
+    eprintln!(
+        "chaos: seed {} stall {}‰ x{}ms reset {}‰ partial {}‰ -> upstream {upstream}",
+        args.seed,
+        args.stall_per_mille,
+        args.stall_ms,
+        args.reset_per_mille,
+        args.partial_per_mille
+    );
+    proxy.run().map_err(|e| e.to_string())
 }
 
 /// Sends a deliberately malformed frame (wrong magic) on a raw socket and
@@ -452,26 +634,66 @@ fn run_remote(args: &RemoteArgs) -> Result<(), String> {
             no_iep: args.no_iep,
             hub_bitsets: args.hubs,
             deadline_ms: args.deadline_ms,
+            request_id: 0,
+        };
+        // With --retries or --chaos-seed the counts run through the
+        // resilient retrying client (which needs a resolved address for
+        // its reconnect loop) instead of the plain one-shot client.
+        let use_retry = args.retries > 1 || args.chaos_seed.is_some();
+        let resolved = if use_retry {
+            Some(resolve_addr(&args.addr)?)
+        } else {
+            None
         };
         let start = std::time::Instant::now();
         // Every client thread opens its own connection and runs `repeat`
         // queries; all observed counts must be bit-identical.
-        let counts: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+        let results: Vec<Result<(Vec<u64>, RetryStats), String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..args.clients)
                 .map(|client_index| {
                     let addr = &args.addr;
                     let pattern = &pattern;
                     scope.spawn(move || {
-                        let mut client = Client::connect(addr)
-                            .map_err(|e| format!("client {client_index}: connect: {e}"))?;
                         let mut observed = Vec::with_capacity(args.repeat);
-                        for _ in 0..args.repeat {
-                            let result = client
-                                .count_with(pattern, options)
-                                .map_err(|e| format!("client {client_index}: {e}"))?;
-                            observed.push(result.count);
+                        if let Some(resolved) = resolved {
+                            let policy = RetryPolicy {
+                                max_attempts: args.retries,
+                                initial_backoff: Duration::from_millis(args.backoff_ms),
+                                ..RetryPolicy::default()
+                            }
+                            .with_seed(client_index as u64);
+                            let mut client = match args.chaos_seed {
+                                Some(seed) => {
+                                    let config = ChaosConfig::gentle(seed ^ client_index as u64);
+                                    let connector = ChaosConnector::new(resolved, config);
+                                    RetryingClient::new(
+                                        move || {
+                                            let transport = connector.connect()?;
+                                            Ok(Box::new(transport) as Box<dyn Transport + Send>)
+                                        },
+                                        policy,
+                                    )
+                                }
+                                None => RetryingClient::connect_tcp(resolved, policy),
+                            };
+                            for _ in 0..args.repeat {
+                                let result = client
+                                    .count_with(pattern, options)
+                                    .map_err(|e| format!("client {client_index}: {e}"))?;
+                                observed.push(result.count);
+                            }
+                            Ok((observed, client.stats()))
+                        } else {
+                            let mut client = Client::connect(addr)
+                                .map_err(|e| format!("client {client_index}: connect: {e}"))?;
+                            for _ in 0..args.repeat {
+                                let result = client
+                                    .count_with(pattern, options)
+                                    .map_err(|e| format!("client {client_index}: {e}"))?;
+                                observed.push(result.count);
+                            }
+                            Ok((observed, RetryStats::default()))
                         }
-                        Ok(observed)
                     })
                 })
                 .collect();
@@ -482,8 +704,14 @@ fn run_remote(args: &RemoteArgs) -> Result<(), String> {
         });
         let elapsed = start.elapsed();
         let mut all_counts = Vec::new();
-        for result in counts {
-            all_counts.extend(result?);
+        let mut retry = RetryStats::default();
+        for result in results {
+            let (counts, stats) = result?;
+            all_counts.extend(counts);
+            retry.attempts += stats.attempts;
+            retry.connects += stats.connects;
+            retry.retries += stats.retries;
+            retry.hints_honored += stats.hints_honored;
         }
         let first = all_counts[0];
         if all_counts.iter().any(|&c| c != first) {
@@ -497,6 +725,12 @@ fn run_remote(args: &RemoteArgs) -> Result<(), String> {
             elapsed,
             f64::from(queries) / elapsed.as_secs_f64()
         );
+        if use_retry {
+            println!(
+                "resilience: {} attempts, {} connects, {} retries, {} server hints honored",
+                retry.attempts, retry.connects, retry.retries, retry.hints_honored
+            );
+        }
     }
     if args.stats {
         let stats = Client::connect(&args.addr)
@@ -603,6 +837,9 @@ fn run(args: CliArgs) -> Result<(), String> {
     }
     if let Command::Remote(remote) = &args.command {
         return run_remote(remote);
+    }
+    if let Command::ChaosProxy(proxy) = &args.command {
+        return run_chaos_proxy(proxy);
     }
     let load_start = std::time::Instant::now();
     let graph = load_graph(&args.graph_path, args.format)?;
@@ -1027,6 +1264,89 @@ mod tests {
         assert!(parse_args(&strings(&["remote", "--clients", "0", "--ping"])).is_err());
         assert!(parse_args(&strings(&["remote", "--repeat", "0", "--ping"])).is_err());
         assert!(parse_args(&strings(&["remote", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_remote_resilience_flags() {
+        let args = parse_args(&strings(&[
+            "remote",
+            "--pattern",
+            "house",
+            "--retries",
+            "8",
+            "--backoff-ms",
+            "5",
+            "--chaos-seed",
+            "42",
+        ]))
+        .unwrap();
+        let Command::Remote(remote) = args.command else {
+            panic!("expected a remote command");
+        };
+        assert_eq!(remote.retries, 8);
+        assert_eq!(remote.backoff_ms, 5);
+        assert_eq!(remote.chaos_seed, Some(42));
+        // Defaults: one attempt, no chaos.
+        let args = parse_args(&strings(&["remote", "--ping"])).unwrap();
+        let Command::Remote(remote) = args.command else {
+            panic!("expected a remote command");
+        };
+        assert_eq!(remote.retries, 1);
+        assert_eq!(remote.backoff_ms, 10);
+        assert_eq!(remote.chaos_seed, None);
+        // Zero retries is rejected; chaos without retries is rejected
+        // (the first injected fault would fail the run).
+        assert!(parse_args(&strings(&["remote", "--ping", "--retries", "0"])).is_err());
+        assert!(parse_args(&strings(&["remote", "--ping", "--chaos-seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_proxy_invocation() {
+        let args = parse_args(&strings(&[
+            "chaos-proxy",
+            "--upstream",
+            "127.0.0.1:7431",
+            "--listen",
+            "127.0.0.1:7500",
+            "--seed",
+            "9",
+            "--stall-per-mille",
+            "100",
+            "--stall-ms",
+            "3",
+            "--reset-per-mille",
+            "15",
+            "--partial-per-mille",
+            "25",
+        ]))
+        .unwrap();
+        let Command::ChaosProxy(proxy) = args.command else {
+            panic!("expected a chaos-proxy command");
+        };
+        assert_eq!(proxy.upstream, "127.0.0.1:7431");
+        assert_eq!(proxy.listen, "127.0.0.1:7500");
+        assert_eq!(proxy.seed, 9);
+        assert_eq!(proxy.stall_per_mille, 100);
+        assert_eq!(proxy.stall_ms, 3);
+        assert_eq!(proxy.reset_per_mille, 15);
+        assert_eq!(proxy.partial_per_mille, 25);
+        // Defaults (gentle chaos, ephemeral listen port).
+        let args = parse_args(&strings(&["chaos-proxy", "--upstream", "h:1"])).unwrap();
+        let Command::ChaosProxy(proxy) = args.command else {
+            panic!("expected a chaos-proxy command");
+        };
+        assert_eq!(proxy.listen, "127.0.0.1:0");
+        assert_eq!(proxy.stall_per_mille, 50);
+        // --upstream is required; per-mille rates are capped at 1000.
+        assert!(parse_args(&strings(&["chaos-proxy"])).is_err());
+        assert!(parse_args(&strings(&[
+            "chaos-proxy",
+            "--upstream",
+            "h:1",
+            "--reset-per-mille",
+            "1001",
+        ]))
+        .is_err());
     }
 
     #[test]

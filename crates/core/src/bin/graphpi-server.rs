@@ -3,16 +3,21 @@
 //! ```text
 //! graphpi-server --graph edges.txt [--listen 127.0.0.1:7431] [--threads N]
 //!                [--cache-capacity N] [--max-in-flight N]
-//!                [--max-connections N] [--persist plans.gppc]
+//!                [--max-connections N] [--queue-depth N]
+//!                [--persist plans.gppc] [--snapshot-interval-ms N]
 //! ```
 //!
 //! Loads the data graph once (text edge list or the checksummed binary
 //! format, auto-sniffed; binary opens zero-copy via mmap), binds the
 //! listener, prints one `listening on <addr>` line to stdout, and serves
 //! the wire protocol documented in `docs/protocol.md` until a client sends
-//! the `SHUTDOWN` opcode. Shutdown is graceful: in-flight queries finish
-//! and, with `--persist`, the plan cache's keys are written so the next
-//! start re-plans them (warm start) before the first query arrives.
+//! the `SHUTDOWN` opcode or the process receives SIGTERM/SIGINT. Both
+//! shutdown paths are graceful: in-flight queries finish and, with
+//! `--persist`, the plan cache's keys are written so the next start
+//! re-plans them (warm start) before the first query arrives. With
+//! `--snapshot-interval-ms`, the cache is additionally re-snapshotted in
+//! the background while serving, so even `kill -9` loses at most one
+//! interval of warmth.
 
 use graphpi_core::config::{PoolOptions, ServeOptions};
 use graphpi_core::engine::GraphPi;
@@ -20,10 +25,11 @@ use graphpi_core::net::Server;
 use graphpi_graph::csr::CsrGraph;
 use graphpi_graph::io;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: graphpi-server --graph <path> [--listen <addr:port>] \
 [--threads N] [--cache-capacity N] [--max-in-flight N] [--max-connections N] \
-[--persist <path>]";
+[--queue-depth N] [--persist <path>] [--snapshot-interval-ms N]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +40,9 @@ struct ServerArgs {
     cache_capacity: usize,
     max_in_flight: usize,
     max_connections: usize,
+    queue_depth: usize,
     persist: Option<String>,
+    snapshot_interval_ms: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
@@ -44,7 +52,9 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
     let mut cache_capacity = 64usize;
     let mut max_in_flight = 0usize;
     let mut max_connections = 64usize;
+    let mut queue_depth = 0usize;
     let mut persist = None;
+    let mut snapshot_interval_ms = 0u64;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -79,6 +89,20 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
                     .parse()
                     .map_err(|_| "--max-connections must be an integer".to_string())?
             }
+            "--queue-depth" => {
+                queue_depth = iter
+                    .next()
+                    .ok_or("--queue-depth needs a value")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be an integer".to_string())?
+            }
+            "--snapshot-interval-ms" => {
+                snapshot_interval_ms = iter
+                    .next()
+                    .ok_or("--snapshot-interval-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--snapshot-interval-ms must be an integer".to_string())?
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -89,7 +113,9 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
         cache_capacity,
         max_in_flight,
         max_connections,
+        queue_depth,
         persist,
+        snapshot_interval_ms,
     })
 }
 
@@ -98,6 +124,49 @@ fn load_graph(path: &str) -> Result<CsrGraph, String> {
         io::load_binary_mmap(path).map_err(|e| format!("failed to load {path}: {e}"))
     } else {
         io::load_edge_list(path).map_err(|e| format!("failed to load {path}: {e}"))
+    }
+}
+
+/// SIGTERM/SIGINT handling, in raw libc-less FFI (the same idiom as the
+/// mmap loader). The handler itself only flips an atomic — the only
+/// async-signal-safe thing it may do — and a watcher thread polls the
+/// flag and triggers the normal graceful drain, so a plain `kill` gets
+/// the exact same final-snapshot path as the SHUTDOWN opcode.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::Release);
+    }
+
+    /// Installs the flag-flipping handler for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn signalled() -> bool {
+        false
     }
 }
 
@@ -119,11 +188,15 @@ fn run(args: ServerArgs) -> Result<(), String> {
             max_in_flight: args.max_in_flight,
         },
         max_connections: args.max_connections,
+        max_queue_depth: args.queue_depth,
         persist_path: args.persist.as_ref().map(std::path::PathBuf::from),
+        snapshot_interval: (args.snapshot_interval_ms > 0)
+            .then(|| Duration::from_millis(args.snapshot_interval_ms)),
         ..ServeOptions::default()
     };
     let server = Server::bind(&args.listen, options).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle().map_err(|e| e.to_string())?;
     // The one stdout line scripts wait for (the port matters when binding
     // to port 0).
     println!("listening on {addr}");
@@ -134,14 +207,30 @@ fn run(args: ServerArgs) -> Result<(), String> {
         args.cache_capacity
     );
 
+    signals::install();
+    let watcher = std::thread::spawn(move || {
+        while !signals::signalled() {
+            if handle.is_draining() {
+                // Drained by other means (SHUTDOWN opcode); stop watching.
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        eprintln!("signal received; draining");
+        handle.shutdown();
+    });
+
     let report = server.serve(&engine).map_err(|e| e.to_string())?;
+    let _ = watcher.join();
     eprintln!(
-        "drained: {} connections, {} queries; warm start {}/{} keys, {} plan keys persisted",
+        "drained: {} connections, {} queries; warm start {}/{} keys, \
+         {} plan keys persisted, {} background snapshots",
         report.connections,
         report.queries,
         report.warm_start.warmed,
         report.warm_start.applicable,
-        report.saved_plans
+        report.saved_plans,
+        report.snapshots_written
     );
     Ok(())
 }
@@ -180,8 +269,12 @@ mod tests {
             "2",
             "--max-connections",
             "8",
+            "--queue-depth",
+            "5",
             "--persist",
             "plans.gppc",
+            "--snapshot-interval-ms",
+            "250",
         ]))
         .unwrap();
         assert_eq!(args.graph_path, "g.txt");
@@ -190,7 +283,9 @@ mod tests {
         assert_eq!(args.cache_capacity, 16);
         assert_eq!(args.max_in_flight, 2);
         assert_eq!(args.max_connections, 8);
+        assert_eq!(args.queue_depth, 5);
         assert_eq!(args.persist.as_deref(), Some("plans.gppc"));
+        assert_eq!(args.snapshot_interval_ms, 250);
     }
 
     #[test]
@@ -199,10 +294,13 @@ mod tests {
         assert_eq!(args.listen, "127.0.0.1:7431");
         assert_eq!(args.threads, 0);
         assert_eq!(args.cache_capacity, 64);
+        assert_eq!(args.queue_depth, 0);
+        assert_eq!(args.snapshot_interval_ms, 0);
         assert!(args.persist.is_none());
         assert!(parse_args(&strings(&[])).is_err(), "--graph is required");
         assert!(parse_args(&strings(&["--graph"])).is_err());
         assert!(parse_args(&strings(&["--graph", "g", "--threads", "x"])).is_err());
         assert!(parse_args(&strings(&["--bogus"])).is_err());
+        assert!(parse_args(&strings(&["--graph", "g", "--snapshot-interval-ms", "x"])).is_err());
     }
 }

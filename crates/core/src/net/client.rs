@@ -1,5 +1,5 @@
 //! The GraphPi client library: a thin, synchronous request/response layer
-//! over any [`Transport`].
+//! over any [`Transport`], plus the retrying client built on top of it.
 //!
 //! `Client` is what `graphpi-cli remote` and the network tests are built
 //! on. Each method sends exactly one request frame and blocks for exactly
@@ -7,14 +7,23 @@
 //! [`NetError::Remote`] with its [`ErrorCode`] intact, so callers can
 //! distinguish "your deadline expired" from "your pattern is disconnected"
 //! without string matching.
+//!
+//! [`RetryingClient`] wraps the same wire exchange in a [`RetryPolicy`]:
+//! bounded attempts, exponential backoff with seeded jitter, per-attempt
+//! and overall deadlines, and automatic reconnect through a caller-
+//! supplied connector. COUNT retries carry a client-generated request ID
+//! so a resend after an *ambiguous* failure (reply lost mid-read) is
+//! answered from the server's completed-request ledger instead of
+//! double-executing.
 
+use super::chaos::SplitMix64;
 use super::protocol::{
-    op, CountOk, CountRequest, ErrorCode, Frame, NetError, StatsOk, TcpTransport, Transport,
-    WireError,
+    op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, NetError, StatsOk, TcpTransport,
+    Transport, WireError,
 };
 use graphpi_pattern::Pattern;
 use std::net::ToSocketAddrs;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-query options for [`Client::count_with`] — the wire-level mirror of
 /// the server-side execution flags.
@@ -26,6 +35,9 @@ pub struct RemoteCountOptions {
     pub hub_bitsets: bool,
     /// Deadline in milliseconds covering queueing + execution (0 = none).
     pub deadline_ms: u32,
+    /// Idempotency key for safe retries (0 = none; [`RetryingClient`]
+    /// fills this in automatically).
+    pub request_id: u64,
 }
 
 /// A successful remote count.
@@ -113,6 +125,7 @@ impl<T: Transport> Client<T> {
             no_iep: options.no_iep,
             hub_bitsets: options.hub_bitsets,
             deadline_ms: options.deadline_ms,
+            request_id: options.request_id,
             pattern: pattern.canonical_bytes(),
         };
         let response = self.roundtrip(&Frame::new(op::COUNT, request.encode()), op::COUNT_OK)?;
@@ -128,6 +141,14 @@ impl<T: Transport> Client<T> {
     pub fn stats(&mut self) -> Result<StatsOk, NetError> {
         let response = self.roundtrip(&Frame::new(op::STATS, vec![]), op::STATS_OK)?;
         StatsOk::decode(&response.payload).ok_or(NetError::Protocol("undecodable STATS_OK payload"))
+    }
+
+    /// Probes server readiness (protocol v2): ready, draining, or
+    /// overloaded, with a retry-after hint when not ready.
+    pub fn health(&mut self) -> Result<HealthOk, NetError> {
+        let response = self.roundtrip(&Frame::new(op::HEALTH, vec![]), op::HEALTH_OK)?;
+        HealthOk::decode(&response.payload)
+            .ok_or(NetError::Protocol("undecodable HEALTH_OK payload"))
     }
 
     /// Asks the server to drain and exit. The server acknowledges, then
@@ -147,4 +168,325 @@ pub fn is_deadline_exceeded(error: &NetError) -> bool {
             ..
         }
     )
+}
+
+/// Convenience: is this error worth retrying? True for transport-level
+/// failures (closed/reset/truncated connections, timeouts) and for the
+/// server's recoverable refusals ([`ErrorCode::is_retryable`]); false
+/// for content errors a retry cannot fix (bad pattern, bad payload,
+/// deadline exceeded).
+pub fn is_retryable(error: &NetError) -> bool {
+    match error {
+        NetError::Remote { code, .. } => code.is_retryable(),
+        NetError::Io(_)
+        | NetError::Closed
+        | NetError::Truncated
+        | NetError::Idle
+        | NetError::BadMagic => true,
+        // Version/protocol/frame-size errors mean the peers disagree
+        // about the wire format; resending the same bytes cannot help.
+        _ => false,
+    }
+}
+
+/// Retry/backoff policy for [`RetryingClient`]: bounded attempts,
+/// exponential backoff with seeded jitter, and optional per-attempt and
+/// overall deadlines. The whole schedule is a pure function of the
+/// policy (see [`RetryPolicy::backoff_schedule`]), so tests can assert
+/// it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (pre-jitter).
+    pub max_backoff: Duration,
+    /// Seed for the jitter schedule and request-ID stream. Give each
+    /// client its own seed: IDs double as server-side idempotency keys.
+    pub seed: u64,
+    /// Per-attempt reply deadline (`None` = wait forever). Applied via
+    /// [`Transport::set_recv_timeout`].
+    pub attempt_timeout: Option<Duration>,
+    /// Overall deadline across all attempts and backoffs.
+    pub overall_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            seed: 0,
+            attempt_timeout: None,
+            overall_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Builder: sets the jitter/request-ID seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The exact backoff waits this policy produces: one entry per
+    /// retry (so `max_attempts - 1` entries). Each is the doubled,
+    /// capped base scaled by a jitter factor in `[0.5, 1.5)` drawn from
+    /// the seeded generator — fully deterministic per seed.
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|retry| {
+                let doubled = self
+                    .initial_backoff
+                    .saturating_mul(1u32 << retry.min(20))
+                    .min(self.max_backoff);
+                let per_mille = 500 + rng.next_below(1000);
+                let nanos = doubled.as_nanos().saturating_mul(per_mille as u128) / 1000;
+                Duration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+            })
+            .collect()
+    }
+}
+
+/// Counters describing what a [`RetryingClient`] actually did — tests
+/// assert on these to prove the chaos runs exercised the retry paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Wire attempts issued (first tries + retries).
+    pub attempts: u64,
+    /// Fresh connections dialed (includes the first).
+    pub connects: u64,
+    /// Retries that followed a retryable failure.
+    pub retries: u64,
+    /// Backoffs stretched to honor a server retry-after hint.
+    pub hints_honored: u64,
+}
+
+type Connector = Box<dyn FnMut() -> Result<Box<dyn Transport + Send>, NetError> + Send>;
+
+/// A [`Client`] wrapped in a [`RetryPolicy`]: reconnects through a
+/// caller-supplied connector, classifies failures via [`is_retryable`],
+/// sleeps the policy's jittered backoff (stretched to any server
+/// retry-after hint), and tags COUNT queries with request IDs so
+/// ambiguous failures are safe to resend.
+pub struct RetryingClient {
+    connector: Connector,
+    policy: RetryPolicy,
+    transport: Option<Box<dyn Transport + Send>>,
+    id_rng: SplitMix64,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// Builds a retrying client over any connector. The connector is
+    /// called lazily — once before the first attempt, then after every
+    /// connection-killing failure.
+    pub fn new<F>(connector: F, policy: RetryPolicy) -> Self
+    where
+        F: FnMut() -> Result<Box<dyn Transport + Send>, NetError> + Send + 'static,
+    {
+        Self {
+            connector: Box::new(connector),
+            policy,
+            transport: None,
+            // Offset the ID stream from the jitter stream so the two
+            // deterministic sequences never correlate.
+            id_rng: SplitMix64::new(policy.seed ^ 0x1D0_C0DE),
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Retrying client dialing `addr` over plain TCP.
+    pub fn connect_tcp(addr: std::net::SocketAddr, policy: RetryPolicy) -> Self {
+        Self::new(
+            move || {
+                let transport = TcpTransport::connect(addr)?;
+                Ok(Box::new(transport) as Box<dyn Transport + Send>)
+            },
+            policy,
+        )
+    }
+
+    /// What this client has done so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Counts embeddings of `pattern` with default options, retrying per
+    /// the policy.
+    pub fn count(&mut self, pattern: &Pattern) -> Result<RemoteCount, NetError> {
+        self.count_with(pattern, RemoteCountOptions::default())
+    }
+
+    /// Counts embeddings with explicit options, retrying per the policy.
+    /// A caller-supplied `request_id` is kept; otherwise a fresh one is
+    /// drawn so every attempt of this query shares one idempotency key.
+    pub fn count_with(
+        &mut self,
+        pattern: &Pattern,
+        mut options: RemoteCountOptions,
+    ) -> Result<RemoteCount, NetError> {
+        if options.request_id == 0 {
+            options.request_id = self.next_request_id();
+        }
+        let request = CountRequest {
+            no_iep: options.no_iep,
+            hub_bitsets: options.hub_bitsets,
+            deadline_ms: options.deadline_ms,
+            request_id: options.request_id,
+            pattern: pattern.canonical_bytes(),
+        };
+        let frame = Frame::new(op::COUNT, request.encode());
+        let response = self.exchange_with_retries(&frame, op::COUNT_OK)?;
+        let ok = CountOk::decode(&response.payload)
+            .ok_or(NetError::Protocol("undecodable COUNT_OK payload"))?;
+        Ok(RemoteCount {
+            count: ok.count,
+            elapsed: Duration::from_micros(ok.elapsed_micros),
+        })
+    }
+
+    /// Fetches the server's counter snapshot, retrying per the policy
+    /// (STATS is naturally idempotent — no request ID needed).
+    pub fn stats_remote(&mut self) -> Result<StatsOk, NetError> {
+        let response = self.exchange_with_retries(&Frame::new(op::STATS, vec![]), op::STATS_OK)?;
+        StatsOk::decode(&response.payload).ok_or(NetError::Protocol("undecodable STATS_OK payload"))
+    }
+
+    /// Probes server readiness, retrying per the policy.
+    pub fn health(&mut self) -> Result<HealthOk, NetError> {
+        let response =
+            self.exchange_with_retries(&Frame::new(op::HEALTH, vec![]), op::HEALTH_OK)?;
+        HealthOk::decode(&response.payload)
+            .ok_or(NetError::Protocol("undecodable HEALTH_OK payload"))
+    }
+
+    fn next_request_id(&mut self) -> u64 {
+        loop {
+            let id = self.id_rng.next_u64();
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// One logical request: up to `max_attempts` wire exchanges, with
+    /// reconnects, backoff, hint-stretched sleeps, and deadline
+    /// enforcement between them.
+    fn exchange_with_retries(&mut self, request: &Frame, expect: u8) -> Result<Frame, NetError> {
+        let started = Instant::now();
+        let deadline = self.policy.overall_deadline.map(|limit| started + limit);
+        let schedule = self.policy.backoff_schedule();
+        let mut last_error = NetError::Closed;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            self.stats.attempts += 1;
+            match self.try_once(request, expect, deadline) {
+                Ok(response) => return Ok(response),
+                Err(error) => {
+                    if !is_retryable(&error) {
+                        return Err(error);
+                    }
+                    // A retryable *remote* error arrived on a live
+                    // connection; everything else leaves the stream in
+                    // an unknown state, so reconnect.
+                    let keep_connection = matches!(
+                        error,
+                        NetError::Remote {
+                            code: ErrorCode::RetryLater,
+                            ..
+                        }
+                    );
+                    if !keep_connection {
+                        self.transport = None;
+                    }
+                    let mut wait = schedule
+                        .get(attempt as usize)
+                        .copied()
+                        .unwrap_or(Duration::ZERO);
+                    if let NetError::Remote {
+                        retry_after_ms: Some(hint_ms),
+                        ..
+                    } = error
+                    {
+                        let hint = Duration::from_millis(u64::from(hint_ms));
+                        if hint > wait {
+                            wait = hint;
+                            self.stats.hints_honored += 1;
+                        }
+                    }
+                    last_error = error;
+                    if attempt + 1 >= self.policy.max_attempts.max(1) {
+                        break;
+                    }
+                    if let Some(deadline) = deadline {
+                        let now = Instant::now();
+                        if now + wait >= deadline {
+                            return Err(last_error);
+                        }
+                    }
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    /// One wire attempt: (re)connect if needed, bound the read, send,
+    /// receive, surface typed errors.
+    fn try_once(
+        &mut self,
+        request: &Frame,
+        expect: u8,
+        deadline: Option<Instant>,
+    ) -> Result<Frame, NetError> {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(NetError::Idle);
+            }
+        }
+        if self.transport.is_none() {
+            self.stats.connects += 1;
+            self.transport = Some((self.connector)()?);
+        }
+        let transport = self.transport.as_mut().expect("connected above");
+        // Bound this attempt by the tighter of the per-attempt timeout
+        // and the time left on the overall deadline.
+        let mut timeout = self.policy.attempt_timeout;
+        if let Some(deadline) = deadline {
+            let left = deadline.saturating_duration_since(Instant::now());
+            timeout = Some(
+                timeout
+                    .map_or(left, |t| t.min(left))
+                    .max(Duration::from_millis(1)),
+            );
+        }
+        transport.set_recv_timeout(timeout)?;
+        transport.send(request)?;
+        let response = transport.recv()?;
+        if response.opcode == op::ERROR {
+            let error = WireError::decode(&response.payload)
+                .ok_or(NetError::Protocol("undecodable error payload"))?;
+            return Err(error.into_net_error());
+        }
+        if response.opcode != expect {
+            return Err(NetError::Protocol(
+                "response opcode does not match the request",
+            ));
+        }
+        Ok(response)
+    }
 }

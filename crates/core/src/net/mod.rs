@@ -5,9 +5,12 @@
 //! queries to in-process callers; this module puts that session behind a
 //! socket. [`protocol`] defines the length-prefixed binary frame format
 //! and the [`Transport`] seam, [`server`] owns the
-//! accept loop, admission control, deadlines and graceful drain, and
-//! [`client`] is the synchronous request/response library the CLI's
-//! `remote` subcommand and the network test suites are built on.
+//! accept loop, admission control, overload shedding, deadlines and
+//! graceful drain, [`client`] is the synchronous request/response
+//! library (including the [`RetryPolicy`]-driven [`RetryingClient`])
+//! the CLI's `remote` subcommand and the network test suites are built
+//! on, and [`chaos`] is the seeded fault-injection harness that proves
+//! the rest of it honest.
 //!
 //! The full frame layout, opcode list and error-code table are documented
 //! in `docs/protocol.md`.
@@ -31,10 +34,16 @@
 //! });
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, RemoteCount, RemoteCountOptions};
-pub use protocol::{ErrorCode, Frame, NetError, StatsOk, TcpTransport, Transport};
+pub use chaos::{ChaosConfig, ChaosConnector, ChaosProxy, ChaosStats, ChaosTransport};
+pub use client::{
+    Client, RemoteCount, RemoteCountOptions, RetryPolicy, RetryStats, RetryingClient,
+};
+pub use protocol::{
+    ErrorCode, Frame, HealthOk, HealthState, NetError, StatsOk, TcpTransport, Transport,
+};
 pub use server::{Server, ServerHandle, ServerReport};

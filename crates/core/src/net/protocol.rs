@@ -34,9 +34,17 @@ use std::time::Duration;
 /// First two payload bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"GP";
 
-/// Current protocol version. Servers refuse anything else with
-/// [`ErrorCode::UnsupportedVersion`] and close the connection.
-pub const VERSION: u8 = 1;
+/// Current protocol version. Version 2 adds the `HEALTH` opcode, the
+/// `RETRY_LATER` error code (with a retry-after hint), and optional
+/// client-generated request IDs on `COUNT`. Servers accept every version
+/// in [`MIN_VERSION`]`..=`[`VERSION`] — the version byte of each request
+/// frame is echoed in its reply, so a v1 client keeps speaking v1 — and
+/// refuse anything else with [`ErrorCode::UnsupportedVersion`], closing
+/// the connection.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version still served (see [`VERSION`]).
+pub const MIN_VERSION: u8 = 1;
 
 /// Bytes of header covered by the length prefix (magic + version + opcode).
 pub const HEADER_LEN: usize = 4;
@@ -58,6 +66,9 @@ pub mod op {
     pub const PING: u8 = 0x03;
     /// Ask the server to drain and exit (empty payload).
     pub const SHUTDOWN: u8 = 0x04;
+    /// Readiness probe for load balancers and supervisors (empty payload;
+    /// protocol v2).
+    pub const HEALTH: u8 = 0x05;
     /// Successful count ([`super::CountOk`] payload).
     pub const COUNT_OK: u8 = 0x81;
     /// Counter snapshot ([`super::StatsOk`] payload).
@@ -66,6 +77,8 @@ pub mod op {
     pub const PONG: u8 = 0x83;
     /// Shutdown acknowledged; the server is now draining.
     pub const SHUTDOWN_OK: u8 = 0x84;
+    /// Health reply ([`super::HealthOk`] payload; protocol v2).
+    pub const HEALTH_OK: u8 = 0x85;
     /// Typed failure ([`super::WireError`] payload).
     pub const ERROR: u8 = 0x7F;
 }
@@ -102,6 +115,11 @@ pub enum ErrorCode {
     Internal,
     /// The server is at its connection limit. Connection closes.
     TooManyConnections,
+    /// The admission wait queue is full: the server is shedding load
+    /// instead of queueing unboundedly (protocol v2). The error carries a
+    /// retry-after hint derived from the server's latency histogram.
+    /// Connection stays open.
+    RetryLater,
     /// A code this build does not know (forward compatibility).
     Other(u8),
 }
@@ -120,6 +138,7 @@ impl ErrorCode {
             ErrorCode::FrameTooLarge => 8,
             ErrorCode::Internal => 9,
             ErrorCode::TooManyConnections => 10,
+            ErrorCode::RetryLater => 11,
             ErrorCode::Other(code) => code,
         }
     }
@@ -137,8 +156,21 @@ impl ErrorCode {
             8 => ErrorCode::FrameTooLarge,
             9 => ErrorCode::Internal,
             10 => ErrorCode::TooManyConnections,
+            11 => ErrorCode::RetryLater,
             other => ErrorCode::Other(other),
         }
+    }
+
+    /// Whether a client may safely retry the request that earned this
+    /// code (after a backoff / the server's retry-after hint). The
+    /// non-retryable codes are deterministic rejections — resending the
+    /// same bytes can only fail the same way — or an expired deadline the
+    /// retry could not honor either.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::RetryLater | ErrorCode::TooManyConnections | ErrorCode::ShuttingDown
+        )
     }
 }
 
@@ -155,6 +187,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::FrameTooLarge => write!(f, "frame too large"),
             ErrorCode::Internal => write!(f, "internal server error"),
             ErrorCode::TooManyConnections => write!(f, "too many connections"),
+            ErrorCode::RetryLater => write!(f, "overloaded, retry later"),
             ErrorCode::Other(code) => write!(f, "error code {code}"),
         }
     }
@@ -188,6 +221,9 @@ pub enum NetError {
         code: ErrorCode,
         /// Human-readable detail from the server.
         message: String,
+        /// Server-suggested wait before retrying (carried by
+        /// [`ErrorCode::RetryLater`] in protocol v2).
+        retry_after_ms: Option<u32>,
     },
 }
 
@@ -204,8 +240,16 @@ impl fmt::Display for NetError {
             }
             NetError::Idle => write!(f, "read timed out with no data"),
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
-            NetError::Remote { code, message } => {
-                write!(f, "server error ({code}): {message}")
+            NetError::Remote {
+                code,
+                message,
+                retry_after_ms,
+            } => {
+                write!(f, "server error ({code}): {message}")?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after {ms} ms)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -225,6 +269,10 @@ impl From<std::io::Error> for NetError {
 /// the connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// The protocol version byte. Frames built with [`Frame::new`] carry
+    /// the current [`VERSION`]; servers echo the version of each request
+    /// frame in its reply so down-version clients stay served.
+    pub version: u8,
     /// The opcode byte (see [`op`]).
     pub opcode: u8,
     /// The opcode-specific payload.
@@ -232,9 +280,19 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Builds a frame from an opcode and payload.
+    /// Builds a current-version frame from an opcode and payload.
     pub fn new(opcode: u8, payload: Vec<u8>) -> Self {
-        Self { opcode, payload }
+        Self::with_version(VERSION, opcode, payload)
+    }
+
+    /// Builds a frame with an explicit version byte (reply echoing,
+    /// down-version compatibility tests).
+    pub fn with_version(version: u8, opcode: u8, payload: Vec<u8>) -> Self {
+        Self {
+            version,
+            opcode,
+            payload,
+        }
     }
 
     /// An [`op::ERROR`] frame carrying `code` and `message` (truncated to
@@ -243,13 +301,24 @@ impl Frame {
         Self::new(op::ERROR, WireError::new(code, message).encode())
     }
 
+    /// An [`op::ERROR`] frame with a retry-after hint (protocol v2; the
+    /// hint travels as a trailing field v1 decoders never see).
+    pub fn error_with_hint(code: ErrorCode, message: &str, retry_after_ms: u32) -> Self {
+        Self::new(
+            op::ERROR,
+            WireError::new(code, message)
+                .with_retry_after(retry_after_ms)
+                .encode(),
+        )
+    }
+
     /// Serialises the frame (length prefix + header + payload).
     pub fn encode(&self) -> Vec<u8> {
         let len = HEADER_LEN + self.payload.len();
         let mut out = Vec::with_capacity(4 + len);
         out.extend_from_slice(&(len as u32).to_le_bytes());
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(self.version);
         out.push(self.opcode);
         out.extend_from_slice(&self.payload);
         out
@@ -309,10 +378,11 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Frame, NetError> {
     if body[..2] != MAGIC {
         return Err(NetError::BadMagic);
     }
-    if body[2] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&body[2]) {
         return Err(NetError::UnsupportedVersion(body[2]));
     }
     Ok(Frame {
+        version: body[2],
         opcode: body[3],
         payload: body[HEADER_LEN..].to_vec(),
     })
@@ -334,6 +404,27 @@ pub trait Transport {
     /// Receives one frame (blocking up to the transport's read timeout,
     /// surfacing [`NetError::Idle`] on a quiet timeout).
     fn recv(&mut self) -> Result<Frame, NetError>;
+    /// Sets the receive timeout, after which a quiet [`Transport::recv`]
+    /// surfaces [`NetError::Idle`]. Transports without timers may ignore
+    /// this (the default is a no-op); the retry layer uses it to bound
+    /// each attempt.
+    fn set_recv_timeout(&mut self, _timeout: Option<Duration>) -> Result<(), NetError> {
+        Ok(())
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        (**self).send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        (**self).recv()
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        (**self).set_recv_timeout(timeout)
+    }
 }
 
 /// Blocking TCP transport ([`TcpStream`] + Nagle disabled — frames are
@@ -375,16 +466,29 @@ impl Transport for TcpTransport {
     fn recv(&mut self) -> Result<Frame, NetError> {
         read_frame(&mut self.stream)
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.set_read_timeout(timeout)
+    }
 }
 
-/// [`op::COUNT`] payload: execution flags, a deadline, and the pattern.
+/// [`op::COUNT`] payload: execution flags, a deadline, an optional
+/// client-generated request ID, and the pattern.
 ///
 /// ```text
 /// offset  size  field
-/// 0       1     flags       bit0 = disable IEP, bit1 = hub bitsets
+/// 0       1     flags       bit0 = disable IEP, bit1 = hub bitsets,
+///                           bit2 = request ID present (protocol v2)
 /// 1       4     deadline_ms u32 LE, 0 = no deadline
-/// 5       ...   pattern     Pattern::canonical_bytes
+/// 5       8     request_id  u64 LE, only when flag bit2 is set
+/// 5/13    ...   pattern     Pattern::canonical_bytes
 /// ```
+///
+/// The request ID makes retries after *ambiguous* failures safe: a client
+/// whose connection died between sending a request and reading its reply
+/// cannot know whether the query executed. Resending with the same
+/// nonzero ID lets the server answer from its completed-request ledger
+/// instead of executing (and accounting) the query twice.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountRequest {
     /// Disable Inclusion–Exclusion counting for this query.
@@ -395,6 +499,9 @@ pub struct CountRequest {
     /// admission queueing and execution; an expired query gets
     /// [`ErrorCode::DeadlineExceeded`].
     pub deadline_ms: u32,
+    /// Client-generated idempotency key (0 = absent; never sent on the
+    /// wire as 0).
+    pub request_id: u64,
     /// The pattern, as canonical bytes.
     pub pattern: Vec<u8>,
 }
@@ -402,10 +509,11 @@ pub struct CountRequest {
 impl CountRequest {
     const FLAG_NO_IEP: u8 = 1 << 0;
     const FLAG_HUBS: u8 = 1 << 1;
+    const FLAG_REQUEST_ID: u8 = 1 << 2;
 
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(5 + self.pattern.len());
+        let mut out = Vec::with_capacity(13 + self.pattern.len());
         let mut flags = 0u8;
         if self.no_iep {
             flags |= Self::FLAG_NO_IEP;
@@ -413,8 +521,14 @@ impl CountRequest {
         if self.hub_bitsets {
             flags |= Self::FLAG_HUBS;
         }
+        if self.request_id != 0 {
+            flags |= Self::FLAG_REQUEST_ID;
+        }
         out.push(flags);
         out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        if self.request_id != 0 {
+            out.extend_from_slice(&self.request_id.to_le_bytes());
+        }
         out.extend_from_slice(&self.pattern);
         out
     }
@@ -427,15 +541,26 @@ impl CountRequest {
             return None;
         }
         let flags = payload[0];
-        if flags & !(Self::FLAG_NO_IEP | Self::FLAG_HUBS) != 0 {
+        if flags & !(Self::FLAG_NO_IEP | Self::FLAG_HUBS | Self::FLAG_REQUEST_ID) != 0 {
             return None;
         }
         let deadline_ms = u32::from_le_bytes(payload[1..5].try_into().ok()?);
+        let (request_id, rest) = if flags & Self::FLAG_REQUEST_ID != 0 {
+            let id_bytes = payload.get(5..13)?;
+            let id = u64::from_le_bytes(id_bytes.try_into().ok()?);
+            if id == 0 {
+                return None; // the flag promises a usable key
+            }
+            (id, &payload[13..])
+        } else {
+            (0, &payload[5..])
+        };
         Some(Self {
             no_iep: flags & Self::FLAG_NO_IEP != 0,
             hub_bitsets: flags & Self::FLAG_HUBS != 0,
             deadline_ms,
-            pattern: payload[5..].to_vec(),
+            request_id,
+            pattern: rest.to_vec(),
         })
     }
 }
@@ -467,6 +592,83 @@ impl CountOk {
         Some(Self {
             count: u64::from_le_bytes(payload[..8].try_into().ok()?),
             elapsed_micros: u64::from_le_bytes(payload[8..].try_into().ok()?),
+        })
+    }
+}
+
+/// Server readiness, as reported by the [`op::HEALTH`] opcode
+/// (protocol v2). Probes and load balancers branch on this without
+/// issuing a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Accepting and executing queries.
+    Ready,
+    /// Draining: in-flight queries finish, new work is refused.
+    Draining,
+    /// The admission wait queue is full; new queries get
+    /// [`ErrorCode::RetryLater`].
+    Overloaded,
+}
+
+impl HealthState {
+    /// The wire byte for this state.
+    pub fn code(self) -> u8 {
+        match self {
+            HealthState::Ready => 0,
+            HealthState::Draining => 1,
+            HealthState::Overloaded => 2,
+        }
+    }
+
+    /// Decodes a wire byte; `None` for unknown states.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(HealthState::Ready),
+            1 => Some(HealthState::Draining),
+            2 => Some(HealthState::Overloaded),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthState::Ready => write!(f, "ready"),
+            HealthState::Draining => write!(f, "draining"),
+            HealthState::Overloaded => write!(f, "overloaded"),
+        }
+    }
+}
+
+/// [`op::HEALTH_OK`] payload: `[u8 state][u32 retry_after_ms]` (LE). The
+/// retry-after hint is 0 when the server is ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthOk {
+    /// The server's readiness state.
+    pub state: HealthState,
+    /// Suggested wait before sending work (0 = none needed).
+    pub retry_after_ms: u32,
+}
+
+impl HealthOk {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5);
+        out.push(self.state.code());
+        out.extend_from_slice(&self.retry_after_ms.to_le_bytes());
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly 5 bytes with a known
+    /// state byte.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 5 {
+            return None;
+        }
+        Some(Self {
+            state: HealthState::from_code(payload[0])?,
+            retry_after_ms: u32::from_le_bytes(payload[1..5].try_into().ok()?),
         })
     }
 }
@@ -505,12 +707,16 @@ impl LatencyHistogram {
 
     /// Records one sample.
     pub fn record(&mut self, micros: u64) {
-        self.buckets[Self::bucket_index(micros)] += 1;
+        let bucket = &mut self.buckets[Self::bucket_index(micros)];
+        *bucket = bucket.saturating_add(1);
     }
 
-    /// Total number of recorded samples.
+    /// Total number of recorded samples (saturating: decoded histograms
+    /// may carry counts near `u64::MAX`).
     pub fn total(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, &count| acc.saturating_add(count))
     }
 
     /// Inclusive lower bound (in microseconds) of bucket `index`.
@@ -533,7 +739,7 @@ impl LatencyHistogram {
         let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
         let mut seen = 0u64;
         for (index, &count) in self.buckets.iter().enumerate() {
-            seen += count;
+            seen = seen.saturating_add(count);
             if seen >= target.max(1) {
                 return Some(if index + 1 < HISTOGRAM_BUCKETS {
                     1u64 << index
@@ -582,8 +788,10 @@ pub struct StatsOk {
     pub cache_misses: u64,
     /// Plan-cache evictions.
     pub cache_evictions: u64,
-    /// Reserved (always 0 in this version).
-    pub reserved: u64,
+    /// Count queries refused with [`ErrorCode::RetryLater`] because the
+    /// admission wait queue was full (protocol v2; this slot was the
+    /// always-zero `reserved` field in v1, so the layout is unchanged).
+    pub overload_rejections: u64,
     /// Per-query execution latency histogram.
     pub latency: LatencyHistogram,
 }
@@ -613,7 +821,7 @@ impl StatsOk {
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
-            self.reserved,
+            self.overload_rejections,
         ] {
             out.extend_from_slice(&counter.to_le_bytes());
         }
@@ -653,7 +861,7 @@ impl StatsOk {
         let cache_hits = next_u64();
         let cache_misses = next_u64();
         let cache_evictions = next_u64();
-        let reserved = next_u64();
+        let overload_rejections = next_u64();
         let mut latency = LatencyHistogram::default();
         for bucket in latency.buckets.iter_mut() {
             *bucket = next_u64();
@@ -673,19 +881,24 @@ impl StatsOk {
             cache_hits,
             cache_misses,
             cache_evictions,
-            reserved,
+            overload_rejections,
             latency,
         })
     }
 }
 
-/// [`op::ERROR`] payload: `[u8 code][u16 msg_len][msg utf8]`.
+/// [`op::ERROR`] payload: `[u8 code][u16 msg_len][msg utf8]`, optionally
+/// followed by a 4-byte LE retry-after hint in milliseconds (protocol
+/// v2). v1 decoders reject trailing bytes, so servers only append the
+/// hint on v2 connections.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError {
     /// The typed error code.
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// Suggested client backoff before retrying (v2 extension).
+    pub retry_after_ms: Option<u32>,
 }
 
 impl WireError {
@@ -700,33 +913,50 @@ impl WireError {
             }
             message.truncate(cut);
         }
-        Self { code, message }
+        Self {
+            code,
+            message,
+            retry_after_ms: None,
+        }
+    }
+
+    /// Attaches a retry-after hint (milliseconds).
+    pub fn with_retry_after(mut self, retry_after_ms: u32) -> Self {
+        self.retry_after_ms = Some(retry_after_ms);
+        self
     }
 
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(3 + self.message.len());
+        let mut out = Vec::with_capacity(3 + self.message.len() + 4);
         out.push(self.code.code());
         out.extend_from_slice(&(self.message.len() as u16).to_le_bytes());
         out.extend_from_slice(self.message.as_bytes());
+        if let Some(ms) = self.retry_after_ms {
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
         out
     }
 
-    /// Parses a payload; `None` on truncation, trailing bytes, or
-    /// non-UTF-8 text.
+    /// Parses a payload; `None` on truncation, unexpected trailing bytes,
+    /// or non-UTF-8 text. Exactly four trailing bytes decode as the v2
+    /// retry-after hint.
     pub fn decode(payload: &[u8]) -> Option<Self> {
         if payload.len() < 3 {
             return None;
         }
         let code = ErrorCode::from_code(payload[0]);
         let msg_len = u16::from_le_bytes(payload[1..3].try_into().ok()?) as usize;
-        let text = payload.get(3..)?;
-        if text.len() != msg_len {
-            return None;
-        }
+        let text = payload.get(3..3 + msg_len)?;
+        let retry_after_ms = match payload.len() - 3 - msg_len {
+            0 => None,
+            4 => Some(u32::from_le_bytes(payload[3 + msg_len..].try_into().ok()?)),
+            _ => return None,
+        };
         Some(Self {
             code,
             message: String::from_utf8(text.to_vec()).ok()?,
+            retry_after_ms,
         })
     }
 
@@ -735,6 +965,7 @@ impl WireError {
         NetError::Remote {
             code: self.code,
             message: self.message,
+            retry_after_ms: self.retry_after_ms,
         }
     }
 }
@@ -810,6 +1041,7 @@ mod tests {
             no_iep: true,
             hub_bitsets: false,
             deadline_ms: 1234,
+            request_id: 0,
             pattern: vec![3, 0b110, 0b101, 0b011],
         };
         assert_eq!(CountRequest::decode(&req.encode()).unwrap(), req);
@@ -818,6 +1050,20 @@ mod tests {
             CountRequest::decode(&[0xFF, 0, 0, 0, 0, 1]).is_none(),
             "unknown flags"
         );
+
+        // v2 request IDs round-trip and change the encoded length.
+        let tagged = CountRequest {
+            request_id: 0xDEAD_BEEF_CAFE_F00D,
+            ..req.clone()
+        };
+        assert_eq!(CountRequest::decode(&tagged.encode()).unwrap(), tagged);
+        assert_eq!(tagged.encode().len(), req.encode().len() + 8);
+        // The flag with a zero id is malformed.
+        let mut zero_id = tagged.encode();
+        for byte in &mut zero_id[5..13] {
+            *byte = 0;
+        }
+        assert!(CountRequest::decode(&zero_id).is_none());
 
         let ok = CountOk {
             count: u64::MAX - 3,
@@ -842,10 +1088,68 @@ mod tests {
         let err = WireError::new(ErrorCode::DeadlineExceeded, "too slow");
         assert_eq!(WireError::decode(&err.encode()).unwrap(), err);
         assert!(WireError::decode(&err.encode()[..2]).is_none());
-        // Message length must match exactly.
+        // A single trailing byte is neither v1 nor a v2 hint.
         let mut padded = err.encode();
         padded.push(0);
         assert!(WireError::decode(&padded).is_none());
+
+        // v2 retry-after hint rides as exactly four trailing bytes.
+        let hinted = WireError::new(ErrorCode::RetryLater, "busy").with_retry_after(250);
+        assert_eq!(hinted.encode().len(), 3 + 4 + 4);
+        let decoded = WireError::decode(&hinted.encode()).unwrap();
+        assert_eq!(decoded, hinted);
+        assert_eq!(decoded.retry_after_ms, Some(250));
+        match decoded.into_net_error() {
+            NetError::Remote {
+                code,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(code, ErrorCode::RetryLater);
+                assert!(code.is_retryable());
+                assert_eq!(retry_after_ms, Some(250));
+            }
+            other => panic!("expected Remote, got {other:?}"),
+        }
+
+        let health = HealthOk {
+            state: HealthState::Overloaded,
+            retry_after_ms: 75,
+        };
+        assert_eq!(HealthOk::decode(&health.encode()).unwrap(), health);
+        assert!(
+            HealthOk::decode(&[3, 0, 0, 0, 0]).is_none(),
+            "unknown state"
+        );
+        assert!(HealthOk::decode(&health.encode()[..4]).is_none());
+        for state in [
+            HealthState::Ready,
+            HealthState::Draining,
+            HealthState::Overloaded,
+        ] {
+            assert_eq!(HealthState::from_code(state.code()), Some(state));
+        }
+    }
+
+    #[test]
+    fn v1_frames_are_still_accepted() {
+        // A v1 peer's frame parses and remembers its version, so replies
+        // can echo it.
+        let frame = Frame::with_version(MIN_VERSION, op::PING, vec![]);
+        let decoded = read_frame(&mut Cursor::new(frame.encode())).unwrap();
+        assert_eq!(decoded.version, MIN_VERSION);
+        assert_eq!(decoded, frame);
+        // Versions outside MIN..=current are refused.
+        let future = Frame::with_version(VERSION + 1, op::PING, vec![]).encode();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(future)),
+            Err(NetError::UnsupportedVersion(_))
+        ));
+        let ancient = Frame::with_version(0, op::PING, vec![]).encode();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(ancient)),
+            Err(NetError::UnsupportedVersion(0))
+        ));
     }
 
     #[test]

@@ -37,11 +37,12 @@ use crate::config::{PoolOptions, ServeOptions};
 use crate::engine::{CountOptions, GraphPi, PlanCache, PlanOptions, Session, WarmStartReport};
 use crate::exec::pool::WorkerPool;
 use crate::net::protocol::{
-    op, CountOk, CountRequest, ErrorCode, Frame, LatencyHistogram, NetError, StatsOk, TcpTransport,
-    Transport, HISTOGRAM_BUCKETS,
+    op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, HealthState, LatencyHistogram, NetError,
+    StatsOk, TcpTransport, Transport, HISTOGRAM_BUCKETS,
 };
 use crate::persist;
 use graphpi_pattern::Pattern;
+use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
@@ -51,6 +52,18 @@ use std::time::{Duration, Instant};
 
 /// How long the accept loop naps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// How often the snapshot thread wakes to check the drain flag (the
+/// snapshot interval itself is user-configured and usually much longer).
+const SNAPSHOT_POLL: Duration = Duration::from_millis(20);
+
+/// Completed COUNT requests remembered per server for idempotent
+/// retries. Bounded FIFO; old entries fall out once a retry can no
+/// longer plausibly arrive.
+const LEDGER_CAPACITY: usize = 1024;
+
+/// Retry-after hint when the latency histogram is still empty.
+const DEFAULT_RETRY_HINT_MS: u32 = 50;
 
 /// Server counters, shared between the accept loop, the connection
 /// handlers, and `STATS` replies. Plain relaxed atomics: these are
@@ -62,7 +75,7 @@ struct Metrics {
     queries_total: AtomicU64,
     deadline_exceeded: AtomicU64,
     protocol_errors: AtomicU64,
-    queued: AtomicUsize,
+    overload_rejections: AtomicU64,
     warm_started: AtomicUsize,
     latency: [AtomicU64; HISTOGRAM_BUCKETS],
 }
@@ -81,47 +94,80 @@ impl Metrics {
     }
 }
 
+/// The outcome of asking the admission gate for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admit {
+    /// A permit was taken; the caller must `release()` after executing.
+    Admitted,
+    /// The query's deadline expired while queued; no permit consumed.
+    DeadlineExpired,
+    /// The wait queue is at its bound; the caller should answer
+    /// [`ErrorCode::RetryLater`] *immediately* instead of queueing.
+    Overloaded,
+}
+
+/// Waiters and permits behind the admission gate's one lock.
+struct AdmissionState {
+    permits: usize,
+    waiting: usize,
+}
+
 /// A counting gate in front of the worker pool, sized to the pool's
-/// `max_in_flight`. Handlers wait *here* instead of inside the pool's
-/// blocking submit path because a gate wait can time out: that is what
-/// turns a queued query's deadline into real cancellation.
+/// `max_in_flight`, with a *bounded* wait queue. Handlers wait *here*
+/// instead of inside the pool's blocking submit path because a gate wait
+/// can time out: that is what turns a queued query's deadline into real
+/// cancellation. The queue bound is what turns overload into immediate,
+/// typed shedding ([`Admit::Overloaded`]) instead of unbounded queueing:
+/// by construction the `queued` gauge can never exceed `max_waiting`.
 struct Admission {
-    permits: Mutex<usize>,
+    state: Mutex<AdmissionState>,
     available: Condvar,
+    max_waiting: usize,
 }
 
 impl Admission {
-    fn new(permits: usize) -> Self {
+    fn new(permits: usize, max_waiting: usize) -> Self {
         Self {
-            permits: Mutex::new(permits.max(1)),
+            state: Mutex::new(AdmissionState {
+                permits: permits.max(1),
+                waiting: 0,
+            }),
             available: Condvar::new(),
+            max_waiting: max_waiting.max(1),
         }
     }
 
-    /// Acquires a permit, giving up at `deadline`. Returns `false` on
-    /// expiry without consuming a permit.
-    fn acquire_until(&self, deadline: Option<Instant>) -> bool {
-        let mut permits = self.permits.lock().expect("admission gate poisoned");
+    /// Acquires a permit, giving up at `deadline`, refusing outright when
+    /// the wait queue is full.
+    fn acquire_until(&self, deadline: Option<Instant>) -> Admit {
+        let mut state = self.state.lock().expect("admission gate poisoned");
+        if state.permits > 0 {
+            state.permits -= 1;
+            return Admit::Admitted;
+        }
+        if state.waiting >= self.max_waiting {
+            return Admit::Overloaded;
+        }
+        state.waiting += 1;
         loop {
-            if *permits > 0 {
-                *permits -= 1;
-                return true;
+            if state.permits > 0 {
+                state.permits -= 1;
+                state.waiting -= 1;
+                return Admit::Admitted;
             }
             match deadline {
                 None => {
-                    permits = self
-                        .available
-                        .wait(permits)
-                        .expect("admission gate poisoned");
+                    state = self.available.wait(state).expect("admission gate poisoned");
                 }
                 Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
-                        return false;
+                        state.waiting -= 1;
+                        return Admit::DeadlineExpired;
                     }
-                    permits = self
+                    state = self
                         .available
-                        .wait_timeout(permits, deadline - now)
+                        .wait_timeout(state, deadline - now)
                         .expect("admission gate poisoned")
                         .0;
                 }
@@ -130,9 +176,85 @@ impl Admission {
     }
 
     fn release(&self) {
-        let mut permits = self.permits.lock().expect("admission gate poisoned");
-        *permits += 1;
+        let mut state = self.state.lock().expect("admission gate poisoned");
+        state.permits += 1;
         self.available.notify_one();
+    }
+
+    /// Current wait-queue depth (the `queued` stat).
+    fn waiting(&self) -> usize {
+        self.state.lock().expect("admission gate poisoned").waiting
+    }
+
+    /// Whether a new query would be shed right now.
+    fn is_full(&self) -> bool {
+        let state = self.state.lock().expect("admission gate poisoned");
+        state.permits == 0 && state.waiting >= self.max_waiting
+    }
+}
+
+/// FNV-1a over the request fields that determine the answer. Ledger
+/// entries only replay for the *same* logical query, so an id collision
+/// between two different clients can never serve the wrong count.
+fn request_fingerprint(request: &CountRequest) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    };
+    eat(u8::from(request.no_iep));
+    eat(u8::from(request.hub_bitsets));
+    for byte in &request.pattern {
+        eat(*byte);
+    }
+    hash
+}
+
+/// Completed-request ledger: request ID → (fingerprint, reply). A retry
+/// carrying a known ID is answered from here without re-executing (or
+/// double-counting) the query — that is what makes resending after an
+/// ambiguous failure safe. Bounded FIFO eviction.
+struct RequestLedger {
+    inner: Mutex<LedgerInner>,
+    capacity: usize,
+}
+
+struct LedgerInner {
+    replies: HashMap<u64, (u64, CountOk)>,
+    order: VecDeque<u64>,
+}
+
+impl RequestLedger {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LedgerInner {
+                replies: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The recorded reply for `id`, if it exists *and* belongs to the
+    /// same logical query.
+    fn lookup(&self, id: u64, fingerprint: u64) -> Option<CountOk> {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        match inner.replies.get(&id) {
+            Some((stored, reply)) if *stored == fingerprint => Some(*reply),
+            _ => None,
+        }
+    }
+
+    fn record(&self, id: u64, fingerprint: u64, reply: CountOk) {
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        if inner.replies.insert(id, (fingerprint, reply)).is_none() {
+            inner.order.push_back(id);
+            if inner.order.len() > self.capacity {
+                if let Some(evict) = inner.order.pop_front() {
+                    inner.replies.remove(&evict);
+                }
+            }
+        }
     }
 }
 
@@ -176,6 +298,9 @@ pub struct ServerReport {
     pub warm_start: WarmStartReport,
     /// Plan-cache keys persisted at shutdown (zero without a path).
     pub saved_plans: usize,
+    /// Periodic background snapshots written while serving (zero without
+    /// a path or a snapshot interval).
+    pub snapshots_written: u64,
 }
 
 /// A bound-but-not-yet-serving GraphPi TCP server. Construction binds the
@@ -282,14 +407,44 @@ impl Server {
         // serving) and will be overwritten at shutdown.
         let mut warm = WarmStartReport::default();
         if let Some(path) = &options.persist_path {
-            if let Ok(snapshot) = persist::load_plan_cache(path) {
+            if let Some(snapshot) = persist::try_load_plan_cache(path) {
                 warm = session.warm_start(&snapshot.keys);
                 metrics.warm_started.store(warm.warmed, Ordering::Relaxed);
             }
         }
 
-        let admission = Admission::new(pool.max_in_flight());
+        // The wait queue is bounded: beyond it, queries are shed with
+        // RETRY_LATER instead of queueing without limit. 0 = auto-size.
+        let max_waiting = if options.max_queue_depth > 0 {
+            options.max_queue_depth
+        } else {
+            (4 * pool.max_in_flight()).max(16)
+        };
+        let admission = Admission::new(pool.max_in_flight(), max_waiting);
+        let ledger = RequestLedger::new(LEDGER_CAPACITY);
+        let snapshots_written = AtomicU64::new(0);
         std::thread::scope(|scope| {
+            // Crash safety: a background thread re-snapshots the plan
+            // cache every `snapshot_interval`, so a `kill -9` loses at
+            // most one interval of cache warmth, not the whole set.
+            if let (Some(path), Some(interval)) = (&options.persist_path, options.snapshot_interval)
+            {
+                let cache = &cache;
+                let draining = &draining;
+                let snapshots_written = &snapshots_written;
+                scope.spawn(move || {
+                    let mut last = Instant::now();
+                    while !draining.load(Ordering::Acquire) {
+                        std::thread::sleep(SNAPSHOT_POLL);
+                        if last.elapsed() >= interval {
+                            if persist::save_plan_cache(cache, path).is_ok() {
+                                snapshots_written.fetch_add(1, Ordering::Relaxed);
+                            }
+                            last = Instant::now();
+                        }
+                    }
+                });
+            }
             // The accept loop owns the listener; dropping it on drain is
             // what makes "rejects new connections" an OS-level refusal
             // rather than an unanswered socket.
@@ -316,6 +471,7 @@ impl Server {
                         let session = &session;
                         let metrics = &metrics;
                         let admission = &admission;
+                        let ledger = &ledger;
                         let draining = &draining;
                         let read_timeout = options.read_timeout;
                         scope.spawn(move || {
@@ -324,6 +480,7 @@ impl Server {
                                 session,
                                 metrics,
                                 admission,
+                                ledger,
                                 draining,
                                 read_timeout,
                             );
@@ -349,17 +506,24 @@ impl Server {
             queries: metrics.queries_total.load(Ordering::Relaxed),
             warm_start: warm,
             saved_plans,
+            snapshots_written: snapshots_written.load(Ordering::Relaxed),
         })
     }
 }
 
 /// Speaks the protocol with one client until EOF, a framing error, or
 /// drain. Never panics outward and never takes the server down.
+///
+/// Version negotiation is per-frame: each reply echoes the request's
+/// version byte, so a v1 client talks v1 end to end (and never sees
+/// v2-only payload extensions like retry-after hints) while a v2 client
+/// on the same server gets the full protocol.
 fn handle_connection(
     stream: TcpStream,
     session: &Session<'_>,
     metrics: &Metrics,
     admission: &Admission,
+    ledger: &RequestLedger,
     draining: &AtomicBool,
     read_timeout: Duration,
 ) {
@@ -399,27 +563,44 @@ fn handle_connection(
                 return;
             }
         };
+        let peer = frame.version;
         let keep_alive = match frame.opcode {
-            op::PING => transport.send(&Frame::new(op::PONG, frame.payload)).is_ok(),
+            op::PING => transport
+                .send(&Frame::with_version(peer, op::PONG, frame.payload))
+                .is_ok(),
             op::STATS => {
-                let reply = stats_frame(session, metrics);
+                let reply = stats_frame(peer, session, metrics, admission);
                 transport.send(&reply).is_ok()
             }
-            op::COUNT => handle_count(&mut transport, &frame.payload, session, metrics, admission),
+            op::HEALTH => {
+                let reply = health_frame(peer, metrics, admission, draining);
+                transport.send(&reply).is_ok()
+            }
+            op::COUNT => handle_count(
+                &mut transport,
+                peer,
+                &frame.payload,
+                session,
+                metrics,
+                admission,
+                ledger,
+            ),
             op::SHUTDOWN => {
                 draining.store(true, Ordering::Release);
-                let _ = transport.send(&Frame::new(op::SHUTDOWN_OK, vec![]));
+                let _ = transport.send(&Frame::with_version(peer, op::SHUTDOWN_OK, vec![]));
                 false
             }
             other => {
                 metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 transport
-                    .send(&Frame::error(
+                    .send(&error_frame(
+                        peer,
                         ErrorCode::UnknownOpcode,
                         &format!(
                             "opcode {other:#04x} is not part of protocol v{}",
                             super::protocol::VERSION
                         ),
+                        None,
                     ))
                     .is_ok()
             }
@@ -430,35 +611,75 @@ fn handle_connection(
     }
 }
 
+/// Builds an error reply for a peer speaking protocol `version`. The
+/// retry-after hint is a v2 payload extension, so it is dropped (not
+/// mis-encoded) for v1 peers.
+fn error_frame(version: u8, code: ErrorCode, message: &str, retry_after_ms: Option<u32>) -> Frame {
+    let frame = match retry_after_ms {
+        Some(ms) if version >= 2 => Frame::error_with_hint(code, message, ms),
+        _ => Frame::error(code, message),
+    };
+    Frame::with_version(version, frame.opcode, frame.payload)
+}
+
+/// The retry-after hint for shed queries: the observed median execution
+/// latency (one queue "turn"), clamped to a sane band. An empty
+/// histogram (cold server under a thundering herd) falls back to a flat
+/// default.
+fn retry_after_hint_ms(metrics: &Metrics) -> u32 {
+    let histogram = metrics.latency_snapshot();
+    let median_us = histogram
+        .percentile_upper_bound_micros(0.5)
+        .unwrap_or(u64::from(DEFAULT_RETRY_HINT_MS) * 1000);
+    (median_us / 1000).clamp(1, 5_000) as u32
+}
+
 /// Runs one `COUNT` request end to end. Returns whether the connection
 /// stays open (false only when the reply could not be sent).
+#[allow(clippy::too_many_arguments)]
 fn handle_count(
     transport: &mut TcpTransport,
+    peer: u8,
     payload: &[u8],
     session: &Session<'_>,
     metrics: &Metrics,
     admission: &Admission,
+    ledger: &RequestLedger,
 ) -> bool {
     let request = match CountRequest::decode(payload) {
         Some(request) => request,
         None => {
             metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
             return transport
-                .send(&Frame::error(
+                .send(&error_frame(
+                    peer,
                     ErrorCode::BadPayload,
-                    "count payload must be [flags u8][deadline_ms u32][pattern bytes]",
+                    "count payload must be [flags u8][deadline_ms u32][id u64?][pattern bytes]",
+                    None,
                 ))
                 .is_ok();
         }
     };
+    // Idempotent retry: a request ID we have already answered replays
+    // the recorded reply — no admission, no execution, no double count.
+    let fingerprint = request_fingerprint(&request);
+    if request.request_id != 0 {
+        if let Some(recorded) = ledger.lookup(request.request_id, fingerprint) {
+            return transport
+                .send(&Frame::with_version(peer, op::COUNT_OK, recorded.encode()))
+                .is_ok();
+        }
+    }
     let pattern = match Pattern::from_canonical_bytes(&request.pattern) {
         Some(pattern) => pattern,
         None => {
             metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
             return transport
-                .send(&Frame::error(
+                .send(&error_frame(
+                    peer,
                     ErrorCode::BadPayload,
                     "pattern bytes are not a valid canonical pattern",
+                    None,
                 ))
                 .is_ok();
         }
@@ -467,18 +688,33 @@ fn handle_count(
         .then(|| Instant::now() + Duration::from_millis(u64::from(request.deadline_ms)));
 
     // Queue for admission. On expiry the query is cancelled having
-    // consumed no pool slot and no worker time.
-    metrics.queued.fetch_add(1, Ordering::Relaxed);
-    let admitted = admission.acquire_until(deadline);
-    metrics.queued.fetch_sub(1, Ordering::Relaxed);
-    if !admitted {
-        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-        return transport
-            .send(&Frame::error(
-                ErrorCode::DeadlineExceeded,
-                "deadline expired while queued; the query was not executed",
-            ))
-            .is_ok();
+    // consumed no pool slot and no worker time; a full wait queue sheds
+    // the query immediately with a typed RETRY_LATER and a hint.
+    match admission.acquire_until(deadline) {
+        Admit::Admitted => {}
+        Admit::DeadlineExpired => {
+            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued; the query was not executed",
+                    None,
+                ))
+                .is_ok();
+        }
+        Admit::Overloaded => {
+            metrics.overload_rejections.fetch_add(1, Ordering::Relaxed);
+            let hint = retry_after_hint_ms(metrics);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::RetryLater,
+                    "admission queue is full; the query was not executed",
+                    Some(hint),
+                ))
+                .is_ok();
+        }
     }
 
     metrics.queries_total.fetch_add(1, Ordering::Relaxed);
@@ -495,31 +731,38 @@ fn handle_count(
     admission.release();
 
     let reply = match outcome {
-        Err(_) => Frame::error(
+        Err(_) => error_frame(
+            peer,
             ErrorCode::Internal,
             "query panicked; the worker pool isolated it",
+            None,
         ),
-        Ok(Err(engine_error)) => {
-            Frame::error(ErrorCode::PatternRejected, &engine_error.to_string())
-        }
+        Ok(Err(engine_error)) => error_frame(
+            peer,
+            ErrorCode::PatternRejected,
+            &engine_error.to_string(),
+            None,
+        ),
         Ok(Ok(count)) => {
             let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
             metrics.record_latency(micros);
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                Frame::error(
+                error_frame(
+                    peer,
                     ErrorCode::DeadlineExceeded,
                     "query completed after its deadline",
+                    None,
                 )
             } else {
-                Frame::new(
-                    op::COUNT_OK,
-                    CountOk {
-                        count,
-                        elapsed_micros: micros,
-                    }
-                    .encode(),
-                )
+                let ok = CountOk {
+                    count,
+                    elapsed_micros: micros,
+                };
+                if request.request_id != 0 {
+                    ledger.record(request.request_id, fingerprint, ok);
+                }
+                Frame::with_version(peer, op::COUNT_OK, ok.encode())
             }
         }
     };
@@ -527,14 +770,14 @@ fn handle_count(
 }
 
 /// Builds a `STATS_OK` reply from the live counters.
-fn stats_frame(session: &Session<'_>, metrics: &Metrics) -> Frame {
+fn stats_frame(peer: u8, session: &Session<'_>, metrics: &Metrics, admission: &Admission) -> Frame {
     let pool = session.pool();
     let cache = session.cache_stats();
     let stats = StatsOk {
         live_workers: pool.live_workers() as u32,
         max_in_flight: pool.max_in_flight() as u32,
         in_flight: pool.in_flight() as u32,
-        queued: metrics.queued.load(Ordering::Relaxed) as u32,
+        queued: admission.waiting() as u32,
         cache_len: cache.len as u32,
         cache_capacity: cache.capacity as u32,
         warm_started: metrics.warm_started.load(Ordering::Relaxed) as u32,
@@ -545,10 +788,40 @@ fn stats_frame(session: &Session<'_>, metrics: &Metrics) -> Frame {
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         cache_evictions: cache.evictions,
-        reserved: 0,
+        overload_rejections: metrics.overload_rejections.load(Ordering::Relaxed),
         latency: metrics.latency_snapshot(),
     };
-    Frame::new(op::STATS_OK, stats.encode())
+    Frame::with_version(peer, op::STATS_OK, stats.encode())
+}
+
+/// Builds a `HEALTH_OK` reply: drain beats overload, overload beats
+/// ready, and any not-ready state carries a retry-after hint.
+fn health_frame(
+    peer: u8,
+    metrics: &Metrics,
+    admission: &Admission,
+    draining: &AtomicBool,
+) -> Frame {
+    let state = if draining.load(Ordering::Acquire) {
+        HealthState::Draining
+    } else if admission.is_full() {
+        HealthState::Overloaded
+    } else {
+        HealthState::Ready
+    };
+    let retry_after_ms = match state {
+        HealthState::Ready => 0,
+        _ => retry_after_hint_ms(metrics),
+    };
+    Frame::with_version(
+        peer,
+        op::HEALTH_OK,
+        HealthOk {
+            state,
+            retry_after_ms,
+        }
+        .encode(),
+    )
 }
 
 #[cfg(test)]
@@ -557,23 +830,133 @@ mod tests {
 
     #[test]
     fn admission_gate_respects_deadlines() {
-        let gate = Admission::new(1);
-        assert!(gate.acquire_until(None));
+        let gate = Admission::new(1, 8);
+        assert_eq!(gate.acquire_until(None), Admit::Admitted);
         // Second acquire with an already-expired deadline fails fast.
         let past = Instant::now();
-        assert!(!gate.acquire_until(Some(past)));
+        assert_eq!(gate.acquire_until(Some(past)), Admit::DeadlineExpired);
         // ... and with a short future deadline, fails after it passes.
         let start = Instant::now();
-        assert!(!gate.acquire_until(Some(start + Duration::from_millis(20))));
+        assert_eq!(
+            gate.acquire_until(Some(start + Duration::from_millis(20))),
+            Admit::DeadlineExpired
+        );
         assert!(start.elapsed() >= Duration::from_millis(20));
         // Releasing lets a waiter through.
         gate.release();
-        assert!(gate.acquire_until(Some(Instant::now() + Duration::from_secs(1))));
+        assert_eq!(
+            gate.acquire_until(Some(Instant::now() + Duration::from_secs(1))),
+            Admit::Admitted
+        );
     }
 
     #[test]
     fn zero_capacity_gate_still_admits_one() {
-        let gate = Admission::new(0);
-        assert!(gate.acquire_until(None));
+        let gate = Admission::new(0, 0);
+        assert_eq!(gate.acquire_until(None), Admit::Admitted);
+    }
+
+    #[test]
+    fn full_wait_queue_sheds_instead_of_queueing() {
+        // One permit, one queue slot. Take the permit, fill the slot
+        // with a waiter, then watch the third caller get shed instantly.
+        let gate = Arc::new(Admission::new(1, 1));
+        assert_eq!(gate.acquire_until(None), Admit::Admitted);
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.acquire_until(Some(Instant::now() + Duration::from_secs(5)))
+            })
+        };
+        // Wait until the waiter is actually parked in the queue.
+        while gate.waiting() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(gate.is_full());
+        let start = Instant::now();
+        assert_eq!(
+            gate.acquire_until(Some(Instant::now() + Duration::from_secs(5))),
+            Admit::Overloaded
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "shedding must not wait out the deadline"
+        );
+        // Releasing admits the queued waiter, not the shed caller.
+        gate.release();
+        assert_eq!(waiter.join().unwrap(), Admit::Admitted);
+        assert_eq!(gate.waiting(), 0);
+        assert!(!gate.is_full());
+    }
+
+    #[test]
+    fn ledger_replays_only_matching_fingerprints() {
+        let ledger = RequestLedger::new(2);
+        let reply = CountOk {
+            count: 42,
+            elapsed_micros: 7,
+        };
+        ledger.record(1, 0xAAAA, reply);
+        assert_eq!(ledger.lookup(1, 0xAAAA), Some(reply));
+        // Same ID from a different logical query: no replay.
+        assert_eq!(ledger.lookup(1, 0xBBBB), None);
+        assert_eq!(ledger.lookup(2, 0xAAAA), None);
+        // FIFO eviction at capacity.
+        ledger.record(
+            2,
+            0xCCCC,
+            CountOk {
+                count: 1,
+                elapsed_micros: 1,
+            },
+        );
+        ledger.record(
+            3,
+            0xDDDD,
+            CountOk {
+                count: 2,
+                elapsed_micros: 2,
+            },
+        );
+        assert_eq!(ledger.lookup(1, 0xAAAA), None, "oldest entry evicted");
+        assert!(ledger.lookup(3, 0xDDDD).is_some());
+    }
+
+    #[test]
+    fn request_fingerprints_separate_different_queries() {
+        let base = CountRequest {
+            no_iep: false,
+            hub_bitsets: false,
+            deadline_ms: 0,
+            request_id: 9,
+            pattern: vec![3, 0b110, 0b101, 0b011],
+        };
+        let same_but_other_id = CountRequest {
+            request_id: 10,
+            deadline_ms: 77,
+            ..base.clone()
+        };
+        // IDs and deadlines don't change the answer, so they are not
+        // part of the fingerprint.
+        assert_eq!(
+            request_fingerprint(&base),
+            request_fingerprint(&same_but_other_id)
+        );
+        let different_flags = CountRequest {
+            no_iep: true,
+            ..base.clone()
+        };
+        assert_ne!(
+            request_fingerprint(&base),
+            request_fingerprint(&different_flags)
+        );
+        let different_pattern = CountRequest {
+            pattern: vec![3, 0b110, 0b101, 0b111],
+            ..base
+        };
+        assert_ne!(
+            request_fingerprint(&base),
+            request_fingerprint(&different_pattern)
+        );
     }
 }

@@ -230,6 +230,16 @@ pub fn load_plan_cache(path: &Path) -> Result<PlanCacheSnapshot, PersistError> {
     decode_snapshot(&bytes)
 }
 
+/// Loads a snapshot, folding every failure into "cold start". This is
+/// the boot path for services that must come up no matter what is on
+/// disk: a missing, truncated, or corrupt snapshot (e.g. a file caught
+/// mid-write by a crash — the atomic tmp+rename in [`save_plan_cache`]
+/// makes that near-impossible, but disks misbehave) yields `None`, and
+/// the next periodic snapshot overwrites it.
+pub fn try_load_plan_cache(path: &Path) -> Option<PlanCacheSnapshot> {
+    load_plan_cache(path).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

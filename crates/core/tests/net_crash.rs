@@ -1,0 +1,222 @@
+//! Crash safety, out of process: these tests shell the real
+//! `graphpi-server` binary, kill it for real (SIGKILL / SIGTERM), and
+//! verify the restart contract — a `kill -9` loses at most one background
+//! snapshot interval of plan-cache warmth, and a SIGTERM drains exactly
+//! like the SHUTDOWN opcode (final snapshot included). Counts must be
+//! bit-identical across every lifetime.
+
+#![cfg(unix)]
+
+use graphpi_core::net::Client;
+use graphpi_graph::generators;
+use graphpi_pattern::prefab;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant, SystemTime};
+
+/// A per-test scratch directory with a real graph file in it.
+fn scratch(label: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("graphpi_crash_{label}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("graph.txt");
+    let graph = generators::power_law(150, 5, 73);
+    let mut text = String::new();
+    for (u, v) in graph.edges() {
+        if u < v {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    std::fs::write(&graph_path, text).unwrap();
+    (dir, graph_path)
+}
+
+/// A spawned `graphpi-server` child plus the address it bound.
+struct ServerProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProcess {
+    /// Spawns the real server binary and blocks until it prints its
+    /// `listening on <addr>` line.
+    fn spawn(graph: &Path, persist: &Path, snapshot_interval_ms: Option<u64>) -> Self {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_graphpi-server"));
+        command
+            .arg("--graph")
+            .arg(graph)
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .arg("--threads")
+            .arg("2")
+            .arg("--persist")
+            .arg(persist)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(interval) = snapshot_interval_ms {
+            command
+                .arg("--snapshot-interval-ms")
+                .arg(interval.to_string());
+        }
+        let mut child = command.spawn().expect("spawn graphpi-server");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {line}"))
+            .parse()
+            .expect("parse listen address");
+        Self { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        // The listener is up before the banner prints, so this connects
+        // first try.
+        Client::connect(self.addr).expect("connect to spawned server")
+    }
+
+    /// SIGKILL — the crash under test. Nothing graceful may run.
+    fn kill_hard(&mut self) {
+        self.child.kill().expect("SIGKILL the server");
+        self.child.wait().expect("reap the killed server");
+    }
+
+    /// SIGTERM, then wait for the graceful exit.
+    fn terminate(&mut self) -> std::process::ExitStatus {
+        Command::new("kill")
+            .arg("-TERM")
+            .arg(self.child.id().to_string())
+            .status()
+            .expect("send SIGTERM");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("poll the server") {
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "SIGTERM did not drain the server"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// Waits until `path` has been (re)written after `after` — how the tests
+/// know a background snapshot that includes their queries landed on disk.
+fn wait_for_snapshot_after(path: &Path, after: SystemTime) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(modified) = std::fs::metadata(path).and_then(|m| m.modified()) {
+            if modified > after {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no background snapshot appeared at {path:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn kill_dash_nine_loses_at_most_one_snapshot_interval() {
+    let (dir, graph) = scratch("kill9");
+    let persist = dir.join("plans.gppc");
+    std::fs::remove_file(&persist).ok();
+
+    // First lifetime: two patterns enter the cache; a background snapshot
+    // (50 ms interval) writes them; SIGKILL — no graceful path runs.
+    let mut server = ServerProcess::spawn(&graph, &persist, Some(50));
+    let first_house;
+    let first_triangle;
+    {
+        let mut client = server.client();
+        first_house = client.count(&prefab::house()).unwrap().count;
+        first_triangle = client.count(&prefab::triangle()).unwrap().count;
+    }
+    let queries_done = SystemTime::now();
+    wait_for_snapshot_after(&persist, queries_done);
+    server.kill_hard();
+
+    // Second lifetime: the periodic snapshot alone must warm-start the
+    // previous working set, and the answers must be bit-identical.
+    let mut restarted = ServerProcess::spawn(&graph, &persist, Some(50));
+    {
+        let mut client = restarted.client();
+        let stats = client.stats().unwrap();
+        assert!(
+            stats.warm_started >= 2,
+            "expected the killed server's working set to warm-start, got {}",
+            stats.warm_started
+        );
+        assert_eq!(client.count(&prefab::house()).unwrap().count, first_house);
+        assert_eq!(
+            client.count(&prefab::triangle()).unwrap().count,
+            first_triangle
+        );
+        let stats = client.stats().unwrap();
+        assert!(
+            stats.cache_hits >= 2,
+            "warm-started patterns must be cache hits, got {} hits",
+            stats.cache_hits
+        );
+        client.shutdown_server().unwrap();
+    }
+    assert!(restarted.child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_drains_gracefully_with_a_final_snapshot() {
+    let (dir, graph) = scratch("sigterm");
+    let persist = dir.join("plans.gppc");
+    std::fs::remove_file(&persist).ok();
+
+    // First lifetime: no background snapshots — the persist file can only
+    // come from the SIGTERM-triggered graceful drain.
+    let mut server = ServerProcess::spawn(&graph, &persist, None);
+    let first_house;
+    {
+        let mut client = server.client();
+        first_house = client.count(&prefab::house()).unwrap().count;
+    }
+    assert!(
+        !persist.exists(),
+        "nothing should persist before the drain without a snapshot interval"
+    );
+    let status = server.terminate();
+    assert!(
+        status.success(),
+        "SIGTERM drain must exit cleanly: {status}"
+    );
+    assert!(
+        persist.exists(),
+        "the SIGTERM drain must write the final snapshot"
+    );
+
+    // Second lifetime warm-starts from that final snapshot.
+    let mut restarted = ServerProcess::spawn(&graph, &persist, None);
+    {
+        let mut client = restarted.client();
+        let stats = client.stats().unwrap();
+        assert!(stats.warm_started >= 1);
+        assert_eq!(client.count(&prefab::house()).unwrap().count, first_house);
+        client.shutdown_server().unwrap();
+    }
+    assert!(restarted.child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,326 @@
+//! Resilience end-to-end: clients driven through the seeded fault
+//! injector must still observe counts bit-identical to in-process
+//! execution (retries + request-ID idempotency doing their job), an
+//! overloaded server must shed with a typed `RETRY_LATER` (plus a usable
+//! retry-after hint) instead of dropping connections, the `HEALTH` opcode
+//! must report readiness, and a protocol-v1 client must stay served by a
+//! v2 server with v1-shaped replies.
+
+use graphpi::core::config::ServeOptions;
+use graphpi::core::engine::{GraphPi, PlanCache};
+use graphpi::core::exec::pool::WorkerPool;
+use graphpi::core::net::protocol::{self, op, CountOk, CountRequest, Frame, StatsOk};
+use graphpi::core::net::{
+    ChaosConfig, ChaosConnector, Client, ErrorCode, HealthState, NetError, RemoteCountOptions,
+    RetryPolicy, RetryingClient, Server, ServerHandle, Transport,
+};
+use graphpi::graph::generators;
+use graphpi::pattern::prefab;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sets the drain flag when dropped so a failed assertion unwinds instead
+/// of deadlocking on the accept loop (same shape as `net_serving.rs`).
+struct DrainOnDrop(ServerHandle);
+
+impl Drop for DrainOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// The retry policy every chaos client runs: generous attempts, short
+/// deterministic backoff, per-client seed.
+fn chaos_policy(client_index: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 16,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        ..RetryPolicy::default()
+    }
+    .with_seed(0xC0FFEE ^ client_index)
+}
+
+#[test]
+fn chaos_clients_agree_with_in_process_execution() {
+    const CLIENTS: u64 = 4;
+    const QUERIES: usize = 50;
+    let engine = GraphPi::new(generators::power_law(160, 5, 91));
+    let patterns = [prefab::triangle(), prefab::house()];
+    let baselines: Vec<u64> = {
+        let session = engine.session();
+        patterns.iter().map(|p| session.count(p).unwrap()).collect()
+    };
+
+    let pool = Arc::new(WorkerPool::new(2));
+    let workers_before = pool.live_workers();
+    let cache = Arc::new(PlanCache::new(8));
+    let server = Server::bind_shared(
+        "127.0.0.1:0",
+        Arc::clone(&pool),
+        cache,
+        ServeOptions::default(),
+    )
+    .unwrap();
+    let handle = server.handle().unwrap();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine).unwrap());
+
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|client_index| {
+                let patterns = &patterns;
+                scope.spawn(move || {
+                    // Every connection this client dials goes through the
+                    // fault injector, with faults deterministic in
+                    // (seed, client, connection index).
+                    let connector =
+                        ChaosConnector::new(addr, ChaosConfig::gentle(0xBAD_5EED ^ client_index));
+                    let probe = connector.clone();
+                    let mut client = RetryingClient::new(
+                        move || {
+                            let transport = connector.connect()?;
+                            Ok(Box::new(transport) as Box<dyn Transport + Send>)
+                        },
+                        chaos_policy(client_index),
+                    );
+                    let mut observed = Vec::with_capacity(QUERIES);
+                    for query in 0..QUERIES {
+                        let pattern = &patterns[query % patterns.len()];
+                        let result = client
+                            .count(pattern)
+                            .unwrap_or_else(|e| panic!("client {client_index}: {e}"));
+                        observed.push(result.count);
+                    }
+                    (observed, client.stats(), probe.connections())
+                })
+            })
+            .collect();
+
+        let mut attempts = 0u64;
+        let mut retries = 0u64;
+        let mut connections = 0u64;
+        for (client_index, worker) in clients.into_iter().enumerate() {
+            let (observed, stats, dialed) = worker.join().unwrap();
+            for (query, &count) in observed.iter().enumerate() {
+                assert_eq!(
+                    count,
+                    baselines[query % patterns.len()],
+                    "client {client_index} query {query} diverged under chaos"
+                );
+            }
+            attempts += stats.attempts;
+            retries += stats.retries;
+            connections += dialed;
+        }
+        // The gentle profile injects ~2% per wire operation; across
+        // 4 x 50 queries the run must actually have been faulty, and every
+        // fault must have forced a retry (attempts > queries).
+        let queries = CLIENTS * QUERIES as u64;
+        assert!(
+            retries > 0 && attempts > queries,
+            "chaos injected no faults: {attempts} attempts, {retries} retries for {queries} queries"
+        );
+        assert!(
+            connections > CLIENTS,
+            "reconnects expected after connection-killing faults, saw {connections} dials"
+        );
+
+        // The fault battery killed no workers and the server still answers.
+        assert_eq!(pool.live_workers(), workers_before, "a worker died");
+        let mut clean = Client::connect(addr).unwrap();
+        assert_eq!(clean.count(&patterns[0]).unwrap().count, baselines[0]);
+        drop(clean);
+        handle.shutdown();
+        serving.join().unwrap();
+    });
+}
+
+/// A query slow enough to hold the single job slot while other clients
+/// pile up behind it.
+fn slow_count(client: &mut Client) -> u64 {
+    client
+        .count_with(
+            &prefab::cycle_6_tri(),
+            RemoteCountOptions {
+                no_iep: true,
+                ..RemoteCountOptions::default()
+            },
+        )
+        .unwrap()
+        .count
+}
+
+#[test]
+fn overload_sheds_with_typed_retry_later_and_hint() {
+    // Big enough that the slot-holding query runs for hundreds of
+    // milliseconds — the saturation window the assertions below probe is
+    // wide, not a race.
+    let engine = GraphPi::new(generators::power_law(500, 8, 17));
+    let baseline = {
+        let session = engine.session();
+        session.count(&prefab::house()).unwrap()
+    };
+    // One job slot, one wait-queue slot: the third concurrent query must
+    // be shed, not queued and not disconnected.
+    let pool = Arc::new(WorkerPool::with_max_in_flight(2, 1));
+    let cache = Arc::new(PlanCache::new(8));
+    let server = Server::bind_shared(
+        "127.0.0.1:0",
+        Arc::clone(&pool),
+        cache,
+        ServeOptions {
+            max_queue_depth: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle().unwrap();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine).unwrap());
+
+        // Occupy the slot, then park one waiter in the queue.
+        let slot = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            slow_count(&mut client)
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        let queued = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            slow_count(&mut client)
+        });
+        std::thread::sleep(Duration::from_millis(40));
+
+        // While saturated: HEALTH reports overloaded with a hint, STATS
+        // shows the queue never exceeding its bound, and a fresh COUNT is
+        // shed with the typed error — on a connection that stays alive.
+        let mut shed = Client::connect(addr).unwrap();
+        let health = shed.health().unwrap();
+        assert_eq!(health.state, HealthState::Overloaded);
+        assert!(health.retry_after_ms > 0, "overload must carry a hint");
+        let stats = shed.stats().unwrap();
+        assert!(stats.queued <= 1, "queue depth exceeded its bound");
+
+        let error = shed.count(&prefab::house()).unwrap_err();
+        let hint = match error {
+            NetError::Remote {
+                code: ErrorCode::RetryLater,
+                retry_after_ms,
+                ..
+            } => retry_after_ms.expect("v2 RETRY_LATER must carry a retry-after hint"),
+            other => panic!("expected RetryLater, got {other}"),
+        };
+        assert!(hint > 0);
+        // The shed connection is still serviceable.
+        shed.ping().unwrap();
+
+        // Honoring the hint (with the retrying client) eventually lands
+        // the query; nobody is lost, every answer is bit-identical.
+        let mut patient = RetryingClient::connect_tcp(
+            addr,
+            RetryPolicy {
+                max_attempts: 200,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(10),
+                ..RetryPolicy::default()
+            }
+            .with_seed(7),
+        );
+        assert_eq!(patient.count(&prefab::house()).unwrap().count, baseline);
+        let retry_stats = patient.stats();
+        assert!(
+            retry_stats.hints_honored > 0,
+            "the retrying client should have waited on at least one server hint"
+        );
+
+        assert!(slot.join().unwrap() > 0);
+        assert!(queued.join().unwrap() > 0);
+
+        let stats = shed.stats().unwrap();
+        assert!(stats.overload_rejections >= 1);
+        assert_eq!(stats.queued, 0, "queue must drain completely");
+        // Shed queries never executed: plan-cache accounting reconciles.
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.queries_total);
+
+        drop(shed);
+        handle.shutdown();
+        serving.join().unwrap();
+    });
+}
+
+#[test]
+fn health_reports_ready_on_an_idle_server() {
+    let engine = GraphPi::new(generators::power_law(120, 5, 5));
+    let server = Server::bind("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let handle = server.handle().unwrap();
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine).unwrap());
+        let mut client = Client::connect(addr).unwrap();
+        let health = client.health().unwrap();
+        assert_eq!(health.state, HealthState::Ready);
+        assert_eq!(health.retry_after_ms, 0, "ready needs no backoff hint");
+        drop(client);
+        handle.shutdown();
+        serving.join().unwrap();
+    });
+}
+
+#[test]
+fn protocol_v1_clients_are_served_with_v1_replies() {
+    let engine = GraphPi::new(generators::power_law(160, 5, 91));
+    let baseline = {
+        let session = engine.session();
+        session.count(&prefab::triangle()).unwrap()
+    };
+    let server = Server::bind("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let handle = server.handle().unwrap();
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        let _drain = DrainOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine).unwrap());
+
+        // Hand-rolled v1 session: a COUNT (no request-ID flag — v1 never
+        // sets it) and a STATS, each answered with the request's version
+        // byte echoed back.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let request = CountRequest {
+            no_iep: false,
+            hub_bitsets: false,
+            deadline_ms: 0,
+            request_id: 0,
+            pattern: prefab::triangle().canonical_bytes(),
+        };
+        stream
+            .write_all(&Frame::with_version(1, op::COUNT, request.encode()).encode())
+            .unwrap();
+        let reply = protocol::read_frame(&mut stream).unwrap();
+        assert_eq!(reply.version, 1, "replies must echo the peer's version");
+        assert_eq!(reply.opcode, op::COUNT_OK);
+        assert_eq!(CountOk::decode(&reply.payload).unwrap().count, baseline);
+
+        stream
+            .write_all(&Frame::with_version(1, op::STATS, vec![]).encode())
+            .unwrap();
+        let reply = protocol::read_frame(&mut stream).unwrap();
+        assert_eq!(reply.version, 1);
+        assert_eq!(reply.opcode, op::STATS_OK);
+        let stats = StatsOk::decode(&reply.payload).unwrap();
+        assert_eq!(stats.queries_total, 1);
+
+        drop(stream);
+        handle.shutdown();
+        serving.join().unwrap();
+    });
+}

@@ -9,9 +9,10 @@ use graphpi::core::config::ServeOptions;
 use graphpi::core::engine::{GraphPi, PlanCache};
 use graphpi::core::exec::pool::WorkerPool;
 use graphpi::core::net::protocol::{
-    self, op, CountRequest, ErrorCode, Frame, NetError, WireError, MAX_FRAME_LEN,
+    self, op, CountRequest, ErrorCode, Frame, LatencyHistogram, NetError, StatsOk, WireError,
+    HISTOGRAM_BUCKETS, MAX_FRAME_LEN,
 };
-use graphpi::core::net::Client;
+use graphpi::core::net::{Client, RetryPolicy};
 use graphpi::graph::generators;
 use graphpi::pattern::prefab;
 use proptest::prelude::*;
@@ -68,6 +69,114 @@ proptest! {
         let message = String::from_utf8(text).expect("printable ascii");
         let error = WireError::new(ErrorCode::from_code(code), &message);
         prop_assert_eq!(WireError::decode(&error.encode()).unwrap(), error);
+    }
+
+    /// `STATS_OK` round-trips every field, with the strategy biased
+    /// toward the `u64` extremes that would break careless decode or
+    /// aggregation arithmetic (0, 1, `u64::MAX`).
+    #[test]
+    fn stats_ok_round_trips_edge_values(
+        words in proptest::collection::vec(
+            (0u8..4, 0u64..=u64::MAX).prop_map(|(edge, raw)| match edge {
+                0 => 0,
+                1 => 1,
+                2 => u64::MAX,
+                _ => raw,
+            }),
+            15 + HISTOGRAM_BUCKETS,
+        ),
+    ) {
+        let mut latency = LatencyHistogram::default();
+        for (bucket, &word) in latency.buckets.iter_mut().zip(&words[15..]) {
+            *bucket = word;
+        }
+        let stats = StatsOk {
+            live_workers: words[0] as u32,
+            max_in_flight: words[1] as u32,
+            in_flight: words[2] as u32,
+            queued: words[3] as u32,
+            cache_len: words[4] as u32,
+            cache_capacity: words[5] as u32,
+            warm_started: words[6] as u32,
+            connections_total: words[7],
+            queries_total: words[8],
+            deadline_exceeded: words[9],
+            protocol_errors: words[10],
+            cache_hits: words[11],
+            cache_misses: words[12],
+            cache_evictions: words[13],
+            overload_rejections: words[14],
+            latency,
+        };
+        prop_assert_eq!(StatsOk::decode(&stats.encode()).unwrap(), stats);
+        // Aggregations over a decoded histogram must saturate, not panic,
+        // even with every bucket at u64::MAX.
+        let _ = stats.latency.total();
+        let _ = stats.latency.percentile_upper_bound_micros(0.99);
+    }
+
+    /// Every bucket boundary is exact: a sample at a bucket's floor lands
+    /// in that bucket, one microsecond below it lands in the previous
+    /// one, and the last bucket absorbs everything up to `u64::MAX`.
+    #[test]
+    fn histogram_bucket_boundaries_are_exact(index in 0usize..HISTOGRAM_BUCKETS) {
+        let floor = LatencyHistogram::bucket_floor_micros(index);
+        prop_assert_eq!(LatencyHistogram::bucket_index(floor), index);
+        if index > 0 && index < HISTOGRAM_BUCKETS - 1 {
+            prop_assert_eq!(LatencyHistogram::bucket_index(floor - 1), index - 1);
+            let next_floor = LatencyHistogram::bucket_floor_micros(index + 1);
+            prop_assert_eq!(LatencyHistogram::bucket_index(next_floor - 1), index);
+        }
+        prop_assert_eq!(LatencyHistogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    /// Recording into a full bucket saturates instead of wrapping, and a
+    /// saturated histogram still aggregates without panicking.
+    #[test]
+    fn histogram_record_saturates_at_full_buckets(micros in 0u64..=u64::MAX) {
+        let mut hist = LatencyHistogram::default();
+        let bucket = LatencyHistogram::bucket_index(micros);
+        hist.buckets[bucket] = u64::MAX;
+        hist.record(micros);
+        prop_assert_eq!(hist.buckets[bucket], u64::MAX);
+        prop_assert_eq!(hist.total(), u64::MAX);
+        prop_assert!(hist.percentile_upper_bound_micros(1.0).is_some());
+    }
+
+    /// Backoff schedules are a pure function of the policy: deterministic
+    /// under a fixed seed, one wait per retry, and every jittered wait
+    /// stays within [0.5x, 1.5x) of the capped exponential base.
+    #[test]
+    fn retry_backoff_schedules_are_deterministic_and_bounded(
+        seed in 0u64..=u64::MAX,
+        attempts in 1u32..12,
+        initial_ms in 1u64..50,
+        max_ms in 1u64..500,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            initial_backoff: Duration::from_millis(initial_ms),
+            max_backoff: Duration::from_millis(max_ms),
+            ..RetryPolicy::default()
+        }
+        .with_seed(seed);
+        let schedule = policy.backoff_schedule();
+        prop_assert_eq!(schedule.len(), (attempts - 1) as usize);
+        // Same policy, same seed: bit-identical schedule.
+        prop_assert_eq!(&policy.backoff_schedule(), &schedule);
+        for (retry, wait) in schedule.iter().enumerate() {
+            let base = Duration::from_millis(initial_ms)
+                .saturating_mul(1 << retry.min(20))
+                .min(Duration::from_millis(max_ms));
+            prop_assert!(
+                *wait >= base / 2,
+                "retry {} waited {:?}, below half of base {:?}", retry, wait, base
+            );
+            prop_assert!(
+                *wait <= base * 3 / 2,
+                "retry {} waited {:?}, above 1.5x base {:?}", retry, wait, base
+            );
+        }
     }
 }
 
@@ -255,6 +364,7 @@ fn fault_battery_leaves_the_server_standing() {
                 no_iep: false,
                 hub_bitsets: false,
                 deadline_ms: 0,
+                request_id: 0,
                 pattern: prefab::triangle().canonical_bytes(),
             };
             stream
@@ -271,6 +381,7 @@ fn fault_battery_leaves_the_server_standing() {
                 no_iep: false,
                 hub_bitsets: false,
                 deadline_ms: 0,
+                request_id: 0,
                 pattern: vec![2, 0b01], // vertex 0 adjacent to itself
             };
             let mut client = Client::connect(addr).unwrap();
@@ -341,6 +452,7 @@ fn frames_pipelined_back_to_back_all_get_replies() {
             no_iep: false,
             hub_bitsets: false,
             deadline_ms: 0,
+            request_id: 0,
             pattern: prefab::triangle().canonical_bytes(),
         };
         let mut burst = Vec::new();
