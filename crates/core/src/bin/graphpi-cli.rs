@@ -6,7 +6,9 @@
 //! graphpi-cli count   --graph edges.txt --pattern house [--threads 8] [--no-iep] [--hubs] [--list 5]
 //! graphpi-cli count   --graph graph.bin --format binary --pattern house --repeat 50 --session
 //! graphpi-cli convert edges.txt graph.bin
+//! graphpi-cli update  --graph edges.txt --wal graph.wal --insert 0 9 --delete 3 4 [--ops ops.txt]
 //! graphpi-cli remote  --addr 127.0.0.1:7431 --pattern house --clients 4 --repeat 8 --stats
+//! graphpi-cli remote  --addr 127.0.0.1:7431 --mutate ops.txt
 //! ```
 //!
 //! Graphs load from a whitespace-separated edge list (`#`/`%` comments
@@ -55,17 +57,29 @@
 //! `chaos-proxy` runs the standalone byte-level fault-injecting TCP proxy
 //! between real clients and a real server (prints one
 //! `proxying on <addr>` line to stdout, then serves until killed).
+//!
+//! `update` commits edge batches to a **local** WAL-backed graph: the
+//! base graph comes from `--graph`, the durable state from `--wal`
+//! (created on first use, replayed on every run), and the batch from
+//! repeated `--insert u v` / `--delete u v` flags and/or an `--ops` file
+//! of `+ u v` / `- u v` lines (file order is preserved: an insert
+//! following a delete starts a new batch, because within one batch all
+//! inserts apply before all deletes). `remote --mutate <ops-file>` sends
+//! the same ops format to a running `graphpi-server --wal`, split into
+//! frame-sized batches, and prints the final generation.
 
 use graphpi_core::codegen::{generate, Language};
 use graphpi_core::config::PoolOptions;
 use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
 use graphpi_core::net::protocol::{self, LatencyHistogram};
 use graphpi_core::net::{
-    ChaosConfig, ChaosConnector, ChaosProxy, Client, NetError, RemoteCountOptions, RetryPolicy,
-    RetryStats, RetryingClient, Transport,
+    ChaosConfig, ChaosConnector, ChaosProxy, Client, NetError, RemoteCountOptions,
+    RemoteUpdateOptions, RetryPolicy, RetryStats, RetryingClient, Transport, UpdateOk,
 };
 use graphpi_graph::csr::CsrGraph;
-use graphpi_graph::{io, vertex_set};
+use graphpi_graph::wal::DurableGraph;
+use graphpi_graph::DurableGraphOptions;
+use graphpi_graph::{io, vertex_set, EdgeBatch};
 use graphpi_pattern::{prefab, Pattern};
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
@@ -113,6 +127,19 @@ enum Command {
     Remote(RemoteArgs),
     /// Run the byte-level fault-injecting TCP proxy.
     ChaosProxy(ChaosProxyArgs),
+    /// Commit edge batches to a local WAL-backed graph.
+    Update(UpdateArgs),
+}
+
+/// `update` subcommand invocation (the graph path and format live on
+/// [`CliArgs`] like every other graph-loading command).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UpdateArgs {
+    wal: String,
+    inserts: Vec<(u32, u32)>,
+    deletes: Vec<(u32, u32)>,
+    ops: Option<String>,
+    checkpoint: bool,
 }
 
 /// `remote` subcommand invocation: which server to talk to and what to do.
@@ -132,6 +159,7 @@ struct RemoteArgs {
     stats: bool,
     shutdown: bool,
     probe_malformed: bool,
+    mutate: Option<String>,
 }
 
 /// `chaos-proxy` subcommand invocation.
@@ -150,9 +178,11 @@ const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <path> \
 [--format auto|text|binary] [--pattern <name|adj:...>] [--threads N] [--no-iep] [--hubs] \
 [--scalar-kernels] [--list N] [--repeat N] [--session] [--clients N] [--max-in-flight N]\n\
        graphpi-cli convert <edge-list> <binary-out>\n\
+       graphpi-cli update --graph <path> --wal <path> [--format auto|text|binary] \
+[--insert U V]... [--delete U V]... [--ops <file>] [--checkpoint]\n\
        graphpi-cli remote [--addr host:port] [--pattern <name>] [--clients N] [--repeat N] \
 [--no-iep] [--hubs] [--deadline-ms N] [--retries N] [--backoff-ms N] [--chaos-seed N] \
-[--ping] [--stats] [--probe-malformed] [--shutdown]\n\
+[--ping] [--stats] [--probe-malformed] [--shutdown] [--mutate <ops-file>]\n\
        graphpi-cli chaos-proxy --upstream host:port [--listen host:port] [--seed N] \
 [--stall-per-mille N] [--stall-ms N] [--reset-per-mille N] [--partial-per-mille N]";
 
@@ -196,6 +226,24 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 command: Command::ChaosProxy(proxy),
                 graph_path: String::new(),
                 format: GraphFormat::Auto,
+                pattern: None,
+                threads: 0,
+                use_iep: true,
+                hub_bitsets: false,
+                scalar_kernels: false,
+                list: 0,
+                repeat: 1,
+                session: false,
+                clients: 1,
+                max_in_flight: 0,
+            });
+        }
+        Some("update") => {
+            let (graph_path, format, update) = parse_update_args(iter.as_slice())?;
+            return Ok(CliArgs {
+                command: Command::Update(update),
+                graph_path,
+                format,
                 pattern: None,
                 threads: 0,
                 use_iep: true,
@@ -348,6 +396,7 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
         stats: false,
         shutdown: false,
         probe_malformed: false,
+        mutate: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -408,6 +457,9 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
                         .map_err(|_| "--chaos-seed must be an integer".to_string())?,
                 )
             }
+            "--mutate" => {
+                remote.mutate = Some(iter.next().ok_or("--mutate needs a value")?.clone())
+            }
             "--no-iep" => remote.no_iep = true,
             "--hubs" => remote.hubs = true,
             "--ping" => remote.ping = true,
@@ -418,11 +470,12 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
         }
     }
     if remote.pattern.is_none()
+        && remote.mutate.is_none()
         && !(remote.ping || remote.stats || remote.shutdown || remote.probe_malformed)
     {
         return Err(format!(
-            "remote needs something to do: --pattern, --ping, --stats, --probe-malformed \
-             or --shutdown\n{USAGE}"
+            "remote needs something to do: --pattern, --mutate, --ping, --stats, \
+             --probe-malformed or --shutdown\n{USAGE}"
         ));
     }
     if remote.chaos_seed.is_some() && remote.retries == 1 {
@@ -433,6 +486,194 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
         );
     }
     Ok(remote)
+}
+
+/// Parses the flags after `update`.
+fn parse_update_args(args: &[String]) -> Result<(String, GraphFormat, UpdateArgs), String> {
+    let mut graph_path = None;
+    let mut format = GraphFormat::Auto;
+    let mut update = UpdateArgs {
+        wal: String::new(),
+        inserts: Vec::new(),
+        deletes: Vec::new(),
+        ops: None,
+        checkpoint: false,
+    };
+    fn edge(flag: &str, iter: &mut std::slice::Iter<'_, String>) -> Result<(u32, u32), String> {
+        let u = iter
+            .next()
+            .ok_or(format!("{flag} needs two vertex ids"))?
+            .parse()
+            .map_err(|_| format!("{flag} vertices must be integers"))?;
+        let v = iter
+            .next()
+            .ok_or(format!("{flag} needs two vertex ids"))?
+            .parse()
+            .map_err(|_| format!("{flag} vertices must be integers"))?;
+        Ok((u, v))
+    }
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--graph" => graph_path = Some(iter.next().ok_or("--graph needs a value")?.clone()),
+            "--wal" => update.wal = iter.next().ok_or("--wal needs a value")?.clone(),
+            "--ops" => update.ops = Some(iter.next().ok_or("--ops needs a value")?.clone()),
+            "--insert" => update.inserts.push(edge("--insert", &mut iter)?),
+            "--delete" => update.deletes.push(edge("--delete", &mut iter)?),
+            "--checkpoint" => update.checkpoint = true,
+            "--format" => {
+                format = match iter.next().ok_or("--format needs a value")?.as_str() {
+                    "auto" => GraphFormat::Auto,
+                    "text" => GraphFormat::Text,
+                    "binary" => GraphFormat::Binary,
+                    other => return Err(format!("unknown format {other:?} (auto|text|binary)")),
+                }
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let graph_path = graph_path.ok_or_else(|| format!("--graph is required\n{USAGE}"))?;
+    if update.wal.is_empty() {
+        return Err(format!("update requires --wal <path>\n{USAGE}"));
+    }
+    if update.inserts.is_empty()
+        && update.deletes.is_empty()
+        && update.ops.is_none()
+        && !update.checkpoint
+    {
+        return Err(format!(
+            "update needs something to commit: --insert, --delete, --ops or --checkpoint\n{USAGE}"
+        ));
+    }
+    Ok((graph_path, format, update))
+}
+
+/// One mutation from an ops file: `true` = insert, `false` = delete.
+type Op = (bool, (u32, u32));
+
+/// One wire-sized batch: the insert list, then the delete list.
+type OpBatch = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Parses the `+ u v` / `- u v` ops format (`#`/`%` comments and blank
+/// lines allowed), keeping file order.
+fn parse_ops_text(text: &str) -> Result<Vec<Op>, String> {
+    let mut ops = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let insert = match parts.next() {
+            Some("+") => true,
+            Some("-") => false,
+            _ => {
+                return Err(format!(
+                    "ops line {}: must be '+ u v' or '- u v', got {line:?}",
+                    index + 1
+                ))
+            }
+        };
+        let mut vertex = || -> Result<u32, String> {
+            parts
+                .next()
+                .ok_or(format!("ops line {}: missing vertex id", index + 1))?
+                .parse()
+                .map_err(|_| format!("ops line {}: vertex ids must be integers", index + 1))
+        };
+        let edge = (vertex()?, vertex()?);
+        if parts.next().is_some() {
+            return Err(format!("ops line {}: trailing tokens", index + 1));
+        }
+        ops.push((insert, edge));
+    }
+    Ok(ops)
+}
+
+/// Groups an ordered op sequence into batches that preserve its
+/// semantics: within one batch all inserts apply before all deletes, so
+/// an insert *following* a delete must start a new batch. `cap` bounds
+/// the edges per batch (for the wire's frame limit); `usize::MAX` means
+/// unbounded.
+fn ops_to_batches(ops: &[Op], cap: usize) -> Vec<OpBatch> {
+    let cap = cap.max(1);
+    let mut batches = Vec::new();
+    let mut inserts: Vec<(u32, u32)> = Vec::new();
+    let mut deletes: Vec<(u32, u32)> = Vec::new();
+    for &(insert, edge) in ops {
+        let full = inserts.len() + deletes.len() >= cap;
+        let order_break = insert && !deletes.is_empty();
+        if (full || order_break) && (!inserts.is_empty() || !deletes.is_empty()) {
+            batches.push((std::mem::take(&mut inserts), std::mem::take(&mut deletes)));
+        }
+        if insert {
+            inserts.push(edge);
+        } else {
+            deletes.push(edge);
+        }
+    }
+    if !inserts.is_empty() || !deletes.is_empty() {
+        batches.push((inserts, deletes));
+    }
+    batches
+}
+
+/// Runs the `update` subcommand: open (replay) the durable graph, commit
+/// the requested batches, optionally checkpoint.
+fn run_update(graph_path: &str, format: GraphFormat, args: &UpdateArgs) -> Result<(), String> {
+    let graph = load_graph(graph_path, format)?;
+    let (durable, recovery) = DurableGraph::open(graph, &args.wal, DurableGraphOptions::default())
+        .map_err(|e| format!("failed to open WAL {}: {e}", args.wal))?;
+    eprintln!(
+        "wal: generation {} ({} batches replayed, checkpoint {})",
+        recovery.generation,
+        recovery.replayed_batches,
+        if recovery.checkpoint_loaded {
+            "loaded"
+        } else {
+            "absent"
+        },
+    );
+    let mut ops: Vec<Op> = Vec::new();
+    if let Some(path) = &args.ops {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        ops.extend(parse_ops_text(&text)?);
+    }
+    ops.extend(args.inserts.iter().map(|&edge| (true, edge)));
+    ops.extend(args.deletes.iter().map(|&edge| (false, edge)));
+    let mut inserted = 0u64;
+    let mut deleted = 0u64;
+    for (batch_inserts, batch_deletes) in ops_to_batches(&ops, usize::MAX) {
+        let mut batch = EdgeBatch::new();
+        for (u, v) in batch_inserts {
+            batch.insert(u, v);
+        }
+        for (u, v) in batch_deletes {
+            batch.delete(u, v);
+        }
+        let report = durable
+            .commit(&batch)
+            .map_err(|e| format!("commit failed: {e}"))?;
+        inserted += u64::from(report.inserted);
+        deleted += u64::from(report.deleted);
+    }
+    if args.checkpoint {
+        let generation = durable
+            .checkpoint()
+            .map_err(|e| format!("checkpoint failed: {e}"))?;
+        eprintln!(
+            "checkpoint: generation {generation} folded into {}",
+            durable.checkpoint_path().display()
+        );
+    }
+    let snapshot = durable.snapshot();
+    println!(
+        "committed: generation {}, +{inserted} -{deleted} edges ({} vertices, {} edges)",
+        snapshot.generation(),
+        snapshot.graph().num_vertices(),
+        snapshot.graph().num_edges()
+    );
+    Ok(())
 }
 
 /// Parses the flags after `chaos-proxy`.
@@ -627,6 +868,59 @@ fn run_remote(args: &RemoteArgs) -> Result<(), String> {
             .and_then(|mut c| c.ping())
             .map_err(|e| format!("ping failed: {e}"))?;
         println!("ping: ok ({})", args.addr);
+    }
+    if let Some(ops_path) = &args.mutate {
+        // Mutations run before any counting, so `--mutate ops.txt
+        // --pattern house` counts the post-update graph.
+        let text = std::fs::read_to_string(ops_path)
+            .map_err(|e| format!("cannot read {ops_path}: {e}"))?;
+        let ops = parse_ops_text(&text)?;
+        let batches = ops_to_batches(&ops, protocol::MAX_UPDATE_EDGES);
+        let options = RemoteUpdateOptions {
+            deadline_ms: args.deadline_ms,
+            request_id: 0,
+        };
+        let mut inserted = 0u64;
+        let mut deleted = 0u64;
+        let mut last: Option<UpdateOk> = None;
+        if args.retries > 1 {
+            // The retrying client tags every batch with a request ID, so
+            // a resend after an ambiguous failure replays from the
+            // server's ledger instead of committing twice.
+            let policy = RetryPolicy {
+                max_attempts: args.retries,
+                initial_backoff: Duration::from_millis(args.backoff_ms),
+                ..RetryPolicy::default()
+            };
+            let mut client = RetryingClient::connect_tcp(resolve_addr(&args.addr)?, policy);
+            for (ins, del) in &batches {
+                let ok = client
+                    .update_with(ins, del, options)
+                    .map_err(|e| format!("mutate failed: {e}"))?;
+                inserted += u64::from(ok.inserted);
+                deleted += u64::from(ok.deleted);
+                last = Some(ok);
+            }
+        } else {
+            let mut client =
+                Client::connect(&args.addr).map_err(|e| format!("mutate: connect failed: {e}"))?;
+            for (ins, del) in &batches {
+                let ok = client
+                    .update_with(ins, del, options)
+                    .map_err(|e| format!("mutate failed: {e}"))?;
+                inserted += u64::from(ok.inserted);
+                deleted += u64::from(ok.deleted);
+                last = Some(ok);
+            }
+        }
+        match last {
+            Some(ok) => println!(
+                "mutate: {} batch(es) applied, +{inserted} -{deleted} edges, generation {}",
+                batches.len(),
+                ok.generation
+            ),
+            None => println!("mutate: {ops_path} contained no operations"),
+        }
     }
     if let Some(name) = &args.pattern {
         let pattern = resolve_pattern(name)?;
@@ -840,6 +1134,9 @@ fn run(args: CliArgs) -> Result<(), String> {
     }
     if let Command::ChaosProxy(proxy) = &args.command {
         return run_chaos_proxy(proxy);
+    }
+    if let Command::Update(update) = &args.command {
+        return run_update(&args.graph_path, args.format, update);
     }
     let load_start = std::time::Instant::now();
     let graph = load_graph(&args.graph_path, args.format)?;
@@ -1253,6 +1550,13 @@ mod tests {
         assert!(remote.stats);
         assert!(!remote.shutdown);
 
+        // --mutate alone is an action.
+        let parsed = parse_args(&strings(&["remote", "--mutate", "ops.txt"])).unwrap();
+        let Command::Remote(remote) = parsed.command else {
+            panic!("expected a remote command");
+        };
+        assert_eq!(remote.mutate.as_deref(), Some("ops.txt"));
+
         // Action-free remote invocations are rejected; action flags alone
         // are fine (default address).
         assert!(parse_args(&strings(&["remote"])).is_err());
@@ -1347,6 +1651,126 @@ mod tests {
             "1001",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_update_invocation() {
+        let args = parse_args(&strings(&[
+            "update",
+            "--graph",
+            "g.txt",
+            "--wal",
+            "g.wal",
+            "--insert",
+            "0",
+            "9",
+            "--insert",
+            "1",
+            "8",
+            "--delete",
+            "2",
+            "3",
+            "--ops",
+            "ops.txt",
+            "--checkpoint",
+        ]))
+        .unwrap();
+        assert_eq!(args.graph_path, "g.txt");
+        let Command::Update(update) = args.command else {
+            panic!("expected an update command");
+        };
+        assert_eq!(update.wal, "g.wal");
+        assert_eq!(update.inserts, vec![(0, 9), (1, 8)]);
+        assert_eq!(update.deletes, vec![(2, 3)]);
+        assert_eq!(update.ops.as_deref(), Some("ops.txt"));
+        assert!(update.checkpoint);
+        // --graph, --wal, and at least one action are all required;
+        // --insert needs both endpoints.
+        assert!(parse_args(&strings(&["update", "--wal", "w", "--insert", "0", "1"])).is_err());
+        assert!(parse_args(&strings(&["update", "--graph", "g", "--insert", "0", "1"])).is_err());
+        assert!(parse_args(&strings(&["update", "--graph", "g", "--wal", "w"])).is_err());
+        assert!(parse_args(&strings(&[
+            "update", "--graph", "g", "--wal", "w", "--insert", "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn ops_text_parses_and_batches_in_order() {
+        let ops = parse_ops_text("# comment\n+ 0 1\n+ 2 3\n- 0 1\n\n+ 4 5\n").unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                (true, (0, 1)),
+                (true, (2, 3)),
+                (false, (0, 1)),
+                (true, (4, 5)),
+            ]
+        );
+        // The insert after the delete starts a new batch (inserts apply
+        // before deletes within one batch, so merging would reorder).
+        let batches = ops_to_batches(&ops, usize::MAX);
+        assert_eq!(
+            batches,
+            vec![(vec![(0, 1), (2, 3)], vec![(0, 1)]), (vec![(4, 5)], vec![]),]
+        );
+        // The cap splits oversized runs.
+        let many: Vec<Op> = (0..5).map(|i| (true, (i, i + 10))).collect();
+        let capped = ops_to_batches(&many, 2);
+        assert_eq!(capped.len(), 3);
+        assert!(capped
+            .iter()
+            .all(|(ins, del)| ins.len() <= 2 && del.is_empty()));
+        // Malformed lines are rejected with their line number.
+        assert!(parse_ops_text("+ 0\n").unwrap_err().contains("line 1"));
+        assert!(parse_ops_text("x 0 1\n").unwrap_err().contains("line 1"));
+        assert!(parse_ops_text("+ 0 1 2\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn update_then_count_round_trips_through_the_wal() {
+        let dir = temp_dir("update");
+        let graph = dir.join("graph.txt");
+        let wal = dir.join("graph.wal");
+        let ops = dir.join("ops.txt");
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(dir.join("graph.wal.ckpt")).ok();
+        // A path 0-1-2-3: no triangles.
+        std::fs::write(&graph, "0 1\n1 2\n2 3\n").unwrap();
+        std::fs::write(&ops, "+ 0 2\n+ 1 3\n- 2 3\n").unwrap();
+        let run_args = |argv: &[&str]| run(parse_args(&strings(argv)).unwrap());
+        // Commit: closes triangle 0-1-2, opens 1-3, drops 2-3.
+        run_args(&[
+            "update",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--wal",
+            wal.to_str().unwrap(),
+            "--ops",
+            ops.to_str().unwrap(),
+        ])
+        .unwrap();
+        // A second run replays the WAL and commits a further edge.
+        run_args(&[
+            "update",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--wal",
+            wal.to_str().unwrap(),
+            "--insert",
+            "0",
+            "3",
+            "--checkpoint",
+        ])
+        .unwrap();
+        // The recovered graph: edges 01 12 02 13 03 -> triangles 012, 013.
+        let base = load_graph(graph.to_str().unwrap(), GraphFormat::Auto).unwrap();
+        let (durable, recovery) =
+            DurableGraph::open(base, &wal, DurableGraphOptions::default()).unwrap();
+        assert!(recovery.checkpoint_loaded, "second run checkpointed");
+        let engine = GraphPi::new(durable.snapshot().graph().as_ref().clone());
+        assert_eq!(engine.count(&prefab::triangle()).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!                [--cache-capacity N] [--max-in-flight N]
 //!                [--max-connections N] [--queue-depth N]
 //!                [--persist plans.gppc] [--snapshot-interval-ms N]
+//!                [--wal graph.wal]
 //! ```
 //!
 //! Loads the data graph once (text edge list or the checksummed binary
@@ -18,18 +19,28 @@
 //! `--snapshot-interval-ms`, the cache is additionally re-snapshotted in
 //! the background while serving, so even `kill -9` loses at most one
 //! interval of warmth.
+//!
+//! With `--wal <path>` the graph is **mutable and durable**: the v2
+//! `UPDATE` opcode commits edge batches that are fsync'd to the
+//! write-ahead log before they become visible, queries pin generation
+//! snapshots, and a restart with the same `--graph` and `--wal` replays
+//! the log back to a bit-identical graph (see the module docs of
+//! `graphpi_graph::wal`). Without `--wal` the graph is immutable and
+//! updates are refused with the `ReadOnly` error code.
 
 use graphpi_core::config::{PoolOptions, ServeOptions};
 use graphpi_core::engine::GraphPi;
 use graphpi_core::net::Server;
+use graphpi_core::DynamicEngine;
 use graphpi_graph::csr::CsrGraph;
 use graphpi_graph::io;
+use graphpi_graph::DurableGraphOptions;
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: graphpi-server --graph <path> [--listen <addr:port>] \
 [--threads N] [--cache-capacity N] [--max-in-flight N] [--max-connections N] \
-[--queue-depth N] [--persist <path>] [--snapshot-interval-ms N]";
+[--queue-depth N] [--persist <path>] [--snapshot-interval-ms N] [--wal <path>]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +54,7 @@ struct ServerArgs {
     queue_depth: usize,
     persist: Option<String>,
     snapshot_interval_ms: u64,
+    wal: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
@@ -55,12 +67,14 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
     let mut queue_depth = 0usize;
     let mut persist = None;
     let mut snapshot_interval_ms = 0u64;
+    let mut wal = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--graph" => graph_path = Some(iter.next().ok_or("--graph needs a value")?.clone()),
             "--listen" => listen = iter.next().ok_or("--listen needs a value")?.clone(),
             "--persist" => persist = Some(iter.next().ok_or("--persist needs a value")?.clone()),
+            "--wal" => wal = Some(iter.next().ok_or("--wal needs a value")?.clone()),
             "--threads" => {
                 threads = iter
                     .next()
@@ -116,6 +130,7 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
         queue_depth,
         persist,
         snapshot_interval_ms,
+        wal,
     })
 }
 
@@ -179,7 +194,31 @@ fn run(args: ServerArgs) -> Result<(), String> {
         graph.num_edges(),
         load_start.elapsed()
     );
-    let engine = GraphPi::new(graph);
+    // Open the serving engine: static (immutable) without --wal, durable
+    // dynamic with it. The WAL opens before the listener binds, so
+    // "listening on" is only printed once recovery has fully replayed.
+    let mut static_engine = None;
+    let mut dynamic_engine = None;
+    match &args.wal {
+        None => static_engine = Some(GraphPi::new(graph)),
+        Some(wal_path) => {
+            let (engine, recovery) =
+                DynamicEngine::durable(graph, wal_path, DurableGraphOptions::default())
+                    .map_err(|e| format!("failed to open WAL {wal_path}: {e}"))?;
+            eprintln!(
+                "wal: generation {} ({} batches replayed, checkpoint {}, {} torn bytes dropped)",
+                recovery.generation,
+                recovery.replayed_batches,
+                if recovery.checkpoint_loaded {
+                    "loaded"
+                } else {
+                    "absent"
+                },
+                recovery.truncated_bytes
+            );
+            dynamic_engine = Some(engine);
+        }
+    }
 
     let options = ServeOptions {
         pool: PoolOptions {
@@ -220,13 +259,18 @@ fn run(args: ServerArgs) -> Result<(), String> {
         handle.shutdown();
     });
 
-    let report = server.serve(&engine).map_err(|e| e.to_string())?;
+    let report = match (&static_engine, &dynamic_engine) {
+        (Some(engine), _) => server.serve(engine).map_err(|e| e.to_string())?,
+        (None, Some(engine)) => server.serve_dynamic(engine).map_err(|e| e.to_string())?,
+        (None, None) => unreachable!("one engine is always constructed"),
+    };
     let _ = watcher.join();
     eprintln!(
-        "drained: {} connections, {} queries; warm start {}/{} keys, \
+        "drained: {} connections, {} queries, {} updates; warm start {}/{} keys, \
          {} plan keys persisted, {} background snapshots",
         report.connections,
         report.queries,
+        report.updates,
         report.warm_start.warmed,
         report.warm_start.applicable,
         report.saved_plans,
@@ -275,6 +319,8 @@ mod tests {
             "plans.gppc",
             "--snapshot-interval-ms",
             "250",
+            "--wal",
+            "graph.wal",
         ]))
         .unwrap();
         assert_eq!(args.graph_path, "g.txt");
@@ -286,6 +332,7 @@ mod tests {
         assert_eq!(args.queue_depth, 5);
         assert_eq!(args.persist.as_deref(), Some("plans.gppc"));
         assert_eq!(args.snapshot_interval_ms, 250);
+        assert_eq!(args.wal.as_deref(), Some("graph.wal"));
     }
 
     #[test]
@@ -297,8 +344,10 @@ mod tests {
         assert_eq!(args.queue_depth, 0);
         assert_eq!(args.snapshot_interval_ms, 0);
         assert!(args.persist.is_none());
+        assert!(args.wal.is_none());
         assert!(parse_args(&strings(&[])).is_err(), "--graph is required");
         assert!(parse_args(&strings(&["--graph"])).is_err());
+        assert!(parse_args(&strings(&["--graph", "g", "--wal"])).is_err());
         assert!(parse_args(&strings(&["--graph", "g", "--threads", "x"])).is_err());
         assert!(parse_args(&strings(&["--bogus"])).is_err());
         assert!(parse_args(&strings(&["--graph", "g", "--snapshot-interval-ms", "x"])).is_err());

@@ -37,6 +37,7 @@
 
 pub mod codegen;
 pub mod config;
+pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -46,6 +47,7 @@ pub mod persist;
 pub mod schedule;
 
 pub use config::{Configuration, ExecutionPlan, IepCorrection, PoolOptions, ServeOptions};
+pub use dynamic::{DynamicEngine, PinnedEngine};
 pub use engine::{
     CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, SavedPlanKey, Session,
     WarmStartReport,

@@ -19,7 +19,7 @@
 use super::chaos::SplitMix64;
 use super::protocol::{
     op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, NetError, StatsOk, TcpTransport,
-    Transport, WireError,
+    Transport, UpdateOk, UpdateRequest, WireError, MAX_UPDATE_EDGES,
 };
 use graphpi_pattern::Pattern;
 use std::net::ToSocketAddrs;
@@ -37,6 +37,18 @@ pub struct RemoteCountOptions {
     pub deadline_ms: u32,
     /// Idempotency key for safe retries (0 = none; [`RetryingClient`]
     /// fills this in automatically).
+    pub request_id: u64,
+}
+
+/// Per-update options for [`Client::update_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteUpdateOptions {
+    /// Deadline in milliseconds covering queueing + commit (0 = none).
+    pub deadline_ms: u32,
+    /// Idempotency key (0 = none). Unlike counts, updates are **not**
+    /// naturally idempotent — recommitting an applied batch burns a
+    /// generation and can change the graph — so anything that resends
+    /// must set this ([`RetryingClient`] fills it in automatically).
     pub request_id: u64,
 }
 
@@ -137,6 +149,30 @@ impl<T: Transport> Client<T> {
         })
     }
 
+    /// Commits one edge batch (protocol v2). Inserts apply before
+    /// deletes; the reply carries the generation the batch produced.
+    /// Static servers answer [`ErrorCode::ReadOnly`].
+    pub fn update(
+        &mut self,
+        inserts: &[(u32, u32)],
+        deletes: &[(u32, u32)],
+    ) -> Result<UpdateOk, NetError> {
+        self.update_with(inserts, deletes, RemoteUpdateOptions::default())
+    }
+
+    /// Commits one edge batch with explicit options.
+    pub fn update_with(
+        &mut self,
+        inserts: &[(u32, u32)],
+        deletes: &[(u32, u32)],
+        options: RemoteUpdateOptions,
+    ) -> Result<UpdateOk, NetError> {
+        let request = encode_update(inserts, deletes, options)?;
+        let response = self.roundtrip(&Frame::new(op::UPDATE, request.encode()), op::UPDATE_OK)?;
+        UpdateOk::decode(&response.payload)
+            .ok_or(NetError::Protocol("undecodable UPDATE_OK payload"))
+    }
+
     /// Fetches the server's counter snapshot.
     pub fn stats(&mut self) -> Result<StatsOk, NetError> {
         let response = self.roundtrip(&Frame::new(op::STATS, vec![]), op::STATS_OK)?;
@@ -157,6 +193,27 @@ impl<T: Transport> Client<T> {
         self.roundtrip(&Frame::new(op::SHUTDOWN, vec![]), op::SHUTDOWN_OK)?;
         Ok(())
     }
+}
+
+/// Builds the wire request for an update, refusing batches that cannot
+/// fit one frame (the caller must split them — see
+/// [`MAX_UPDATE_EDGES`]).
+fn encode_update(
+    inserts: &[(u32, u32)],
+    deletes: &[(u32, u32)],
+    options: RemoteUpdateOptions,
+) -> Result<UpdateRequest, NetError> {
+    if inserts.len().saturating_add(deletes.len()) > MAX_UPDATE_EDGES {
+        return Err(NetError::Protocol(
+            "update batch exceeds one frame; split it into MAX_UPDATE_EDGES chunks",
+        ));
+    }
+    Ok(UpdateRequest {
+        deadline_ms: options.deadline_ms,
+        request_id: options.request_id,
+        inserts: inserts.to_vec(),
+        deletes: deletes.to_vec(),
+    })
 }
 
 /// Convenience: is this error the server saying "deadline exceeded"?
@@ -353,6 +410,37 @@ impl RetryingClient {
             count: ok.count,
             elapsed: Duration::from_micros(ok.elapsed_micros),
         })
+    }
+
+    /// Commits one edge batch, retrying per the policy. Every attempt
+    /// carries the same request ID, so a resend after an ambiguous
+    /// failure is answered from the server's ledger with the generation
+    /// the batch *originally* produced — never committed twice.
+    pub fn update(
+        &mut self,
+        inserts: &[(u32, u32)],
+        deletes: &[(u32, u32)],
+    ) -> Result<UpdateOk, NetError> {
+        self.update_with(inserts, deletes, RemoteUpdateOptions::default())
+    }
+
+    /// Commits one edge batch with explicit options, retrying per the
+    /// policy. A caller-supplied `request_id` is kept; otherwise a fresh
+    /// one is always drawn — an untagged update must not be resent.
+    pub fn update_with(
+        &mut self,
+        inserts: &[(u32, u32)],
+        deletes: &[(u32, u32)],
+        mut options: RemoteUpdateOptions,
+    ) -> Result<UpdateOk, NetError> {
+        if options.request_id == 0 {
+            options.request_id = self.next_request_id();
+        }
+        let request = encode_update(inserts, deletes, options)?;
+        let frame = Frame::new(op::UPDATE, request.encode());
+        let response = self.exchange_with_retries(&frame, op::UPDATE_OK)?;
+        UpdateOk::decode(&response.payload)
+            .ok_or(NetError::Protocol("undecodable UPDATE_OK payload"))
     }
 
     /// Fetches the server's counter snapshot, retrying per the policy

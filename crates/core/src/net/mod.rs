@@ -41,9 +41,11 @@ pub mod server;
 
 pub use chaos::{ChaosConfig, ChaosConnector, ChaosProxy, ChaosStats, ChaosTransport};
 pub use client::{
-    Client, RemoteCount, RemoteCountOptions, RetryPolicy, RetryStats, RetryingClient,
+    Client, RemoteCount, RemoteCountOptions, RemoteUpdateOptions, RetryPolicy, RetryStats,
+    RetryingClient,
 };
 pub use protocol::{
-    ErrorCode, Frame, HealthOk, HealthState, NetError, StatsOk, TcpTransport, Transport,
+    ErrorCode, Frame, HealthOk, HealthState, NetError, StatsOk, TcpTransport, Transport, UpdateOk,
+    UpdateRequest,
 };
 pub use server::{Server, ServerHandle, ServerReport};

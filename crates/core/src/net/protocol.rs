@@ -69,6 +69,10 @@ pub mod op {
     /// Readiness probe for load balancers and supervisors (empty payload;
     /// protocol v2).
     pub const HEALTH: u8 = 0x05;
+    /// Apply a batch of edge insertions/deletions
+    /// ([`super::UpdateRequest`] payload; protocol v2). Static servers
+    /// answer [`super::ErrorCode::ReadOnly`].
+    pub const UPDATE: u8 = 0x06;
     /// Successful count ([`super::CountOk`] payload).
     pub const COUNT_OK: u8 = 0x81;
     /// Counter snapshot ([`super::StatsOk`] payload).
@@ -79,6 +83,8 @@ pub mod op {
     pub const SHUTDOWN_OK: u8 = 0x84;
     /// Health reply ([`super::HealthOk`] payload; protocol v2).
     pub const HEALTH_OK: u8 = 0x85;
+    /// Update applied ([`super::UpdateOk`] payload; protocol v2).
+    pub const UPDATE_OK: u8 = 0x86;
     /// Typed failure ([`super::WireError`] payload).
     pub const ERROR: u8 = 0x7F;
 }
@@ -120,6 +126,10 @@ pub enum ErrorCode {
     /// retry-after hint derived from the server's latency histogram.
     /// Connection stays open.
     RetryLater,
+    /// An [`op::UPDATE`] reached a server whose graph is immutable (no
+    /// `--wal`). Deterministic rejection; connection stays open
+    /// (protocol v2).
+    ReadOnly,
     /// A code this build does not know (forward compatibility).
     Other(u8),
 }
@@ -139,6 +149,7 @@ impl ErrorCode {
             ErrorCode::Internal => 9,
             ErrorCode::TooManyConnections => 10,
             ErrorCode::RetryLater => 11,
+            ErrorCode::ReadOnly => 12,
             ErrorCode::Other(code) => code,
         }
     }
@@ -157,6 +168,7 @@ impl ErrorCode {
             9 => ErrorCode::Internal,
             10 => ErrorCode::TooManyConnections,
             11 => ErrorCode::RetryLater,
+            12 => ErrorCode::ReadOnly,
             other => ErrorCode::Other(other),
         }
     }
@@ -188,6 +200,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Internal => write!(f, "internal server error"),
             ErrorCode::TooManyConnections => write!(f, "too many connections"),
             ErrorCode::RetryLater => write!(f, "overloaded, retry later"),
+            ErrorCode::ReadOnly => write!(f, "server graph is read-only"),
             ErrorCode::Other(code) => write!(f, "error code {code}"),
         }
     }
@@ -592,6 +605,153 @@ impl CountOk {
         Some(Self {
             count: u64::from_le_bytes(payload[..8].try_into().ok()?),
             elapsed_micros: u64::from_le_bytes(payload[8..].try_into().ok()?),
+        })
+    }
+}
+
+/// Largest number of edge pairs (inserts plus deletes) one
+/// [`UpdateRequest`] can carry without its frame exceeding
+/// [`MAX_FRAME_LEN`]. Clients split bigger batches.
+pub const MAX_UPDATE_EDGES: usize = (MAX_FRAME_LEN - HEADER_LEN - 21) / 8;
+
+/// [`op::UPDATE`] payload (protocol v2): a batch of undirected edge
+/// insertions and deletions, applied atomically — inserts first, then
+/// deletes; the reply carries the generation the batch produced.
+///
+/// ```text
+/// offset  size  field
+/// 0       1     flags       bit0 = request ID present
+/// 1       4     deadline_ms u32 LE, 0 = no deadline
+/// 5       8     request_id  u64 LE, only when flag bit0 is set
+/// 5/13    4     n_inserts   u32 LE
+/// +4      4     n_deletes   u32 LE
+/// +8      8×n   edges       (u32 LE, u32 LE) pairs, inserts then deletes
+/// ```
+///
+/// Updates are *not* idempotent by nature (replaying a batch after later
+/// batches committed can change the graph), so retrying clients MUST tag
+/// them with a request ID: the server's completed-request ledger then
+/// answers a resent batch with the recorded reply instead of applying it
+/// twice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateRequest {
+    /// Deadline in milliseconds covering admission queueing (0 = none).
+    pub deadline_ms: u32,
+    /// Client-generated idempotency key (0 = absent; never sent on the
+    /// wire as 0).
+    pub request_id: u64,
+    /// Undirected edges to insert.
+    pub inserts: Vec<(u32, u32)>,
+    /// Undirected edges to delete (after the inserts).
+    pub deletes: Vec<(u32, u32)>,
+}
+
+impl UpdateRequest {
+    const FLAG_REQUEST_ID: u8 = 1 << 0;
+
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let edges = self.inserts.len() + self.deletes.len();
+        let mut out = Vec::with_capacity(21 + 8 * edges);
+        let mut flags = 0u8;
+        if self.request_id != 0 {
+            flags |= Self::FLAG_REQUEST_ID;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        if self.request_id != 0 {
+            out.extend_from_slice(&self.request_id.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.inserts.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.deletes.len() as u32).to_le_bytes());
+        for &(u, v) in self.inserts.iter().chain(self.deletes.iter()) {
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a payload; `None` on truncation, trailing bytes, unknown
+    /// flag bits, or edge counts that disagree with the payload length.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() < 5 {
+            return None;
+        }
+        let flags = payload[0];
+        if flags & !Self::FLAG_REQUEST_ID != 0 {
+            return None;
+        }
+        let deadline_ms = u32::from_le_bytes(payload[1..5].try_into().ok()?);
+        let (request_id, rest) = if flags & Self::FLAG_REQUEST_ID != 0 {
+            let id = u64::from_le_bytes(payload.get(5..13)?.try_into().ok()?);
+            if id == 0 {
+                return None; // the flag promises a usable key
+            }
+            (id, payload.get(13..)?)
+        } else {
+            (0, &payload[5..])
+        };
+        if rest.len() < 8 {
+            return None;
+        }
+        let n_inserts = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+        let n_deletes = u32::from_le_bytes(rest[4..8].try_into().ok()?) as usize;
+        let edges = &rest[8..];
+        if edges.len() != 8 * (n_inserts.checked_add(n_deletes)?) {
+            return None;
+        }
+        let mut pairs = edges
+            .chunks_exact(8)
+            .map(|pair| {
+                (
+                    u32::from_le_bytes(pair[..4].try_into().unwrap()),
+                    u32::from_le_bytes(pair[4..].try_into().unwrap()),
+                )
+            })
+            .collect::<Vec<_>>();
+        let deletes = pairs.split_off(n_inserts);
+        Some(Self {
+            deadline_ms,
+            request_id,
+            inserts: pairs,
+            deletes,
+        })
+    }
+}
+
+/// [`op::UPDATE_OK`] payload (protocol v2): the generation the batch
+/// produced plus what it actually changed
+/// (`[u64 generation][u32 inserted][u32 deleted]`, LE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOk {
+    /// Graph generation after the batch; queries pinned to this or later
+    /// generations observe the batch.
+    pub generation: u64,
+    /// Undirected edges that became present (no-ops excluded).
+    pub inserted: u32,
+    /// Undirected edges that became absent (no-ops excluded).
+    pub deleted: u32,
+}
+
+impl UpdateOk {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.inserted.to_le_bytes());
+        out.extend_from_slice(&self.deleted.to_le_bytes());
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly 16 bytes.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            generation: u64::from_le_bytes(payload[..8].try_into().ok()?),
+            inserted: u32::from_le_bytes(payload[8..12].try_into().ok()?),
+            deleted: u32::from_le_bytes(payload[12..].try_into().ok()?),
         })
     }
 }
@@ -1129,6 +1289,77 @@ mod tests {
         ] {
             assert_eq!(HealthState::from_code(state.code()), Some(state));
         }
+    }
+
+    #[test]
+    fn update_codecs_round_trip() {
+        let bare = UpdateRequest {
+            deadline_ms: 0,
+            request_id: 0,
+            inserts: vec![],
+            deletes: vec![],
+        };
+        assert_eq!(UpdateRequest::decode(&bare.encode()).unwrap(), bare);
+
+        let req = UpdateRequest {
+            deadline_ms: 900,
+            request_id: 0x1234_5678_9ABC_DEF0,
+            inserts: vec![(0, 7), (3, 3), (u32::MAX, 1)],
+            deletes: vec![(2, 5)],
+        };
+        let bytes = req.encode();
+        assert_eq!(UpdateRequest::decode(&bytes).unwrap(), req);
+        // Tagged requests are 8 bytes longer than untagged ones.
+        let untagged = UpdateRequest {
+            request_id: 0,
+            ..req.clone()
+        };
+        assert_eq!(bytes.len(), untagged.encode().len() + 8);
+
+        // Truncations never parse.
+        for cut in 0..bytes.len() {
+            assert!(
+                UpdateRequest::decode(&bytes[..cut]).is_none(),
+                "cut at {cut}"
+            );
+        }
+        // Trailing bytes never parse.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(UpdateRequest::decode(&padded).is_none());
+        // Unknown flag bits never parse.
+        let mut flagged = bytes.clone();
+        flagged[0] |= 0x80;
+        assert!(UpdateRequest::decode(&flagged).is_none());
+        // The request-id flag with a zero id is malformed.
+        let mut zero_id = bytes.clone();
+        for byte in &mut zero_id[5..13] {
+            *byte = 0;
+        }
+        assert!(UpdateRequest::decode(&zero_id).is_none());
+        // Edge counts that disagree with the payload length never parse.
+        let mut wrong_count = bytes.clone();
+        wrong_count[13] = wrong_count[13].wrapping_add(1);
+        assert!(UpdateRequest::decode(&wrong_count).is_none());
+
+        let ok = UpdateOk {
+            generation: u64::MAX - 9,
+            inserted: 3,
+            deleted: 1,
+        };
+        assert_eq!(UpdateOk::decode(&ok.encode()).unwrap(), ok);
+        assert_eq!(ok.encode().len(), 16);
+        assert!(UpdateOk::decode(&ok.encode()[..15]).is_none());
+
+        // A full-size batch still fits in one frame.
+        let full = UpdateRequest {
+            deadline_ms: 0,
+            request_id: 1,
+            inserts: vec![(1, 2); MAX_UPDATE_EDGES],
+            deletes: vec![],
+        };
+        assert!(Frame::new(op::UPDATE, full.encode()).encode().len() <= MAX_FRAME_LEN + 4);
+        assert!(ErrorCode::ReadOnly.code() == 12 && !ErrorCode::ReadOnly.is_retryable());
     }
 
     #[test]

@@ -34,13 +34,19 @@
 //! process's warm start ([`crate::persist`]).
 
 use crate::config::{PoolOptions, ServeOptions};
-use crate::engine::{CountOptions, GraphPi, PlanCache, PlanOptions, Session, WarmStartReport};
+use crate::dynamic::DynamicEngine;
+use crate::engine::{
+    CacheStats, CountOptions, GraphPi, PlanCache, PlanOptions, SavedPlanKey, Session,
+    WarmStartReport,
+};
 use crate::exec::pool::WorkerPool;
 use crate::net::protocol::{
     op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, HealthState, LatencyHistogram, NetError,
-    StatsOk, TcpTransport, Transport, HISTOGRAM_BUCKETS,
+    StatsOk, TcpTransport, Transport, UpdateOk, UpdateRequest, HISTOGRAM_BUCKETS,
 };
 use crate::persist;
+use graphpi_graph::delta::{DeltaError, EdgeBatch};
+use graphpi_graph::wal::DurableError;
 use graphpi_pattern::Pattern;
 use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
@@ -73,6 +79,7 @@ struct Metrics {
     connections_total: AtomicU64,
     active_connections: AtomicUsize,
     queries_total: AtomicU64,
+    updates_total: AtomicU64,
     deadline_exceeded: AtomicU64,
     protocol_errors: AtomicU64,
     overload_rejections: AtomicU64,
@@ -210,17 +217,50 @@ fn request_fingerprint(request: &CountRequest) -> u64 {
     hash
 }
 
+/// FNV-1a over an update's edge lists. The leading tag byte separates the
+/// update domain from [`request_fingerprint`]'s count domain, so a count
+/// retry can never replay an update reply (or vice versa) even if the two
+/// requests reused one ID.
+fn update_fingerprint(request: &UpdateRequest) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    };
+    eat(0xD5);
+    for side in [&request.inserts, &request.deletes] {
+        for &(a, b) in side.iter() {
+            for byte in a.to_le_bytes().into_iter().chain(b.to_le_bytes()) {
+                eat(byte);
+            }
+        }
+        eat(0xFE);
+    }
+    hash
+}
+
+/// A reply the ledger can replay: counts and updates share the ID space
+/// but never each other's entries (the fingerprint domains differ, and
+/// the variant is re-checked on lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LedgerReply {
+    Count(CountOk),
+    Update(UpdateOk),
+}
+
 /// Completed-request ledger: request ID → (fingerprint, reply). A retry
 /// carrying a known ID is answered from here without re-executing (or
 /// double-counting) the query — that is what makes resending after an
-/// ambiguous failure safe. Bounded FIFO eviction.
+/// ambiguous failure safe. For updates this is the idempotency mechanism:
+/// a replayed `UPDATE` reports the generation it originally produced
+/// instead of committing twice. Bounded FIFO eviction.
 struct RequestLedger {
     inner: Mutex<LedgerInner>,
     capacity: usize,
 }
 
 struct LedgerInner {
-    replies: HashMap<u64, (u64, CountOk)>,
+    replies: HashMap<u64, (u64, LedgerReply)>,
     order: VecDeque<u64>,
 }
 
@@ -236,8 +276,8 @@ impl RequestLedger {
     }
 
     /// The recorded reply for `id`, if it exists *and* belongs to the
-    /// same logical query.
-    fn lookup(&self, id: u64, fingerprint: u64) -> Option<CountOk> {
+    /// same logical request.
+    fn lookup(&self, id: u64, fingerprint: u64) -> Option<LedgerReply> {
         let inner = self.inner.lock().expect("ledger poisoned");
         match inner.replies.get(&id) {
             Some((stored, reply)) if *stored == fingerprint => Some(*reply),
@@ -245,7 +285,7 @@ impl RequestLedger {
         }
     }
 
-    fn record(&self, id: u64, fingerprint: u64, reply: CountOk) {
+    fn record(&self, id: u64, fingerprint: u64, reply: LedgerReply) {
         let mut inner = self.inner.lock().expect("ledger poisoned");
         if inner.replies.insert(id, (fingerprint, reply)).is_none() {
             inner.order.push_back(id);
@@ -253,6 +293,97 @@ impl RequestLedger {
                 if let Some(evict) = inner.order.pop_front() {
                     inner.replies.remove(&evict);
                 }
+            }
+        }
+    }
+}
+
+/// What a server is serving: one immutable engine behind a long-lived
+/// [`Session`], or a [`DynamicEngine`] whose generations come and go.
+///
+/// The static arm keeps the original zero-overhead path: one session,
+/// planned options resolved once. The dynamic arm pins the current
+/// generation *per query* and builds a transient session against the
+/// pinned engine — the pin is what guarantees a query sees exactly one
+/// generation even while batches commit mid-flight, and the shared pool
+/// and plan cache are what keep a re-pinned query as cheap as a static
+/// one (same workers, warm plans keyed by the generation's stats
+/// fingerprint).
+enum ServeBackend<'a> {
+    Static(Session<'a>),
+    Dynamic {
+        engine: &'a DynamicEngine,
+        pool: Arc<WorkerPool>,
+        cache: Arc<PlanCache>,
+    },
+}
+
+impl ServeBackend<'_> {
+    /// Runs one count against a single consistent generation.
+    fn count_with(
+        &self,
+        pattern: &Pattern,
+        options: CountOptions,
+    ) -> Result<u64, crate::error::EngineError> {
+        match self {
+            ServeBackend::Static(session) => session.count_with(pattern, options),
+            ServeBackend::Dynamic {
+                engine,
+                pool,
+                cache,
+            } => {
+                let pin = engine.pin();
+                let session = pin.engine().session_shared(
+                    Arc::clone(pool),
+                    Arc::clone(cache),
+                    PlanOptions::default(),
+                    CountOptions::default(),
+                );
+                session.count_with(pattern, options)
+            }
+        }
+    }
+
+    /// The dynamic engine, when updates are accepted.
+    fn dynamic(&self) -> Option<&DynamicEngine> {
+        match self {
+            ServeBackend::Static(_) => None,
+            ServeBackend::Dynamic { engine, .. } => Some(engine),
+        }
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        match self {
+            ServeBackend::Static(session) => session.pool(),
+            ServeBackend::Dynamic { pool, .. } => pool,
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            ServeBackend::Static(session) => session.cache_stats(),
+            ServeBackend::Dynamic { cache, .. } => cache.stats(),
+        }
+    }
+
+    /// Warm-starts the plan cache against the engine serving right now
+    /// (for a dynamic backend: the recovered generation).
+    fn warm_start(&self, keys: &[SavedPlanKey]) -> WarmStartReport {
+        match self {
+            ServeBackend::Static(session) => session.warm_start(keys),
+            ServeBackend::Dynamic {
+                engine,
+                pool,
+                cache,
+            } => {
+                let pin = engine.pin();
+                let session = pin.engine().session_shared(
+                    Arc::clone(pool),
+                    Arc::clone(cache),
+                    PlanOptions::default(),
+                    CountOptions::default(),
+                );
+                session.warm_start(keys)
             }
         }
     }
@@ -293,6 +424,8 @@ pub struct ServerReport {
     pub connections: u64,
     /// Count queries that entered execution.
     pub queries: u64,
+    /// Update batches that committed (always zero for a static server).
+    pub updates: u64,
     /// The warm-start outcome at boot (zero when no persistence path or no
     /// snapshot existed).
     pub warm_start: WarmStartReport,
@@ -385,7 +518,31 @@ impl Server {
     /// Serves `engine` until drained (via the `SHUTDOWN` opcode or
     /// [`ServerHandle::shutdown`]), then returns lifetime totals. Consumes
     /// the server so the listener is provably closed when this returns.
+    /// The graph is immutable: `UPDATE` requests are refused with
+    /// [`ErrorCode::ReadOnly`].
     pub fn serve(self, engine: &GraphPi) -> Result<ServerReport, NetError> {
+        let session = engine.session_shared(
+            Arc::clone(&self.pool),
+            Arc::clone(&self.cache),
+            PlanOptions::default(),
+            CountOptions::default(),
+        );
+        self.serve_backend(ServeBackend::Static(session))
+    }
+
+    /// Serves a [`DynamicEngine`] until drained: counts pin the current
+    /// generation per query, and the v2 `UPDATE` opcode commits edge
+    /// batches (durably, when the engine was opened with a WAL).
+    pub fn serve_dynamic(self, engine: &DynamicEngine) -> Result<ServerReport, NetError> {
+        let backend = ServeBackend::Dynamic {
+            engine,
+            pool: Arc::clone(&self.pool),
+            cache: Arc::clone(&self.cache),
+        };
+        self.serve_backend(backend)
+    }
+
+    fn serve_backend(self, backend: ServeBackend<'_>) -> Result<ServerReport, NetError> {
         let Server {
             listener,
             pool,
@@ -394,12 +551,6 @@ impl Server {
             draining,
             metrics,
         } = self;
-        let session = engine.session_shared(
-            Arc::clone(&pool),
-            Arc::clone(&cache),
-            PlanOptions::default(),
-            CountOptions::default(),
-        );
 
         // Warm start: re-plan the previous process's working set so its
         // patterns are cache hits from the first query. A missing snapshot
@@ -408,7 +559,7 @@ impl Server {
         let mut warm = WarmStartReport::default();
         if let Some(path) = &options.persist_path {
             if let Some(snapshot) = persist::try_load_plan_cache(path) {
-                warm = session.warm_start(&snapshot.keys);
+                warm = backend.warm_start(&snapshot.keys);
                 metrics.warm_started.store(warm.warmed, Ordering::Relaxed);
             }
         }
@@ -468,7 +619,7 @@ impl Server {
                             continue;
                         }
                         metrics.active_connections.fetch_add(1, Ordering::Relaxed);
-                        let session = &session;
+                        let backend = &backend;
                         let metrics = &metrics;
                         let admission = &admission;
                         let ledger = &ledger;
@@ -477,7 +628,7 @@ impl Server {
                         scope.spawn(move || {
                             handle_connection(
                                 stream,
-                                session,
+                                backend,
                                 metrics,
                                 admission,
                                 ledger,
@@ -504,6 +655,7 @@ impl Server {
         Ok(ServerReport {
             connections: metrics.connections_total.load(Ordering::Relaxed),
             queries: metrics.queries_total.load(Ordering::Relaxed),
+            updates: metrics.updates_total.load(Ordering::Relaxed),
             warm_start: warm,
             saved_plans,
             snapshots_written: snapshots_written.load(Ordering::Relaxed),
@@ -520,7 +672,7 @@ impl Server {
 /// on the same server gets the full protocol.
 fn handle_connection(
     stream: TcpStream,
-    session: &Session<'_>,
+    backend: &ServeBackend<'_>,
     metrics: &Metrics,
     admission: &Admission,
     ledger: &RequestLedger,
@@ -569,7 +721,7 @@ fn handle_connection(
                 .send(&Frame::with_version(peer, op::PONG, frame.payload))
                 .is_ok(),
             op::STATS => {
-                let reply = stats_frame(peer, session, metrics, admission);
+                let reply = stats_frame(peer, backend, metrics, admission);
                 transport.send(&reply).is_ok()
             }
             op::HEALTH => {
@@ -580,7 +732,19 @@ fn handle_connection(
                 &mut transport,
                 peer,
                 &frame.payload,
-                session,
+                backend,
+                metrics,
+                admission,
+                ledger,
+            ),
+            // UPDATE is a v2 opcode: a v1 peer sending it gets the same
+            // UnknownOpcode a v1 server would have answered, so mixed
+            // fleets fail loudly instead of half-applying.
+            op::UPDATE if peer >= 2 => handle_update(
+                &mut transport,
+                peer,
+                &frame.payload,
+                backend,
                 metrics,
                 admission,
                 ledger,
@@ -641,7 +805,7 @@ fn handle_count(
     transport: &mut TcpTransport,
     peer: u8,
     payload: &[u8],
-    session: &Session<'_>,
+    backend: &ServeBackend<'_>,
     metrics: &Metrics,
     admission: &Admission,
     ledger: &RequestLedger,
@@ -664,7 +828,7 @@ fn handle_count(
     // the recorded reply — no admission, no execution, no double count.
     let fingerprint = request_fingerprint(&request);
     if request.request_id != 0 {
-        if let Some(recorded) = ledger.lookup(request.request_id, fingerprint) {
+        if let Some(LedgerReply::Count(recorded)) = ledger.lookup(request.request_id, fingerprint) {
             return transport
                 .send(&Frame::with_version(peer, op::COUNT_OK, recorded.encode()))
                 .is_ok();
@@ -725,7 +889,7 @@ fn handle_count(
     };
     let start = Instant::now();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        session.count_with(&pattern, count_options)
+        backend.count_with(&pattern, count_options)
     }));
     let elapsed = start.elapsed();
     admission.release();
@@ -760,7 +924,7 @@ fn handle_count(
                     elapsed_micros: micros,
                 };
                 if request.request_id != 0 {
-                    ledger.record(request.request_id, fingerprint, ok);
+                    ledger.record(request.request_id, fingerprint, LedgerReply::Count(ok));
                 }
                 Frame::with_version(peer, op::COUNT_OK, ok.encode())
             }
@@ -769,10 +933,153 @@ fn handle_count(
     transport.send(&reply).is_ok()
 }
 
+/// Runs one `UPDATE` request end to end: decode, replay-check the
+/// ledger, admit, commit through the dynamic engine, answer with the
+/// applied generation. Returns whether the connection stays open.
+///
+/// Updates are **not naturally idempotent** — recommitting a batch that
+/// already applied would burn a generation and, for delete-then-insert
+/// mixes, can change the graph — so the ledger matters more here than
+/// for counts: a retry carrying a known request ID is answered with the
+/// originally applied generation without touching the graph or the WAL.
+#[allow(clippy::too_many_arguments)]
+fn handle_update(
+    transport: &mut TcpTransport,
+    peer: u8,
+    payload: &[u8],
+    backend: &ServeBackend<'_>,
+    metrics: &Metrics,
+    admission: &Admission,
+    ledger: &RequestLedger,
+) -> bool {
+    let Some(engine) = backend.dynamic() else {
+        return transport
+            .send(&error_frame(
+                peer,
+                ErrorCode::ReadOnly,
+                "this server serves an immutable graph; restart it with --wal to accept updates",
+                None,
+            ))
+            .is_ok();
+    };
+    let request = match UpdateRequest::decode(payload) {
+        Some(request) => request,
+        None => {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::BadPayload,
+                    "update payload must be [flags u8][deadline_ms u32][id u64?]\
+                     [n_ins u32][n_del u32][edge pairs]",
+                    None,
+                ))
+                .is_ok();
+        }
+    };
+    let fingerprint = update_fingerprint(&request);
+    if request.request_id != 0 {
+        if let Some(LedgerReply::Update(recorded)) = ledger.lookup(request.request_id, fingerprint)
+        {
+            return transport
+                .send(&Frame::with_version(peer, op::UPDATE_OK, recorded.encode()))
+                .is_ok();
+        }
+    }
+    let deadline = (request.deadline_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(u64::from(request.deadline_ms)));
+
+    // Updates queue at the same admission gate as counts, so a client
+    // flooding commits is shed (or deadline-cancelled) exactly like a
+    // client flooding queries — commit order itself is serialised inside
+    // the engine.
+    match admission.acquire_until(deadline) {
+        Admit::Admitted => {}
+        Admit::DeadlineExpired => {
+            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued; the update was not applied",
+                    None,
+                ))
+                .is_ok();
+        }
+        Admit::Overloaded => {
+            metrics.overload_rejections.fetch_add(1, Ordering::Relaxed);
+            let hint = retry_after_hint_ms(metrics);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::RetryLater,
+                    "admission queue is full; the update was not applied",
+                    Some(hint),
+                ))
+                .is_ok();
+        }
+    }
+
+    let mut batch = EdgeBatch::new();
+    for &(a, b) in &request.inserts {
+        batch.insert(a, b);
+    }
+    for &(a, b) in &request.deletes {
+        batch.delete(a, b);
+    }
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| engine.apply(&batch)));
+    admission.release();
+
+    let reply = match outcome {
+        Err(_) => error_frame(
+            peer,
+            ErrorCode::Internal,
+            "update panicked; the graph was not modified",
+            None,
+        ),
+        // Validation failures (vertex beyond the growth limit) reject the
+        // whole batch before anything is logged or applied.
+        Ok(Err(DurableError::Delta(DeltaError::VertexOutOfRange { vertex, limit }))) => {
+            error_frame(
+                peer,
+                ErrorCode::BadPayload,
+                &format!("vertex {vertex} exceeds the growth limit {limit}; batch rejected"),
+                None,
+            )
+        }
+        // A WAL append/fsync failure means durability cannot be promised;
+        // the batch was not applied in memory either.
+        Ok(Err(wal_error)) => error_frame(
+            peer,
+            ErrorCode::Internal,
+            &format!("write-ahead log failure: {wal_error}"),
+            None,
+        ),
+        Ok(Ok(report)) => {
+            metrics.updates_total.fetch_add(1, Ordering::Relaxed);
+            let ok = UpdateOk {
+                generation: report.generation,
+                inserted: report.inserted,
+                deleted: report.deleted,
+            };
+            if request.request_id != 0 {
+                ledger.record(request.request_id, fingerprint, LedgerReply::Update(ok));
+            }
+            Frame::with_version(peer, op::UPDATE_OK, ok.encode())
+        }
+    };
+    transport.send(&reply).is_ok()
+}
+
 /// Builds a `STATS_OK` reply from the live counters.
-fn stats_frame(peer: u8, session: &Session<'_>, metrics: &Metrics, admission: &Admission) -> Frame {
-    let pool = session.pool();
-    let cache = session.cache_stats();
+fn stats_frame(
+    peer: u8,
+    backend: &ServeBackend<'_>,
+    metrics: &Metrics,
+    admission: &Admission,
+) -> Frame {
+    let pool = backend.pool();
+    let cache = backend.cache_stats();
     let stats = StatsOk {
         live_workers: pool.live_workers() as u32,
         max_in_flight: pool.max_in_flight() as u32,
@@ -892,10 +1199,10 @@ mod tests {
     #[test]
     fn ledger_replays_only_matching_fingerprints() {
         let ledger = RequestLedger::new(2);
-        let reply = CountOk {
+        let reply = LedgerReply::Count(CountOk {
             count: 42,
             elapsed_micros: 7,
-        };
+        });
         ledger.record(1, 0xAAAA, reply);
         assert_eq!(ledger.lookup(1, 0xAAAA), Some(reply));
         // Same ID from a different logical query: no replay.
@@ -905,21 +1212,58 @@ mod tests {
         ledger.record(
             2,
             0xCCCC,
-            CountOk {
+            LedgerReply::Count(CountOk {
                 count: 1,
                 elapsed_micros: 1,
-            },
+            }),
         );
         ledger.record(
             3,
             0xDDDD,
-            CountOk {
-                count: 2,
-                elapsed_micros: 2,
-            },
+            LedgerReply::Update(UpdateOk {
+                generation: 9,
+                inserted: 2,
+                deleted: 0,
+            }),
         );
         assert_eq!(ledger.lookup(1, 0xAAAA), None, "oldest entry evicted");
         assert!(ledger.lookup(3, 0xDDDD).is_some());
+    }
+
+    #[test]
+    fn update_fingerprints_separate_batches_and_domains() {
+        let base = UpdateRequest {
+            deadline_ms: 0,
+            request_id: 5,
+            inserts: vec![(1, 2), (3, 4)],
+            deletes: vec![(5, 6)],
+        };
+        let same_but_other_id = UpdateRequest {
+            request_id: 6,
+            deadline_ms: 31,
+            ..base.clone()
+        };
+        assert_eq!(
+            update_fingerprint(&base),
+            update_fingerprint(&same_but_other_id),
+            "ids and deadlines don't change what a batch does"
+        );
+        let different_edges = UpdateRequest {
+            inserts: vec![(1, 2), (3, 5)],
+            ..base.clone()
+        };
+        assert_ne!(
+            update_fingerprint(&base),
+            update_fingerprint(&different_edges)
+        );
+        // Moving an edge across the insert/delete boundary changes the
+        // batch even though the flat edge list is identical.
+        let moved_edge = UpdateRequest {
+            inserts: vec![(1, 2)],
+            deletes: vec![(3, 4), (5, 6)],
+            ..base.clone()
+        };
+        assert_ne!(update_fingerprint(&base), update_fingerprint(&moved_edge));
     }
 
     #[test]

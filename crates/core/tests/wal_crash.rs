@@ -1,0 +1,243 @@
+//! Durability, out of process: these tests shell the real
+//! `graphpi-server --wal`, commit edge batches over the v2 wire protocol,
+//! SIGKILL the process mid-stream, restart it on the same write-ahead
+//! log, and prove the recovered state bit-identical to a reference run
+//! that was never interrupted — every acknowledged batch survives, the
+//! generation counter resumes exactly where it stopped, and counts in
+//! every execution mode agree with the reference engine.
+
+#![cfg(unix)]
+
+use graphpi_core::net::protocol::ErrorCode;
+use graphpi_core::net::{Client, NetError};
+use graphpi_core::DynamicEngine;
+use graphpi_graph::{generators, io, EdgeBatch};
+use graphpi_pattern::prefab;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// A per-test scratch directory with a real graph file in it.
+fn scratch(label: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("graphpi_wal_{label}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("graph.txt");
+    let graph = generators::power_law(140, 4, 61);
+    let mut text = String::new();
+    for (u, v) in graph.edges() {
+        if u < v {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    std::fs::write(&graph_path, text).unwrap();
+    (dir, graph_path)
+}
+
+/// One round's wire batch: the insert list, then the delete list.
+type RoundEdges = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// The deterministic update stream both the server run and the reference
+/// replay: round `r` inserts four edges and deletes two.
+fn round_edges(round: u32) -> RoundEdges {
+    const N: u32 = 140;
+    let inserts = (0..4)
+        .map(|k| {
+            let u = (round * 9 + k) % N;
+            (u, (u * 5 + 13 + round) % N)
+        })
+        .collect();
+    let deletes = (0..2)
+        .map(|k| {
+            let u = (round * 4 + k + 2) % N;
+            (u, (u + 3 + round) % N)
+        })
+        .collect();
+    (inserts, deletes)
+}
+
+fn round_batch(round: u32) -> EdgeBatch {
+    let (inserts, deletes) = round_edges(round);
+    let mut batch = EdgeBatch::new();
+    for (u, v) in inserts {
+        batch.insert(u, v);
+    }
+    for (u, v) in deletes {
+        batch.delete(u, v);
+    }
+    batch
+}
+
+/// A spawned `graphpi-server` child plus the address it bound.
+struct ServerProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProcess {
+    /// Spawns the real server binary (optionally with `--wal`) and blocks
+    /// until it prints its `listening on <addr>` line — which the server
+    /// only does once WAL recovery has fully replayed.
+    fn spawn(graph: &Path, wal: Option<&Path>) -> Self {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_graphpi-server"));
+        command
+            .arg("--graph")
+            .arg(graph)
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .arg("--threads")
+            .arg("2")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(wal) = wal {
+            command.arg("--wal").arg(wal);
+        }
+        let mut child = command.spawn().expect("spawn graphpi-server");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {line}"))
+            .parse()
+            .expect("parse listen address");
+        Self { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connect to spawned server")
+    }
+
+    /// SIGKILL — the crash under test. Nothing graceful may run.
+    fn kill_hard(&mut self) {
+        self.child.kill().expect("SIGKILL the server");
+        self.child.wait().expect("reap the killed server");
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+#[test]
+fn kill_dash_nine_recovers_every_acknowledged_batch() {
+    const ROUNDS_BEFORE_CRASH: u32 = 4;
+    const ROUNDS_TOTAL: u32 = 7;
+    let (dir, graph_path) = scratch("kill9");
+    let wal = dir.join("graph.wal");
+
+    // Reference run, never interrupted: the *same parsed graph* the
+    // server loads (vertex interning order and all), the same batches.
+    let reference = DynamicEngine::volatile(io::load_edge_list(&graph_path).unwrap());
+    let mut expected_house = vec![reference.pin().engine().count(&prefab::house()).unwrap()];
+    let mut expected_triangle = vec![reference.pin().engine().count(&prefab::triangle()).unwrap()];
+    for round in 0..ROUNDS_TOTAL {
+        reference.apply(&round_batch(round)).unwrap();
+        expected_house.push(reference.pin().engine().count(&prefab::house()).unwrap());
+        expected_triangle.push(reference.pin().engine().count(&prefab::triangle()).unwrap());
+    }
+    assert!(
+        expected_house.windows(2).any(|w| w[0] != w[1]),
+        "the update stream must actually change the house count"
+    );
+
+    // First lifetime: commit batches over the wire, checking counts after
+    // every acknowledged generation, then SIGKILL — no graceful path runs.
+    let mut server = ServerProcess::spawn(&graph_path, Some(&wal));
+    {
+        let mut client = server.client();
+        assert_eq!(
+            client.count(&prefab::house()).unwrap().count,
+            expected_house[0]
+        );
+        for round in 0..ROUNDS_BEFORE_CRASH {
+            let (inserts, deletes) = round_edges(round);
+            let ack = client.update(&inserts, &deletes).unwrap();
+            assert_eq!(ack.generation, u64::from(round) + 1);
+            let generation = usize::try_from(ack.generation).unwrap();
+            assert_eq!(
+                client.count(&prefab::house()).unwrap().count,
+                expected_house[generation]
+            );
+        }
+    }
+    server.kill_hard();
+
+    // Second lifetime, same WAL: recovery must land on exactly the state
+    // of the last acknowledged batch — counts bit-identical to the
+    // uninterrupted reference, in more than one pattern.
+    let mut restarted = ServerProcess::spawn(&graph_path, Some(&wal));
+    {
+        let crash_gen = usize::try_from(ROUNDS_BEFORE_CRASH).unwrap();
+        let mut client = restarted.client();
+        assert_eq!(
+            client.count(&prefab::house()).unwrap().count,
+            expected_house[crash_gen]
+        );
+        assert_eq!(
+            client.count(&prefab::triangle()).unwrap().count,
+            expected_triangle[crash_gen]
+        );
+
+        // The generation counter resumes where it stopped: the next
+        // batch is acknowledged as generation ROUNDS_BEFORE_CRASH + 1,
+        // not 1 — recovery replayed the log, it did not restart it.
+        for round in ROUNDS_BEFORE_CRASH..ROUNDS_TOTAL {
+            let (inserts, deletes) = round_edges(round);
+            let ack = client.update(&inserts, &deletes).unwrap();
+            assert_eq!(ack.generation, u64::from(round) + 1);
+        }
+        let final_gen = usize::try_from(ROUNDS_TOTAL).unwrap();
+        assert_eq!(
+            client.count(&prefab::house()).unwrap().count,
+            expected_house[final_gen]
+        );
+        assert_eq!(
+            client.count(&prefab::triangle()).unwrap().count,
+            expected_triangle[final_gen]
+        );
+        client.shutdown_server().unwrap();
+    }
+    assert!(restarted.child.wait().unwrap().success());
+
+    // Third lifetime: even after a graceful drain the WAL alone carries
+    // the full history — counts still match the reference.
+    let mut third = ServerProcess::spawn(&graph_path, Some(&wal));
+    {
+        let final_gen = usize::try_from(ROUNDS_TOTAL).unwrap();
+        let mut client = third.client();
+        assert_eq!(
+            client.count(&prefab::house()).unwrap().count,
+            expected_house[final_gen]
+        );
+        client.shutdown_server().unwrap();
+    }
+    assert!(third.child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn static_server_answers_update_with_read_only() {
+    let (dir, graph_path) = scratch("readonly");
+    let mut server = ServerProcess::spawn(&graph_path, None);
+    {
+        let mut client = server.client();
+        let (inserts, deletes) = round_edges(0);
+        match client.update(&inserts, &deletes) {
+            Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ReadOnly),
+            other => panic!("static server must reject updates with ReadOnly, got {other:?}"),
+        }
+        // The connection survives the rejection: queries still work.
+        assert!(client.count(&prefab::triangle()).unwrap().count > 0);
+        client.shutdown_server().unwrap();
+    }
+    assert!(server.child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,755 @@
+//! Batched edge updates over an immutable CSR base: the mutable-graph
+//! overlay and its generation-based snapshots.
+//!
+//! The matching kernels want an immutable, sorted [`CsrGraph`] — that is
+//! what makes the SIMD intersection cores and the zero-copy mmap path
+//! work. This module makes the *served* graph mutable without giving that
+//! up:
+//!
+//! * [`EdgeBatch`] — one atomic unit of change: a list of undirected edge
+//!   insertions and deletions (inserts applied first, then deletes).
+//! * [`DeltaOverlay`] — per-vertex **sorted** insert/delete sets layered
+//!   over a base CSR. Applying a batch normalises it against the current
+//!   view (inserting a present edge or deleting an absent one is a no-op;
+//!   re-inserting a deleted edge reinstates it), so the overlay invariants
+//!   — insert rows disjoint from the base, delete rows a subset of it —
+//!   hold by construction and merged reads are a single three-way sorted
+//!   merge per row. The base CSR is never touched.
+//! * [`DynamicGraph`] — the generation machine. Every committed batch
+//!   produces a new *generation*; [`DynamicGraph::snapshot`] pins the
+//!   current one as an immutable `Arc<CsrGraph>` that stays alive (and
+//!   bit-stable) for as long as any in-flight query holds it, while later
+//!   batches commit underneath. When the overlay grows past the
+//!   compaction threshold it is folded into a fresh base CSR, bounding
+//!   merge work per materialisation.
+//!
+//! Commits are deterministic: replaying the same batches in the same
+//! order against the same base always reproduces the same CSR bytes —
+//! the property the write-ahead log ([`crate::wal`]) turns into crash
+//! recovery.
+
+use crate::csr::{CsrGraph, VertexId};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Hard cap on how far beyond the base vertex count a single overlay may
+/// grow. Updates are client-supplied; without a bound, one hostile edge
+/// `(0, u32::MAX)` would make materialisation allocate gigabytes of empty
+/// rows.
+pub const MAX_VERTEX_GROWTH: usize = 1 << 20;
+
+/// Default overlay size (in applied edge modifications) past which
+/// [`DynamicGraph`] folds the overlay into a fresh base CSR.
+pub const DEFAULT_COMPACTION_THRESHOLD: u64 = 1 << 16;
+
+/// Errors produced while applying an [`EdgeBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An edge endpoint exceeds the allowed vertex range (base vertices
+    /// plus [`MAX_VERTEX_GROWTH`]).
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: VertexId,
+        /// First id past the allowed range.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::VertexOutOfRange { vertex, limit } => {
+                write!(f, "vertex {vertex} out of range (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// One atomic unit of graph change: undirected edge insertions and
+/// deletions. Within a batch all insertions are applied before all
+/// deletions, so an edge both inserted and deleted by the same batch ends
+/// up absent. Self loops are ignored; endpoint order does not matter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeBatch {
+    inserts: Vec<(VertexId, VertexId)>,
+    deletes: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an undirected edge insertion.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.inserts.push((u, v));
+        self
+    }
+
+    /// Queues an undirected edge deletion.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.deletes.push((u, v));
+        self
+    }
+
+    /// The queued insertions, as given.
+    pub fn inserts(&self) -> &[(VertexId, VertexId)] {
+        &self.inserts
+    }
+
+    /// The queued deletions, as given.
+    pub fn deletes(&self) -> &[(VertexId, VertexId)] {
+        &self.deletes
+    }
+
+    /// Builds a batch from raw edge lists.
+    pub fn from_edges(
+        inserts: Vec<(VertexId, VertexId)>,
+        deletes: Vec<(VertexId, VertexId)>,
+    ) -> Self {
+        Self { inserts, deletes }
+    }
+
+    /// Total queued operations (before normalisation).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Whether the batch queues nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// What applying a batch actually changed (no-ops excluded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Undirected edges that became present.
+    pub inserted: u32,
+    /// Undirected edges that became absent.
+    pub deleted: u32,
+}
+
+/// Sorted per-vertex insert/delete sets over a base CSR.
+///
+/// Invariants maintained by [`DeltaOverlay::apply`]:
+/// * every insert row is strictly sorted and disjoint from the base row
+///   and the delete row of the same vertex;
+/// * every delete row is strictly sorted and a subset of the base row;
+/// * both directions of every undirected edge are stored.
+///
+/// A merged read is therefore exactly `(base \ deletes) ∪ inserts`, one
+/// linear three-way merge over sorted inputs.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOverlay {
+    inserts: BTreeMap<VertexId, Vec<VertexId>>,
+    deletes: BTreeMap<VertexId, Vec<VertexId>>,
+    /// Undirected edges currently added relative to the base.
+    inserted_edges: u64,
+    /// Undirected edges currently removed relative to the base.
+    deleted_edges: u64,
+    /// One past the largest vertex id ever referenced by an insert
+    /// (vertices, once referenced, exist for good — possibly isolated).
+    grown_vertices: usize,
+}
+
+/// Inserts `v` into the sorted row `map[u]`; false if already present.
+fn row_insert(map: &mut BTreeMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) -> bool {
+    let row = map.entry(u).or_default();
+    match row.binary_search(&v) {
+        Ok(_) => false,
+        Err(pos) => {
+            row.insert(pos, v);
+            true
+        }
+    }
+}
+
+/// Removes `v` from the sorted row `map[u]`; false if absent.
+fn row_remove(map: &mut BTreeMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) -> bool {
+    let Some(row) = map.get_mut(&u) else {
+        return false;
+    };
+    match row.binary_search(&v) {
+        Ok(pos) => {
+            row.remove(pos);
+            if row.is_empty() {
+                map.remove(&u);
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn row_contains(map: &BTreeMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) -> bool {
+    map.get(&u).is_some_and(|row| row.binary_search(&v).is_ok())
+}
+
+impl DeltaOverlay {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the overlay changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty() && self.grown_vertices == 0
+    }
+
+    /// Total undirected edge modifications currently held (inserted plus
+    /// deleted) — the size compaction thresholds compare against.
+    pub fn delta_edges(&self) -> u64 {
+        self.inserted_edges + self.deleted_edges
+    }
+
+    /// Whether the undirected edge `(u, v)` exists in the merged view.
+    pub fn edge_present(&self, base: &CsrGraph, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        if row_contains(&self.inserts, u, v) {
+            return true;
+        }
+        if row_contains(&self.deletes, u, v) {
+            return false;
+        }
+        (u as usize) < base.num_vertices()
+            && (v as usize) < base.num_vertices()
+            && base.has_edge(u, v)
+    }
+
+    /// Number of vertices in the merged view (base vertices plus any the
+    /// overlay has grown).
+    pub fn num_vertices(&self, base: &CsrGraph) -> usize {
+        base.num_vertices().max(self.grown_vertices)
+    }
+
+    /// Number of undirected edges in the merged view.
+    pub fn num_edges(&self, base: &CsrGraph) -> u64 {
+        base.num_edges() + self.inserted_edges - self.deleted_edges
+    }
+
+    /// Applies one batch against `base`, normalising it to the overlay
+    /// invariants. Insertions first, then deletions; no-ops (inserting a
+    /// present edge, deleting an absent one) are skipped and do not count
+    /// toward the outcome.
+    pub fn apply(
+        &mut self,
+        batch: &EdgeBatch,
+        base: &CsrGraph,
+    ) -> Result<ApplyOutcome, DeltaError> {
+        let limit = (base.num_vertices() + MAX_VERTEX_GROWTH) as u64;
+        // Validate before mutating anything: a batch is all-or-nothing.
+        for &(u, v) in batch.inserts.iter().chain(batch.deletes.iter()) {
+            if u as u64 >= limit || v as u64 >= limit {
+                let vertex = if u as u64 >= limit { u } else { v };
+                return Err(DeltaError::VertexOutOfRange { vertex, limit });
+            }
+        }
+        let mut outcome = ApplyOutcome::default();
+        for &(u, v) in &batch.inserts {
+            if u == v || self.edge_present(base, u, v) {
+                continue;
+            }
+            let in_base = (u as usize) < base.num_vertices()
+                && (v as usize) < base.num_vertices()
+                && base.has_edge(u, v);
+            if in_base {
+                // Present in the base but masked by a delete: reinstate.
+                row_remove(&mut self.deletes, u, v);
+                row_remove(&mut self.deletes, v, u);
+                self.deleted_edges -= 1;
+            } else {
+                row_insert(&mut self.inserts, u, v);
+                row_insert(&mut self.inserts, v, u);
+                self.inserted_edges += 1;
+                let grown = (u.max(v) as usize) + 1;
+                if grown > base.num_vertices() {
+                    self.grown_vertices = self.grown_vertices.max(grown);
+                }
+            }
+            outcome.inserted += 1;
+        }
+        for &(u, v) in &batch.deletes {
+            if u == v || !self.edge_present(base, u, v) {
+                continue;
+            }
+            if row_contains(&self.inserts, u, v) {
+                // An overlay-only edge: deleting it erases the insert.
+                row_remove(&mut self.inserts, u, v);
+                row_remove(&mut self.inserts, v, u);
+                self.inserted_edges -= 1;
+            } else {
+                row_insert(&mut self.deletes, u, v);
+                row_insert(&mut self.deletes, v, u);
+                self.deleted_edges += 1;
+            }
+            outcome.deleted += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Writes the merged (post-overlay) sorted neighborhood of `v` into
+    /// `out` (cleared first): `(base_row \ deletes) ∪ inserts`, a single
+    /// linear merge over three sorted inputs. The base CSR row is read
+    /// as-is, so the SIMD-friendly base storage is never rewritten.
+    pub fn merged_neighbors_into(&self, base: &CsrGraph, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        let base_row: &[VertexId] = if (v as usize) < base.num_vertices() {
+            base.neighbors(v)
+        } else {
+            &[]
+        };
+        let empty: &[VertexId] = &[];
+        let ins = self.inserts.get(&v).map_or(empty, |r| r.as_slice());
+        let del = self.deletes.get(&v).map_or(empty, |r| r.as_slice());
+        out.reserve(base_row.len() + ins.len());
+        let (mut bi, mut ii, mut di) = (0usize, 0usize, 0usize);
+        while bi < base_row.len() || ii < ins.len() {
+            let take_insert = match (base_row.get(bi), ins.get(ii)) {
+                (Some(&b), Some(&i)) => i < b, // disjoint by invariant
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            if take_insert {
+                out.push(ins[ii]);
+                ii += 1;
+            } else {
+                let b = base_row[bi];
+                bi += 1;
+                while di < del.len() && del[di] < b {
+                    di += 1;
+                }
+                if di < del.len() && del[di] == b {
+                    di += 1;
+                    continue; // masked by a delete
+                }
+                out.push(b);
+            }
+        }
+    }
+
+    /// Folds the overlay into a fresh CSR (the compaction path). Rows
+    /// without deltas are copied verbatim from the base; touched rows are
+    /// merged. The result is canonical, so it is bit-identical no matter
+    /// how the same net change was batched.
+    pub fn materialize(&self, base: &CsrGraph) -> CsrGraph {
+        let n = self.num_vertices(base);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(2 * self.num_edges(base) as usize);
+        let mut scratch = Vec::new();
+        for v in 0..n as VertexId {
+            let untouched = !self.inserts.contains_key(&v) && !self.deletes.contains_key(&v);
+            if untouched && (v as usize) < base.num_vertices() {
+                neighbors.extend_from_slice(base.neighbors(v));
+            } else {
+                self.merged_neighbors_into(base, v, &mut scratch);
+                neighbors.extend_from_slice(&scratch);
+            }
+            offsets.push(neighbors.len());
+        }
+        CsrGraph::from_raw_parts(offsets, neighbors)
+    }
+
+    /// Drops every delta (after the caller folded them into a new base).
+    pub fn clear(&mut self) {
+        self.inserts.clear();
+        self.deletes.clear();
+        self.inserted_edges = 0;
+        self.deleted_edges = 0;
+        self.grown_vertices = 0;
+    }
+}
+
+/// A pinned, immutable view of one generation. Queries hold one of these
+/// for their whole execution: the `Arc` keeps the generation's CSR alive
+/// (and unchanged) however many batches commit in the meantime.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    generation: u64,
+    graph: Arc<CsrGraph>,
+}
+
+impl GraphSnapshot {
+    /// The generation number this snapshot pins.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The immutable CSR of the pinned generation.
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.graph
+    }
+}
+
+/// What one [`DynamicGraph::commit`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReport {
+    /// The generation this commit produced.
+    pub generation: u64,
+    /// Undirected edges that became present.
+    pub inserted: u32,
+    /// Undirected edges that became absent.
+    pub deleted: u32,
+    /// Whether the commit folded the overlay into a fresh base CSR.
+    pub compacted: bool,
+}
+
+struct DynState {
+    base: Arc<CsrGraph>,
+    overlay: DeltaOverlay,
+    generation: u64,
+    /// The materialised CSR of the current generation, built lazily on
+    /// the first snapshot after a commit (update-heavy periods with no
+    /// reads never pay for materialisation).
+    current: Option<Arc<CsrGraph>>,
+}
+
+/// A mutable graph serving immutable snapshots: commit [`EdgeBatch`]es on
+/// one side, pin per-generation [`GraphSnapshot`]s on the other.
+///
+/// ```
+/// use graphpi_graph::delta::{DynamicGraph, EdgeBatch};
+/// use graphpi_graph::GraphBuilder;
+///
+/// let graph = DynamicGraph::new(GraphBuilder::new().edges([(0, 1), (1, 2)]).build());
+/// let before = graph.snapshot();
+/// let mut batch = EdgeBatch::new();
+/// batch.insert(0, 2);
+/// let report = graph.commit(&batch).unwrap();
+/// assert_eq!(report.generation, 1);
+/// // The pinned snapshot still sees the pre-commit graph.
+/// assert_eq!(before.graph().num_edges(), 2);
+/// assert_eq!(graph.snapshot().graph().num_edges(), 3);
+/// ```
+pub struct DynamicGraph {
+    state: Mutex<DynState>,
+    compaction_threshold: u64,
+}
+
+impl std::fmt::Debug for DynamicGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("dynamic graph poisoned");
+        f.debug_struct("DynamicGraph")
+            .field("generation", &state.generation)
+            .field("overlay_edges", &state.overlay.delta_edges())
+            .finish()
+    }
+}
+
+impl DynamicGraph {
+    /// Wraps a base graph as generation 0.
+    pub fn new(base: CsrGraph) -> Self {
+        Self::with_compaction_threshold(base, DEFAULT_COMPACTION_THRESHOLD)
+    }
+
+    /// Like [`DynamicGraph::new`] with an explicit compaction threshold
+    /// (in overlay edge modifications; 0 compacts on every commit).
+    pub fn with_compaction_threshold(base: CsrGraph, threshold: u64) -> Self {
+        let base = Arc::new(base);
+        Self {
+            state: Mutex::new(DynState {
+                current: Some(Arc::clone(&base)),
+                base,
+                overlay: DeltaOverlay::new(),
+                generation: 0,
+            }),
+            compaction_threshold: threshold,
+        }
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("dynamic graph poisoned")
+            .generation
+    }
+
+    /// Current overlay size in edge modifications (0 right after a
+    /// compaction).
+    pub fn overlay_edges(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("dynamic graph poisoned")
+            .overlay
+            .delta_edges()
+    }
+
+    /// Checks a batch against the limits a commit would enforce, without
+    /// changing anything — the write-ahead log uses this to reject a bad
+    /// batch *before* logging it.
+    pub fn validate_batch(&self, batch: &EdgeBatch) -> Result<(), DeltaError> {
+        let state = self.state.lock().expect("dynamic graph poisoned");
+        let limit = (state.base.num_vertices() + MAX_VERTEX_GROWTH) as u64;
+        for &(u, v) in batch.inserts().iter().chain(batch.deletes().iter()) {
+            if u as u64 >= limit || v as u64 >= limit {
+                let vertex = if u as u64 >= limit { u } else { v };
+                return Err(DeltaError::VertexOutOfRange { vertex, limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Overrides the generation counter — recovery uses this to restore
+    /// the pre-crash numbering after replaying the log.
+    pub(crate) fn set_generation(&self, generation: u64) {
+        self.state
+            .lock()
+            .expect("dynamic graph poisoned")
+            .generation = generation;
+    }
+
+    /// Pins the current generation. The first snapshot after a commit
+    /// materialises the merged CSR and caches it for later pins of the
+    /// same generation.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let mut state = self.state.lock().expect("dynamic graph poisoned");
+        let graph = match &state.current {
+            Some(graph) => Arc::clone(graph),
+            None => {
+                let merged = Arc::new(state.overlay.materialize(&state.base));
+                state.current = Some(Arc::clone(&merged));
+                merged
+            }
+        };
+        GraphSnapshot {
+            generation: state.generation,
+            graph,
+        }
+    }
+
+    /// Commits one batch, producing the next generation. Existing
+    /// snapshots are untouched; new snapshots see the merged view. The
+    /// overlay is folded into a fresh base once it crosses the compaction
+    /// threshold.
+    pub fn commit(&self, batch: &EdgeBatch) -> Result<CommitReport, DeltaError> {
+        let mut state = self.state.lock().expect("dynamic graph poisoned");
+        let base = Arc::clone(&state.base);
+        let outcome = state.overlay.apply(batch, &base)?;
+        state.generation += 1;
+        let mut compacted = false;
+        if outcome.inserted > 0 || outcome.deleted > 0 {
+            state.current = None;
+            if state.overlay.delta_edges() >= self.compaction_threshold.max(1) {
+                let merged = Arc::new(state.overlay.materialize(&state.base));
+                state.overlay.clear();
+                state.base = Arc::clone(&merged);
+                state.current = Some(merged);
+                compacted = true;
+            }
+        }
+        Ok(CommitReport {
+            generation: state.generation,
+            inserted: outcome.inserted,
+            deleted: outcome.deleted,
+            compacted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn path4() -> CsrGraph {
+        GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn apply_normalises_against_the_base() {
+        let base = path4();
+        let mut overlay = DeltaOverlay::new();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 1); // already present: no-op
+        batch.insert(0, 2); // new
+        batch.insert(2, 0); // duplicate of the above, other direction
+        batch.insert(3, 3); // self loop: ignored
+        batch.delete(1, 2); // present in base: masked
+        batch.delete(0, 3); // absent: no-op
+        let outcome = overlay.apply(&batch, &base).unwrap();
+        assert_eq!(
+            outcome,
+            ApplyOutcome {
+                inserted: 1,
+                deleted: 1
+            }
+        );
+        assert!(overlay.edge_present(&base, 0, 2));
+        assert!(!overlay.edge_present(&base, 1, 2));
+        assert!(overlay.edge_present(&base, 0, 1));
+        assert_eq!(overlay.num_edges(&base), 3);
+        assert_eq!(overlay.delta_edges(), 2);
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips_to_empty() {
+        let base = path4();
+        let mut overlay = DeltaOverlay::new();
+        let mut ins = EdgeBatch::new();
+        ins.insert(0, 3);
+        overlay.apply(&ins, &base).unwrap();
+        let mut del = EdgeBatch::new();
+        del.delete(3, 0);
+        overlay.apply(&del, &base).unwrap();
+        assert_eq!(overlay.delta_edges(), 0);
+        assert_eq!(overlay.materialize(&base), base);
+        // Deleting a base edge and re-inserting it reinstates it exactly.
+        let mut del = EdgeBatch::new();
+        del.delete(1, 2);
+        overlay.apply(&del, &base).unwrap();
+        let mut ins = EdgeBatch::new();
+        ins.insert(2, 1);
+        overlay.apply(&ins, &base).unwrap();
+        assert_eq!(overlay.delta_edges(), 0);
+        assert_eq!(overlay.materialize(&base), base);
+    }
+
+    #[test]
+    fn same_batch_insert_then_delete_ends_absent() {
+        let base = path4();
+        let mut overlay = DeltaOverlay::new();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 3);
+        batch.delete(0, 3);
+        let outcome = overlay.apply(&batch, &base).unwrap();
+        assert_eq!(
+            outcome,
+            ApplyOutcome {
+                inserted: 1,
+                deleted: 1
+            }
+        );
+        assert!(!overlay.edge_present(&base, 0, 3));
+        assert!(overlay.is_empty());
+    }
+
+    #[test]
+    fn vertex_growth_is_supported_and_bounded() {
+        let base = path4();
+        let mut overlay = DeltaOverlay::new();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 6);
+        overlay.apply(&batch, &base).unwrap();
+        assert_eq!(overlay.num_vertices(&base), 7);
+        let merged = overlay.materialize(&base);
+        assert_eq!(merged.num_vertices(), 7);
+        assert!(merged.has_edge(0, 6));
+        assert_eq!(merged.degree(5), 0);
+
+        let mut hostile = EdgeBatch::new();
+        hostile.insert(0, u32::MAX);
+        let err = overlay.apply(&hostile, &base).unwrap_err();
+        assert!(matches!(err, DeltaError::VertexOutOfRange { .. }));
+        // The failed batch changed nothing.
+        assert_eq!(overlay.num_vertices(&base), 7);
+    }
+
+    #[test]
+    fn snapshots_pin_their_generation() {
+        let graph = DynamicGraph::new(path4());
+        let g0 = graph.snapshot();
+        assert_eq!(g0.generation(), 0);
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 2);
+        batch.delete(2, 3);
+        let report = graph.commit(&batch).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.deleted, 1);
+        let g1 = graph.snapshot();
+        assert_eq!(g1.generation(), 1);
+        // The old pin still sees the old graph, bit-stable.
+        assert_eq!(g0.graph().num_edges(), 3);
+        assert!(!g0.graph().has_edge(0, 2));
+        assert!(g0.graph().has_edge(2, 3));
+        assert_eq!(g1.graph().num_edges(), 3);
+        assert!(g1.graph().has_edge(0, 2));
+        assert!(!g1.graph().has_edge(2, 3));
+        // An effect-free commit still bumps the generation but keeps the
+        // cached CSR (nothing changed).
+        let report = graph.commit(&EdgeBatch::new()).unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(graph.snapshot().graph(), g1.graph());
+    }
+
+    #[test]
+    fn compaction_is_transparent() {
+        let base = generators::power_law(120, 4, 9);
+        let eager = DynamicGraph::with_compaction_threshold(base.clone(), 1);
+        let lazy = DynamicGraph::with_compaction_threshold(base, u64::MAX);
+        let mut reports = Vec::new();
+        for round in 0u32..20 {
+            let mut batch = EdgeBatch::new();
+            batch.insert(round, (round + 37) % 120);
+            batch.delete(round, (round + 1) % 120);
+            let a = eager.commit(&batch).unwrap();
+            let b = lazy.commit(&batch).unwrap();
+            assert_eq!(a.generation, b.generation);
+            assert_eq!((a.inserted, a.deleted), (b.inserted, b.deleted));
+            reports.push(a.compacted);
+        }
+        assert!(reports.iter().any(|&c| c), "eager path must compact");
+        assert!(lazy.overlay_edges() > 0);
+        assert_eq!(eager.snapshot().graph(), lazy.snapshot().graph());
+    }
+
+    /// Reference model: the merged view must equal a from-scratch rebuild
+    /// of the edited edge set.
+    fn model_edges(base: &CsrGraph) -> BTreeSet<(VertexId, VertexId)> {
+        base.edges().collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overlay_matches_rebuild(
+            seed in 0u64..500,
+            ops in proptest::collection::vec((0u32..40, 0u32..40, 0u8..2), 1..60),
+        ) {
+            let base = generators::erdos_renyi(30, 60, seed);
+            let mut model = model_edges(&base);
+            let mut overlay = DeltaOverlay::new();
+            for chunk in ops.chunks(7) {
+                let mut batch = EdgeBatch::new();
+                for &(u, v, ins_flag) in chunk {
+                    if ins_flag == 1 {
+                        batch.insert(u, v);
+                    } else {
+                        batch.delete(u, v);
+                    }
+                }
+                overlay.apply(&batch, &base).unwrap();
+                // Batch semantics: all inserts land before all deletes.
+                for &(u, v) in batch.inserts() {
+                    if u != v {
+                        model.insert((u.min(v), u.max(v)));
+                    }
+                }
+                for &(u, v) in batch.deletes() {
+                    model.remove(&(u.min(v), u.max(v)));
+                }
+            }
+            let expected = GraphBuilder::new()
+                .num_vertices(overlay.num_vertices(&base))
+                .edges(model.iter().copied())
+                .build();
+            let merged = overlay.materialize(&base);
+            prop_assert_eq!(&merged, &expected);
+            prop_assert_eq!(merged.num_edges(), overlay.num_edges(&base));
+            // Row-level merge agrees with the materialised rows.
+            let mut row = Vec::new();
+            for v in 0..merged.num_vertices() as u32 {
+                overlay.merged_neighbors_into(&base, v, &mut row);
+                prop_assert_eq!(&row[..], merged.neighbors(v));
+            }
+        }
+    }
+}

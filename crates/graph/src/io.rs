@@ -521,6 +521,158 @@ pub fn load_binary_mmap<P: AsRef<Path>>(path: P) -> Result<CsrGraph, LoadError> 
     }
 }
 
+/// What one worker produced from its chunk of the text.
+struct ParsedChunk {
+    /// Label pairs, in chunk order.
+    pairs: Vec<(u64, u64)>,
+    /// Total lines in the chunk (counted even past an error, so later
+    /// chunks can compute global line numbers).
+    lines: usize,
+    /// First unparsable line: (0-based line offset within the chunk,
+    /// line text).
+    error: Option<(usize, String)>,
+}
+
+/// Parses one newline-delimited chunk. Mirrors [`read_edge_list`]'s line
+/// handling exactly: trailing `\r` stripped, `#`/`%`/blank lines skipped,
+/// two whitespace-separated `u64` labels per edge line.
+fn parse_text_chunk(chunk: &[u8]) -> Result<ParsedChunk, LoadError> {
+    let mut out = ParsedChunk {
+        pairs: Vec::new(),
+        lines: 0,
+        error: None,
+    };
+    let mut segments = chunk.split(|&b| b == b'\n').peekable();
+    while let Some(raw) = segments.next() {
+        // `split` yields one empty artifact after a trailing newline —
+        // not a line (matches `BufRead::lines`).
+        if segments.peek().is_none() && raw.is_empty() && chunk.last() == Some(&b'\n') {
+            break;
+        }
+        let line_index = out.lines;
+        out.lines += 1;
+        if out.error.is_some() {
+            continue; // keep counting lines, stop parsing
+        }
+        let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+        let Ok(line) = std::str::from_utf8(raw) else {
+            return Err(LoadError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            )));
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let labels = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => match (a.parse::<u64>(), b.parse::<u64>()) {
+                (Ok(a), Ok(b)) => Some((a, b)),
+                _ => None,
+            },
+            _ => None,
+        };
+        match labels {
+            Some(pair) => out.pairs.push(pair),
+            None => out.error = Some((line_index, line.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits `bytes` into at most `chunks` pieces on newline boundaries.
+fn chunk_at_line_boundaries(bytes: &[u8], chunks: usize) -> Vec<&[u8]> {
+    let mut boundaries = vec![0usize];
+    for i in 1..chunks {
+        let mut pos = i * bytes.len() / chunks;
+        while pos < bytes.len() && bytes[pos] != b'\n' {
+            pos += 1;
+        }
+        pos = (pos + 1).min(bytes.len());
+        if pos > *boundaries.last().unwrap() {
+            boundaries.push(pos);
+        }
+    }
+    boundaries.push(bytes.len());
+    boundaries.windows(2).map(|w| &bytes[w[0]..w[1]]).collect()
+}
+
+/// Parses a whitespace-separated edge-list *text* in parallel,
+/// bit-identical to [`read_edge_list`] — same graph, same first-error
+/// line number.
+///
+/// The input is split into chunks at line boundaries; workers parse the
+/// label pairs concurrently; a single sequential pass then interns labels
+/// in first-appearance file order (exactly the serial remapping) and the
+/// existing parallel CSR builder assembles the graph. `threads` = 0 picks
+/// a thread count from the input size and available cores; 1 is the
+/// serial path.
+pub fn read_edge_list_parallel(bytes: &[u8], threads: usize) -> Result<CsrGraph, LoadError> {
+    let threads = if threads > 0 {
+        threads.min(16)
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+            .min(bytes.len() >> 18)
+            .max(1)
+    };
+    if threads <= 1 {
+        return read_edge_list(bytes);
+    }
+    let chunks = chunk_at_line_boundaries(bytes, threads);
+    let parsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| scope.spawn(move || parse_text_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chunk parser panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+
+    // The globally-first bad line wins, exactly as the serial scan would
+    // have reported it.
+    let mut lines_before = 0usize;
+    for chunk in &parsed {
+        if let Some((offset, line)) = &chunk.error {
+            return Err(LoadError::Parse {
+                line_number: lines_before + offset + 1,
+                line: line.clone(),
+            });
+        }
+        lines_before += chunk.lines;
+    }
+
+    // Sequential intern pass in file order: identical dense remapping to
+    // the serial loader.
+    let mut remap: HashMap<u64, VertexId> = HashMap::new();
+    let total: usize = parsed.iter().map(|c| c.pairs.len()).sum();
+    let mut edges = Vec::with_capacity(total);
+    for chunk in &parsed {
+        for &(a, b) in &chunk.pairs {
+            let next = remap.len() as VertexId;
+            let u = *remap.entry(a).or_insert(next);
+            let next = remap.len() as VertexId;
+            let v = *remap.entry(b).or_insert(next);
+            edges.push((u, v));
+        }
+    }
+    Ok(build_from_edge_slice(&edges, 0, threads))
+}
+
+/// Loads an edge-list text file with [`read_edge_list_parallel`].
+pub fn load_edge_list_parallel<P: AsRef<Path>>(
+    path: P,
+    threads: usize,
+) -> Result<CsrGraph, LoadError> {
+    let bytes = std::fs::read(path)?;
+    read_edge_list_parallel(&bytes, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,5 +948,91 @@ mod tests {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
         assert_eq!(payload_checksum(&offsets, even), fnv1a_words(&bytes));
+    }
+
+    #[test]
+    fn parallel_text_parse_matches_serial_on_messy_input() {
+        let text = "# comment header\n\
+                    7 3\n\
+                    \t 3   9 \r\n\
+                    % another comment\n\
+                    \n\
+                    1000000007 7\n\
+                    9 9\n\
+                    3 1000000007 trailing tokens ignored\n";
+        let serial = read_edge_list(text.as_bytes()).unwrap();
+        for threads in [1, 2, 3, 4, 16] {
+            let parallel = read_edge_list_parallel(text.as_bytes(), threads).unwrap();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+        // No trailing newline on the last line.
+        let no_newline = text.trim_end();
+        assert_eq!(
+            read_edge_list_parallel(no_newline.as_bytes(), 4).unwrap(),
+            read_edge_list(no_newline.as_bytes()).unwrap()
+        );
+        // Empty input.
+        assert_eq!(read_edge_list_parallel(b"", 4).unwrap().num_vertices(), 0);
+    }
+
+    #[test]
+    fn parallel_text_parse_reports_the_same_first_error() {
+        // The bad line sits in a late chunk; an even later line is also
+        // bad — the first must win, with the serial line number.
+        let mut text = String::from("# header\n");
+        for i in 0..200 {
+            text.push_str(&format!("{i} {}\n", i + 1));
+        }
+        text.push_str("not an edge\n");
+        for i in 0..50 {
+            text.push_str(&format!("{i} {}\n", i + 3));
+        }
+        text.push_str("also bad\n");
+        let serial = read_edge_list(text.as_bytes()).unwrap_err();
+        let LoadError::Parse { line_number, line } = serial else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(line_number, 202);
+        for threads in [2, 3, 4, 16] {
+            match read_edge_list_parallel(text.as_bytes(), threads) {
+                Err(LoadError::Parse {
+                    line_number: got_number,
+                    line: got_line,
+                }) => {
+                    assert_eq!(got_number, line_number, "threads = {threads}");
+                    assert_eq!(got_line, line, "threads = {threads}");
+                }
+                other => panic!("threads = {threads}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Random edge lists (arbitrary u64 labels, duplicate edges, self
+        /// loops, comments and blank lines mixed in) parse bit-identical
+        /// to the serial loader at every thread count.
+        #[test]
+        fn prop_parallel_text_parse_is_bit_identical(
+            edges in proptest::collection::vec((0u64..50, 0u64..50), 0..120),
+            noise in proptest::collection::vec(0u8..4, 0..40),
+            threads in 2usize..6,
+        ) {
+            let mut text = String::new();
+            let mut noise_iter = noise.iter();
+            for &(a, b) in &edges {
+                if let Some(&kind) = noise_iter.next() {
+                    match kind {
+                        0 => text.push_str("# interleaved comment\n"),
+                        1 => text.push('\n'),
+                        2 => text.push_str("% other comment style\n"),
+                        _ => {}
+                    }
+                }
+                text.push_str(&format!("{a} {b}\n"));
+            }
+            let serial = read_edge_list(text.as_bytes()).unwrap();
+            let parallel = read_edge_list_parallel(text.as_bytes(), threads).unwrap();
+            proptest::prop_assert_eq!(&parallel, &serial);
+        }
     }
 }

@@ -22,11 +22,15 @@
 //! * [`triangles`] and [`stats`] — the structural statistics (`|V|`, `|E|`,
 //!   triangle count, `p1`, `p2`) consumed by GraphPi's performance model.
 //! * [`io`] — plain-text edge-list and compact binary loading/saving.
+//! * [`delta`] and [`wal`] — the dynamic-graph layer: batch-applied edge
+//!   overlays with generation-based snapshots, made durable by a
+//!   checksummed write-ahead log with checkpoint + replay recovery.
 
 pub mod builder;
 pub mod components;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod generators;
 pub mod hub;
 pub mod io;
@@ -35,12 +39,15 @@ pub mod mmap;
 pub mod stats;
 pub mod triangles;
 pub mod vertex_set;
+pub mod wal;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use datasets::Dataset;
+pub use delta::{DynamicGraph, EdgeBatch, GraphSnapshot};
 pub use hub::{HubGraph, HubOptions};
 pub use stats::GraphStats;
+pub use wal::{DurableGraph, DurableGraphOptions};
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
