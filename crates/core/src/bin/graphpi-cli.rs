@@ -54,6 +54,14 @@
 //! in-process seeded fault injector — a manual probe of the same machinery
 //! the chaos tests drive.
 //!
+//! `remote --endpoints a,b,c` is the failover mode for a replicated
+//! deployment: counts rotate across every endpoint (with read-your-writes
+//! generation floors after a `--mutate`), writes route to the primary and
+//! follow `NOT_PRIMARY` redirects, and the run ends with a `replication:`
+//! summary (reads per endpoint, failovers, the worst replication lag any
+//! endpoint reports). `promote --addr <replica>` asks a replica to become
+//! the primary — the manual half of a failover drill.
+//!
 //! `chaos-proxy` runs the standalone byte-level fault-injecting TCP proxy
 //! between real clients and a real server (prints one
 //! `proxying on <addr>` line to stdout, then serves until killed).
@@ -73,7 +81,7 @@ use graphpi_core::config::PoolOptions;
 use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
 use graphpi_core::net::protocol::{self, LatencyHistogram};
 use graphpi_core::net::{
-    ChaosConfig, ChaosConnector, ChaosProxy, Client, NetError, RemoteCountOptions,
+    ChaosConfig, ChaosConnector, ChaosProxy, Client, FailoverClient, NetError, RemoteCountOptions,
     RemoteUpdateOptions, RetryPolicy, RetryStats, RetryingClient, Transport, UpdateOk,
 };
 use graphpi_graph::csr::CsrGraph;
@@ -125,6 +133,10 @@ enum Command {
     },
     /// Talk to a running `graphpi-server` over the wire protocol.
     Remote(RemoteArgs),
+    /// Promote a running replica to primary.
+    Promote {
+        addr: String,
+    },
     /// Run the byte-level fault-injecting TCP proxy.
     ChaosProxy(ChaosProxyArgs),
     /// Commit edge batches to a local WAL-backed graph.
@@ -146,6 +158,9 @@ struct UpdateArgs {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct RemoteArgs {
     addr: String,
+    /// Failover mode: the replicated deployment's endpoint list
+    /// (empty = classic single-address mode via `addr`).
+    endpoints: Vec<String>,
     pattern: Option<String>,
     clients: usize,
     repeat: usize,
@@ -180,9 +195,10 @@ const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <path> \
        graphpi-cli convert <edge-list> <binary-out>\n\
        graphpi-cli update --graph <path> --wal <path> [--format auto|text|binary] \
 [--insert U V]... [--delete U V]... [--ops <file>] [--checkpoint]\n\
-       graphpi-cli remote [--addr host:port] [--pattern <name>] [--clients N] [--repeat N] \
-[--no-iep] [--hubs] [--deadline-ms N] [--retries N] [--backoff-ms N] [--chaos-seed N] \
-[--ping] [--stats] [--probe-malformed] [--shutdown] [--mutate <ops-file>]\n\
+       graphpi-cli remote [--addr host:port | --endpoints a,b,c] [--pattern <name>] \
+[--clients N] [--repeat N] [--no-iep] [--hubs] [--deadline-ms N] [--retries N] [--backoff-ms N] \
+[--chaos-seed N] [--ping] [--stats] [--probe-malformed] [--shutdown] [--mutate <ops-file>]\n\
+       graphpi-cli promote [--addr host:port]\n\
        graphpi-cli chaos-proxy --upstream host:port [--listen host:port] [--seed N] \
 [--stall-per-mille N] [--stall-ms N] [--reset-per-mille N] [--partial-per-mille N]";
 
@@ -244,6 +260,31 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 command: Command::Update(update),
                 graph_path,
                 format,
+                pattern: None,
+                threads: 0,
+                use_iep: true,
+                hub_bitsets: false,
+                scalar_kernels: false,
+                list: 0,
+                repeat: 1,
+                session: false,
+                clients: 1,
+                max_in_flight: 0,
+            });
+        }
+        Some("promote") => {
+            let mut addr = "127.0.0.1:7431".to_string();
+            let mut promote_iter = iter.clone();
+            while let Some(flag) = promote_iter.next() {
+                match flag.as_str() {
+                    "--addr" => addr = promote_iter.next().ok_or("--addr needs a value")?.clone(),
+                    other => return Err(format!("unknown flag {other}\n{USAGE}")),
+                }
+            }
+            return Ok(CliArgs {
+                command: Command::Promote { addr },
+                graph_path: String::new(),
+                format: GraphFormat::Auto,
                 pattern: None,
                 threads: 0,
                 use_iep: true,
@@ -383,6 +424,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
     let mut remote = RemoteArgs {
         addr: "127.0.0.1:7431".to_string(),
+        endpoints: Vec::new(),
         pattern: None,
         clients: 1,
         repeat: 1,
@@ -402,6 +444,19 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--addr" => remote.addr = iter.next().ok_or("--addr needs a value")?.clone(),
+            "--endpoints" => {
+                remote.endpoints = iter
+                    .next()
+                    .ok_or("--endpoints needs a comma-separated address list")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|part| !part.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if remote.endpoints.is_empty() {
+                    return Err("--endpoints needs at least one address".to_string());
+                }
+            }
             "--pattern" => {
                 remote.pattern = Some(iter.next().ok_or("--pattern needs a value")?.clone())
             }
@@ -484,6 +539,28 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
              give the client retries (e.g. --retries 8)"
                 .to_string(),
         );
+    }
+    if !remote.endpoints.is_empty() {
+        // Failover mode drives counts and mutations through the
+        // multi-endpoint client; the single-connection probes have no
+        // meaningful target in a rotation.
+        if remote.ping || remote.stats || remote.shutdown || remote.probe_malformed {
+            return Err(
+                "--endpoints is for counts and mutations; use --addr for --ping, --stats, \
+                 --probe-malformed and --shutdown"
+                    .to_string(),
+            );
+        }
+        if remote.chaos_seed.is_some() {
+            return Err(
+                "--chaos-seed routes one address; it cannot combine with --endpoints".to_string(),
+            );
+        }
+        if remote.clients > 1 {
+            return Err(
+                "--endpoints runs one failover client; drop --clients or use --addr".to_string(),
+            );
+        }
     }
     Ok(remote)
 }
@@ -858,8 +935,135 @@ fn print_remote_stats(stats: &protocol::StatsOk) {
     }
 }
 
+/// Runs `remote --endpoints a,b,c`: mutations and counts through the
+/// multi-endpoint failover client, with a `replication:` summary of
+/// where the traffic landed and how far the replicas trail.
+fn run_remote_failover(args: &RemoteArgs) -> Result<(), String> {
+    let endpoints: Vec<std::net::SocketAddr> = args
+        .endpoints
+        .iter()
+        .map(|addr| resolve_addr(addr))
+        .collect::<Result<_, _>>()?;
+    let policy = RetryPolicy {
+        max_attempts: args.retries.max(2),
+        initial_backoff: Duration::from_millis(args.backoff_ms),
+        ..RetryPolicy::default()
+    };
+    // Read-your-writes on: counts after a mutation carry the committed
+    // generation as a floor, so a lagging replica waits or sheds.
+    let mut client = FailoverClient::connect(endpoints, policy, true);
+    if let Some(ops_path) = &args.mutate {
+        let text = std::fs::read_to_string(ops_path)
+            .map_err(|e| format!("cannot read {ops_path}: {e}"))?;
+        let ops = parse_ops_text(&text)?;
+        let batches = ops_to_batches(&ops, protocol::MAX_UPDATE_EDGES);
+        let mut inserted = 0u64;
+        let mut deleted = 0u64;
+        let mut last: Option<UpdateOk> = None;
+        for (ins, del) in &batches {
+            let options = RemoteUpdateOptions {
+                deadline_ms: args.deadline_ms,
+                request_id: 0,
+            };
+            let ok = client
+                .update_with(ins, del, options)
+                .map_err(|e| format!("mutate failed: {e}"))?;
+            inserted += u64::from(ok.inserted);
+            deleted += u64::from(ok.deleted);
+            last = Some(ok);
+        }
+        match last {
+            Some(ok) => println!(
+                "mutate: {} batch(es) applied, +{inserted} -{deleted} edges, generation {} \
+                 (primary {})",
+                batches.len(),
+                ok.generation,
+                client.primary_endpoint()
+            ),
+            None => println!("mutate: {ops_path} contained no operations"),
+        }
+    }
+    if let Some(name) = &args.pattern {
+        let pattern = resolve_pattern(name)?;
+        let options = RemoteCountOptions {
+            no_iep: args.no_iep,
+            hub_bitsets: args.hubs,
+            deadline_ms: args.deadline_ms,
+            request_id: 0,
+            min_generation: 0,
+        };
+        let start = std::time::Instant::now();
+        let mut observed = Vec::with_capacity(args.repeat);
+        for query in 0..args.repeat {
+            // Reads are sticky per connection; rotating between queries
+            // spreads the burst across the endpoint list.
+            if query > 0 {
+                client.rotate_reads();
+            }
+            let result = client
+                .count_with(&pattern, options)
+                .map_err(|e| format!("count failed: {e}"))?;
+            observed.push(result.count);
+        }
+        let elapsed = start.elapsed();
+        let first = observed[0];
+        if observed.iter().any(|&c| c != first) {
+            return Err("failover reads observed diverging counts".to_string());
+        }
+        println!(
+            "remote count {name}: {first} embeddings  ({} queries across {} endpoint(s) in {:?})",
+            observed.len(),
+            client.endpoints().len(),
+            elapsed
+        );
+    }
+    // The summary line: who answered the reads, how often writes had to
+    // re-route, and the worst replication lag any endpoint admits to.
+    let stats = client.stats().clone();
+    let reads: Vec<String> = client
+        .endpoints()
+        .iter()
+        .zip(&stats.reads_per_endpoint)
+        .map(|(addr, count)| format!("{addr}={count}"))
+        .collect();
+    let mut max_lag = 0u64;
+    let mut unreachable = 0usize;
+    for (_, health) in client.health_all() {
+        match health {
+            Some(health) => max_lag = max_lag.max(health.replication_lag),
+            None => unreachable += 1,
+        }
+    }
+    println!(
+        "replication: reads [{}], {} failover(s) ({} redirected), max lag {} generation(s), \
+         {} unreachable, primary {}",
+        reads.join(" "),
+        stats.failovers,
+        stats.redirects,
+        max_lag,
+        unreachable,
+        client.primary_endpoint()
+    );
+    Ok(())
+}
+
+/// Runs `promote`: asks the replica at `addr` to become primary.
+fn run_promote(addr: &str) -> Result<(), String> {
+    let ok = Client::connect(addr)
+        .and_then(|mut c| c.promote())
+        .map_err(|e| format!("promote failed: {e}"))?;
+    println!(
+        "promoted: {addr} is primary at generation {}",
+        ok.generation
+    );
+    Ok(())
+}
+
 /// Runs the `remote` subcommand against a live `graphpi-server`.
 fn run_remote(args: &RemoteArgs) -> Result<(), String> {
+    if !args.endpoints.is_empty() {
+        return run_remote_failover(args);
+    }
     if args.probe_malformed {
         probe_malformed(&args.addr)?;
     }
@@ -929,6 +1133,7 @@ fn run_remote(args: &RemoteArgs) -> Result<(), String> {
             hub_bitsets: args.hubs,
             deadline_ms: args.deadline_ms,
             request_id: 0,
+            min_generation: 0,
         };
         // With --retries or --chaos-seed the counts run through the
         // resilient retrying client (which needs a resolved address for
@@ -1131,6 +1336,9 @@ fn run(args: CliArgs) -> Result<(), String> {
     }
     if let Command::Remote(remote) = &args.command {
         return run_remote(remote);
+    }
+    if let Command::Promote { addr } = &args.command {
+        return run_promote(addr);
     }
     if let Command::ChaosProxy(proxy) = &args.command {
         return run_chaos_proxy(proxy);
@@ -1602,6 +1810,99 @@ mod tests {
         // (the first injected fault would fail the run).
         assert!(parse_args(&strings(&["remote", "--ping", "--retries", "0"])).is_err());
         assert!(parse_args(&strings(&["remote", "--ping", "--chaos-seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn parses_remote_endpoints_and_promote() {
+        let args = parse_args(&strings(&[
+            "remote",
+            "--endpoints",
+            "127.0.0.1:7431, 127.0.0.1:7432,127.0.0.1:7433",
+            "--pattern",
+            "house",
+            "--repeat",
+            "6",
+        ]))
+        .unwrap();
+        let Command::Remote(remote) = args.command else {
+            panic!("expected a remote command");
+        };
+        assert_eq!(
+            remote.endpoints,
+            vec!["127.0.0.1:7431", "127.0.0.1:7432", "127.0.0.1:7433"]
+        );
+        assert_eq!(remote.repeat, 6);
+        // Mutate-only failover runs are fine.
+        assert!(parse_args(&strings(&[
+            "remote",
+            "--endpoints",
+            "h:1,h:2",
+            "--mutate",
+            "o"
+        ]))
+        .is_ok());
+        // The single-connection probes, chaos injection and multi-client
+        // mode are all --addr territory.
+        for bad in [
+            vec!["remote", "--endpoints", "h:1", "--ping"],
+            vec!["remote", "--endpoints", "h:1", "--pattern", "p1", "--stats"],
+            vec![
+                "remote",
+                "--endpoints",
+                "h:1",
+                "--pattern",
+                "p1",
+                "--shutdown",
+            ],
+            vec![
+                "remote",
+                "--endpoints",
+                "h:1",
+                "--pattern",
+                "p1",
+                "--probe-malformed",
+            ],
+            vec![
+                "remote",
+                "--endpoints",
+                "h:1",
+                "--pattern",
+                "p1",
+                "--retries",
+                "4",
+                "--chaos-seed",
+                "9",
+            ],
+            vec![
+                "remote",
+                "--endpoints",
+                "h:1",
+                "--pattern",
+                "p1",
+                "--clients",
+                "2",
+            ],
+            vec!["remote", "--endpoints", ",", "--pattern", "p1"],
+        ] {
+            assert!(parse_args(&strings(&bad)).is_err(), "{bad:?}");
+        }
+
+        let args = parse_args(&strings(&["promote", "--addr", "127.0.0.1:7432"])).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Promote {
+                addr: "127.0.0.1:7432".to_string()
+            }
+        );
+        // Default address, like remote.
+        let args = parse_args(&strings(&["promote"])).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Promote {
+                addr: "127.0.0.1:7431".to_string()
+            }
+        );
+        assert!(parse_args(&strings(&["promote", "--bogus"])).is_err());
     }
 
     #[test]

@@ -27,20 +27,35 @@
 //! the log back to a bit-identical graph (see the module docs of
 //! `graphpi_graph::wal`). Without `--wal` the graph is immutable and
 //! updates are refused with the `ReadOnly` error code.
+//! `--checkpoint-interval-ms N` runs a background maintenance thread
+//! that periodically folds the WAL into a checkpoint and compacts the
+//! delta overlay, off the committing thread.
+//!
+//! With `--replica-of <addr>` (requires `--wal`) the server starts as a
+//! **read replica**: it subscribes to the primary's replicated WAL
+//! stream, applies every committed batch through its own durable engine
+//! (so the replica is itself crash-safe), answers `COUNT`/`STATS`/
+//! `HEALTH` (reporting its role and replication lag), and refuses
+//! `UPDATE` with `NOT_PRIMARY` carrying the primary's address. `SIGUSR1`
+//! or the v2 `PROMOTE` opcode (`graphpi-cli promote`) promotes it: the
+//! subscription is sealed and the server flips to read-write primary.
 
 use graphpi_core::config::{PoolOptions, ServeOptions};
 use graphpi_core::engine::GraphPi;
-use graphpi_core::net::Server;
+use graphpi_core::net::{run_replication, ReplState, Server};
 use graphpi_core::DynamicEngine;
 use graphpi_graph::csr::CsrGraph;
 use graphpi_graph::io;
 use graphpi_graph::DurableGraphOptions;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: graphpi-server --graph <path> [--listen <addr:port>] \
 [--threads N] [--cache-capacity N] [--max-in-flight N] [--max-connections N] \
-[--queue-depth N] [--persist <path>] [--snapshot-interval-ms N] [--wal <path>]";
+[--queue-depth N] [--persist <path>] [--snapshot-interval-ms N] [--wal <path>] \
+[--checkpoint-interval-ms N] [--replica-of <addr:port>]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +70,8 @@ struct ServerArgs {
     persist: Option<String>,
     snapshot_interval_ms: u64,
     wal: Option<String>,
+    checkpoint_interval_ms: u64,
+    replica_of: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
@@ -68,6 +85,8 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
     let mut persist = None;
     let mut snapshot_interval_ms = 0u64;
     let mut wal = None;
+    let mut checkpoint_interval_ms = 0u64;
+    let mut replica_of = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -117,7 +136,29 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
                     .parse()
                     .map_err(|_| "--snapshot-interval-ms must be an integer".to_string())?
             }
+            "--checkpoint-interval-ms" => {
+                checkpoint_interval_ms = iter
+                    .next()
+                    .ok_or("--checkpoint-interval-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-interval-ms must be an integer".to_string())?
+            }
+            "--replica-of" => {
+                replica_of = Some(iter.next().ok_or("--replica-of needs a value")?.clone())
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if wal.is_none() {
+        if replica_of.is_some() {
+            return Err(format!(
+                "--replica-of needs --wal: the replica re-logs the stream it applies\n{USAGE}"
+            ));
+        }
+        if checkpoint_interval_ms > 0 {
+            return Err(format!(
+                "--checkpoint-interval-ms needs --wal: only a durable graph checkpoints\n{USAGE}"
+            ));
         }
     }
     Ok(ServerArgs {
@@ -131,6 +172,8 @@ fn parse_args(args: &[String]) -> Result<ServerArgs, String> {
         persist,
         snapshot_interval_ms,
         wal,
+        checkpoint_interval_ms,
+        replica_of,
     })
 }
 
@@ -152,8 +195,10 @@ mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    pub static PROMOTE: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
+    const SIGUSR1: i32 = 10;
     const SIGTERM: i32 = 15;
 
     extern "C" {
@@ -164,16 +209,26 @@ mod signals {
         SIGNALLED.store(true, Ordering::Release);
     }
 
-    /// Installs the flag-flipping handler for SIGTERM and SIGINT.
+    extern "C" fn on_promote(_signum: i32) {
+        PROMOTE.store(true, Ordering::Release);
+    }
+
+    /// Installs the flag-flipping handlers: SIGTERM/SIGINT drain,
+    /// SIGUSR1 requests a replica promotion.
     pub fn install() {
         unsafe {
             signal(SIGTERM, on_signal as *const () as usize);
             signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGUSR1, on_promote as *const () as usize);
         }
     }
 
     pub fn signalled() -> bool {
         SIGNALLED.load(Ordering::Acquire)
+    }
+
+    pub fn promote_signalled() -> bool {
+        PROMOTE.load(Ordering::Acquire)
     }
 }
 
@@ -181,6 +236,9 @@ mod signals {
 mod signals {
     pub fn install() {}
     pub fn signalled() -> bool {
+        false
+    }
+    pub fn promote_signalled() -> bool {
         false
     }
 }
@@ -231,6 +289,8 @@ fn run(args: ServerArgs) -> Result<(), String> {
         persist_path: args.persist.as_ref().map(std::path::PathBuf::from),
         snapshot_interval: (args.snapshot_interval_ms > 0)
             .then(|| Duration::from_millis(args.snapshot_interval_ms)),
+        checkpoint_interval: (args.checkpoint_interval_ms > 0)
+            .then(|| Duration::from_millis(args.checkpoint_interval_ms)),
         ..ServeOptions::default()
     };
     let server = Server::bind(&args.listen, options).map_err(|e| e.to_string())?;
@@ -261,7 +321,52 @@ fn run(args: ServerArgs) -> Result<(), String> {
 
     let report = match (&static_engine, &dynamic_engine) {
         (Some(engine), _) => server.serve(engine).map_err(|e| e.to_string())?,
-        (None, Some(engine)) => server.serve_dynamic(engine).map_err(|e| e.to_string())?,
+        (None, Some(engine)) => {
+            let repl = match &args.replica_of {
+                Some(primary) => {
+                    eprintln!("replica: following primary {primary}");
+                    ReplState::replica(primary)
+                }
+                None => ReplState::primary(),
+            };
+            let stop = AtomicBool::new(false);
+            let result = std::thread::scope(|scope| {
+                if let Some(primary) = &args.replica_of {
+                    // The apply loop: subscribe, apply, reconnect, and
+                    // (on SIGUSR1 or a PROMOTE frame) seal and flip.
+                    let apply_repl = Arc::clone(&repl);
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let report = run_replication(primary.as_str(), engine, &apply_repl, stop);
+                        eprintln!(
+                            "replication: {} batches applied, {} checkpoints installed, \
+                             {} reconnects{}",
+                            report.batches_applied,
+                            report.checkpoints_installed,
+                            report.reconnects,
+                            if report.promoted { "; promoted" } else { "" }
+                        );
+                    });
+                    // SIGUSR1 cannot touch the shared state from the
+                    // handler; this poller forwards it as a promote
+                    // request the apply loop observes between frames.
+                    let signal_repl = Arc::clone(&repl);
+                    scope.spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            if signals::promote_signalled() {
+                                signal_repl.request_promote();
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    });
+                }
+                let result = server.serve_dynamic_with_repl(engine, Arc::clone(&repl));
+                stop.store(true, Ordering::Release);
+                result
+            });
+            result.map_err(|e| e.to_string())?
+        }
         (None, None) => unreachable!("one engine is always constructed"),
     };
     let _ = watcher.join();
@@ -321,6 +426,10 @@ mod tests {
             "250",
             "--wal",
             "graph.wal",
+            "--checkpoint-interval-ms",
+            "400",
+            "--replica-of",
+            "127.0.0.1:7431",
         ]))
         .unwrap();
         assert_eq!(args.graph_path, "g.txt");
@@ -333,6 +442,8 @@ mod tests {
         assert_eq!(args.persist.as_deref(), Some("plans.gppc"));
         assert_eq!(args.snapshot_interval_ms, 250);
         assert_eq!(args.wal.as_deref(), Some("graph.wal"));
+        assert_eq!(args.checkpoint_interval_ms, 400);
+        assert_eq!(args.replica_of.as_deref(), Some("127.0.0.1:7431"));
     }
 
     #[test]
@@ -345,6 +456,31 @@ mod tests {
         assert_eq!(args.snapshot_interval_ms, 0);
         assert!(args.persist.is_none());
         assert!(args.wal.is_none());
+        assert_eq!(args.checkpoint_interval_ms, 0);
+        assert!(args.replica_of.is_none());
+        // Replication and background checkpointing both need a WAL.
+        assert!(
+            parse_args(&strings(&["--graph", "g", "--replica-of", "h:1"])).is_err(),
+            "--replica-of without --wal"
+        );
+        assert!(parse_args(&strings(&[
+            "--graph",
+            "g",
+            "--checkpoint-interval-ms",
+            "100"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "--graph",
+            "g",
+            "--wal",
+            "w",
+            "--replica-of",
+            "h:1",
+            "--checkpoint-interval-ms",
+            "100",
+        ]))
+        .is_ok());
         assert!(parse_args(&strings(&[])).is_err(), "--graph is required");
         assert!(parse_args(&strings(&["--graph"])).is_err());
         assert!(parse_args(&strings(&["--graph", "g", "--wal"])).is_err());

@@ -88,6 +88,11 @@ pub struct ServeOptions {
     /// of cache warmth (`None` = only the shutdown snapshot). Ignored
     /// without a `persist_path`.
     pub snapshot_interval: Option<std::time::Duration>,
+    /// Checkpoint the WAL and compact the delta overlay this often on a
+    /// dedicated maintenance thread, keeping both off the committing
+    /// thread (`None` = only the size-triggered inline checkpoint).
+    /// Ignored unless the server serves a durable dynamic engine.
+    pub checkpoint_interval: Option<std::time::Duration>,
 }
 
 impl Default for ServeOptions {
@@ -99,6 +104,7 @@ impl Default for ServeOptions {
             persist_path: None,
             max_queue_depth: 0,
             snapshot_interval: None,
+            checkpoint_interval: None,
         }
     }
 }

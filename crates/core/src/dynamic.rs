@@ -140,6 +140,57 @@ impl DynamicEngine {
             Backing::Durable(durable) => durable.commit(batch)?,
             Backing::Volatile(graph) => graph.commit(batch)?,
         };
+        self.publish(&report);
+        Ok(report)
+    }
+
+    /// Forces a checkpoint on a durable backing; returns the
+    /// checkpointed generation, or `None` when the engine is volatile.
+    pub fn checkpoint(&self) -> Option<Result<u64, DurableError>> {
+        match &self.backing {
+            Backing::Durable(durable) => Some(durable.checkpoint()),
+            Backing::Volatile(_) => None,
+        }
+    }
+
+    /// Commits a batch received from a replication stream, asserting
+    /// that its claimed `generation` continues this engine's sequence
+    /// exactly ([`graphpi_graph::delta::DeltaError::GenerationGap`]
+    /// otherwise). Publication mirrors [`DynamicEngine::apply`].
+    pub fn apply_replicated(
+        &self,
+        generation: u64,
+        batch: &EdgeBatch,
+    ) -> Result<CommitReport, DurableError> {
+        let _serialised = self.apply_lock.lock().expect("dynamic engine poisoned");
+        let report = match &self.backing {
+            Backing::Durable(durable) => durable.commit_replicated(generation, batch)?,
+            Backing::Volatile(graph) => graph.commit_at(batch, generation)?,
+        };
+        self.publish(&report);
+        Ok(report)
+    }
+
+    /// Replaces the whole graph with `base` at `generation` — the
+    /// receiving end of a replication checkpoint bootstrap. On a durable
+    /// backing the installed state is crash-safe before it is published.
+    pub fn install_checkpoint(&self, base: CsrGraph, generation: u64) -> Result<(), DurableError> {
+        let _serialised = self.apply_lock.lock().expect("dynamic engine poisoned");
+        match &self.backing {
+            Backing::Durable(durable) => durable.install_checkpoint(base, generation)?,
+            Backing::Volatile(graph) => graph.reset_base(base, generation),
+        }
+        let snapshot = match &self.backing {
+            Backing::Durable(durable) => durable.snapshot(),
+            Backing::Volatile(graph) => graph.snapshot(),
+        };
+        let engine = Arc::new(GraphPi::new(snapshot.graph().as_ref().clone()));
+        *self.current.write().expect("dynamic engine poisoned") =
+            PinnedEngine { generation, engine };
+        Ok(())
+    }
+
+    fn publish(&self, report: &CommitReport) {
         if report.inserted > 0 || report.deleted > 0 {
             let snapshot = match &self.backing {
                 Backing::Durable(durable) => durable.snapshot(),
@@ -159,14 +210,55 @@ impl DynamicEngine {
                 .expect("dynamic engine poisoned")
                 .generation = report.generation;
         }
-        Ok(report)
     }
 
-    /// Forces a checkpoint on a durable backing; returns the
-    /// checkpointed generation, or `None` when the engine is volatile.
-    pub fn checkpoint(&self) -> Option<Result<u64, DurableError>> {
+    /// Folds the overlay into a fresh base CSR off the commit path;
+    /// `false` when a concurrent commit raced the merge (try again later).
+    pub fn compact(&self) -> bool {
         match &self.backing {
-            Backing::Durable(durable) => Some(durable.checkpoint()),
+            Backing::Durable(durable) => durable.compact(),
+            Backing::Volatile(graph) => graph.compact(),
+        }
+    }
+
+    /// The WAL file path, or `None` when the engine is volatile.
+    pub fn wal_path(&self) -> Option<std::path::PathBuf> {
+        match &self.backing {
+            Backing::Durable(durable) => Some(durable.wal_path()),
+            Backing::Volatile(_) => None,
+        }
+    }
+
+    /// Durable end of the WAL in bytes, or `None` when volatile.
+    pub fn wal_len(&self) -> Option<u64> {
+        match &self.backing {
+            Backing::Durable(durable) => Some(durable.wal_len()),
+            Backing::Volatile(_) => None,
+        }
+    }
+
+    /// The WAL's reset epoch, or `None` when volatile.
+    pub fn wal_epoch(&self) -> Option<u64> {
+        match &self.backing {
+            Backing::Durable(durable) => Some(durable.wal_epoch()),
+            Backing::Volatile(_) => None,
+        }
+    }
+
+    /// Generation of the WAL's base (cursors behind it need a checkpoint
+    /// bootstrap), or `None` when volatile.
+    pub fn replication_horizon(&self) -> Option<u64> {
+        match &self.backing {
+            Backing::Durable(durable) => Some(durable.replication_horizon()),
+            Backing::Volatile(_) => None,
+        }
+    }
+
+    /// The checkpoint file path paired with the WAL, or `None` when
+    /// volatile.
+    pub fn checkpoint_file(&self) -> Option<std::path::PathBuf> {
+        match &self.backing {
+            Backing::Durable(durable) => Some(durable.checkpoint_path().to_path_buf()),
             Backing::Volatile(_) => None,
         }
     }

@@ -18,11 +18,13 @@
 
 use super::chaos::SplitMix64;
 use super::protocol::{
-    op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, NetError, StatsOk, TcpTransport,
-    Transport, UpdateOk, UpdateRequest, WireError, MAX_UPDATE_EDGES,
+    op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, NetError, PromoteOk, StatsOk,
+    TcpTransport, Transport, UpdateOk, UpdateRequest, WireError, MAX_UPDATE_EDGES,
 };
 use graphpi_pattern::Pattern;
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-query options for [`Client::count_with`] — the wire-level mirror of
@@ -38,6 +40,10 @@ pub struct RemoteCountOptions {
     /// Idempotency key for safe retries (0 = none; [`RetryingClient`]
     /// fills this in automatically).
     pub request_id: u64,
+    /// Read-your-writes floor (0 = none): the server answers only at or
+    /// after this generation, waiting briefly for replication to catch
+    /// up and shedding with `RETRY_LATER` past its wait budget.
+    pub min_generation: u64,
 }
 
 /// Per-update options for [`Client::update_with`].
@@ -138,6 +144,7 @@ impl<T: Transport> Client<T> {
             hub_bitsets: options.hub_bitsets,
             deadline_ms: options.deadline_ms,
             request_id: options.request_id,
+            min_generation: options.min_generation,
             pattern: pattern.canonical_bytes(),
         };
         let response = self.roundtrip(&Frame::new(op::COUNT, request.encode()), op::COUNT_OK)?;
@@ -185,6 +192,15 @@ impl<T: Transport> Client<T> {
         let response = self.roundtrip(&Frame::new(op::HEALTH, vec![]), op::HEALTH_OK)?;
         HealthOk::decode(&response.payload)
             .ok_or(NetError::Protocol("undecodable HEALTH_OK payload"))
+    }
+
+    /// Asks a replica to promote itself to primary (protocol v2),
+    /// blocking until its apply loop seals the stream. Idempotent on a
+    /// server that is already primary. Returns the sealed generation.
+    pub fn promote(&mut self) -> Result<PromoteOk, NetError> {
+        let response = self.roundtrip(&Frame::new(op::PROMOTE, vec![]), op::PROMOTE_OK)?;
+        PromoteOk::decode(&response.payload)
+            .ok_or(NetError::Protocol("undecodable PROMOTE_OK payload"))
     }
 
     /// Asks the server to drain and exit. The server acknowledges, then
@@ -378,6 +394,13 @@ impl RetryingClient {
         &self.policy
     }
 
+    /// Drops the current connection; the next attempt redials through
+    /// the connector. Lets failover logic force a re-route without
+    /// waiting for the dead socket to fail an exchange.
+    pub fn disconnect(&mut self) {
+        self.transport = None;
+    }
+
     /// Counts embeddings of `pattern` with default options, retrying per
     /// the policy.
     pub fn count(&mut self, pattern: &Pattern) -> Result<RemoteCount, NetError> {
@@ -400,6 +423,7 @@ impl RetryingClient {
             hub_bitsets: options.hub_bitsets,
             deadline_ms: options.deadline_ms,
             request_id: options.request_id,
+            min_generation: options.min_generation,
             pattern: pattern.canonical_bytes(),
         };
         let frame = Frame::new(op::COUNT, request.encode());
@@ -576,5 +600,272 @@ impl RetryingClient {
             ));
         }
         Ok(response)
+    }
+}
+
+/// Counters describing what a [`FailoverClient`] did across its
+/// endpoints — the CLI's `replication:` summary line is built from
+/// these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailoverStats {
+    /// Writes re-routed to a different endpoint (after a `NOT_PRIMARY`
+    /// redirect or a dead primary).
+    pub failovers: u64,
+    /// `NOT_PRIMARY` redirects that carried the primary's address.
+    pub redirects: u64,
+    /// Successful reads answered per endpoint, indexed like the
+    /// endpoint list passed at construction.
+    pub reads_per_endpoint: Vec<u64>,
+}
+
+/// A multi-endpoint client for a replicated deployment: reads spread
+/// round-robin across every reachable endpoint (each one a
+/// [`RetryingClient`] that reconnects through the rotation on failure),
+/// writes route to the endpoint currently believed to be the primary
+/// and re-route on [`ErrorCode::NotPrimary`] — following the address in
+/// the redirect when the replica knows it, advancing through the
+/// rotation when it does not (or when the primary is simply dead).
+///
+/// With read-your-writes enabled, every read carries a generation floor
+/// equal to the last acknowledged write, so a lagging replica either
+/// waits until it has caught up to the client's own writes or sheds the
+/// read to another endpoint.
+pub struct FailoverClient {
+    endpoints: Vec<SocketAddr>,
+    read: RetryingClient,
+    write: RetryingClient,
+    /// Which endpoint the read connector dialed last (shared with the
+    /// connector closure).
+    last_read_endpoint: Arc<AtomicUsize>,
+    /// Index of the endpoint writes currently route to (shared with the
+    /// write connector closure).
+    primary: Arc<AtomicUsize>,
+    read_your_writes: bool,
+    last_write_generation: u64,
+    stats: FailoverStats,
+}
+
+impl FailoverClient {
+    /// Builds a failover client over `endpoints` (at least one). Reads
+    /// start round-robin from the first endpoint; writes assume
+    /// `endpoints[0]` is the primary until a redirect teaches otherwise.
+    pub fn connect(
+        endpoints: Vec<SocketAddr>,
+        policy: RetryPolicy,
+        read_your_writes: bool,
+    ) -> Self {
+        assert!(!endpoints.is_empty(), "need at least one endpoint");
+        let rr = Arc::new(AtomicUsize::new(0));
+        let last_read_endpoint = Arc::new(AtomicUsize::new(0));
+        let primary = Arc::new(AtomicUsize::new(0));
+        let read = {
+            let endpoints = endpoints.clone();
+            let rr = Arc::clone(&rr);
+            let last = Arc::clone(&last_read_endpoint);
+            RetryingClient::new(
+                move || {
+                    // Try every endpoint once, starting at the rotation
+                    // cursor; the first that answers wins the read.
+                    let start = rr.fetch_add(1, Ordering::Relaxed);
+                    let mut error = NetError::Closed;
+                    for probe in 0..endpoints.len() {
+                        let index = (start + probe) % endpoints.len();
+                        match TcpTransport::connect(endpoints[index]) {
+                            Ok(transport) => {
+                                last.store(index, Ordering::Relaxed);
+                                return Ok(Box::new(transport) as Box<dyn Transport + Send>);
+                            }
+                            Err(e) => error = e,
+                        }
+                    }
+                    Err(error)
+                },
+                policy,
+            )
+        };
+        let write = {
+            let endpoints = endpoints.clone();
+            let primary = Arc::clone(&primary);
+            RetryingClient::new(
+                move || {
+                    let index = primary.load(Ordering::Relaxed) % endpoints.len();
+                    let transport = TcpTransport::connect(endpoints[index])?;
+                    Ok(Box::new(transport) as Box<dyn Transport + Send>)
+                },
+                // Writes and reads draw from distinct ID streams so the
+                // two idempotency-key sequences never collide.
+                RetryPolicy {
+                    seed: policy.seed ^ 0xFA11_0E14_ED75_0B5E,
+                    ..policy
+                },
+            )
+        };
+        let stats = FailoverStats {
+            reads_per_endpoint: vec![0; endpoints.len()],
+            ..FailoverStats::default()
+        };
+        Self {
+            endpoints,
+            read,
+            write,
+            last_read_endpoint,
+            primary,
+            read_your_writes,
+            last_write_generation: 0,
+            stats,
+        }
+    }
+
+    /// The endpoint list this client rotates over.
+    pub fn endpoints(&self) -> &[SocketAddr] {
+        &self.endpoints
+    }
+
+    /// What this client has done so far, across both directions.
+    pub fn stats(&self) -> &FailoverStats {
+        &self.stats
+    }
+
+    /// Retry counters for the read and write sides.
+    pub fn retry_stats(&self) -> (RetryStats, RetryStats) {
+        (self.read.stats(), self.write.stats())
+    }
+
+    /// The generation of the last acknowledged write (0 before any).
+    pub fn last_write_generation(&self) -> u64 {
+        self.last_write_generation
+    }
+
+    /// The endpoint writes currently route to.
+    pub fn primary_endpoint(&self) -> SocketAddr {
+        self.endpoints[self.primary.load(Ordering::Relaxed) % self.endpoints.len()]
+    }
+
+    /// Counts embeddings on whichever endpoint answers, with default
+    /// options (plus the read-your-writes floor when enabled).
+    pub fn count(&mut self, pattern: &Pattern) -> Result<RemoteCount, NetError> {
+        self.count_with(pattern, RemoteCountOptions::default())
+    }
+
+    /// Counts embeddings with explicit options. When read-your-writes is
+    /// on and the caller set no explicit floor, the floor is the last
+    /// acknowledged write's generation.
+    pub fn count_with(
+        &mut self,
+        pattern: &Pattern,
+        mut options: RemoteCountOptions,
+    ) -> Result<RemoteCount, NetError> {
+        if self.read_your_writes && options.min_generation == 0 {
+            options.min_generation = self.last_write_generation;
+        }
+        let result = self.read.count_with(pattern, options);
+        if result.is_ok() {
+            let index = self.last_read_endpoint.load(Ordering::Relaxed) % self.endpoints.len();
+            self.stats.reads_per_endpoint[index] += 1;
+        }
+        result
+    }
+
+    /// Commits one edge batch on the primary, following `NOT_PRIMARY`
+    /// redirects and rotating past dead endpoints. Every routing attempt
+    /// reuses one request ID, so a batch that actually committed before
+    /// an ambiguous failure is answered from the ledger, not re-applied
+    /// — on the *same* server; a failover to a server that never saw the
+    /// ID commits it there (callers that cannot tolerate that must
+    /// quiesce before promoting, as the smoke test does).
+    pub fn update(
+        &mut self,
+        inserts: &[(u32, u32)],
+        deletes: &[(u32, u32)],
+    ) -> Result<UpdateOk, NetError> {
+        self.update_with(inserts, deletes, RemoteUpdateOptions::default())
+    }
+
+    /// Commits one edge batch with explicit options, with failover.
+    pub fn update_with(
+        &mut self,
+        inserts: &[(u32, u32)],
+        deletes: &[(u32, u32)],
+        mut options: RemoteUpdateOptions,
+    ) -> Result<UpdateOk, NetError> {
+        if options.request_id == 0 {
+            options.request_id = self.write.next_request_id();
+        }
+        let mut last_error = NetError::Closed;
+        // One routing attempt per endpoint, plus one for the redirect
+        // target itself; the per-endpoint RetryingClient already
+        // retried transient failures before each error reaches us.
+        for _ in 0..=self.endpoints.len() {
+            match self.write.update_with(inserts, deletes, options) {
+                Ok(ok) => {
+                    self.last_write_generation = ok.generation;
+                    return Ok(ok);
+                }
+                Err(NetError::Remote {
+                    code: ErrorCode::NotPrimary,
+                    message,
+                    ..
+                }) => {
+                    self.stats.failovers += 1;
+                    self.follow_redirect(&message);
+                    self.write.disconnect();
+                    last_error = NetError::Remote {
+                        code: ErrorCode::NotPrimary,
+                        message,
+                        retry_after_ms: None,
+                    };
+                }
+                Err(error) if is_retryable(&error) => {
+                    // The believed primary is unreachable or shedding;
+                    // rotate to the next endpoint and try there.
+                    self.stats.failovers += 1;
+                    self.primary.fetch_add(1, Ordering::Relaxed);
+                    self.write.disconnect();
+                    last_error = error;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        Err(last_error)
+    }
+
+    /// Drops the read connection so the next read dials the next
+    /// endpoint in rotation. Reads are otherwise sticky — they reuse one
+    /// connection until it fails — so callers that want to spread a
+    /// query burst across replicas rotate explicitly between queries.
+    pub fn rotate_reads(&mut self) {
+        self.read.disconnect();
+    }
+
+    /// Probes every endpoint's health directly (no retries): the CLI's
+    /// lag report. Unreachable endpoints yield `None`.
+    pub fn health_all(&self) -> Vec<(SocketAddr, Option<HealthOk>)> {
+        self.endpoints
+            .iter()
+            .map(|&addr| {
+                let health = TcpTransport::connect(addr).ok().and_then(|mut transport| {
+                    transport
+                        .set_recv_timeout(Some(Duration::from_millis(500)))
+                        .ok()?;
+                    Client::new(transport).health().ok()
+                });
+                (addr, health)
+            })
+            .collect()
+    }
+
+    /// Points writes at the redirect target: the address named in a
+    /// `NOT_PRIMARY` error when it is one of our endpoints, the next
+    /// endpoint in rotation otherwise (empty redirects included — the
+    /// replica may not know its primary yet).
+    fn follow_redirect(&mut self, message: &str) {
+        if let Ok(addr) = message.parse::<SocketAddr>() {
+            if let Some(index) = self.endpoints.iter().position(|&e| e == addr) {
+                self.stats.redirects += 1;
+                self.primary.store(index, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.primary.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -37,15 +37,17 @@
 pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 
 pub use chaos::{ChaosConfig, ChaosConnector, ChaosProxy, ChaosStats, ChaosTransport};
 pub use client::{
-    Client, RemoteCount, RemoteCountOptions, RemoteUpdateOptions, RetryPolicy, RetryStats,
-    RetryingClient,
+    Client, FailoverClient, FailoverStats, RemoteCount, RemoteCountOptions, RemoteUpdateOptions,
+    RetryPolicy, RetryStats, RetryingClient,
 };
 pub use protocol::{
-    ErrorCode, Frame, HealthOk, HealthState, NetError, StatsOk, TcpTransport, Transport, UpdateOk,
-    UpdateRequest,
+    ErrorCode, Frame, HealthOk, HealthState, NetError, PromoteOk, ReplAck, ReplBatch, ReplPayload,
+    ReplRole, ReplSubscribe, StatsOk, TcpTransport, Transport, UpdateOk, UpdateRequest,
 };
-pub use server::{Server, ServerHandle, ServerReport};
+pub use replica::{run_replication, ReplicaReport};
+pub use server::{ReplState, Server, ServerHandle, ServerReport};

@@ -73,6 +73,24 @@ pub mod op {
     /// ([`super::UpdateRequest`] payload; protocol v2). Static servers
     /// answer [`super::ErrorCode::ReadOnly`].
     pub const UPDATE: u8 = 0x06;
+    /// Subscribe to the primary's WAL stream from a cursor
+    /// ([`super::ReplSubscribe`] payload; protocol v2). Only durable
+    /// (`--wal`) primaries accept it; the connection then alternates
+    /// [`REPL_BATCH`] / [`REPL_ACK`] until either side closes.
+    pub const REPL_SUBSCRIBE: u8 = 0x07;
+    /// Replica's durable-cursor acknowledgement ([`super::ReplAck`]
+    /// payload; protocol v2). Solicits the next [`REPL_BATCH`].
+    pub const REPL_ACK: u8 = 0x08;
+    /// Ask a replica to stop following its primary and serve writes
+    /// (empty payload; protocol v2). Idempotent on a primary.
+    pub const PROMOTE: u8 = 0x09;
+    /// One replication shipment ([`super::ReplBatch`] payload): a raw
+    /// slice of the primary's WAL record stream, a checkpoint-file chunk,
+    /// or an empty heartbeat.
+    pub const REPL_BATCH: u8 = 0x87;
+    /// Promotion acknowledged ([`super::PromoteOk`] payload): the
+    /// generation the new primary serves writes from.
+    pub const PROMOTE_OK: u8 = 0x89;
     /// Successful count ([`super::CountOk`] payload).
     pub const COUNT_OK: u8 = 0x81;
     /// Counter snapshot ([`super::StatsOk`] payload).
@@ -130,6 +148,11 @@ pub enum ErrorCode {
     /// `--wal`). Deterministic rejection; connection stays open
     /// (protocol v2).
     ReadOnly,
+    /// A write (or replication subscribe) reached a read replica. The
+    /// error message carries the primary's address when the replica knows
+    /// it (possibly empty). Deterministic until a failover changes roles;
+    /// connection stays open (protocol v2).
+    NotPrimary,
     /// A code this build does not know (forward compatibility).
     Other(u8),
 }
@@ -150,6 +173,7 @@ impl ErrorCode {
             ErrorCode::TooManyConnections => 10,
             ErrorCode::RetryLater => 11,
             ErrorCode::ReadOnly => 12,
+            ErrorCode::NotPrimary => 13,
             ErrorCode::Other(code) => code,
         }
     }
@@ -169,6 +193,7 @@ impl ErrorCode {
             10 => ErrorCode::TooManyConnections,
             11 => ErrorCode::RetryLater,
             12 => ErrorCode::ReadOnly,
+            13 => ErrorCode::NotPrimary,
             other => ErrorCode::Other(other),
         }
     }
@@ -201,6 +226,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::TooManyConnections => write!(f, "too many connections"),
             ErrorCode::RetryLater => write!(f, "overloaded, retry later"),
             ErrorCode::ReadOnly => write!(f, "server graph is read-only"),
+            ErrorCode::NotPrimary => write!(f, "server is not the primary"),
             ErrorCode::Other(code) => write!(f, "error code {code}"),
         }
     }
@@ -486,15 +512,18 @@ impl Transport for TcpTransport {
 }
 
 /// [`op::COUNT`] payload: execution flags, a deadline, an optional
-/// client-generated request ID, and the pattern.
+/// client-generated request ID, an optional generation floor, and the
+/// pattern.
 ///
 /// ```text
-/// offset  size  field
-/// 0       1     flags       bit0 = disable IEP, bit1 = hub bitsets,
-///                           bit2 = request ID present (protocol v2)
-/// 1       4     deadline_ms u32 LE, 0 = no deadline
-/// 5       8     request_id  u64 LE, only when flag bit2 is set
-/// 5/13    ...   pattern     Pattern::canonical_bytes
+/// offset  size  field          present
+/// 0       1     flags          always: bit0 = disable IEP, bit1 = hub
+///                              bitsets, bit2 = request ID (protocol v2),
+///                              bit3 = min generation (protocol v2)
+/// 1       4     deadline_ms    always; u32 LE, 0 = no deadline
+/// 5       8     request_id     u64 LE, only when flag bit2 is set
+/// +0      8     min_generation u64 LE, only when flag bit3 is set
+/// +0      ...   pattern        Pattern::canonical_bytes
 /// ```
 ///
 /// The request ID makes retries after *ambiguous* failures safe: a client
@@ -502,6 +531,11 @@ impl Transport for TcpTransport {
 /// cannot know whether the query executed. Resending with the same
 /// nonzero ID lets the server answer from its completed-request ledger
 /// instead of executing (and accounting) the query twice.
+///
+/// The generation floor is the read-your-writes guard for read replicas:
+/// a server whose graph has not yet reached `min_generation` waits
+/// briefly for the replication stream to catch up, then answers
+/// [`ErrorCode::RetryLater`] instead of serving a stale count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountRequest {
     /// Disable Inclusion–Exclusion counting for this query.
@@ -515,6 +549,9 @@ pub struct CountRequest {
     /// Client-generated idempotency key (0 = absent; never sent on the
     /// wire as 0).
     pub request_id: u64,
+    /// Lowest graph generation this count may be served from (0 = any;
+    /// never sent on the wire as 0).
+    pub min_generation: u64,
     /// The pattern, as canonical bytes.
     pub pattern: Vec<u8>,
 }
@@ -523,10 +560,11 @@ impl CountRequest {
     const FLAG_NO_IEP: u8 = 1 << 0;
     const FLAG_HUBS: u8 = 1 << 1;
     const FLAG_REQUEST_ID: u8 = 1 << 2;
+    const FLAG_MIN_GENERATION: u8 = 1 << 3;
 
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(13 + self.pattern.len());
+        let mut out = Vec::with_capacity(21 + self.pattern.len());
         let mut flags = 0u8;
         if self.no_iep {
             flags |= Self::FLAG_NO_IEP;
@@ -537,10 +575,16 @@ impl CountRequest {
         if self.request_id != 0 {
             flags |= Self::FLAG_REQUEST_ID;
         }
+        if self.min_generation != 0 {
+            flags |= Self::FLAG_MIN_GENERATION;
+        }
         out.push(flags);
         out.extend_from_slice(&self.deadline_ms.to_le_bytes());
         if self.request_id != 0 {
             out.extend_from_slice(&self.request_id.to_le_bytes());
+        }
+        if self.min_generation != 0 {
+            out.extend_from_slice(&self.min_generation.to_le_bytes());
         }
         out.extend_from_slice(&self.pattern);
         out
@@ -554,26 +598,44 @@ impl CountRequest {
             return None;
         }
         let flags = payload[0];
-        if flags & !(Self::FLAG_NO_IEP | Self::FLAG_HUBS | Self::FLAG_REQUEST_ID) != 0 {
+        if flags
+            & !(Self::FLAG_NO_IEP
+                | Self::FLAG_HUBS
+                | Self::FLAG_REQUEST_ID
+                | Self::FLAG_MIN_GENERATION)
+            != 0
+        {
             return None;
         }
         let deadline_ms = u32::from_le_bytes(payload[1..5].try_into().ok()?);
-        let (request_id, rest) = if flags & Self::FLAG_REQUEST_ID != 0 {
-            let id_bytes = payload.get(5..13)?;
-            let id = u64::from_le_bytes(id_bytes.try_into().ok()?);
+        let mut pos = 5usize;
+        let request_id = if flags & Self::FLAG_REQUEST_ID != 0 {
+            let id = u64::from_le_bytes(payload.get(pos..pos + 8)?.try_into().ok()?);
+            pos += 8;
             if id == 0 {
                 return None; // the flag promises a usable key
             }
-            (id, &payload[13..])
+            id
         } else {
-            (0, &payload[5..])
+            0
+        };
+        let min_generation = if flags & Self::FLAG_MIN_GENERATION != 0 {
+            let floor = u64::from_le_bytes(payload.get(pos..pos + 8)?.try_into().ok()?);
+            pos += 8;
+            if floor == 0 {
+                return None; // the flag promises a usable floor
+            }
+            floor
+        } else {
+            0
         };
         Some(Self {
             no_iep: flags & Self::FLAG_NO_IEP != 0,
             hub_bitsets: flags & Self::FLAG_HUBS != 0,
             deadline_ms,
             request_id,
-            pattern: rest.to_vec(),
+            min_generation,
+            pattern: payload[pos..].to_vec(),
         })
     }
 }
@@ -801,34 +863,113 @@ impl fmt::Display for HealthState {
     }
 }
 
-/// [`op::HEALTH_OK`] payload: `[u8 state][u32 retry_after_ms]` (LE). The
-/// retry-after hint is 0 when the server is ready.
+/// A server's place in a replication topology, carried by [`HealthOk`]
+/// and [`StatsOk`]. A standalone server reports
+/// [`ReplRole::Primary`] — replication is the only way to be anything
+/// else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplRole {
+    /// Serves writes; fans committed WAL records out to subscribers.
+    #[default]
+    Primary,
+    /// Follows a primary's WAL stream; writes get
+    /// [`ErrorCode::NotPrimary`].
+    Replica,
+    /// Promotion requested; the replication stream is being sealed.
+    Promoting,
+}
+
+impl ReplRole {
+    /// The wire byte for this role.
+    pub fn code(self) -> u8 {
+        match self {
+            ReplRole::Primary => 0,
+            ReplRole::Replica => 1,
+            ReplRole::Promoting => 2,
+        }
+    }
+
+    /// Decodes a wire byte; `None` for unknown roles.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ReplRole::Primary),
+            1 => Some(ReplRole::Replica),
+            2 => Some(ReplRole::Promoting),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ReplRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplRole::Primary => write!(f, "primary"),
+            ReplRole::Replica => write!(f, "replica"),
+            ReplRole::Promoting => write!(f, "promoting"),
+        }
+    }
+}
+
+/// [`op::HEALTH_OK`] payload:
+/// `[u8 state][u32 retry_after_ms][u8 role][u64 replication_lag]` (LE).
+/// The retry-after hint is 0 when the server is ready. Pre-replication
+/// servers sent only the first five bytes; decoders accept both lengths,
+/// defaulting the missing fields to a caught-up primary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthOk {
     /// The server's readiness state.
     pub state: HealthState,
     /// Suggested wait before sending work (0 = none needed).
     pub retry_after_ms: u32,
+    /// The server's replication role.
+    pub role: ReplRole,
+    /// Generations this server trails its primary by (0 on a primary or
+    /// a caught-up replica).
+    pub replication_lag: u64,
 }
 
 impl HealthOk {
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(5);
+        let mut out = Vec::with_capacity(14);
         out.push(self.state.code());
         out.extend_from_slice(&self.retry_after_ms.to_le_bytes());
+        out.push(self.role.code());
+        out.extend_from_slice(&self.replication_lag.to_le_bytes());
         out
     }
 
-    /// Parses a payload; `None` unless it is exactly 5 bytes with a known
-    /// state byte.
+    /// Serialises for a peer speaking protocol `version`: v1 peers get
+    /// the original 5-byte layout (their decoders reject anything
+    /// longer), v2 peers the full 14 bytes.
+    pub fn encode_for(&self, version: u8) -> Vec<u8> {
+        let mut out = self.encode();
+        if version < 2 {
+            out.truncate(5);
+        }
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly 5 bytes (the
+    /// pre-replication layout) or exactly 14, with known state and role
+    /// bytes.
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        if payload.len() != 5 {
+        if payload.len() != 5 && payload.len() != 14 {
             return None;
         }
+        let (role, replication_lag) = if payload.len() == 14 {
+            (
+                ReplRole::from_code(payload[5])?,
+                u64::from_le_bytes(payload[6..14].try_into().ok()?),
+            )
+        } else {
+            (ReplRole::Primary, 0)
+        };
         Some(Self {
             state: HealthState::from_code(payload[0])?,
             retry_after_ms: u32::from_le_bytes(payload[1..5].try_into().ok()?),
+            role,
+            replication_lag,
         })
     }
 }
@@ -954,14 +1095,25 @@ pub struct StatsOk {
     pub overload_rejections: u64,
     /// Per-query execution latency histogram.
     pub latency: LatencyHistogram,
+    /// Generations this server trails its primary by (0 on a primary).
+    /// Rides in the v2 trailing extension (see [`StatsOk::encode_for`]).
+    pub replication_lag: u64,
+    /// The server's replication role (v2 trailing extension).
+    pub repl_role: ReplRole,
 }
 
 impl StatsOk {
     const ENCODED_LEN: usize = 7 * 4 + 8 * 8 + HISTOGRAM_BUCKETS * 8;
+    /// Size of the v2 trailing extension: `[u64 replication_lag]`
+    /// `[u8 role][7 reserved zero bytes]`. The reserved bytes keep the
+    /// extension 8-byte aligned and leave room for the next field without
+    /// another length change.
+    const REPL_EXT_LEN: usize = 16;
 
-    /// Serialises the payload.
+    /// Serialises the payload in the v1 layout (no replication
+    /// extension) — what a v1 peer must receive.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN + Self::REPL_EXT_LEN);
         for gauge in [
             self.live_workers,
             self.max_in_flight,
@@ -991,11 +1143,39 @@ impl StatsOk {
         out
     }
 
-    /// Parses a payload; `None` unless it is exactly the fixed size.
-    pub fn decode(payload: &[u8]) -> Option<Self> {
-        if payload.len() != Self::ENCODED_LEN {
-            return None;
+    /// Serialises the payload for a peer speaking `version`: v2 peers get
+    /// the trailing replication extension (which their decoders accept by
+    /// length), v1 peers get the exact layout they validate against.
+    pub fn encode_for(&self, version: u8) -> Vec<u8> {
+        let mut out = self.encode();
+        if version >= 2 {
+            out.extend_from_slice(&self.replication_lag.to_le_bytes());
+            out.push(self.repl_role.code());
+            out.extend_from_slice(&[0u8; 7]);
         }
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly the v1 fixed size or
+    /// that plus the 16-byte replication extension (whose reserved bytes
+    /// must be zero).
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let (replication_lag, repl_role) =
+            if payload.len() == Self::ENCODED_LEN + Self::REPL_EXT_LEN {
+                let ext = &payload[Self::ENCODED_LEN..];
+                if ext[9..].iter().any(|&b| b != 0) {
+                    return None;
+                }
+                (
+                    u64::from_le_bytes(ext[..8].try_into().ok()?),
+                    ReplRole::from_code(ext[8])?,
+                )
+            } else if payload.len() == Self::ENCODED_LEN {
+                (0, ReplRole::Primary)
+            } else {
+                return None;
+            };
+        let payload = &payload[..Self::ENCODED_LEN];
         let mut pos = 0usize;
         let mut next_u32 = || {
             let v = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap());
@@ -1043,6 +1223,212 @@ impl StatsOk {
             cache_evictions,
             overload_rejections,
             latency,
+            replication_lag,
+            repl_role,
+        })
+    }
+}
+
+/// Largest number of raw stream bytes one [`ReplBatch`] ships. Sized so
+/// the frame stays well under [`MAX_FRAME_LEN`]; a single WAL record can
+/// exceed one frame (a full-size update's record does), which is why the
+/// stream is shipped as raw byte ranges a replica reassembles rather than
+/// whole records.
+pub const REPL_CHUNK_BYTES: usize = 48 * 1024;
+
+/// [`op::REPL_SUBSCRIBE`] payload: the cursor a replica wants the WAL
+/// stream resumed from — `[u8 flags=0][u64 generation][u64 offset]` (LE),
+/// exactly 17 bytes. `generation` is the replica's current graph
+/// generation; `offset` is a byte-offset hint into the primary's log (the
+/// `next_offset` of the last [`ReplBatch`] it durably applied, 0 when
+/// unknown). The primary trusts the hint only after re-validating it and
+/// falls back to a full scan — or a checkpoint bootstrap when the cursor
+/// predates the log's base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplSubscribe {
+    /// The replica's current graph generation.
+    pub generation: u64,
+    /// Byte-offset hint into the primary's WAL (0 = unknown).
+    pub offset: u64,
+}
+
+impl ReplSubscribe {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17);
+        out.push(0);
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly 17 bytes with a zero
+    /// flags byte.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 17 || payload[0] != 0 {
+            return None;
+        }
+        Some(Self {
+            generation: u64::from_le_bytes(payload[1..9].try_into().ok()?),
+            offset: u64::from_le_bytes(payload[9..17].try_into().ok()?),
+        })
+    }
+}
+
+/// What one [`ReplBatch`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplPayload {
+    /// `bytes` is a raw slice of the primary's WAL record stream (not
+    /// necessarily record-aligned; empty = heartbeat). `next_offset` is
+    /// the primary's log offset after these bytes.
+    Records,
+    /// `bytes` is a chunk of the primary's checkpoint file (a cursor too
+    /// old for the log bootstraps from the full graph). `next_offset` is
+    /// the offset into that file after this chunk.
+    Checkpoint {
+        /// Whether this is the final chunk: the replica loads the file,
+        /// installs it at `ReplBatch::generation`, and resubscribes from
+        /// there.
+        done: bool,
+    },
+}
+
+/// [`op::REPL_BATCH`] payload: one shipment from primary to replica —
+/// `[u8 flags][u64 primary_generation][u64 generation][u64 next_offset]`
+/// `[u32 n][n bytes]` (LE), exactly `29 + n` bytes. Flag bit0 marks a
+/// checkpoint chunk, bit1 (only with bit0) marks the final one; no flags
+/// means raw WAL stream bytes, and an empty `bytes` is the heartbeat that
+/// keeps lag reporting fresh while the replica is caught up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplBatch {
+    /// What `bytes` is (see [`ReplPayload`]).
+    pub payload: ReplPayload,
+    /// The primary's current graph generation at send time — the replica
+    /// derives its lag from this.
+    pub primary_generation: u64,
+    /// For records: the stream horizon these bytes were shipped under.
+    /// For checkpoint chunks: the generation the finished file installs
+    /// at.
+    pub generation: u64,
+    /// The cursor after consuming `bytes` (log offset for records, file
+    /// offset for checkpoint chunks) — what the replica echoes back in
+    /// its next [`ReplAck`].
+    pub next_offset: u64,
+    /// The shipped bytes (≤ [`REPL_CHUNK_BYTES`]).
+    pub bytes: Vec<u8>,
+}
+
+impl ReplBatch {
+    const FLAG_CHECKPOINT: u8 = 1 << 0;
+    const FLAG_CHECKPOINT_DONE: u8 = 1 << 1;
+
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(29 + self.bytes.len());
+        let flags = match self.payload {
+            ReplPayload::Records => 0,
+            ReplPayload::Checkpoint { done: false } => Self::FLAG_CHECKPOINT,
+            ReplPayload::Checkpoint { done: true } => {
+                Self::FLAG_CHECKPOINT | Self::FLAG_CHECKPOINT_DONE
+            }
+        };
+        out.push(flags);
+        out.extend_from_slice(&self.primary_generation.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.next_offset.to_le_bytes());
+        out.extend_from_slice(&(self.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Parses a payload; `None` on truncation, trailing bytes, unknown
+    /// flag bits, or a done flag without the checkpoint flag.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() < 29 {
+            return None;
+        }
+        let flags = payload[0];
+        if flags & !(Self::FLAG_CHECKPOINT | Self::FLAG_CHECKPOINT_DONE) != 0 {
+            return None;
+        }
+        let batch_payload = match (
+            flags & Self::FLAG_CHECKPOINT != 0,
+            flags & Self::FLAG_CHECKPOINT_DONE != 0,
+        ) {
+            (false, false) => ReplPayload::Records,
+            (true, done) => ReplPayload::Checkpoint { done },
+            (false, true) => return None, // done promises a checkpoint
+        };
+        let n = u32::from_le_bytes(payload[25..29].try_into().ok()?) as usize;
+        if payload.len() != 29usize.checked_add(n)? {
+            return None;
+        }
+        Some(Self {
+            payload: batch_payload,
+            primary_generation: u64::from_le_bytes(payload[1..9].try_into().ok()?),
+            generation: u64::from_le_bytes(payload[9..17].try_into().ok()?),
+            next_offset: u64::from_le_bytes(payload[17..25].try_into().ok()?),
+            bytes: payload[29..].to_vec(),
+        })
+    }
+}
+
+/// [`op::REPL_ACK`] payload: the replica's durable cursor after applying
+/// a [`ReplBatch`] — `[u64 generation][u64 offset]` (LE), exactly 16
+/// bytes. The primary computes subscriber lag from `generation` and
+/// resumes shipping from `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplAck {
+    /// The replica's graph generation after applying the batch.
+    pub generation: u64,
+    /// The cursor the replica expects the next shipment from (echoed
+    /// `next_offset`).
+    pub offset: u64,
+}
+
+impl ReplAck {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out
+    }
+
+    /// Parses a payload; `None` unless it is exactly 16 bytes.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            generation: u64::from_le_bytes(payload[..8].try_into().ok()?),
+            offset: u64::from_le_bytes(payload[8..].try_into().ok()?),
+        })
+    }
+}
+
+/// [`op::PROMOTE_OK`] payload: `[u64 generation]` (LE), exactly 8 bytes —
+/// the generation the newly promoted (or already-) primary serves writes
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PromoteOk {
+    /// The promoted server's current graph generation.
+    pub generation: u64,
+}
+
+impl PromoteOk {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        self.generation.to_le_bytes().to_vec()
+    }
+
+    /// Parses a payload; `None` unless it is exactly 8 bytes.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 8 {
+            return None;
+        }
+        Some(Self {
+            generation: u64::from_le_bytes(payload.try_into().ok()?),
         })
     }
 }
@@ -1202,6 +1588,7 @@ mod tests {
             hub_bitsets: false,
             deadline_ms: 1234,
             request_id: 0,
+            min_generation: 0,
             pattern: vec![3, 0b110, 0b101, 0b011],
         };
         assert_eq!(CountRequest::decode(&req.encode()).unwrap(), req);
@@ -1275,6 +1662,8 @@ mod tests {
         let health = HealthOk {
             state: HealthState::Overloaded,
             retry_after_ms: 75,
+            role: ReplRole::Primary,
+            replication_lag: 0,
         };
         assert_eq!(HealthOk::decode(&health.encode()).unwrap(), health);
         assert!(
@@ -1388,6 +1777,110 @@ mod tests {
         for byte in 0u8..=255 {
             assert_eq!(ErrorCode::from_code(byte).code(), byte);
         }
+    }
+
+    #[test]
+    fn replication_codecs_round_trip() {
+        let sub = ReplSubscribe {
+            generation: 42,
+            offset: 8_192,
+        };
+        assert_eq!(sub.encode().len(), 17);
+        assert_eq!(ReplSubscribe::decode(&sub.encode()), Some(sub));
+        // Exactly 17 bytes with a zero flags byte, nothing else.
+        assert!(ReplSubscribe::decode(&sub.encode()[..16]).is_none());
+        let mut bad_flags = sub.encode();
+        bad_flags[0] = 1;
+        assert!(ReplSubscribe::decode(&bad_flags).is_none());
+
+        for payload in [
+            ReplPayload::Records,
+            ReplPayload::Checkpoint { done: false },
+            ReplPayload::Checkpoint { done: true },
+        ] {
+            for bytes in [vec![], vec![0xAB; 100]] {
+                let batch = ReplBatch {
+                    payload,
+                    primary_generation: 7,
+                    generation: 5,
+                    next_offset: 1_234,
+                    bytes,
+                };
+                let encoded = batch.encode();
+                assert_eq!(encoded.len(), 29 + batch.bytes.len());
+                assert_eq!(ReplBatch::decode(&encoded), Some(batch));
+            }
+        }
+        let batch = ReplBatch {
+            payload: ReplPayload::Records,
+            primary_generation: 1,
+            generation: 1,
+            next_offset: 64,
+            bytes: vec![1, 2, 3],
+        };
+        let encoded = batch.encode();
+        // Truncation, trailing garbage, done-without-checkpoint and
+        // unknown flag bits are all refused.
+        assert!(ReplBatch::decode(&encoded[..encoded.len() - 1]).is_none());
+        let mut trailing = encoded.clone();
+        trailing.push(0);
+        assert!(ReplBatch::decode(&trailing).is_none());
+        let mut done_only = encoded.clone();
+        done_only[0] = 1 << 1;
+        assert!(ReplBatch::decode(&done_only).is_none());
+        let mut unknown = encoded;
+        unknown[0] = 1 << 4;
+        assert!(ReplBatch::decode(&unknown).is_none());
+
+        let ack = ReplAck {
+            generation: 9,
+            offset: 77,
+        };
+        assert_eq!(ack.encode().len(), 16);
+        assert_eq!(ReplAck::decode(&ack.encode()), Some(ack));
+        assert!(ReplAck::decode(&ack.encode()[..15]).is_none());
+
+        let ok = PromoteOk { generation: 11 };
+        assert_eq!(ok.encode().len(), 8);
+        assert_eq!(PromoteOk::decode(&ok.encode()), Some(ok));
+        assert!(PromoteOk::decode(&[0; 7]).is_none());
+    }
+
+    #[test]
+    fn health_and_stats_encode_per_version() {
+        // A v2 health reply carries role + lag; encode_for(v1) truncates
+        // to the 5 bytes a v1 decoder insists on.
+        let health = HealthOk {
+            state: HealthState::Ready,
+            retry_after_ms: 0,
+            role: ReplRole::Replica,
+            replication_lag: 3,
+        };
+        assert_eq!(health.encode_for(MIN_VERSION).len(), 5);
+        assert_eq!(health.encode_for(VERSION).len(), 14);
+        let decoded = HealthOk::decode(&health.encode_for(VERSION)).unwrap();
+        assert_eq!(decoded, health);
+        let v1 = HealthOk::decode(&health.encode_for(MIN_VERSION)).unwrap();
+        assert_eq!(v1.state, HealthState::Ready);
+        // The 5-byte form decodes with the defaults a v1 server implies.
+        assert_eq!(v1.role, ReplRole::Primary);
+        assert_eq!(v1.replication_lag, 0);
+
+        let stats = StatsOk {
+            replication_lag: 4,
+            repl_role: ReplRole::Replica,
+            ..StatsOk::default()
+        };
+        let v2 = stats.encode_for(VERSION);
+        let v1 = stats.encode_for(MIN_VERSION);
+        assert_eq!(v2.len(), v1.len() + 16);
+        let decoded = StatsOk::decode(&v2).unwrap();
+        assert_eq!(decoded.replication_lag, 4);
+        assert_eq!(decoded.repl_role, ReplRole::Replica);
+        // A v1 payload decodes with the reserved-field defaults.
+        let decoded = StatsOk::decode(&v1).unwrap();
+        assert_eq!(decoded.replication_lag, 0);
+        assert_eq!(decoded.repl_role, ReplRole::Primary);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The replica side of WAL-shipping replication: a reconnecting apply
+//! loop that subscribes to a primary, reassembles the shipped byte
+//! stream into checksummed WAL records, and commits them through its own
+//! [`DynamicEngine`] — so a durable replica re-logs everything it
+//! applies and is itself crash-safe.
+//!
+//! The loop is deliberately dumb about transport failures: any torn
+//! frame, dropped connection, or unexpected opcode throws away the
+//! partial parser state and resubscribes from the replica's own applied
+//! generation. The primary's cursor resolution (and, end to end, the
+//! per-record checksums) make that safe: records already applied are
+//! skipped by generation, records not yet applied are re-shipped, and a
+//! cursor that fell behind the primary's checkpoint horizon triggers a
+//! full checkpoint bootstrap instead of a gap.
+//!
+//! Promotion ([`ReplState::request_promote`], via `graphpi-cli promote`
+//! or `SIGUSR1`) is observed between frames: the loop seals the stream
+//! (drops the subscription), flips the shared role through
+//! `Promoting` to `Primary`, and returns. From that moment the serving
+//! loop accepts `UPDATE`s and answers `REPL_SUBSCRIBE` itself.
+
+use super::protocol::{
+    op, Frame, NetError, ReplAck, ReplBatch, ReplPayload, ReplRole, ReplSubscribe, TcpTransport,
+    Transport, WireError,
+};
+use super::server::ReplState;
+use crate::dynamic::DynamicEngine;
+use graphpi_graph::delta::DeltaError;
+use graphpi_graph::io;
+use graphpi_graph::wal::{DurableError, RecordStreamParser, WalRecord};
+use std::net::ToSocketAddrs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How long the loop sleeps before redialing a dead primary.
+const RECONNECT_PAUSE: Duration = Duration::from_millis(200);
+
+/// Receive poll granularity: how often stop/promote flags are observed
+/// while the stream is quiet.
+const RECV_POLL: Duration = Duration::from_millis(100);
+
+/// What one [`run_replication`] call did before it returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaReport {
+    /// Replicated batches committed through the local engine.
+    pub batches_applied: u64,
+    /// Checkpoint bootstraps installed.
+    pub checkpoints_installed: u64,
+    /// Times the subscription was (re)dialed after the first.
+    pub reconnects: u64,
+    /// Whether the loop exited by promotion (false = the stop flag).
+    pub promoted: bool,
+}
+
+/// What the inner streaming loop asks the outer loop to do next.
+enum StreamExit {
+    /// Reconnect and resubscribe (transport died, stream error, gap).
+    Resubscribe,
+    /// Stop or promotion was requested; unwind.
+    Done,
+}
+
+/// Follows `primary_addr` until `stop` is set or a promotion is
+/// requested, applying the replicated stream through `engine` and
+/// reporting progress via `repl` (the same [`ReplState`] the serving
+/// loop reads for `HEALTH`/`STATS` and `NOT_PRIMARY` answers).
+///
+/// Returns the final tally; on promotion the shared role is `Primary`
+/// when this returns, and the caller's serving loop needs no restart —
+/// role checks happen per request.
+pub fn run_replication(
+    primary_addr: impl ToSocketAddrs + Clone,
+    engine: &DynamicEngine,
+    repl: &ReplState,
+    stop: &AtomicBool,
+) -> ReplicaReport {
+    let mut report = ReplicaReport::default();
+    let mut first = true;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return report;
+        }
+        if repl.promote_requested() {
+            promote(repl, &mut report);
+            return report;
+        }
+        if !first {
+            std::thread::sleep(RECONNECT_PAUSE);
+            if stop.load(Ordering::Acquire) {
+                return report;
+            }
+            report.reconnects += 1;
+        }
+        first = false;
+        let mut transport = match TcpTransport::connect(primary_addr.clone()) {
+            Ok(transport) => transport,
+            Err(_) => continue,
+        };
+        if transport.set_recv_timeout(Some(RECV_POLL)).is_err() {
+            continue;
+        }
+        let subscribe = ReplSubscribe {
+            generation: engine.generation(),
+            offset: 0,
+        };
+        if transport
+            .send(&Frame::new(op::REPL_SUBSCRIBE, subscribe.encode()))
+            .is_err()
+        {
+            continue;
+        }
+        match stream(&mut transport, engine, repl, stop, &mut report) {
+            StreamExit::Resubscribe => continue,
+            StreamExit::Done => {
+                if repl.promote_requested() {
+                    // Seal first (the connection is dropped with the
+                    // transport), then flip the role.
+                    drop(transport);
+                    promote(repl, &mut report);
+                }
+                return report;
+            }
+        }
+    }
+}
+
+/// Replica → Promoting → Primary. Continuity needs no extra check here:
+/// every replicated batch was committed via
+/// [`DynamicEngine::apply_replicated`], which refuses generation gaps,
+/// so the local generation *is* the last contiguously applied one.
+fn promote(repl: &ReplState, report: &mut ReplicaReport) {
+    repl.set_role(ReplRole::Promoting);
+    repl.set_role(ReplRole::Primary);
+    report.promoted = true;
+}
+
+/// Consumes one subscription until it ends. `REPL_BATCH` frames strictly
+/// alternate with our `REPL_ACK`s; the ack always reports the engine's
+/// own applied generation, which is what the primary uses both for lag
+/// accounting and for cursor recovery after a WAL reset.
+fn stream(
+    transport: &mut TcpTransport,
+    engine: &DynamicEngine,
+    repl: &ReplState,
+    stop: &AtomicBool,
+    report: &mut ReplicaReport,
+) -> StreamExit {
+    let mut parser = RecordStreamParser::default();
+    // Checkpoint bootstrap staging: the file bytes received so far.
+    let mut staging: Option<Vec<u8>> = None;
+    loop {
+        if stop.load(Ordering::Acquire) || repl.promote_requested() {
+            return StreamExit::Done;
+        }
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(NetError::Idle) => continue,
+            Err(_) => return StreamExit::Resubscribe,
+        };
+        if frame.opcode == op::ERROR {
+            // Typed refusals (draining primary, NOT_PRIMARY from a peer
+            // that is itself a replica, admission trouble) all resolve
+            // the same way from here: back off and resubscribe.
+            let _ = WireError::decode(&frame.payload);
+            return StreamExit::Resubscribe;
+        }
+        if frame.opcode != op::REPL_BATCH {
+            return StreamExit::Resubscribe;
+        }
+        let Some(batch) = ReplBatch::decode(&frame.payload) else {
+            return StreamExit::Resubscribe;
+        };
+        repl.note_primary_generation(batch.primary_generation);
+        match batch.payload {
+            ReplPayload::Records => {
+                staging = None;
+                parser.push(&batch.bytes);
+                loop {
+                    match parser.next_record() {
+                        Ok(Some((WalRecord::Batch { generation, batch }, _))) => {
+                            // Overlap after a resubscribe: already applied.
+                            if generation <= engine.generation() {
+                                continue;
+                            }
+                            match engine.apply_replicated(generation, &batch) {
+                                Ok(_) => report.batches_applied += 1,
+                                // A gap means this cursor skipped records
+                                // (e.g. the primary reset under us);
+                                // resubscribing re-resolves it safely.
+                                Err(DurableError::Delta(DeltaError::GenerationGap { .. })) => {
+                                    return StreamExit::Resubscribe
+                                }
+                                Err(_) => return StreamExit::Resubscribe,
+                            }
+                        }
+                        // Checkpoint markers delimit the shipped log's
+                        // base; the graph state arrives via the
+                        // Checkpoint payload path, not here.
+                        Ok(Some((WalRecord::Checkpoint { .. }, _))) => continue,
+                        Ok(None) => break,
+                        // Checksummed stream corruption: start over.
+                        Err(_) => {
+                            parser.clear();
+                            return StreamExit::Resubscribe;
+                        }
+                    }
+                }
+                if send_ack(transport, engine, batch.next_offset).is_err() {
+                    return StreamExit::Resubscribe;
+                }
+            }
+            ReplPayload::Checkpoint { done } => {
+                parser.clear();
+                let start = batch.next_offset.saturating_sub(batch.bytes.len() as u64);
+                // The primary restarts a bootstrap from offset zero when
+                // a newer checkpoint lands mid-stream.
+                if start == 0 && !done {
+                    staging = Some(Vec::new());
+                }
+                let Some(buffer) = staging.as_mut() else {
+                    return StreamExit::Resubscribe;
+                };
+                if buffer.len() as u64 != start {
+                    return StreamExit::Resubscribe;
+                }
+                buffer.extend_from_slice(&batch.bytes);
+                if done {
+                    let bytes = staging.take().expect("staging checked above");
+                    if install_bootstrap(engine, &bytes, batch.generation).is_err() {
+                        return StreamExit::Resubscribe;
+                    }
+                    report.checkpoints_installed += 1;
+                }
+                if send_ack(transport, engine, batch.next_offset).is_err() {
+                    return StreamExit::Resubscribe;
+                }
+            }
+        }
+    }
+}
+
+/// Acks the batch ending at `offset` with the engine's applied
+/// generation.
+fn send_ack(
+    transport: &mut TcpTransport,
+    engine: &DynamicEngine,
+    offset: u64,
+) -> Result<(), NetError> {
+    let ack = ReplAck {
+        generation: engine.generation(),
+        offset,
+    };
+    transport.send(&Frame::new(op::REPL_ACK, ack.encode()))
+}
+
+/// Parses and installs a completed checkpoint bootstrap. The bytes are
+/// staged to a sibling file of the replica's WAL (falling back to the
+/// system temp dir for volatile replicas) because the graph codec reads
+/// from paths; the staging file is removed either way.
+fn install_bootstrap(
+    engine: &DynamicEngine,
+    bytes: &[u8],
+    generation: u64,
+) -> Result<(), NetError> {
+    let staging_path: PathBuf = engine
+        .wal_path()
+        .map(|path| {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(".bootstrap");
+            PathBuf::from(name)
+        })
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("graphpi-bootstrap-{}", std::process::id()))
+        });
+    let result = (|| {
+        std::fs::write(&staging_path, bytes).map_err(NetError::Io)?;
+        let base = io::load_binary(&staging_path)
+            .map_err(|_| NetError::Protocol("bootstrap bytes are not a valid graph"))?;
+        engine
+            .install_checkpoint(base, generation)
+            .map_err(|_| NetError::Protocol("bootstrap install failed"))?;
+        Ok(())
+    })();
+    let _ = std::fs::remove_file(&staging_path);
+    result
+}

@@ -42,17 +42,18 @@ use crate::engine::{
 use crate::exec::pool::WorkerPool;
 use crate::net::protocol::{
     op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, HealthState, LatencyHistogram, NetError,
-    StatsOk, TcpTransport, Transport, UpdateOk, UpdateRequest, HISTOGRAM_BUCKETS,
+    PromoteOk, ReplAck, ReplBatch, ReplPayload, ReplRole, ReplSubscribe, StatsOk, TcpTransport,
+    Transport, UpdateOk, UpdateRequest, HISTOGRAM_BUCKETS, REPL_CHUNK_BYTES,
 };
 use crate::persist;
 use graphpi_graph::delta::{DeltaError, EdgeBatch};
-use graphpi_graph::wal::DurableError;
+use graphpi_graph::wal::{DurableError, ShipPoint, WalReader};
 use graphpi_pattern::Pattern;
 use std::collections::{HashMap, VecDeque};
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -70,6 +71,20 @@ const LEDGER_CAPACITY: usize = 1024;
 
 /// Retry-after hint when the latency histogram is still empty.
 const DEFAULT_RETRY_HINT_MS: u32 = 50;
+
+/// How long a `COUNT` carrying a generation floor waits for replication
+/// to catch up before answering `RETRY_LATER`.
+const MIN_GENERATION_WAIT: Duration = Duration::from_millis(250);
+
+/// Poll granularity while waiting out a generation floor.
+const MIN_GENERATION_POLL: Duration = Duration::from_millis(5);
+
+/// How long a caught-up replication stream naps between heartbeats.
+const REPL_HEARTBEAT_PAUSE: Duration = Duration::from_millis(25);
+
+/// How long a `PROMOTE` request waits for the replica's apply loop to
+/// seal the stream and flip the role before reporting failure.
+const PROMOTE_WAIT: Duration = Duration::from_secs(5);
 
 /// Server counters, shared between the accept loop, the connection
 /// handlers, and `STATS` replies. Plain relaxed atomics: these are
@@ -98,6 +113,118 @@ impl Metrics {
             *bucket = counter.load(Ordering::Relaxed);
         }
         hist
+    }
+}
+
+/// Shared replication role and telemetry for one serving process:
+/// written by the serve loop (primary side), the replica apply loop
+/// ([`crate::net::replica`]), and signal handlers; read by every
+/// connection handler. Atomics and one tiny mutex — nothing here blocks
+/// the request path.
+pub struct ReplState {
+    role: AtomicU8,
+    /// On a replica: the primary's generation as of the last
+    /// `REPL_BATCH` heard (the minuend of the lag gauge).
+    primary_generation: AtomicU64,
+    /// On a replica: where writes should go, handed to clients inside
+    /// `NOT_PRIMARY` errors. Empty when unknown.
+    primary_addr: Mutex<String>,
+    promote_requested: AtomicBool,
+    subscribers: AtomicUsize,
+    /// Primary side: the freshest subscriber lag observed at an ack.
+    subscriber_lag: AtomicU64,
+    batches_shipped: AtomicU64,
+}
+
+impl ReplState {
+    /// A read-write primary (also the default for servers that never
+    /// heard of replication).
+    pub fn primary() -> Arc<ReplState> {
+        Arc::new(ReplState {
+            role: AtomicU8::new(ReplRole::Primary.code()),
+            primary_generation: AtomicU64::new(0),
+            primary_addr: Mutex::new(String::new()),
+            promote_requested: AtomicBool::new(false),
+            subscribers: AtomicUsize::new(0),
+            subscriber_lag: AtomicU64::new(0),
+            batches_shipped: AtomicU64::new(0),
+        })
+    }
+
+    /// A read replica following the primary at `primary_addr`.
+    pub fn replica(primary_addr: &str) -> Arc<ReplState> {
+        let state = Self::primary();
+        state.set_role(ReplRole::Replica);
+        *state
+            .primary_addr
+            .lock()
+            .expect("replication state poisoned") = primary_addr.to_string();
+        state
+    }
+
+    /// The current role.
+    pub fn role(&self) -> ReplRole {
+        ReplRole::from_code(self.role.load(Ordering::Acquire)).unwrap_or(ReplRole::Primary)
+    }
+
+    /// Flips the role (the replica apply loop moves Replica → Promoting
+    /// → Primary; nothing ever demotes a primary in-process).
+    pub fn set_role(&self, role: ReplRole) {
+        self.role.store(role.code(), Ordering::Release);
+    }
+
+    /// Where writes should go when this node is not the primary (empty
+    /// when unknown).
+    pub fn primary_addr(&self) -> String {
+        self.primary_addr
+            .lock()
+            .expect("replication state poisoned")
+            .clone()
+    }
+
+    /// Asks the replica's apply loop to seal the stream and flip this
+    /// node to primary (`graphpi-cli promote` and `SIGUSR1` both land
+    /// here). Harmless on a primary.
+    pub fn request_promote(&self) {
+        self.promote_requested.store(true, Ordering::Release);
+    }
+
+    /// Whether a promotion has been requested and not yet completed.
+    pub fn promote_requested(&self) -> bool {
+        self.promote_requested.load(Ordering::Acquire)
+    }
+
+    /// Records the primary's generation heard in a `REPL_BATCH`.
+    pub fn note_primary_generation(&self, generation: u64) {
+        self.primary_generation.store(generation, Ordering::Release);
+    }
+
+    fn note_shipment(&self, lag: u64) {
+        self.subscriber_lag.store(lag, Ordering::Relaxed);
+        self.batches_shipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connected replication subscribers (primary side).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.load(Ordering::Relaxed)
+    }
+
+    /// `REPL_BATCH` frames shipped over this process's lifetime.
+    pub fn batches_shipped(&self) -> u64 {
+        self.batches_shipped.load(Ordering::Relaxed)
+    }
+
+    /// The lag gauge served in `HEALTH`/`STATS`: on a primary, the
+    /// freshest subscriber lag; on a replica, how many generations the
+    /// primary is known to be ahead of `local_generation`.
+    pub fn replication_lag(&self, local_generation: u64) -> u64 {
+        match self.role() {
+            ReplRole::Primary => self.subscriber_lag.load(Ordering::Relaxed),
+            _ => self
+                .primary_generation
+                .load(Ordering::Acquire)
+                .saturating_sub(local_generation),
+        }
     }
 }
 
@@ -352,6 +479,14 @@ impl ServeBackend<'_> {
         }
     }
 
+    /// The serving generation (0 for a static, immutable graph).
+    fn generation(&self) -> u64 {
+        match self {
+            ServeBackend::Static(_) => 0,
+            ServeBackend::Dynamic { engine, .. } => engine.generation(),
+        }
+    }
+
     fn pool(&self) -> &WorkerPool {
         match self {
             ServeBackend::Static(session) => session.pool(),
@@ -527,22 +662,38 @@ impl Server {
             PlanOptions::default(),
             CountOptions::default(),
         );
-        self.serve_backend(ServeBackend::Static(session))
+        self.serve_backend(ServeBackend::Static(session), ReplState::primary())
     }
 
     /// Serves a [`DynamicEngine`] until drained: counts pin the current
     /// generation per query, and the v2 `UPDATE` opcode commits edge
     /// batches (durably, when the engine was opened with a WAL).
     pub fn serve_dynamic(self, engine: &DynamicEngine) -> Result<ServerReport, NetError> {
+        self.serve_dynamic_with_repl(engine, ReplState::primary())
+    }
+
+    /// Serves a [`DynamicEngine`] with an explicit replication role: the
+    /// primary side answers `REPL_SUBSCRIBE` with WAL fan-out, and a
+    /// replica whose apply loop shares `repl` refuses `UPDATE` with
+    /// `NOT_PRIMARY` until promotion flips the role.
+    pub fn serve_dynamic_with_repl(
+        self,
+        engine: &DynamicEngine,
+        repl: Arc<ReplState>,
+    ) -> Result<ServerReport, NetError> {
         let backend = ServeBackend::Dynamic {
             engine,
             pool: Arc::clone(&self.pool),
             cache: Arc::clone(&self.cache),
         };
-        self.serve_backend(backend)
+        self.serve_backend(backend, repl)
     }
 
-    fn serve_backend(self, backend: ServeBackend<'_>) -> Result<ServerReport, NetError> {
+    fn serve_backend(
+        self,
+        backend: ServeBackend<'_>,
+        repl: Arc<ReplState>,
+    ) -> Result<ServerReport, NetError> {
         let Server {
             listener,
             pool,
@@ -596,6 +747,27 @@ impl Server {
                     }
                 });
             }
+            // Background maintenance: WAL checkpointing and overlay
+            // compaction run here, off the committing thread, so a large
+            // checkpoint stalls neither commits (the commit lock is held
+            // only for the final swap) nor queries.
+            if let (Some(interval), Some(engine)) = (options.checkpoint_interval, backend.dynamic())
+            {
+                let draining = &draining;
+                scope.spawn(move || {
+                    let mut last = Instant::now();
+                    while !draining.load(Ordering::Acquire) {
+                        std::thread::sleep(SNAPSHOT_POLL);
+                        if last.elapsed() >= interval {
+                            if engine.is_durable() {
+                                let _ = engine.checkpoint();
+                            }
+                            engine.compact();
+                            last = Instant::now();
+                        }
+                    }
+                });
+            }
             // The accept loop owns the listener; dropping it on drain is
             // what makes "rejects new connections" an OS-level refusal
             // rather than an unanswered socket.
@@ -624,6 +796,7 @@ impl Server {
                         let admission = &admission;
                         let ledger = &ledger;
                         let draining = &draining;
+                        let repl = &repl;
                         let read_timeout = options.read_timeout;
                         scope.spawn(move || {
                             handle_connection(
@@ -633,6 +806,7 @@ impl Server {
                                 admission,
                                 ledger,
                                 draining,
+                                repl,
                                 read_timeout,
                             );
                             metrics.active_connections.fetch_sub(1, Ordering::Relaxed);
@@ -670,6 +844,7 @@ impl Server {
 /// version byte, so a v1 client talks v1 end to end (and never sees
 /// v2-only payload extensions like retry-after hints) while a v2 client
 /// on the same server gets the full protocol.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     backend: &ServeBackend<'_>,
@@ -677,6 +852,7 @@ fn handle_connection(
     admission: &Admission,
     ledger: &RequestLedger,
     draining: &AtomicBool,
+    repl: &ReplState,
     read_timeout: Duration,
 ) {
     // The read timeout is the handler's poll granularity: an idle wait
@@ -721,11 +897,11 @@ fn handle_connection(
                 .send(&Frame::with_version(peer, op::PONG, frame.payload))
                 .is_ok(),
             op::STATS => {
-                let reply = stats_frame(peer, backend, metrics, admission);
+                let reply = stats_frame(peer, backend, metrics, admission, repl);
                 transport.send(&reply).is_ok()
             }
             op::HEALTH => {
-                let reply = health_frame(peer, metrics, admission, draining);
+                let reply = health_frame(peer, backend, metrics, admission, draining, repl);
                 transport.send(&reply).is_ok()
             }
             op::COUNT => handle_count(
@@ -748,7 +924,26 @@ fn handle_connection(
                 metrics,
                 admission,
                 ledger,
+                repl,
             ),
+            // Subscribing hands the whole connection over to the
+            // replication stream; it never returns to request/response
+            // framing, so the handler closes it when shipping ends.
+            op::REPL_SUBSCRIBE if peer >= 2 => {
+                handle_replication(
+                    &mut transport,
+                    peer,
+                    &frame.payload,
+                    backend,
+                    repl,
+                    metrics,
+                    draining,
+                );
+                false
+            }
+            op::PROMOTE if peer >= 2 => {
+                handle_promote(&mut transport, peer, &frame.payload, backend, repl, metrics)
+            }
             op::SHUTDOWN => {
                 draining.store(true, Ordering::Release);
                 let _ = transport.send(&Frame::with_version(peer, op::SHUTDOWN_OK, vec![]));
@@ -851,6 +1046,45 @@ fn handle_count(
     let deadline = (request.deadline_ms > 0)
         .then(|| Instant::now() + Duration::from_millis(u64::from(request.deadline_ms)));
 
+    // Read-your-writes: a v2 client may set a generation floor. Small
+    // replication lag is absorbed by waiting briefly (before admission,
+    // so the wait burns no pool slot); past the wait budget the client
+    // is told RETRY_LATER — retrying another replica beats pinning a
+    // handler thread here.
+    if request.min_generation > 0 {
+        let Some(engine) = backend.dynamic() else {
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::BadPayload,
+                    "a generation floor needs a dynamic server; this graph is immutable",
+                    None,
+                ))
+                .is_ok();
+        };
+        let wait_until = {
+            let cap = Instant::now() + MIN_GENERATION_WAIT;
+            deadline.map_or(cap, |d| d.min(cap))
+        };
+        while engine.generation() < request.min_generation {
+            if Instant::now() >= wait_until {
+                let current = engine.generation();
+                return transport
+                    .send(&error_frame(
+                        peer,
+                        ErrorCode::RetryLater,
+                        &format!(
+                            "graph is at generation {current}, below the requested floor {}",
+                            request.min_generation
+                        ),
+                        Some(MIN_GENERATION_WAIT.as_millis() as u32),
+                    ))
+                    .is_ok();
+            }
+            std::thread::sleep(MIN_GENERATION_POLL);
+        }
+    }
+
     // Queue for admission. On expiry the query is cancelled having
     // consumed no pool slot and no worker time; a full wait queue sheds
     // the query immediately with a typed RETRY_LATER and a hint.
@@ -951,7 +1185,21 @@ fn handle_update(
     metrics: &Metrics,
     admission: &Admission,
     ledger: &RequestLedger,
+    repl: &ReplState,
 ) -> bool {
+    // A replica never commits client batches locally — the message field
+    // carries the primary's address (possibly empty) so a
+    // failover-aware client can re-route the write.
+    if repl.role() != ReplRole::Primary {
+        return transport
+            .send(&error_frame(
+                peer,
+                ErrorCode::NotPrimary,
+                &repl.primary_addr(),
+                None,
+            ))
+            .is_ok();
+    }
     let Some(engine) = backend.dynamic() else {
         return transport
             .send(&error_frame(
@@ -1071,12 +1319,398 @@ fn handle_update(
     transport.send(&reply).is_ok()
 }
 
+/// Dispatches a `REPL_SUBSCRIBE`: validates the subscription, then hands
+/// the connection over to [`serve_replication`].
+fn handle_replication(
+    transport: &mut TcpTransport,
+    peer: u8,
+    payload: &[u8],
+    backend: &ServeBackend<'_>,
+    repl: &ReplState,
+    metrics: &Metrics,
+    draining: &AtomicBool,
+) {
+    let Some(sub) = ReplSubscribe::decode(payload) else {
+        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let _ = transport.send(&error_frame(
+            peer,
+            ErrorCode::BadPayload,
+            "subscribe payload must be [flags u8][generation u64][offset u64]",
+            None,
+        ));
+        return;
+    };
+    let Some(engine) = backend.dynamic().filter(|engine| engine.is_durable()) else {
+        let _ = transport.send(&error_frame(
+            peer,
+            ErrorCode::ReadOnly,
+            "replication requires a durable (--wal) primary",
+            None,
+        ));
+        return;
+    };
+    if repl.role() != ReplRole::Primary {
+        let _ = transport.send(&error_frame(
+            peer,
+            ErrorCode::NotPrimary,
+            &repl.primary_addr(),
+            None,
+        ));
+        return;
+    }
+    repl.subscribers.fetch_add(1, Ordering::Relaxed);
+    let _ = serve_replication(transport, peer, sub, engine, repl, draining);
+    repl.subscribers.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Ships the primary's WAL to one subscribed replica until the peer goes
+/// away, the server drains, or this node stops being the primary.
+///
+/// The shipped unit is a **byte range of the log**, not a decoded
+/// record: the replica reassembles record frames with
+/// [`graphpi_graph::wal::RecordStreamParser`], so a chunk boundary mid-
+/// record lands exactly like a torn local WAL tail and the end-to-end
+/// checksums are the original on-disk ones. Strict alternation
+/// (`REPL_BATCH` → `REPL_ACK`) keeps the stream self-pacing; an empty
+/// Records batch is the caught-up heartbeat.
+///
+/// Checkpoints reset the log in place, invalidating every raw offset.
+/// The WAL epoch (bumped on every reset) makes that visible: each read
+/// brackets the epoch, and a change discards the bytes and re-resolves
+/// the cursor from the replica's last acknowledged generation — bytes
+/// from one epoch are never shipped under another epoch's offsets.
+fn serve_replication(
+    transport: &mut TcpTransport,
+    peer: u8,
+    sub: ReplSubscribe,
+    engine: &DynamicEngine,
+    repl: &ReplState,
+    draining: &AtomicBool,
+) -> Result<(), NetError> {
+    let wal_path = engine.wal_path().expect("durable engine has a WAL path");
+    let mut cursor_gen = sub.generation;
+    let mut offset_hint = sub.offset;
+    'resolve: loop {
+        if draining.load(Ordering::Acquire) {
+            return transport.send(&error_frame(
+                peer,
+                ErrorCode::ShuttingDown,
+                "server is draining; resubscribe later",
+                None,
+            ));
+        }
+        if repl.role() != ReplRole::Primary {
+            return transport.send(&error_frame(
+                peer,
+                ErrorCode::NotPrimary,
+                &repl.primary_addr(),
+                None,
+            ));
+        }
+        let epoch = engine.wal_epoch().unwrap_or(0);
+        let mut reader = match WalReader::open(&wal_path) {
+            Ok(reader) => reader,
+            Err(error) => {
+                if engine.wal_epoch() != Some(epoch) {
+                    continue 'resolve;
+                }
+                return transport.send(&error_frame(
+                    peer,
+                    ErrorCode::Internal,
+                    &format!("primary log unreadable: {error}"),
+                    None,
+                ));
+            }
+        };
+        let point = match reader.resolve_cursor(cursor_gen, offset_hint) {
+            Ok(point) => point,
+            Err(error) => {
+                // A reset mid-scan leaves the file momentarily at odds
+                // with the cursor; retry against the new epoch instead
+                // of failing the subscriber.
+                if engine.wal_epoch() != Some(epoch) {
+                    continue 'resolve;
+                }
+                return transport.send(&error_frame(
+                    peer,
+                    ErrorCode::Internal,
+                    &format!("primary log unreadable: {error}"),
+                    None,
+                ));
+            }
+        };
+        if engine.wal_epoch() != Some(epoch) {
+            continue 'resolve;
+        }
+        match point {
+            ShipPoint::NeedsCheckpoint => {
+                match ship_checkpoint(transport, peer, engine, draining)? {
+                    Some(generation) => {
+                        // Bootstrap complete: record shipping resumes at
+                        // the top of the reset log.
+                        cursor_gen = generation;
+                        offset_hint = 0;
+                        continue 'resolve;
+                    }
+                    // A newer checkpoint landed mid-stream; restart the
+                    // bootstrap (the replica resets its staging file on
+                    // the chunk whose start offset is zero).
+                    None => continue 'resolve,
+                }
+            }
+            ShipPoint::Records { mut offset } => loop {
+                if draining.load(Ordering::Acquire) {
+                    return transport.send(&error_frame(
+                        peer,
+                        ErrorCode::ShuttingDown,
+                        "server is draining; resubscribe later",
+                        None,
+                    ));
+                }
+                if repl.role() != ReplRole::Primary {
+                    return transport.send(&error_frame(
+                        peer,
+                        ErrorCode::NotPrimary,
+                        &repl.primary_addr(),
+                        None,
+                    ));
+                }
+                if engine.wal_epoch() != Some(epoch) {
+                    offset_hint = 0;
+                    continue 'resolve;
+                }
+                let end = engine.wal_len().unwrap_or(offset);
+                let horizon = engine.replication_horizon().unwrap_or(0);
+                let batch = if offset < end {
+                    let want = usize::try_from(end - offset)
+                        .map_or(REPL_CHUNK_BYTES, |remaining| {
+                            remaining.min(REPL_CHUNK_BYTES)
+                        });
+                    let (bytes, next_offset) = match reader.read_raw(offset, want) {
+                        Ok(read) => read,
+                        Err(error) => {
+                            if engine.wal_epoch() != Some(epoch) {
+                                offset_hint = 0;
+                                continue 'resolve;
+                            }
+                            return transport.send(&error_frame(
+                                peer,
+                                ErrorCode::Internal,
+                                &format!("primary log unreadable: {error}"),
+                                None,
+                            ));
+                        }
+                    };
+                    if engine.wal_epoch() != Some(epoch) {
+                        // The bytes may straddle the reset; discard them.
+                        offset_hint = 0;
+                        continue 'resolve;
+                    }
+                    ReplBatch {
+                        payload: ReplPayload::Records,
+                        primary_generation: engine.generation(),
+                        generation: horizon,
+                        next_offset,
+                        bytes,
+                    }
+                } else {
+                    ReplBatch {
+                        payload: ReplPayload::Records,
+                        primary_generation: engine.generation(),
+                        generation: horizon,
+                        next_offset: offset,
+                        bytes: Vec::new(),
+                    }
+                };
+                let heartbeat = batch.bytes.is_empty();
+                transport.send(&Frame::with_version(peer, op::REPL_BATCH, batch.encode()))?;
+                let ack = recv_ack(transport, draining)?;
+                repl.note_shipment(engine.generation().saturating_sub(ack.generation));
+                cursor_gen = ack.generation;
+                offset = ack.offset;
+                if heartbeat {
+                    std::thread::sleep(REPL_HEARTBEAT_PAUSE);
+                }
+            },
+        }
+    }
+}
+
+/// Streams the primary's checkpoint file to a bootstrapping replica.
+/// Returns `Ok(Some(generation))` when the replica acknowledged the
+/// complete file (the record cursor then restarts at that generation,
+/// offset 0) and `Ok(None)` when a newer checkpoint landed mid-stream
+/// and the bootstrap must restart.
+///
+/// The generation is captured *before* the file is opened: any
+/// checkpoint completing after the capture moves the horizon and fails
+/// the final check, so stale bytes can never be installed under a fresh
+/// generation. The open handle pins one inode, so the streamed bytes
+/// are internally consistent even while a rename replaces the file.
+fn ship_checkpoint(
+    transport: &mut TcpTransport,
+    peer: u8,
+    engine: &DynamicEngine,
+    draining: &AtomicBool,
+) -> Result<Option<u64>, NetError> {
+    let path = engine
+        .checkpoint_file()
+        .expect("durable engine has a checkpoint path");
+    let generation = engine.replication_horizon().unwrap_or(0);
+    let mut file = match std::fs::File::open(&path) {
+        Ok(file) => file,
+        Err(error) => {
+            transport.send(&error_frame(
+                peer,
+                ErrorCode::Internal,
+                &format!("primary checkpoint unreadable: {error}"),
+                None,
+            ))?;
+            return Err(NetError::Closed);
+        }
+    };
+    let mut sent = 0u64;
+    loop {
+        if draining.load(Ordering::Acquire) {
+            transport.send(&error_frame(
+                peer,
+                ErrorCode::ShuttingDown,
+                "server is draining; resubscribe later",
+                None,
+            ))?;
+            return Err(NetError::Closed);
+        }
+        let mut chunk = vec![0u8; REPL_CHUNK_BYTES];
+        let n = match file.read(&mut chunk) {
+            Ok(n) => n,
+            Err(error) => {
+                transport.send(&error_frame(
+                    peer,
+                    ErrorCode::Internal,
+                    &format!("primary checkpoint unreadable: {error}"),
+                    None,
+                ))?;
+                return Err(NetError::Closed);
+            }
+        };
+        if n == 0 {
+            break;
+        }
+        chunk.truncate(n);
+        sent += n as u64;
+        let batch = ReplBatch {
+            payload: ReplPayload::Checkpoint { done: false },
+            primary_generation: engine.generation(),
+            generation,
+            next_offset: sent,
+            bytes: chunk,
+        };
+        transport.send(&Frame::with_version(peer, op::REPL_BATCH, batch.encode()))?;
+        recv_ack(transport, draining)?;
+    }
+    if engine.replication_horizon() != Some(generation) {
+        return Ok(None);
+    }
+    let done = ReplBatch {
+        payload: ReplPayload::Checkpoint { done: true },
+        primary_generation: engine.generation(),
+        generation,
+        next_offset: sent,
+        bytes: Vec::new(),
+    };
+    transport.send(&Frame::with_version(peer, op::REPL_BATCH, done.encode()))?;
+    recv_ack(transport, draining)?;
+    Ok(Some(generation))
+}
+
+/// Waits for the strict-alternation `REPL_ACK` that follows every
+/// `REPL_BATCH`. Idle timeouts keep polling so a drain is noticed; any
+/// other frame from the replica is a protocol violation that ends the
+/// subscription.
+fn recv_ack(transport: &mut TcpTransport, draining: &AtomicBool) -> Result<ReplAck, NetError> {
+    loop {
+        match transport.recv() {
+            Ok(frame) if frame.opcode == op::REPL_ACK => {
+                let Some(ack) = ReplAck::decode(&frame.payload) else {
+                    return Err(NetError::Closed);
+                };
+                return Ok(ack);
+            }
+            Ok(_) => return Err(NetError::Closed),
+            Err(NetError::Idle) => {
+                if draining.load(Ordering::Acquire) {
+                    return Err(NetError::Closed);
+                }
+            }
+            Err(error) => return Err(error),
+        }
+    }
+}
+
+/// Handles an explicit `PROMOTE`: idempotent on a primary; on a replica
+/// it requests promotion and waits for the apply loop to seal the
+/// stream and flip the role. Returns whether the connection stays open.
+fn handle_promote(
+    transport: &mut TcpTransport,
+    peer: u8,
+    payload: &[u8],
+    backend: &ServeBackend<'_>,
+    repl: &ReplState,
+    metrics: &Metrics,
+) -> bool {
+    if !payload.is_empty() {
+        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return transport
+            .send(&error_frame(
+                peer,
+                ErrorCode::BadPayload,
+                "promote carries no payload",
+                None,
+            ))
+            .is_ok();
+    }
+    let Some(engine) = backend.dynamic() else {
+        return transport
+            .send(&error_frame(
+                peer,
+                ErrorCode::ReadOnly,
+                "promotion requires a dynamic (--wal) server",
+                None,
+            ))
+            .is_ok();
+    };
+    if repl.role() != ReplRole::Primary {
+        repl.request_promote();
+        let deadline = Instant::now() + PROMOTE_WAIT;
+        while repl.role() != ReplRole::Primary {
+            if Instant::now() >= deadline {
+                return transport
+                    .send(&error_frame(
+                        peer,
+                        ErrorCode::Internal,
+                        "promotion did not complete in time",
+                        None,
+                    ))
+                    .is_ok();
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let ok = PromoteOk {
+        generation: engine.generation(),
+    };
+    transport
+        .send(&Frame::with_version(peer, op::PROMOTE_OK, ok.encode()))
+        .is_ok()
+}
+
 /// Builds a `STATS_OK` reply from the live counters.
 fn stats_frame(
     peer: u8,
     backend: &ServeBackend<'_>,
     metrics: &Metrics,
     admission: &Admission,
+    repl: &ReplState,
 ) -> Frame {
     let pool = backend.pool();
     let cache = backend.cache_stats();
@@ -1097,17 +1731,22 @@ fn stats_frame(
         cache_evictions: cache.evictions,
         overload_rejections: metrics.overload_rejections.load(Ordering::Relaxed),
         latency: metrics.latency_snapshot(),
+        replication_lag: repl.replication_lag(backend.generation()),
+        repl_role: repl.role(),
     };
-    Frame::with_version(peer, op::STATS_OK, stats.encode())
+    Frame::with_version(peer, op::STATS_OK, stats.encode_for(peer))
 }
 
 /// Builds a `HEALTH_OK` reply: drain beats overload, overload beats
-/// ready, and any not-ready state carries a retry-after hint.
+/// ready, and any not-ready state carries a retry-after hint. The v2
+/// payload extension adds the replication role and lag.
 fn health_frame(
     peer: u8,
+    backend: &ServeBackend<'_>,
     metrics: &Metrics,
     admission: &Admission,
     draining: &AtomicBool,
+    repl: &ReplState,
 ) -> Frame {
     let state = if draining.load(Ordering::Acquire) {
         HealthState::Draining
@@ -1120,15 +1759,13 @@ fn health_frame(
         HealthState::Ready => 0,
         _ => retry_after_hint_ms(metrics),
     };
-    Frame::with_version(
-        peer,
-        op::HEALTH_OK,
-        HealthOk {
-            state,
-            retry_after_ms,
-        }
-        .encode(),
-    )
+    let health = HealthOk {
+        state,
+        retry_after_ms,
+        role: repl.role(),
+        replication_lag: repl.replication_lag(backend.generation()),
+    };
+    Frame::with_version(peer, op::HEALTH_OK, health.encode_for(peer))
 }
 
 #[cfg(test)]
@@ -1273,6 +1910,7 @@ mod tests {
             hub_bitsets: false,
             deadline_ms: 0,
             request_id: 9,
+            min_generation: 0,
             pattern: vec![3, 0b110, 0b101, 0b011],
         };
         let same_but_other_id = CountRequest {

@@ -53,6 +53,16 @@ pub enum DeltaError {
         /// First id past the allowed range.
         limit: u64,
     },
+    /// A replicated commit arrived out of sequence: the batch claims a
+    /// generation that does not continue the graph's current one. The
+    /// graph is unchanged — replication must resynchronise instead of
+    /// silently skipping or double-applying batches.
+    GenerationGap {
+        /// The generation the graph would produce next.
+        expected: u64,
+        /// The generation the batch claimed.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for DeltaError {
@@ -60,6 +70,12 @@ impl std::fmt::Display for DeltaError {
         match self {
             DeltaError::VertexOutOfRange { vertex, limit } => {
                 write!(f, "vertex {vertex} out of range (limit {limit})")
+            }
+            DeltaError::GenerationGap { expected, found } => {
+                write!(
+                    f,
+                    "generation gap: expected generation {expected}, batch claims {found}"
+                )
             }
         }
     }
@@ -530,13 +546,42 @@ impl DynamicGraph {
     /// threshold.
     pub fn commit(&self, batch: &EdgeBatch) -> Result<CommitReport, DeltaError> {
         let mut state = self.state.lock().expect("dynamic graph poisoned");
+        Self::commit_locked(&mut state, batch, self.compaction_threshold)
+    }
+
+    /// Commits one batch that must produce exactly `generation` — the
+    /// replication apply path. A batch whose claimed generation does not
+    /// continue the current sequence is rejected with
+    /// [`DeltaError::GenerationGap`] and nothing changes, so a replica
+    /// can never silently skip or double-apply part of the stream.
+    pub fn commit_at(
+        &self,
+        batch: &EdgeBatch,
+        generation: u64,
+    ) -> Result<CommitReport, DeltaError> {
+        let mut state = self.state.lock().expect("dynamic graph poisoned");
+        let expected = state.generation + 1;
+        if generation != expected {
+            return Err(DeltaError::GenerationGap {
+                expected,
+                found: generation,
+            });
+        }
+        Self::commit_locked(&mut state, batch, self.compaction_threshold)
+    }
+
+    fn commit_locked(
+        state: &mut DynState,
+        batch: &EdgeBatch,
+        compaction_threshold: u64,
+    ) -> Result<CommitReport, DeltaError> {
         let base = Arc::clone(&state.base);
         let outcome = state.overlay.apply(batch, &base)?;
         state.generation += 1;
         let mut compacted = false;
         if outcome.inserted > 0 || outcome.deleted > 0 {
             state.current = None;
-            if state.overlay.delta_edges() >= self.compaction_threshold.max(1) {
+            if state.overlay.delta_edges() >= compaction_threshold.max(1) {
                 let merged = Arc::new(state.overlay.materialize(&state.base));
                 state.overlay.clear();
                 state.base = Arc::clone(&merged);
@@ -550,6 +595,49 @@ impl DynamicGraph {
             deleted: outcome.deleted,
             compacted,
         })
+    }
+
+    /// Folds the overlay into a fresh base CSR *off* the commit path: the
+    /// expensive materialisation runs without the state lock (commits
+    /// proceed concurrently), and the lock is retaken only for the final
+    /// pointer swap. If a commit raced in while materialising, the stale
+    /// result is discarded and the call reports `false` — the caller (a
+    /// maintenance thread) simply retries on its next tick. Returns
+    /// whether a compaction was installed.
+    pub fn compact(&self) -> bool {
+        let (base, overlay, generation) = {
+            let state = self.state.lock().expect("dynamic graph poisoned");
+            if state.overlay.delta_edges() == 0 {
+                return false;
+            }
+            (
+                Arc::clone(&state.base),
+                state.overlay.clone(),
+                state.generation,
+            )
+        };
+        let merged = Arc::new(overlay.materialize(&base)); // slow part, unlocked
+        let mut state = self.state.lock().expect("dynamic graph poisoned");
+        if state.generation != generation {
+            return false; // a commit raced in; the materialisation is stale
+        }
+        state.overlay.clear();
+        state.base = Arc::clone(&merged);
+        state.current = Some(merged);
+        true
+    }
+
+    /// Replaces the entire graph with `base` at `generation`, dropping
+    /// the overlay — the checkpoint-bootstrap path for replicas that are
+    /// too far behind to catch up from the log. Existing snapshots keep
+    /// their pinned view.
+    pub fn reset_base(&self, base: CsrGraph, generation: u64) {
+        let mut state = self.state.lock().expect("dynamic graph poisoned");
+        let base = Arc::new(base);
+        state.overlay.clear();
+        state.current = Some(Arc::clone(&base));
+        state.base = base;
+        state.generation = generation;
     }
 }
 

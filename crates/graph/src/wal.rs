@@ -47,6 +47,7 @@ use crate::io;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Magic bytes opening every WAL file.
@@ -266,6 +267,51 @@ fn decode_payload(payload: &[u8], offset: u64) -> Result<WalRecord, WalError> {
     }
 }
 
+/// Tries to parse one record frame starting at `bytes[offset..]`.
+/// `Ok(None)` means the frame is incomplete — a torn tail when scanning a
+/// file, "wait for more bytes" when parsing a shipped stream.
+/// `base_offset` is only used to report absolute positions in errors.
+fn parse_frame_at(
+    bytes: &[u8],
+    offset: usize,
+    base_offset: u64,
+) -> Result<Option<(WalRecord, usize)>, WalError> {
+    let at = base_offset + offset as u64;
+    if bytes.len() - offset < RECORD_HEADER_LEN {
+        return Ok(None); // torn record header
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+    let check = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+    let payload_fnv = u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().unwrap());
+    if check != header_check(len as u32, payload_fnv) {
+        // The header bytes are all present yet do not validate: a
+        // sequential append cannot produce this.
+        return Err(WalError::Corrupt {
+            offset: at,
+            reason: "record header checksum mismatch".to_string(),
+        });
+    }
+    if len > MAX_WAL_RECORD_LEN {
+        return Err(WalError::Corrupt {
+            offset: at,
+            reason: format!("record claims {len} payload bytes"),
+        });
+    }
+    let payload_start = offset + RECORD_HEADER_LEN;
+    if bytes.len() - payload_start < len {
+        return Ok(None); // torn payload: the tail of a killed append
+    }
+    let payload = &bytes[payload_start..payload_start + len];
+    if fnv1a(payload) != payload_fnv {
+        return Err(WalError::Corrupt {
+            offset: at,
+            reason: "record payload checksum mismatch".to_string(),
+        });
+    }
+    let record = decode_payload(payload, at)?;
+    Ok(Some((record, RECORD_HEADER_LEN + len)))
+}
+
 /// What [`Wal::open`] found on disk.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WalOpenReport {
@@ -287,6 +333,10 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     len: u64,
+    /// Bumped on every reset (checkpoint truncation). Replication readers
+    /// snapshot it around file reads: a change means byte offsets from
+    /// before the reset no longer address the same stream.
+    epoch: u64,
 }
 
 impl Wal {
@@ -323,6 +373,7 @@ impl Wal {
                     file,
                     path,
                     len: WAL_HEADER_LEN as u64,
+                    epoch: 0,
                 },
                 Vec::new(),
                 report,
@@ -353,40 +404,13 @@ impl Wal {
             if offset == bytes.len() {
                 break offset; // clean end
             }
-            if bytes.len() - offset < RECORD_HEADER_LEN {
-                break offset; // torn record header
+            match parse_frame_at(&bytes, offset, 0)? {
+                Some((record, frame_len)) => {
+                    records.push(record);
+                    offset += frame_len;
+                }
+                None => break offset, // torn tail of a killed append
             }
-            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
-            let check = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
-            let payload_fnv =
-                u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().unwrap());
-            if check != header_check(len as u32, payload_fnv) {
-                // The header bytes are all present yet do not validate:
-                // a sequential append cannot produce this.
-                return Err(WalError::Corrupt {
-                    offset: offset as u64,
-                    reason: "record header checksum mismatch".to_string(),
-                });
-            }
-            if len > MAX_WAL_RECORD_LEN {
-                return Err(WalError::Corrupt {
-                    offset: offset as u64,
-                    reason: format!("record claims {len} payload bytes"),
-                });
-            }
-            let payload_start = offset + RECORD_HEADER_LEN;
-            if bytes.len() - payload_start < len {
-                break offset; // torn payload: the tail of a killed append
-            }
-            let payload = &bytes[payload_start..payload_start + len];
-            if fnv1a(payload) != payload_fnv {
-                return Err(WalError::Corrupt {
-                    offset: offset as u64,
-                    reason: "record payload checksum mismatch".to_string(),
-                });
-            }
-            records.push(decode_payload(payload, offset as u64)?);
-            offset = payload_start + len;
         };
 
         if durable_end < bytes.len() {
@@ -401,6 +425,7 @@ impl Wal {
                 file,
                 path,
                 len: durable_end as u64,
+                epoch: 0,
             },
             records,
             report,
@@ -410,16 +435,11 @@ impl Wal {
     /// Appends one record and `fsync`s it. When this returns `Ok`, the
     /// record survives `kill -9`.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
-        let payload = encode_payload(record);
-        if payload.len() > MAX_WAL_RECORD_LEN {
-            return Err(WalError::RecordTooLarge { len: payload.len() });
+        let frame = encode_record_frame(record);
+        let payload_len = frame.len() - RECORD_HEADER_LEN;
+        if payload_len > MAX_WAL_RECORD_LEN {
+            return Err(WalError::RecordTooLarge { len: payload_len });
         }
-        let payload_fnv = fnv1a(&payload);
-        let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&header_check(payload.len() as u32, payload_fnv).to_le_bytes());
-        frame.extend_from_slice(&payload_fnv.to_le_bytes());
-        frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
         self.len += frame.len() as u64;
@@ -430,10 +450,38 @@ impl Wal {
     /// called after the checkpoint file has durably captured that
     /// generation.
     pub fn reset(&mut self, generation: u64) -> Result<(), WalError> {
+        let end = self.len;
+        self.reset_keeping_suffix(generation, end)
+    }
+
+    /// Resets the log to a checkpoint marker for `generation`, keeping
+    /// every record byte from `suffix_start` onward. This is the
+    /// short-critical-section checkpoint path: the caller captured
+    /// `suffix_start` when it snapshotted `generation`, saved the
+    /// checkpoint file *without* holding the commit lock, and any records
+    /// appended meanwhile (all with generations past the checkpoint) are
+    /// re-seated right after the fresh marker.
+    pub fn reset_keeping_suffix(
+        &mut self,
+        generation: u64,
+        suffix_start: u64,
+    ) -> Result<(), WalError> {
+        let mut suffix = Vec::new();
+        if suffix_start < self.len {
+            self.file.seek(SeekFrom::Start(suffix_start))?;
+            self.file.read_to_end(&mut suffix)?;
+        }
         self.file.set_len(WAL_HEADER_LEN as u64)?;
         self.file.seek(SeekFrom::Start(WAL_HEADER_LEN as u64))?;
         self.len = WAL_HEADER_LEN as u64;
-        self.append(&WalRecord::Checkpoint { generation })
+        self.epoch += 1;
+        self.append(&WalRecord::Checkpoint { generation })?;
+        if !suffix.is_empty() {
+            self.file.write_all(&suffix)?;
+            self.file.sync_data()?;
+            self.len += suffix.len() as u64;
+        }
+        Ok(())
     }
 
     /// The log's file path.
@@ -445,6 +493,234 @@ impl Wal {
     pub fn record_bytes(&self) -> u64 {
         self.len - WAL_HEADER_LEN as u64
     }
+
+    /// Absolute end offset of the durable log (header included) — the
+    /// position replication cursors address.
+    pub fn end_offset(&self) -> u64 {
+        self.len
+    }
+
+    /// Reset epoch: bumped every time the log is truncated back to a
+    /// checkpoint marker. Offsets taken under one epoch are meaningless
+    /// under another.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// A read-only view of a WAL file for replication shipping: reads raw
+/// record-stream bytes (checksums and all, so they can travel to a
+/// replica unmodified) and resolves `(generation, offset)` cursors to
+/// byte positions.
+///
+/// The reader holds its own file handle and takes no locks; it may
+/// observe a partially-appended record at the tail (the bytes simply
+/// arrive in a later read) but a concurrent *reset* invalidates offsets —
+/// callers detect that through [`DurableGraph::wal_epoch`] and
+/// re-resolve.
+#[derive(Debug)]
+pub struct WalReader {
+    file: File,
+}
+
+/// Where [`WalReader::resolve_cursor`] decided shipping should start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipPoint {
+    /// Stream records from this absolute file offset.
+    Records {
+        /// Absolute file offset of the first record to ship.
+        offset: u64,
+    },
+    /// The cursor's generation predates this log's base: the replica
+    /// must be bootstrapped from the checkpoint file first.
+    NeedsCheckpoint,
+}
+
+impl WalReader {
+    /// Opens the WAL at `path` read-only and validates its header.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new().read(true).open(path.as_ref())?;
+        let mut header = [0u8; WAL_HEADER_LEN];
+        file.read_exact(&mut header)?;
+        if &header[..8] != WAL_MAGIC {
+            return Err(WalError::BadHeader {
+                reason: "wrong magic bytes".to_string(),
+            });
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != WAL_VERSION {
+            return Err(WalError::BadHeader {
+                reason: format!("unsupported version {version}"),
+            });
+        }
+        Ok(Self { file })
+    }
+
+    /// Reads up to `max_bytes` raw stream bytes starting at `offset`.
+    /// The slice is *not* record-aligned — a consumer reassembles frames
+    /// with [`RecordStreamParser`]. Returns the bytes and the offset just
+    /// past them.
+    pub fn read_raw(&mut self, offset: u64, max_bytes: usize) -> Result<(Vec<u8>, u64), WalError> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; max_bytes];
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(err) => return Err(err.into()),
+            }
+        }
+        buf.truncate(filled);
+        let next = offset + filled as u64;
+        Ok((buf, next))
+    }
+
+    /// Maps a replica's `(generation, offset)` cursor to the file offset
+    /// shipping should resume from. The offset hint is trusted only if a
+    /// valid record parses there and continues `generation` exactly;
+    /// otherwise the log is scanned front to back (it is bounded by the
+    /// checkpoint threshold). A cursor older than the log's base —
+    /// records begin past `generation` — needs a checkpoint bootstrap.
+    pub fn resolve_cursor(
+        &mut self,
+        generation: u64,
+        offset_hint: u64,
+    ) -> Result<ShipPoint, WalError> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_HEADER_LEN {
+            return Ok(ShipPoint::Records {
+                offset: WAL_HEADER_LEN as u64,
+            });
+        }
+
+        // Fast path: the hint addresses the exact next record.
+        if offset_hint >= WAL_HEADER_LEN as u64 && offset_hint <= bytes.len() as u64 {
+            if let Ok(Some((WalRecord::Batch { generation: g, .. }, _))) =
+                parse_frame_at(&bytes, offset_hint as usize, 0)
+            {
+                if g == generation + 1 {
+                    return Ok(ShipPoint::Records {
+                        offset: offset_hint,
+                    });
+                }
+            }
+        }
+
+        let mut offset = WAL_HEADER_LEN;
+        let mut horizon = None;
+        loop {
+            if offset >= bytes.len() {
+                break;
+            }
+            let (record, frame_len) = match parse_frame_at(&bytes, offset, 0) {
+                Ok(Some(parsed)) => parsed,
+                // Torn tail (an append in flight) — stop at the durable
+                // prefix. Corruption mid-scan can also be a concurrent
+                // reset rewriting the bytes under us; the caller's epoch
+                // check sorts real corruption from that race.
+                Ok(None) | Err(WalError::Corrupt { .. }) => break,
+                Err(err) => return Err(err),
+            };
+            match record {
+                WalRecord::Checkpoint { generation: g } => {
+                    if horizon.is_none() {
+                        horizon = Some(g);
+                    }
+                }
+                WalRecord::Batch { generation: g, .. } => {
+                    if horizon.is_none() {
+                        // Records start at the initial graph: base is
+                        // generation g - 1 of the sequence.
+                        horizon = Some(g.saturating_sub(1));
+                    }
+                    if g > generation {
+                        if horizon.unwrap_or(0) > generation {
+                            return Ok(ShipPoint::NeedsCheckpoint);
+                        }
+                        return Ok(ShipPoint::Records {
+                            offset: offset as u64,
+                        });
+                    }
+                }
+            }
+            offset += frame_len;
+        }
+        if horizon.unwrap_or(0) > generation {
+            return Ok(ShipPoint::NeedsCheckpoint);
+        }
+        // Every durable record is at or before the cursor: caught up.
+        Ok(ShipPoint::Records {
+            offset: offset as u64,
+        })
+    }
+}
+
+/// Reassembles WAL records from an arbitrarily-chunked byte stream — the
+/// replica side of replication. Bytes are pushed as they arrive off the
+/// wire; complete, checksum-validated records are drained in order, and a
+/// partial frame simply waits for more bytes (torn-stream tolerance, the
+/// same rule WAL replay applies to a torn tail). A checksum mismatch is a
+/// damaged stream and surfaces as a typed error — the consumer drops the
+/// connection and resubscribes from its durable cursor.
+#[derive(Debug, Default)]
+pub struct RecordStreamParser {
+    buf: Vec<u8>,
+    consumed: u64,
+}
+
+impl RecordStreamParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete record, with the stream-byte length of its
+    /// frame. `Ok(None)` means more bytes are needed.
+    pub fn next_record(&mut self) -> Result<Option<(WalRecord, u64)>, WalError> {
+        match parse_frame_at(&self.buf, 0, self.consumed)? {
+            Some((record, frame_len)) => {
+                self.buf.drain(..frame_len);
+                self.consumed += frame_len as u64;
+                Ok(Some((record, frame_len as u64)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet forming a complete record.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drops any partial frame (used when resubscribing after a torn
+    /// stream: the gap is refetched from the durable cursor).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.consumed = 0;
+    }
+}
+
+/// Encodes one record as a raw stream frame (the same checksummed bytes
+/// [`Wal::append`] writes) — lets tests and the bootstrap path synthesize
+/// replication streams without a file.
+pub fn encode_record_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(record);
+    let payload_fnv = fnv1a(&payload);
+    let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&header_check(payload.len() as u32, payload_fnv).to_le_bytes());
+    frame.extend_from_slice(&payload_fnv.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 /// Tuning for [`DurableGraph`].
@@ -514,6 +790,14 @@ pub struct RecoveryReport {
 pub struct DurableGraph {
     graph: DynamicGraph,
     wal: Mutex<Wal>,
+    /// Serialises checkpointers against each other (NOT against commits
+    /// — that is the point of the short-critical-section checkpoint).
+    /// Lock order: `ckpt_lock` before `wal`; the commit path, which holds
+    /// `wal`, only ever `try_lock`s this, so the pair cannot deadlock.
+    ckpt_lock: Mutex<()>,
+    /// Generation of the log's base: a cursor at or past this can be
+    /// served from records alone, an older one needs the checkpoint file.
+    horizon: AtomicU64,
     checkpoint_path: PathBuf,
     checkpoint_wal_bytes: u64,
 }
@@ -550,9 +834,15 @@ impl DurableGraph {
         let graph = DynamicGraph::with_compaction_threshold(base, options.compaction_threshold);
         let mut generation = 0;
         let mut replayed = 0;
+        let mut horizon = None;
         for record in &records {
             match record {
-                WalRecord::Checkpoint { generation: g } => generation = *g,
+                WalRecord::Checkpoint { generation: g } => {
+                    if horizon.is_none() {
+                        horizon = Some(*g);
+                    }
+                    generation = *g;
+                }
                 WalRecord::Batch {
                     generation: g,
                     batch,
@@ -571,6 +861,8 @@ impl DurableGraph {
             Self {
                 graph,
                 wal: Mutex::new(wal),
+                ckpt_lock: Mutex::new(()),
+                horizon: AtomicU64::new(horizon.unwrap_or(0)),
                 checkpoint_path,
                 checkpoint_wal_bytes: options.checkpoint_wal_bytes,
             },
@@ -602,18 +894,77 @@ impl DurableGraph {
             .commit(batch)
             .expect("validated batch must apply");
         debug_assert_eq!(report.generation, generation);
-        if wal.record_bytes() >= self.checkpoint_wal_bytes {
-            self.checkpoint_locked(&mut wal)?;
-        }
+        self.maybe_checkpoint_inline(&mut wal)?;
         Ok(report)
+    }
+
+    /// Applies one batch from a replication stream: the batch's claimed
+    /// `generation` must continue this graph's sequence exactly
+    /// ([`DeltaError::GenerationGap`] otherwise, nothing changed), and on
+    /// success the batch is in this graph's *own* log — a replica is as
+    /// crash-safe as its primary.
+    pub fn commit_replicated(
+        &self,
+        generation: u64,
+        batch: &EdgeBatch,
+    ) -> Result<CommitReport, DurableError> {
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        self.graph.validate_batch(batch)?;
+        let expected = self.graph.generation() + 1;
+        if generation != expected {
+            return Err(DeltaError::GenerationGap {
+                expected,
+                found: generation,
+            }
+            .into());
+        }
+        wal.append(&WalRecord::Batch {
+            generation,
+            batch: batch.clone(),
+        })?;
+        let report = self
+            .graph
+            .commit_at(batch, generation)
+            .expect("continuity-checked batch must apply");
+        self.maybe_checkpoint_inline(&mut wal)?;
+        Ok(report)
+    }
+
+    /// Inline size-triggered checkpoint on the committing thread — the
+    /// fallback when no maintenance thread runs [`DurableGraph::checkpoint`]
+    /// periodically. Skipped (`try_lock`) when a concurrent checkpointer
+    /// already holds the checkpoint lock.
+    fn maybe_checkpoint_inline(&self, wal: &mut Wal) -> Result<(), DurableError> {
+        if wal.record_bytes() >= self.checkpoint_wal_bytes {
+            if let Ok(_ckpt) = self.ckpt_lock.try_lock() {
+                self.checkpoint_locked(wal)?;
+            }
+        }
+        Ok(())
     }
 
     /// Forces a checkpoint: saves the current generation to the
     /// checkpoint file and resets the log. Returns the checkpointed
     /// generation.
+    ///
+    /// The commit lock is held only to *capture* the snapshot and to
+    /// perform the final log reset — the graph save (the expensive part)
+    /// runs unlocked, with commits proceeding concurrently. Records
+    /// appended during the save are preserved across the reset.
     pub fn checkpoint(&self) -> Result<u64, DurableError> {
+        let _ckpt = self.ckpt_lock.lock().expect("checkpoint lock poisoned");
+        let (snapshot, suffix_start) = {
+            let wal = self.wal.lock().expect("wal poisoned");
+            (self.graph.snapshot(), wal.end_offset())
+        };
+        // Checkpoint file first (atomic tmp+rename), log reset second: a
+        // crash between the two replays the old log against the new
+        // checkpoint, which re-applies as no-ops.
+        io::save_binary(snapshot.graph(), &self.checkpoint_path).map_err(WalError::Io)?;
         let mut wal = self.wal.lock().expect("wal poisoned");
-        self.checkpoint_locked(&mut wal)
+        wal.reset_keeping_suffix(snapshot.generation(), suffix_start)?;
+        self.horizon.store(snapshot.generation(), Ordering::SeqCst);
+        Ok(snapshot.generation())
     }
 
     fn checkpoint_locked(&self, wal: &mut Wal) -> Result<u64, DurableError> {
@@ -623,7 +974,29 @@ impl DurableGraph {
         // checkpoint, which re-applies as no-ops.
         io::save_binary(snapshot.graph(), &self.checkpoint_path).map_err(WalError::Io)?;
         wal.reset(snapshot.generation())?;
+        self.horizon.store(snapshot.generation(), Ordering::SeqCst);
         Ok(snapshot.generation())
+    }
+
+    /// Replaces the whole graph with `base` at `generation` — the
+    /// receiving end of a checkpoint bootstrap. The new base is saved as
+    /// this graph's own checkpoint file and the log is reset to a marker,
+    /// so the installed state is immediately crash-safe.
+    pub fn install_checkpoint(&self, base: CsrGraph, generation: u64) -> Result<(), DurableError> {
+        let _ckpt = self.ckpt_lock.lock().expect("checkpoint lock poisoned");
+        io::save_binary(&base, &self.checkpoint_path).map_err(WalError::Io)?;
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        wal.reset(generation)?;
+        self.horizon.store(generation, Ordering::SeqCst);
+        self.graph.reset_base(base, generation);
+        Ok(())
+    }
+
+    /// Folds the in-memory overlay into a fresh base CSR off the commit
+    /// path (see [`DynamicGraph::compact`]). Returns whether a compaction
+    /// was installed.
+    pub fn compact(&self) -> bool {
+        self.graph.compact()
     }
 
     /// Pins the current generation (see [`DynamicGraph::snapshot`]).
@@ -649,6 +1022,28 @@ impl DurableGraph {
     /// The checkpoint file path paired with this WAL.
     pub fn checkpoint_path(&self) -> &Path {
         &self.checkpoint_path
+    }
+
+    /// The log file path (what a [`WalReader`] opens to ship records).
+    pub fn wal_path(&self) -> PathBuf {
+        self.wal.lock().expect("wal poisoned").path().to_path_buf()
+    }
+
+    /// Current durable end of the log in bytes (header included).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.lock().expect("wal poisoned").end_offset()
+    }
+
+    /// The log's reset epoch (see [`Wal::epoch`]).
+    pub fn wal_epoch(&self) -> u64 {
+        self.wal.lock().expect("wal poisoned").epoch()
+    }
+
+    /// Generation of the log's base: cursors at or past this can be
+    /// served from log records alone, older ones need the checkpoint
+    /// file first.
+    pub fn replication_horizon(&self) -> u64 {
+        self.horizon.load(Ordering::SeqCst)
     }
 }
 

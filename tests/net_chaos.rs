@@ -300,6 +300,7 @@ fn protocol_v1_clients_are_served_with_v1_replies() {
             hub_bitsets: false,
             deadline_ms: 0,
             request_id: 0,
+            min_generation: 0,
             pattern: prefab::triangle().canonical_bytes(),
         };
         stream

@@ -9,8 +9,8 @@ use graphpi::core::config::ServeOptions;
 use graphpi::core::engine::{GraphPi, PlanCache};
 use graphpi::core::exec::pool::WorkerPool;
 use graphpi::core::net::protocol::{
-    self, op, CountRequest, ErrorCode, Frame, LatencyHistogram, NetError, StatsOk, WireError,
-    HISTOGRAM_BUCKETS, MAX_FRAME_LEN,
+    self, op, CountRequest, ErrorCode, Frame, LatencyHistogram, NetError, PromoteOk, ReplAck,
+    ReplBatch, ReplPayload, ReplSubscribe, StatsOk, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_LEN,
 };
 use graphpi::core::net::{Client, RetryPolicy};
 use graphpi::graph::generators;
@@ -106,9 +106,17 @@ proptest! {
             cache_misses: words[12],
             cache_evictions: words[13],
             overload_rejections: words[14],
+            replication_lag: words[0],
+            repl_role: graphpi::core::net::ReplRole::Replica,
             latency,
         };
-        prop_assert_eq!(StatsOk::decode(&stats.encode()).unwrap(), stats);
+        // The v2 encoding round-trips every field; the v1 encoding drops
+        // the replication extension, which decodes back to the defaults.
+        prop_assert_eq!(StatsOk::decode(&stats.encode_for(2)).unwrap(), stats.clone());
+        let v1 = StatsOk::decode(&stats.encode()).unwrap();
+        prop_assert_eq!(v1.replication_lag, 0);
+        prop_assert_eq!(v1.repl_role, graphpi::core::net::ReplRole::Primary);
+        prop_assert_eq!(v1.queries_total, stats.queries_total);
         // Aggregations over a decoded histogram must saturate, not panic,
         // even with every bucket at u64::MAX.
         let _ = stats.latency.total();
@@ -141,6 +149,82 @@ proptest! {
         prop_assert_eq!(hist.buckets[bucket], u64::MAX);
         prop_assert_eq!(hist.total(), u64::MAX);
         prop_assert!(hist.percentile_upper_bound_micros(1.0).is_some());
+    }
+
+    /// The replication codecs round-trip every field combination, the
+    /// same guarantee the rest of the battery gives the v1 payloads.
+    #[test]
+    fn replication_codecs_round_trip(
+        generation in 0u64..=u64::MAX,
+        offset in 0u64..=u64::MAX,
+        primary_generation in 0u64..=u64::MAX,
+        flavor in 0u8..3,
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let sub = ReplSubscribe { generation, offset };
+        prop_assert_eq!(ReplSubscribe::decode(&sub.encode()), Some(sub));
+
+        let payload = match flavor {
+            0 => ReplPayload::Records,
+            1 => ReplPayload::Checkpoint { done: false },
+            _ => ReplPayload::Checkpoint { done: true },
+        };
+        let batch = ReplBatch {
+            payload,
+            primary_generation,
+            generation,
+            next_offset: offset,
+            bytes,
+        };
+        prop_assert_eq!(ReplBatch::decode(&batch.encode()), Some(batch.clone()));
+
+        let ack = ReplAck { generation, offset };
+        prop_assert_eq!(ReplAck::decode(&ack.encode()), Some(ack));
+        let ok = PromoteOk { generation };
+        prop_assert_eq!(PromoteOk::decode(&ok.encode()), Some(ok));
+    }
+
+    /// Truncating an encoded replication payload anywhere, or appending
+    /// trailing garbage, is always a decode refusal — never a panic,
+    /// never a silently different value.
+    #[test]
+    fn replication_codecs_refuse_mangled_payloads(
+        generation in 0u64..=u64::MAX,
+        offset in 0u64..=u64::MAX,
+        bytes in proptest::collection::vec(0u8..=255, 0..64),
+        cut_seed in 0usize..10_000,
+        garbage in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let batch = ReplBatch {
+            payload: ReplPayload::Records,
+            primary_generation: generation,
+            generation,
+            next_offset: offset,
+            bytes,
+        };
+        // Every decoder refuses a strict prefix of its own encoding and
+        // its own encoding with trailing garbage appended.
+        let sub = ReplSubscribe { generation, offset }.encode();
+        prop_assert!(ReplSubscribe::decode(&sub[..cut_seed % sub.len()]).is_none());
+        let encoded = batch.encode();
+        prop_assert!(ReplBatch::decode(&encoded[..cut_seed % encoded.len()]).is_none());
+        let ack = ReplAck { generation, offset }.encode();
+        prop_assert!(ReplAck::decode(&ack[..cut_seed % ack.len()]).is_none());
+        let ok = PromoteOk { generation }.encode();
+        prop_assert!(PromoteOk::decode(&ok[..cut_seed % ok.len()]).is_none());
+        for encoded in [sub, encoded, ack, ok] {
+            let mut trailing = encoded;
+            trailing.extend_from_slice(&[0xEE; 3]);
+            prop_assert!(ReplSubscribe::decode(&trailing).is_none());
+            prop_assert!(ReplBatch::decode(&trailing).is_none());
+            prop_assert!(ReplAck::decode(&trailing).is_none());
+            prop_assert!(PromoteOk::decode(&trailing).is_none());
+        }
+        // Arbitrary bytes never panic any replication decoder.
+        let _ = ReplSubscribe::decode(&garbage);
+        let _ = ReplBatch::decode(&garbage);
+        let _ = ReplAck::decode(&garbage);
+        let _ = PromoteOk::decode(&garbage);
     }
 
     /// Backoff schedules are a pure function of the policy: deterministic
@@ -365,6 +449,7 @@ fn fault_battery_leaves_the_server_standing() {
                 hub_bitsets: false,
                 deadline_ms: 0,
                 request_id: 0,
+                min_generation: 0,
                 pattern: prefab::triangle().canonical_bytes(),
             };
             stream
@@ -382,6 +467,7 @@ fn fault_battery_leaves_the_server_standing() {
                 hub_bitsets: false,
                 deadline_ms: 0,
                 request_id: 0,
+                min_generation: 0,
                 pattern: vec![2, 0b01], // vertex 0 adjacent to itself
             };
             let mut client = Client::connect(addr).unwrap();
@@ -453,6 +539,7 @@ fn frames_pipelined_back_to_back_all_get_replies() {
             hub_bitsets: false,
             deadline_ms: 0,
             request_id: 0,
+            min_generation: 0,
             pattern: prefab::triangle().canonical_bytes(),
         };
         let mut burst = Vec::new();
