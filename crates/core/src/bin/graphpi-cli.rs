@@ -40,6 +40,15 @@
 //! portable scalar reference (process-wide) instead of the runtime-detected
 //! SIMD family; counts are bit-identical either way.
 //!
+//! `--mode` selects what `count` computes: `count` (default, the exact
+//! global count), `orbit` (per-vertex participation counts),
+//! `sample` (a seeded Horvitz–Thompson estimate; `--sample-rate R` in
+//! `(0, 1]`, default 0.1, and `--sample-seed N`, default 0 — the same
+//! seed replays the same estimate), or `enumerate` (the embeddings
+//! themselves, up to `--limit N`, default 100). The non-count modes run a
+//! single query stream, so they reject `--clients`; `--list` stays the
+//! count-mode preview.
+//!
 //! `remote` talks to a running `graphpi-server` over the wire protocol
 //! (`docs/protocol.md`): `--pattern` counts remotely (`--clients N` opens N
 //! concurrent connections, each running `--repeat` queries, and verifies
@@ -53,6 +62,13 @@
 //! `--chaos-seed N` additionally routes each connection through the
 //! in-process seeded fault injector — a manual probe of the same machinery
 //! the chaos tests drive.
+//!
+//! `remote --mode=orbit|sample` sends the same mode queries over the wire
+//! (protocol v2's `CountRequest` mode byte), and `remote --enumerate
+//! --limit N` streams the embeddings themselves as paged `ENUM_PAGE`
+//! frames (`--page-size` caps embeddings per page). Enumeration carries
+//! no idempotency key: the retrying client re-issues it only while zero
+//! pages have arrived.
 //!
 //! `remote --endpoints a,b,c` is the failover mode for a replicated
 //! deployment: counts rotate across every endpoint (with read-your-writes
@@ -81,8 +97,9 @@ use graphpi_core::config::PoolOptions;
 use graphpi_core::engine::{CountOptions, GraphPi, PlanOptions};
 use graphpi_core::net::protocol::{self, LatencyHistogram};
 use graphpi_core::net::{
-    ChaosConfig, ChaosConnector, ChaosProxy, Client, FailoverClient, NetError, RemoteCountOptions,
-    RemoteUpdateOptions, RetryPolicy, RetryStats, RetryingClient, Transport, UpdateOk,
+    ChaosConfig, ChaosConnector, ChaosProxy, Client, CountExt, FailoverClient, NetError, QueryMode,
+    RemoteCountOptions, RemoteEnumerateOptions, RemoteEnumeration, RemoteUpdateOptions,
+    RetryPolicy, RetryStats, RetryingClient, Transport, UpdateOk,
 };
 use graphpi_graph::csr::CsrGraph;
 use graphpi_graph::wal::DurableGraph;
@@ -104,8 +121,22 @@ enum GraphFormat {
     Binary,
 }
 
+/// What the `count` command computes (`--mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum CliMode {
+    /// The exact global embedding count (the default).
+    #[default]
+    Count,
+    /// Per-vertex orbit counts (how many embeddings each vertex joins).
+    Orbit,
+    /// A sampled Horvitz–Thompson estimate (`--sample-rate`, `--sample-seed`).
+    Sample,
+    /// The embeddings themselves, up to `--limit`.
+    Enumerate,
+}
+
 /// Parsed command-line invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 struct CliArgs {
     command: Command,
     graph_path: String,
@@ -120,9 +151,17 @@ struct CliArgs {
     session: bool,
     clients: usize,
     max_in_flight: usize,
+    mode: CliMode,
+    /// Subtree sampling probability for `--mode=sample` (in `(0, 1]`).
+    sample_rate: f64,
+    /// Sampling seed for `--mode=sample` (default 0: runs are reproducible
+    /// unless a seed is given explicitly).
+    sample_seed: u64,
+    /// Embedding budget for `--mode=enumerate` (must be at least 1).
+    limit: u64,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 enum Command {
     Stats,
     Plan,
@@ -155,7 +194,7 @@ struct UpdateArgs {
 }
 
 /// `remote` subcommand invocation: which server to talk to and what to do.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 struct RemoteArgs {
     addr: String,
     /// Failover mode: the replicated deployment's endpoint list
@@ -175,6 +214,19 @@ struct RemoteArgs {
     shutdown: bool,
     probe_malformed: bool,
     mutate: Option<String>,
+    /// Remote count mode (`--mode=count|orbit|sample`; enumeration is the
+    /// separate paged `--enumerate` request, not a count mode).
+    mode: CliMode,
+    sample_rate: f64,
+    /// Sampling seed for `--mode=sample` (default 0, documented: the same
+    /// seed replays the same estimate on an unchanged graph).
+    sample_seed: u64,
+    /// Stream embeddings (`ENUMERATE`/`ENUM_PAGE`) instead of counting.
+    enumerate: bool,
+    /// Embedding budget for `--enumerate`.
+    limit: u64,
+    /// Requested embeddings per page (0 = server default).
+    page_size: u32,
 }
 
 /// `chaos-proxy` subcommand invocation.
@@ -191,18 +243,65 @@ struct ChaosProxyArgs {
 
 const USAGE: &str = "usage: graphpi-cli <stats|plan|count> --graph <path> \
 [--format auto|text|binary] [--pattern <name|adj:...>] [--threads N] [--no-iep] [--hubs] \
-[--scalar-kernels] [--list N] [--repeat N] [--session] [--clients N] [--max-in-flight N]\n\
+[--scalar-kernels] [--list N] [--repeat N] [--session] [--clients N] [--max-in-flight N] \
+[--mode count|orbit|sample|enumerate] [--sample-rate R] [--sample-seed N (default 0)] [--limit N]\n\
        graphpi-cli convert <edge-list> <binary-out>\n\
        graphpi-cli update --graph <path> --wal <path> [--format auto|text|binary] \
 [--insert U V]... [--delete U V]... [--ops <file>] [--checkpoint]\n\
        graphpi-cli remote [--addr host:port | --endpoints a,b,c] [--pattern <name>] \
 [--clients N] [--repeat N] [--no-iep] [--hubs] [--deadline-ms N] [--retries N] [--backoff-ms N] \
-[--chaos-seed N] [--ping] [--stats] [--probe-malformed] [--shutdown] [--mutate <ops-file>]\n\
+[--chaos-seed N] [--ping] [--stats] [--probe-malformed] [--shutdown] [--mutate <ops-file>] \
+[--mode count|orbit|sample] [--sample-rate R] [--sample-seed N] \
+[--enumerate] [--limit N] [--page-size N]\n\
        graphpi-cli promote [--addr host:port]\n\
        graphpi-cli chaos-proxy --upstream host:port [--listen host:port] [--seed N] \
 [--stall-per-mille N] [--stall-ms N] [--reset-per-mille N] [--partial-per-mille N]";
 
+/// A [`CliArgs`] with every count-path knob at its default — the shape
+/// the non-counting subcommands (convert, update, remote, ...) return.
+fn base_args(command: Command, graph_path: String, format: GraphFormat) -> CliArgs {
+    CliArgs {
+        command,
+        graph_path,
+        format,
+        pattern: None,
+        threads: 0,
+        use_iep: true,
+        hub_bitsets: false,
+        scalar_kernels: false,
+        list: 0,
+        repeat: 1,
+        session: false,
+        clients: 1,
+        max_in_flight: 0,
+        mode: CliMode::Count,
+        sample_rate: DEFAULT_SAMPLE_RATE,
+        sample_seed: 0,
+        limit: DEFAULT_ENUM_LIMIT,
+    }
+}
+
+/// Default subtree sampling probability for `--mode=sample`.
+const DEFAULT_SAMPLE_RATE: f64 = 0.1;
+/// Default embedding budget for `--mode=enumerate`.
+const DEFAULT_ENUM_LIMIT: u64 = 100;
+
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    // `--flag=value` is sugar for `--flag value`, everywhere a flag takes
+    // a value (`--mode=enumerate` reads better than `--mode enumerate`).
+    let expanded: Vec<String> = args
+        .iter()
+        .flat_map(|arg| {
+            match arg
+                .strip_prefix("--")
+                .and_then(|stripped| stripped.split_once('='))
+            {
+                Some((flag, value)) => vec![format!("--{flag}"), value.to_string()],
+                None => vec![arg.clone()],
+            }
+        })
+        .collect();
+    let args = &expanded;
     let mut iter = args.iter();
     let command = match iter.next().map(String::as_str) {
         Some("stats") => Command::Stats,
@@ -218,59 +317,25 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             if let Some(extra) = iter.next() {
                 return Err(format!("unexpected argument {extra:?}\n{USAGE}"));
             }
-            return Ok(CliArgs {
-                command: Command::Convert {
+            return Ok(base_args(
+                Command::Convert {
                     output: output.clone(),
                 },
-                graph_path: input.clone(),
-                format: GraphFormat::Auto,
-                pattern: None,
-                threads: 0,
-                use_iep: true,
-                hub_bitsets: false,
-                scalar_kernels: false,
-                list: 0,
-                repeat: 1,
-                session: false,
-                clients: 1,
-                max_in_flight: 0,
-            });
+                input.clone(),
+                GraphFormat::Auto,
+            ));
         }
         Some("chaos-proxy") => {
             let proxy = parse_chaos_proxy_args(iter.as_slice())?;
-            return Ok(CliArgs {
-                command: Command::ChaosProxy(proxy),
-                graph_path: String::new(),
-                format: GraphFormat::Auto,
-                pattern: None,
-                threads: 0,
-                use_iep: true,
-                hub_bitsets: false,
-                scalar_kernels: false,
-                list: 0,
-                repeat: 1,
-                session: false,
-                clients: 1,
-                max_in_flight: 0,
-            });
+            return Ok(base_args(
+                Command::ChaosProxy(proxy),
+                String::new(),
+                GraphFormat::Auto,
+            ));
         }
         Some("update") => {
             let (graph_path, format, update) = parse_update_args(iter.as_slice())?;
-            return Ok(CliArgs {
-                command: Command::Update(update),
-                graph_path,
-                format,
-                pattern: None,
-                threads: 0,
-                use_iep: true,
-                hub_bitsets: false,
-                scalar_kernels: false,
-                list: 0,
-                repeat: 1,
-                session: false,
-                clients: 1,
-                max_in_flight: 0,
-            });
+            return Ok(base_args(Command::Update(update), graph_path, format));
         }
         Some("promote") => {
             let mut addr = "127.0.0.1:7431".to_string();
@@ -281,39 +346,19 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     other => return Err(format!("unknown flag {other}\n{USAGE}")),
                 }
             }
-            return Ok(CliArgs {
-                command: Command::Promote { addr },
-                graph_path: String::new(),
-                format: GraphFormat::Auto,
-                pattern: None,
-                threads: 0,
-                use_iep: true,
-                hub_bitsets: false,
-                scalar_kernels: false,
-                list: 0,
-                repeat: 1,
-                session: false,
-                clients: 1,
-                max_in_flight: 0,
-            });
+            return Ok(base_args(
+                Command::Promote { addr },
+                String::new(),
+                GraphFormat::Auto,
+            ));
         }
         Some("remote") => {
             let remote = parse_remote_args(iter.as_slice())?;
-            return Ok(CliArgs {
-                command: Command::Remote(remote),
-                graph_path: String::new(),
-                format: GraphFormat::Auto,
-                pattern: None,
-                threads: 0,
-                use_iep: true,
-                hub_bitsets: false,
-                scalar_kernels: false,
-                list: 0,
-                repeat: 1,
-                session: false,
-                clients: 1,
-                max_in_flight: 0,
-            });
+            return Ok(base_args(
+                Command::Remote(remote),
+                String::new(),
+                GraphFormat::Auto,
+            ));
         }
         other => return Err(format!("unknown command {other:?}\n{USAGE}")),
     };
@@ -329,6 +374,10 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut session = false;
     let mut clients = 1usize;
     let mut max_in_flight = 0usize;
+    let mut mode = CliMode::Count;
+    let mut sample_rate: Option<f64> = None;
+    let mut sample_seed: Option<u64> = None;
+    let mut limit: Option<u64> = None;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--graph" => graph_path = Some(iter.next().ok_or("--graph needs a value")?.clone()),
@@ -386,6 +435,35 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|_| "--max-in-flight must be an integer".to_string())?
             }
+            "--mode" => {
+                mode = parse_mode(iter.next().ok_or("--mode needs a value")?)?;
+            }
+            "--sample-rate" => {
+                sample_rate = Some(parse_sample_rate(
+                    iter.next().ok_or("--sample-rate needs a value")?,
+                )?);
+            }
+            "--sample-seed" => {
+                sample_seed = Some(
+                    iter.next()
+                        .ok_or("--sample-seed needs a value")?
+                        .parse()
+                        .map_err(|_| "--sample-seed must be an integer".to_string())?,
+                );
+            }
+            "--limit" => {
+                let value: u64 = iter
+                    .next()
+                    .ok_or("--limit needs a value")?
+                    .parse()
+                    .map_err(|_| "--limit must be an integer".to_string())?;
+                if value == 0 {
+                    return Err(
+                        "--limit must be at least 1 (an empty enumeration is a no-op)".to_string(),
+                    );
+                }
+                limit = Some(value);
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -403,6 +481,34 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--max-in-flight requires --session (only the session pool schedules jobs)".to_string(),
         );
     }
+    if mode != CliMode::Count {
+        if command != Command::Count {
+            return Err("--mode applies to the count command".to_string());
+        }
+        if clients > 1 {
+            return Err(format!(
+                "--clients is the count-mode concurrent-load harness; --mode={} runs a \
+                 single query stream",
+                mode_name(mode)
+            ));
+        }
+        if list > 0 {
+            return Err(
+                "--list is the count-mode embedding preview; use --mode=enumerate --limit N \
+                 to list embeddings"
+                    .to_string(),
+            );
+        }
+    }
+    if mode != CliMode::Sample && (sample_rate.is_some() || sample_seed.is_some()) {
+        return Err(
+            "--sample-rate/--sample-seed only apply to --mode=sample (the other modes are exact)"
+                .to_string(),
+        );
+    }
+    if mode != CliMode::Enumerate && limit.is_some() {
+        return Err("--limit only applies to --mode=enumerate".to_string());
+    }
     Ok(CliArgs {
         command,
         graph_path,
@@ -417,7 +523,45 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         session,
         clients,
         max_in_flight,
+        mode,
+        sample_rate: sample_rate.unwrap_or(DEFAULT_SAMPLE_RATE),
+        sample_seed: sample_seed.unwrap_or(0),
+        limit: limit.unwrap_or(DEFAULT_ENUM_LIMIT),
     })
+}
+
+/// Parses a `--mode` value.
+fn parse_mode(value: &str) -> Result<CliMode, String> {
+    match value {
+        "count" => Ok(CliMode::Count),
+        "orbit" => Ok(CliMode::Orbit),
+        "sample" => Ok(CliMode::Sample),
+        "enumerate" => Ok(CliMode::Enumerate),
+        other => Err(format!(
+            "unknown mode {other:?} (count|orbit|sample|enumerate)"
+        )),
+    }
+}
+
+/// The `--mode` spelling of a [`CliMode`], for error messages.
+fn mode_name(mode: CliMode) -> &'static str {
+    match mode {
+        CliMode::Count => "count",
+        CliMode::Orbit => "orbit",
+        CliMode::Sample => "sample",
+        CliMode::Enumerate => "enumerate",
+    }
+}
+
+/// Parses and range-checks a `--sample-rate` value.
+fn parse_sample_rate(value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|_| "--sample-rate must be a number".to_string())?;
+    if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+        return Err("--sample-rate must be in (0, 1]".to_string());
+    }
+    Ok(rate)
 }
 
 /// Parses the flags after `remote`.
@@ -439,7 +583,17 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
         shutdown: false,
         probe_malformed: false,
         mutate: None,
+        mode: CliMode::Count,
+        sample_rate: DEFAULT_SAMPLE_RATE,
+        sample_seed: 0,
+        enumerate: false,
+        limit: DEFAULT_ENUM_LIMIT,
+        page_size: 0,
     };
+    let mut sample_rate: Option<f64> = None;
+    let mut sample_seed: Option<u64> = None;
+    let mut limit: Option<u64> = None;
+    let mut page_size: Option<u32> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -521,7 +675,73 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
             "--stats" => remote.stats = true,
             "--shutdown" => remote.shutdown = true,
             "--probe-malformed" => remote.probe_malformed = true,
+            "--mode" => {
+                remote.mode = parse_mode(iter.next().ok_or("--mode needs a value")?)?;
+                if remote.mode == CliMode::Enumerate {
+                    return Err(
+                        "remote enumeration is the paged --enumerate request, not a --mode value"
+                            .to_string(),
+                    );
+                }
+            }
+            "--sample-rate" => {
+                sample_rate = Some(parse_sample_rate(
+                    iter.next().ok_or("--sample-rate needs a value")?,
+                )?);
+            }
+            "--sample-seed" => {
+                sample_seed = Some(
+                    iter.next()
+                        .ok_or("--sample-seed needs a value")?
+                        .parse()
+                        .map_err(|_| "--sample-seed must be an integer".to_string())?,
+                );
+            }
+            "--enumerate" => remote.enumerate = true,
+            "--limit" => {
+                let value: u64 = iter
+                    .next()
+                    .ok_or("--limit needs a value")?
+                    .parse()
+                    .map_err(|_| "--limit must be an integer".to_string())?;
+                if value == 0 {
+                    return Err(
+                        "--limit must be at least 1 (an empty enumeration is a no-op)".to_string(),
+                    );
+                }
+                limit = Some(value);
+            }
+            "--page-size" => {
+                page_size = Some(
+                    iter.next()
+                        .ok_or("--page-size needs a value")?
+                        .parse()
+                        .map_err(|_| "--page-size must be an integer".to_string())?,
+                );
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    remote.sample_rate = sample_rate.unwrap_or(DEFAULT_SAMPLE_RATE);
+    remote.sample_seed = sample_seed.unwrap_or(0);
+    remote.limit = limit.unwrap_or(DEFAULT_ENUM_LIMIT);
+    remote.page_size = page_size.unwrap_or(0);
+    if remote.enumerate {
+        if remote.pattern.is_none() {
+            return Err("--enumerate needs a --pattern to enumerate".to_string());
+        }
+        if remote.mode != CliMode::Count {
+            return Err(format!(
+                "--enumerate streams embeddings; it cannot combine with --mode={}",
+                mode_name(remote.mode)
+            ));
+        }
+        if remote.clients > 1 {
+            return Err(
+                "--enumerate streams one non-idempotent response; it cannot combine with \
+                 --clients (each stream would race for the shared limit)"
+                    .to_string(),
+            );
         }
     }
     if remote.pattern.is_none()
@@ -532,6 +752,15 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
             "remote needs something to do: --pattern, --mutate, --ping, --stats, \
              --probe-malformed or --shutdown\n{USAGE}"
         ));
+    }
+    if remote.mode != CliMode::Sample && (sample_rate.is_some() || sample_seed.is_some()) {
+        return Err(
+            "--sample-rate/--sample-seed only apply to --mode=sample (the other modes are exact)"
+                .to_string(),
+        );
+    }
+    if !remote.enumerate && (limit.is_some() || page_size.is_some()) {
+        return Err("--limit/--page-size only apply to --enumerate".to_string());
     }
     if remote.chaos_seed.is_some() && remote.retries == 1 {
         return Err(
@@ -560,6 +789,17 @@ fn parse_remote_args(args: &[String]) -> Result<RemoteArgs, String> {
             return Err(
                 "--endpoints runs one failover client; drop --clients or use --addr".to_string(),
             );
+        }
+        if remote.enumerate {
+            return Err(
+                "--enumerate is non-idempotent and cannot fail over; use --addr".to_string(),
+            );
+        }
+        if remote.mode != CliMode::Count {
+            return Err(format!(
+                "--mode={} is --addr territory; the failover client verifies exact counts",
+                mode_name(remote.mode)
+            ));
         }
     }
     Ok(remote)
@@ -900,6 +1140,12 @@ fn print_remote_stats(stats: &protocol::StatsOk) {
         "queries: {} executed, {} deadline-exceeded, {} protocol errors",
         stats.queries_total, stats.deadline_exceeded, stats.protocol_errors
     );
+    if stats.enumerations_total > 0 {
+        println!(
+            "enumerations: {} streamed in {} page(s)",
+            stats.enumerations_total, stats.pages_sent
+        );
+    }
     println!(
         "plan cache: {} hit(s) / {} miss(es), {} eviction(s), {}/{} plans, {} warm-started",
         stats.cache_hits,
@@ -985,12 +1231,15 @@ fn run_remote_failover(args: &RemoteArgs) -> Result<(), String> {
     }
     if let Some(name) = &args.pattern {
         let pattern = resolve_pattern(name)?;
+        // Non-count modes are rejected at parse time for --endpoints, so
+        // the failover path always runs plain counts.
         let options = RemoteCountOptions {
             no_iep: args.no_iep,
             hub_bitsets: args.hubs,
             deadline_ms: args.deadline_ms,
             request_id: 0,
             min_generation: 0,
+            mode: QueryMode::Count,
         };
         let start = std::time::Instant::now();
         let mut observed = Vec::with_capacity(args.repeat);
@@ -1128,107 +1377,10 @@ fn run_remote(args: &RemoteArgs) -> Result<(), String> {
     }
     if let Some(name) = &args.pattern {
         let pattern = resolve_pattern(name)?;
-        let options = RemoteCountOptions {
-            no_iep: args.no_iep,
-            hub_bitsets: args.hubs,
-            deadline_ms: args.deadline_ms,
-            request_id: 0,
-            min_generation: 0,
-        };
-        // With --retries or --chaos-seed the counts run through the
-        // resilient retrying client (which needs a resolved address for
-        // its reconnect loop) instead of the plain one-shot client.
-        let use_retry = args.retries > 1 || args.chaos_seed.is_some();
-        let resolved = if use_retry {
-            Some(resolve_addr(&args.addr)?)
+        if args.enumerate {
+            run_remote_enumerate(args, name, &pattern)?;
         } else {
-            None
-        };
-        let start = std::time::Instant::now();
-        // Every client thread opens its own connection and runs `repeat`
-        // queries; all observed counts must be bit-identical.
-        let results: Vec<Result<(Vec<u64>, RetryStats), String>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..args.clients)
-                .map(|client_index| {
-                    let addr = &args.addr;
-                    let pattern = &pattern;
-                    scope.spawn(move || {
-                        let mut observed = Vec::with_capacity(args.repeat);
-                        if let Some(resolved) = resolved {
-                            let policy = RetryPolicy {
-                                max_attempts: args.retries,
-                                initial_backoff: Duration::from_millis(args.backoff_ms),
-                                ..RetryPolicy::default()
-                            }
-                            .with_seed(client_index as u64);
-                            let mut client = match args.chaos_seed {
-                                Some(seed) => {
-                                    let config = ChaosConfig::gentle(seed ^ client_index as u64);
-                                    let connector = ChaosConnector::new(resolved, config);
-                                    RetryingClient::new(
-                                        move || {
-                                            let transport = connector.connect()?;
-                                            Ok(Box::new(transport) as Box<dyn Transport + Send>)
-                                        },
-                                        policy,
-                                    )
-                                }
-                                None => RetryingClient::connect_tcp(resolved, policy),
-                            };
-                            for _ in 0..args.repeat {
-                                let result = client
-                                    .count_with(pattern, options)
-                                    .map_err(|e| format!("client {client_index}: {e}"))?;
-                                observed.push(result.count);
-                            }
-                            Ok((observed, client.stats()))
-                        } else {
-                            let mut client = Client::connect(addr)
-                                .map_err(|e| format!("client {client_index}: connect: {e}"))?;
-                            for _ in 0..args.repeat {
-                                let result = client
-                                    .count_with(pattern, options)
-                                    .map_err(|e| format!("client {client_index}: {e}"))?;
-                                observed.push(result.count);
-                            }
-                            Ok((observed, RetryStats::default()))
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("remote client thread panicked"))
-                .collect()
-        });
-        let elapsed = start.elapsed();
-        let mut all_counts = Vec::new();
-        let mut retry = RetryStats::default();
-        for result in results {
-            let (counts, stats) = result?;
-            all_counts.extend(counts);
-            retry.attempts += stats.attempts;
-            retry.connects += stats.connects;
-            retry.retries += stats.retries;
-            retry.hints_honored += stats.hints_honored;
-        }
-        let first = all_counts[0];
-        if all_counts.iter().any(|&c| c != first) {
-            return Err("remote clients observed diverging counts".to_string());
-        }
-        let queries = all_counts.len() as u32;
-        println!(
-            "remote count {name}: {first} embeddings  ({queries} queries x{} client(s) in {:?}, \
-             {:.0} queries/s)",
-            args.clients,
-            elapsed,
-            f64::from(queries) / elapsed.as_secs_f64()
-        );
-        if use_retry {
-            println!(
-                "resilience: {} attempts, {} connects, {} retries, {} server hints honored",
-                retry.attempts, retry.connects, retry.retries, retry.hints_honored
-            );
+            run_remote_counts(args, name, &pattern)?;
         }
     }
     if args.stats {
@@ -1243,6 +1395,206 @@ fn run_remote(args: &RemoteArgs) -> Result<(), String> {
             .map_err(|e| format!("shutdown failed: {e}"))?;
         println!("shutdown: server is draining");
     }
+    Ok(())
+}
+
+/// The wire [`QueryMode`] a `remote` invocation's count requests carry.
+fn remote_query_mode(args: &RemoteArgs) -> QueryMode {
+    match args.mode {
+        CliMode::Orbit => QueryMode::Orbit,
+        CliMode::Sample => QueryMode::sample(args.sample_seed, args.sample_rate),
+        _ => QueryMode::Count,
+    }
+}
+
+/// Runs the remote counting loop (all `--mode`s; enumeration is
+/// [`run_remote_enumerate`]): every client thread opens its own
+/// connection and runs `--repeat` queries, and all observed headline
+/// counts must be bit-identical — sample mode included, because a fixed
+/// seed replays the same estimate on an unchanged graph.
+fn run_remote_counts(args: &RemoteArgs, name: &str, pattern: &Pattern) -> Result<(), String> {
+    let options = RemoteCountOptions {
+        no_iep: args.no_iep,
+        hub_bitsets: args.hubs,
+        deadline_ms: args.deadline_ms,
+        request_id: 0,
+        min_generation: 0,
+        mode: remote_query_mode(args),
+    };
+    // With --retries or --chaos-seed the counts run through the
+    // resilient retrying client (which needs a resolved address for
+    // its reconnect loop) instead of the plain one-shot client.
+    let use_retry = args.retries > 1 || args.chaos_seed.is_some();
+    let resolved = if use_retry {
+        Some(resolve_addr(&args.addr)?)
+    } else {
+        None
+    };
+    let start = std::time::Instant::now();
+    type ClientResult = Result<(Vec<u64>, CountExt, RetryStats), String>;
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client_index| {
+                let addr = &args.addr;
+                scope.spawn(move || {
+                    let mut observed = Vec::with_capacity(args.repeat);
+                    let mut ext = CountExt::None;
+                    if let Some(resolved) = resolved {
+                        let policy = RetryPolicy {
+                            max_attempts: args.retries,
+                            initial_backoff: Duration::from_millis(args.backoff_ms),
+                            ..RetryPolicy::default()
+                        }
+                        .with_seed(client_index as u64);
+                        let mut client = match args.chaos_seed {
+                            Some(seed) => {
+                                let config = ChaosConfig::gentle(seed ^ client_index as u64);
+                                let connector = ChaosConnector::new(resolved, config);
+                                RetryingClient::new(
+                                    move || {
+                                        let transport = connector.connect()?;
+                                        Ok(Box::new(transport) as Box<dyn Transport + Send>)
+                                    },
+                                    policy,
+                                )
+                            }
+                            None => RetryingClient::connect_tcp(resolved, policy),
+                        };
+                        for _ in 0..args.repeat {
+                            let result = client
+                                .count_with(pattern, options)
+                                .map_err(|e| format!("client {client_index}: {e}"))?;
+                            observed.push(result.count);
+                            ext = result.ext;
+                        }
+                        Ok((observed, ext, client.stats()))
+                    } else {
+                        let mut client = Client::connect(addr)
+                            .map_err(|e| format!("client {client_index}: connect: {e}"))?;
+                        for _ in 0..args.repeat {
+                            let result = client
+                                .count_with(pattern, options)
+                                .map_err(|e| format!("client {client_index}: {e}"))?;
+                            observed.push(result.count);
+                            ext = result.ext;
+                        }
+                        Ok((observed, ext, RetryStats::default()))
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("remote client thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut all_counts = Vec::new();
+    let mut mode_ext = CountExt::None;
+    let mut retry = RetryStats::default();
+    for result in results {
+        let (counts, ext, stats) = result?;
+        all_counts.extend(counts);
+        if !matches!(ext, CountExt::None) {
+            mode_ext = ext;
+        }
+        retry.attempts += stats.attempts;
+        retry.connects += stats.connects;
+        retry.retries += stats.retries;
+        retry.hints_honored += stats.hints_honored;
+    }
+    let first = all_counts[0];
+    if all_counts.iter().any(|&c| c != first) {
+        return Err("remote clients observed diverging counts".to_string());
+    }
+    let queries = all_counts.len() as u32;
+    println!(
+        "remote count {name}: {first} embeddings  ({queries} queries x{} client(s) in {:?}, \
+         {:.0} queries/s)",
+        args.clients,
+        elapsed,
+        f64::from(queries) / elapsed.as_secs_f64()
+    );
+    match mode_ext {
+        CountExt::None => {}
+        CountExt::Orbit(orbit) => println!(
+            "orbit: counts sum {} across {} participating vertices, max {} at vertex {}",
+            orbit.sum, orbit.nonzero_vertices, orbit.max_count, orbit.max_vertex
+        ),
+        CountExt::Sample(sample) => println!(
+            "sample: estimate {:.1} +- {:.1} stderr (seed {}, rate {}, {}/{} tasks sampled)",
+            f64::from_bits(sample.estimate_bits),
+            f64::from_bits(sample.stderr_bits),
+            args.sample_seed,
+            args.sample_rate,
+            sample.sampled_tasks,
+            sample.total_tasks
+        ),
+    }
+    if use_retry {
+        println!(
+            "resilience: {} attempts, {} connects, {} retries, {} server hints honored",
+            retry.attempts, retry.connects, retry.retries, retry.hints_honored
+        );
+    }
+    Ok(())
+}
+
+/// Runs `remote --enumerate`: one paged `ENUMERATE` stream (non-idempotent
+/// — retried automatically only while zero pages have arrived), printing a
+/// short embedding preview and the page/total summary.
+fn run_remote_enumerate(args: &RemoteArgs, name: &str, pattern: &Pattern) -> Result<(), String> {
+    let options = RemoteEnumerateOptions {
+        hub_bitsets: args.hubs,
+        deadline_ms: args.deadline_ms,
+        page_size: args.page_size,
+    };
+    let start = std::time::Instant::now();
+    let result: RemoteEnumeration = if args.retries > 1 || args.chaos_seed.is_some() {
+        let resolved = resolve_addr(&args.addr)?;
+        let policy = RetryPolicy {
+            max_attempts: args.retries,
+            initial_backoff: Duration::from_millis(args.backoff_ms),
+            ..RetryPolicy::default()
+        };
+        let mut client = match args.chaos_seed {
+            Some(seed) => {
+                let config = ChaosConfig::gentle(seed);
+                let connector = ChaosConnector::new(resolved, config);
+                RetryingClient::new(
+                    move || {
+                        let transport = connector.connect()?;
+                        Ok(Box::new(transport) as Box<dyn Transport + Send>)
+                    },
+                    policy,
+                )
+            }
+            None => RetryingClient::connect_tcp(resolved, policy),
+        };
+        client
+            .enumerate_with(pattern, args.limit, options)
+            .map_err(|e| format!("enumerate failed: {e}"))?
+    } else {
+        let mut client = Client::connect(&args.addr)
+            .map_err(|e| format!("enumerate: connect failed: {e}"))?;
+        client
+            .enumerate_with(pattern, args.limit, options)
+            .map_err(|e| format!("enumerate failed: {e}"))?
+    };
+    let elapsed = start.elapsed();
+    const PREVIEW: usize = 5;
+    for embedding in result.embeddings.iter().take(PREVIEW) {
+        println!("  {embedding:?}");
+    }
+    if result.embeddings.len() > PREVIEW {
+        println!("  ... {} more", result.embeddings.len() - PREVIEW);
+    }
+    println!(
+        "remote enumerate {name}: {} embeddings in {} page(s) (limit {}) in {elapsed:?}",
+        result.embeddings.len(),
+        result.pages,
+        args.limit
+    );
     Ok(())
 }
 
@@ -1399,6 +1751,9 @@ fn run(args: CliArgs) -> Result<(), String> {
         scalar_kernels: args.scalar_kernels,
     };
     println!("kernels: {}", vertex_set::active_kernel().name());
+    if args.mode != CliMode::Count {
+        return run_local_mode(&engine, &pattern, &args, count_options);
+    }
     let mut timings: Vec<std::time::Duration> = Vec::with_capacity(args.repeat);
     let mut count = 0u64;
     if args.session {
@@ -1507,6 +1862,86 @@ fn run(args: CliArgs) -> Result<(), String> {
         let embeddings = graphpi_core::exec::interp::list_embeddings(&plan.plan, engine.graph());
         for emb in embeddings.iter().take(args.list) {
             println!("  {emb:?}");
+        }
+    }
+    Ok(())
+}
+
+/// Runs the non-count local execution modes (`--mode=orbit|sample|enumerate`).
+///
+/// Mode queries always run on a session (the pooled serving path): the
+/// pool schedules them on its low-priority lane and the mode-plan cache
+/// amortizes planning, which is exactly how a server would execute them.
+fn run_local_mode(
+    engine: &GraphPi,
+    pattern: &Pattern,
+    args: &CliArgs,
+    count_options: CountOptions,
+) -> Result<(), String> {
+    let session = engine.session_with(
+        PoolOptions {
+            threads: args.threads,
+            max_in_flight: args.max_in_flight,
+            ..PoolOptions::default()
+        },
+        PlanOptions::default(),
+        count_options,
+    );
+    let start = std::time::Instant::now();
+    match args.mode {
+        CliMode::Count => unreachable!("dispatched for non-count modes only"),
+        CliMode::Enumerate => {
+            let embeddings = session
+                .enumerate(pattern, args.limit)
+                .map_err(|e| e.to_string())?;
+            let elapsed = start.elapsed();
+            for embedding in &embeddings {
+                println!("  {embedding:?}");
+            }
+            let truncated = embeddings.len() as u64 >= args.limit;
+            println!(
+                "enumerated: {} embeddings (limit {}{}) in {elapsed:?}",
+                embeddings.len(),
+                args.limit,
+                if truncated { ", truncated" } else { "" },
+            );
+        }
+        CliMode::Orbit => {
+            let counts = session
+                .count_per_vertex(pattern)
+                .map_err(|e| e.to_string())?;
+            let elapsed = start.elapsed();
+            let sum: u64 = counts.iter().sum();
+            let nonzero = counts.iter().filter(|&&c| c > 0).count();
+            let (max_vertex, max_count) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(v, &c)| (v, c))
+                .unwrap_or((0, 0));
+            let size = pattern.num_vertices() as u64;
+            println!(
+                "orbit: counts sum {sum} = {size} x {} embeddings, {nonzero}/{} vertices \
+                 participate, max {max_count} at vertex {max_vertex} ({elapsed:?})",
+                sum / size.max(1),
+                counts.len(),
+            );
+        }
+        CliMode::Sample => {
+            let approx = session
+                .count_approx(pattern, args.sample_rate, args.sample_seed)
+                .map_err(|e| e.to_string())?;
+            let elapsed = start.elapsed();
+            println!(
+                "sample: estimate {:.1} +- {:.1} stderr (rate {}, seed {}, {}/{} tasks sampled) \
+                 in {elapsed:?}",
+                approx.estimate,
+                approx.stderr,
+                args.sample_rate,
+                args.sample_seed,
+                approx.sampled_tasks,
+                approx.total_tasks
+            );
         }
     }
     Ok(())
@@ -1701,6 +2136,179 @@ mod tests {
             ],
         ] {
             assert!(parse_args(&strings(&bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_mode_flags_and_equals_sugar() {
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--mode=sample",
+            "--sample-rate=0.25",
+            "--sample-seed=7",
+        ]))
+        .unwrap();
+        assert_eq!(args.mode, CliMode::Sample);
+        assert_eq!(args.sample_rate, 0.25);
+        assert_eq!(args.sample_seed, 7);
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--mode",
+            "enumerate",
+            "--limit",
+            "12",
+        ]))
+        .unwrap();
+        assert_eq!(args.mode, CliMode::Enumerate);
+        assert_eq!(args.limit, 12);
+        // Defaults: exact count; seed 0, rate 0.1 and limit 100 documented.
+        let args = parse_args(&strings(&[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+        ]))
+        .unwrap();
+        assert_eq!(args.mode, CliMode::Count);
+        assert_eq!(args.sample_seed, 0);
+        assert_eq!(args.sample_rate, DEFAULT_SAMPLE_RATE);
+        assert_eq!(args.limit, DEFAULT_ENUM_LIMIT);
+    }
+
+    #[test]
+    fn rejects_nonsensical_mode_combinations() {
+        let base = ["count", "--graph", "g.txt", "--pattern", "house"];
+        let rejected: &[(&[&str], &str)] = &[
+            (&["--mode", "turbo"], "unknown mode"),
+            (
+                &["--mode=enumerate", "--limit", "0"],
+                "--limit must be at least 1",
+            ),
+            (
+                &["--mode=enumerate", "--session", "--clients", "2"],
+                "single query stream",
+            ),
+            (
+                &["--mode=enumerate", "--list", "3"],
+                "--list is the count-mode",
+            ),
+            (&["--limit", "5"], "--limit only applies to --mode=enumerate"),
+            (&["--sample-rate", "0.5"], "only apply to --mode=sample"),
+            (&["--sample-seed", "9"], "only apply to --mode=sample"),
+            (
+                &["--mode=sample", "--sample-rate", "0"],
+                "--sample-rate must be in (0, 1]",
+            ),
+            (
+                &["--mode=sample", "--sample-rate", "1.5"],
+                "--sample-rate must be in (0, 1]",
+            ),
+            // `"nan"` parses as a float; the range check must still veto it.
+            (
+                &["--mode=sample", "--sample-rate", "nan"],
+                "--sample-rate must be in (0, 1]",
+            ),
+        ];
+        for (extra, needle) in rejected {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend_from_slice(extra);
+            let error = parse_args(&strings(&argv)).unwrap_err();
+            assert!(error.contains(needle), "{argv:?}: {error}");
+        }
+        // --mode is a count-command flag.
+        assert!(
+            parse_args(&strings(&["stats", "--graph", "g.txt", "--mode", "orbit"]))
+                .unwrap_err()
+                .contains("--mode applies to the count command")
+        );
+    }
+
+    #[test]
+    fn parses_remote_mode_and_enumerate_flags() {
+        let args = parse_args(&strings(&["remote", "--pattern", "house", "--mode=orbit"])).unwrap();
+        let Command::Remote(remote) = args.command else {
+            panic!("expected a remote command");
+        };
+        assert_eq!(remote.mode, CliMode::Orbit);
+        assert!(!remote.enumerate);
+        let args = parse_args(&strings(&[
+            "remote",
+            "--pattern",
+            "house",
+            "--enumerate",
+            "--limit",
+            "64",
+            "--page-size",
+            "16",
+        ]))
+        .unwrap();
+        let Command::Remote(remote) = args.command else {
+            panic!("expected a remote command");
+        };
+        assert!(remote.enumerate);
+        assert_eq!(remote.limit, 64);
+        assert_eq!(remote.page_size, 16);
+        assert_eq!(remote.mode, CliMode::Count);
+        for (argv, needle) in [
+            (
+                vec!["remote", "--pattern", "p1", "--mode=enumerate"],
+                "paged --enumerate",
+            ),
+            (vec!["remote", "--enumerate"], "--enumerate needs a --pattern"),
+            (
+                vec!["remote", "--pattern", "p1", "--enumerate", "--clients", "2"],
+                "cannot combine with",
+            ),
+            (
+                vec!["remote", "--pattern", "p1", "--enumerate", "--mode=orbit"],
+                "cannot combine with --mode=orbit",
+            ),
+            (
+                vec!["remote", "--pattern", "p1", "--enumerate", "--limit", "0"],
+                "--limit must be at least 1",
+            ),
+            (
+                vec!["remote", "--pattern", "p1", "--limit", "9"],
+                "only apply to --enumerate",
+            ),
+            (
+                vec!["remote", "--pattern", "p1", "--sample-seed", "3"],
+                "only apply to --mode=sample",
+            ),
+            (
+                vec![
+                    "remote",
+                    "--endpoints",
+                    "h:1,h:2",
+                    "--pattern",
+                    "p1",
+                    "--enumerate",
+                ],
+                "cannot fail over",
+            ),
+            (
+                vec![
+                    "remote",
+                    "--endpoints",
+                    "h:1,h:2",
+                    "--pattern",
+                    "p1",
+                    "--mode=sample",
+                ],
+                "--addr territory",
+            ),
+        ] {
+            let error = parse_args(&strings(&argv)).unwrap_err();
+            assert!(error.contains(needle), "{argv:?}: {error}");
         }
     }
 

@@ -139,6 +139,23 @@ impl Configuration {
     pub fn compile(&self) -> ExecutionPlan {
         ExecutionPlan::compile(self)
     }
+
+    /// Compiles the configuration, optionally disabling IEP counting.
+    ///
+    /// IEP only makes sense when the job reduces to a single number:
+    /// execution modes that must *visit* every embedding (enumeration,
+    /// per-vertex counts, sampling the match stream) need a plan whose
+    /// loops run to full depth. With `enable_iep = false` the compiled plan
+    /// carries an empty independent suffix and a no-op correction, so every
+    /// executor treats it as a plain enumerate-everything program.
+    pub fn compile_with_iep(&self, enable_iep: bool) -> ExecutionPlan {
+        let mut plan = ExecutionPlan::compile(self);
+        if !enable_iep {
+            plan.iep_suffix_len = 0;
+            plan.iep_correction = IepCorrection::DividePrefixRestricted { divisor: 1 };
+        }
+        plan
+    }
 }
 
 /// A restriction bound that applies at a given loop.
@@ -442,6 +459,18 @@ mod tests {
             plan.iep_correction,
             IepCorrection::DivideUnrestricted { divisor: 2 }
         );
+    }
+
+    #[test]
+    fn compile_with_iep_disabled_clears_the_suffix() {
+        let config = paper_house_config();
+        let plan = config.compile_with_iep(false);
+        assert_eq!(plan.iep_suffix_len, 0);
+        assert_eq!(plan.iep_correction.divisor(), 1);
+        // The loop program itself is untouched.
+        assert_eq!(plan.loops, config.compile().loops);
+        // And enabling IEP is identical to the plain compile.
+        assert_eq!(config.compile_with_iep(true), config.compile());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::config::{Configuration, ExecutionPlan, PoolOptions, MAX_LOOPS};
 use crate::error::EngineError;
 use crate::exec::pool::WorkerPool;
+use crate::exec::sink::ModeShared;
 use crate::exec::{iep, interp, parallel};
 use crate::perf_model::{select_best, CostEstimate, PerformanceModel};
 use crate::schedule::{efficient_schedules, Schedule};
@@ -41,6 +42,14 @@ pub struct PlanOptions {
     pub max_restriction_sets: usize,
     /// Upper bound on the number of schedules considered (0 = no limit).
     pub max_schedules: usize,
+    /// Compile the selected configuration with IEP support (the default).
+    /// IEP is a *counting* shortcut: it replaces the innermost independent
+    /// loops with arithmetic and never materializes those vertices, so any
+    /// mode that must visit every embedding — enumeration, per-vertex
+    /// counts, sampled counting — plans with this `false`, which compiles
+    /// a full-depth plan (empty IEP suffix, no-op correction) instead of
+    /// stripping IEP from a counting plan after the fact.
+    pub enable_iep: bool,
 }
 
 impl Default for PlanOptions {
@@ -48,6 +57,7 @@ impl Default for PlanOptions {
         Self {
             max_restriction_sets: 64,
             max_schedules: 0,
+            enable_iep: true,
         }
     }
 }
@@ -240,7 +250,7 @@ impl GraphPi {
 
         let model = PerformanceModel::new(self.stats, pattern.num_vertices());
         let (best_idx, estimates) = select_best(&model, &candidates);
-        let plan = candidates[best_idx].compile();
+        let plan = candidates[best_idx].compile_with_iep(options.enable_iep);
         Ok(Plan {
             plan,
             predicted_cost: estimates[best_idx].total,
@@ -405,17 +415,21 @@ impl GraphPi {
 }
 
 /// Key identifying a compiled plan: the labeled pattern bytes, the planning
-/// caps, and the graph-stats fingerprint the cost model ranked candidates
-/// with — everything the planner's output depends on. Deliberately *not*
-/// keyed on the IEP flag: plans are IEP-agnostic (every plan carries its
-/// `iep_suffix_len`/`iep_correction`; the counting mode is chosen at
-/// execution time), so keying on it would store byte-identical plans twice
-/// and halve the effective LRU capacity.
+/// caps, the planner's IEP flag, and the graph-stats fingerprint the cost
+/// model ranked candidates with — everything the planner's *output* depends
+/// on. Deliberately *not* keyed on the execution-time counting mode
+/// ([`CountOptions::use_iep`]): an IEP-enabled plan serves both IEP and
+/// enumeration counting, so keying on that would store byte-identical
+/// plans twice and halve the effective LRU capacity. The planner flag
+/// [`PlanOptions::enable_iep`] IS keyed, because it changes the compiled
+/// plan itself (empty suffix, no-op correction) — count queries and
+/// full-enumeration modes cache distinct plans for the same pattern.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     pattern: Vec<u8>,
     max_restriction_sets: usize,
     max_schedules: usize,
+    enable_iep: bool,
     graph_fingerprint: u64,
 }
 
@@ -425,6 +439,7 @@ impl PlanKey {
             pattern: pattern.canonical_bytes(),
             max_restriction_sets: plan_options.max_restriction_sets,
             max_schedules: plan_options.max_schedules,
+            enable_iep: plan_options.enable_iep,
             graph_fingerprint: stats.fingerprint(),
         }
     }
@@ -447,6 +462,27 @@ pub struct SavedPlanKey {
     pub max_schedules: usize,
     /// The [`GraphStats::fingerprint`] of the graph the plan was ranked on.
     pub graph_fingerprint: u64,
+}
+
+/// Outcome of [`Session::count_approx`]: a Horvitz–Thompson estimate of
+/// the embedding count from a uniform sample of search-prefix subtrees.
+///
+/// The estimator is unbiased: each prefix task is kept with the requested
+/// probability (decided by a seeded hash, so a fixed seed reproduces the
+/// same sample) and every kept task's exact embedding count is divided by
+/// that probability. `stderr` is the estimated standard error — roughly,
+/// the true count lies within `estimate ± 2 × stderr` 95% of the time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxCount {
+    /// The Horvitz–Thompson estimate of the embedding count.
+    pub estimate: f64,
+    /// Estimated standard error of `estimate` (0 when the rate is ≥ 1,
+    /// where the "estimate" is the exact count).
+    pub stderr: f64,
+    /// Number of prefix tasks that were sampled and fully counted.
+    pub sampled_tasks: u64,
+    /// Total number of prefix tasks the search decomposed into.
+    pub total_tasks: u64,
 }
 
 /// Outcome of [`Session::warm_start`]: how many persisted keys applied to
@@ -593,10 +629,19 @@ impl PlanCache {
 
     /// Snapshots every cached key in portable form (most recently used
     /// first), for persistence across processes — see [`crate::persist`].
+    ///
+    /// Only IEP-enabled (count-path) keys are snapshotted: the persisted
+    /// format predates [`PlanOptions::enable_iep`] and mode plans are cheap
+    /// derivatives that warm themselves on the first enumeration/orbit/
+    /// sample query, so persisting them is not worth a format change.
     pub fn saved_keys(&self) -> Vec<SavedPlanKey> {
         let inner = self.inner.lock().expect("plan cache poisoned");
-        let mut entries: Vec<(&PlanKey, u64)> =
-            inner.map.iter().map(|(k, e)| (k, e.last_used)).collect();
+        let mut entries: Vec<(&PlanKey, u64)> = inner
+            .map
+            .iter()
+            .filter(|(k, _)| k.enable_iep)
+            .map(|(k, e)| (k, e.last_used))
+            .collect();
         entries.sort_by_key(|&(_, last_used)| std::cmp::Reverse(last_used));
         entries
             .into_iter()
@@ -752,6 +797,187 @@ impl<'g> Session<'g> {
                 parallel_options,
             )
         }
+    }
+
+    /// Returns the cached *full-depth* plan for `pattern`: the same planner
+    /// and cache as [`Session::plan_cached`], but compiled with
+    /// [`PlanOptions::enable_iep`] off, because execution modes that visit
+    /// every embedding cannot use a plan whose innermost loops were
+    /// replaced by IEP arithmetic. Count and mode plans occupy distinct
+    /// cache entries (the key includes the flag).
+    pub fn mode_plan_cached(&self, pattern: &Pattern) -> Result<Arc<Plan>, EngineError> {
+        let options = PlanOptions {
+            enable_iep: false,
+            ..self.plan_options
+        };
+        let key = PlanKey::new(pattern, &options, &self.engine.stats);
+        self.cache
+            .get_or_plan(key, || self.engine.plan(pattern, options))
+    }
+
+    /// Runs a full-depth plan through the pool in a non-count mode, folding
+    /// results into `shared`. Mode jobs are submitted on a low-priority
+    /// lane so they never starve concurrent interactive counts.
+    fn run_mode(&self, plan: &ExecutionPlan, shared: &ModeShared, count_options: &CountOptions) {
+        graphpi_graph::vertex_set::set_force_scalar(count_options.scalar_kernels);
+        let options = parallel::ParallelOptions {
+            mode: parallel::CountMode::Enumerate,
+            ..self.parallel_options
+        };
+        if count_options.hub_bitsets {
+            let hubs = self.engine.hub_index();
+            self.pool
+                .run_mode_in(plan, interp::ExecCtx::with_hubs(hubs), &options, shared);
+        } else {
+            self.pool.run_mode_in(
+                plan,
+                interp::ExecCtx::new(&self.engine.graph),
+                &options,
+                shared,
+            );
+        }
+    }
+
+    /// Enumerates embeddings of `pattern`, returning at most `limit` of
+    /// them (one `Vec` per embedding, indexed by pattern vertex, in
+    /// original data-graph ids).
+    ///
+    /// The `limit` is a hard budget enforced while matching — once `limit`
+    /// embeddings are recorded the search stops claiming more, so
+    /// enumerating a bounded page out of an astronomically large match set
+    /// does not pay for the full search. *Which* embeddings fill a
+    /// truncated page is unspecified under parallel execution (tasks race
+    /// for the budget); the full set is returned whenever the true count
+    /// is within the limit.
+    ///
+    /// Under [`CountOptions::hub_bitsets`] the returned tuples may pick a
+    /// different automorphic representative per subgraph occurrence than
+    /// the plain layout (symmetry-breaking restrictions compare ids, and
+    /// the hub layout relabels them); the set of occurrences and the count
+    /// are identical either way.
+    pub fn enumerate(
+        &self,
+        pattern: &Pattern,
+        limit: u64,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        self.enumerate_with(pattern, limit, self.count_options)
+    }
+
+    /// [`Session::enumerate`] with per-call [`CountOptions`] overriding the
+    /// session defaults (only `hub_bitsets` and `scalar_kernels` matter to
+    /// enumeration; `use_iep` is ignored because mode plans never use IEP).
+    pub fn enumerate_with(
+        &self,
+        pattern: &Pattern,
+        limit: u64,
+        options: CountOptions,
+    ) -> Result<Vec<Vec<VertexId>>, EngineError> {
+        let plan = self.mode_plan_cached(pattern)?;
+        let shared = ModeShared::enumerate(limit);
+        self.run_mode(&plan.plan, &shared, &options);
+        let ModeShared::Enumerate { out, .. } = &shared else {
+            unreachable!("constructed as Enumerate above")
+        };
+        let flat = std::mem::take(&mut *out.lock().expect("enumeration sink poisoned"));
+        let n = plan.plan.num_loops();
+        let hubs = options.hub_bitsets.then(|| self.engine.hub_index());
+        let mut embeddings = Vec::with_capacity(flat.len() / n.max(1));
+        for chunk in flat.chunks_exact(n) {
+            let mut by_pattern_vertex = vec![0 as VertexId; n];
+            for (i, &v) in chunk.iter().enumerate() {
+                let v = hubs.map_or(v, |h| h.original_id(v));
+                by_pattern_vertex[plan.plan.loops[i].pattern_vertex] = v;
+            }
+            embeddings.push(by_pattern_vertex);
+        }
+        Ok(embeddings)
+    }
+
+    /// Counts, for every data vertex, the embeddings of `pattern` it
+    /// participates in (its *orbit count*), indexed by original vertex id.
+    ///
+    /// Each embedding contributes 1 to each of its `pattern.num_vertices()`
+    /// member vertices, so the returned counts sum to
+    /// `pattern_size × total_count`.
+    pub fn count_per_vertex(&self, pattern: &Pattern) -> Result<Vec<u64>, EngineError> {
+        self.count_per_vertex_with(pattern, self.count_options)
+    }
+
+    /// [`Session::count_per_vertex`] with per-call [`CountOptions`]
+    /// overriding the session defaults.
+    pub fn count_per_vertex_with(
+        &self,
+        pattern: &Pattern,
+        options: CountOptions,
+    ) -> Result<Vec<u64>, EngineError> {
+        let plan = self.mode_plan_cached(pattern)?;
+        let num_vertices = self.engine.graph.num_vertices();
+        let shared = ModeShared::orbit(num_vertices);
+        self.run_mode(&plan.plan, &shared, &options);
+        let ModeShared::Orbit { counts } = &shared else {
+            unreachable!("constructed as Orbit above")
+        };
+        let mut result = vec![0u64; num_vertices];
+        if options.hub_bitsets {
+            // The hub layout relabels vertices degree-descending; translate
+            // back so callers index by original id.
+            let hubs = self.engine.hub_index();
+            for (new_id, count) in counts.iter().enumerate() {
+                result[hubs.original_id(new_id as VertexId) as usize] =
+                    count.load(Ordering::Relaxed);
+            }
+        } else {
+            for (v, count) in counts.iter().enumerate() {
+                result[v] = count.load(Ordering::Relaxed);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Estimates the embedding count of `pattern` by uniformly sampling
+    /// search-prefix subtrees with probability `rate` and counting only the
+    /// sampled subtrees exactly (Horvitz–Thompson estimation).
+    ///
+    /// A fixed `seed` reproduces the same sample (and therefore the same
+    /// estimate) regardless of thread count; a `rate ≥ 1` degenerates to
+    /// the exact count with zero standard error. Fails with
+    /// [`EngineError::InvalidSampleRate`] unless `rate` is finite and
+    /// positive.
+    pub fn count_approx(
+        &self,
+        pattern: &Pattern,
+        rate: f64,
+        seed: u64,
+    ) -> Result<ApproxCount, EngineError> {
+        self.count_approx_with(pattern, rate, seed, self.count_options)
+    }
+
+    /// [`Session::count_approx`] with per-call [`CountOptions`] overriding
+    /// the session defaults.
+    pub fn count_approx_with(
+        &self,
+        pattern: &Pattern,
+        rate: f64,
+        seed: u64,
+        options: CountOptions,
+    ) -> Result<ApproxCount, EngineError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(EngineError::InvalidSampleRate);
+        }
+        let plan = self.mode_plan_cached(pattern)?;
+        let shared = ModeShared::sample(seed, rate);
+        self.run_mode(&plan.plan, &shared, &options);
+        let ModeShared::Sample { accum, .. } = &shared else {
+            unreachable!("constructed as Sample above")
+        };
+        let accum = accum.lock().expect("sample accumulator poisoned");
+        let estimate = accum.estimate(rate);
+        Ok(ApproxCount {
+            estimate: estimate.estimate,
+            stderr: estimate.stderr,
+            sampled_tasks: estimate.sampled,
+            total_tasks: estimate.total,
+        })
     }
 }
 
@@ -1083,6 +1309,148 @@ mod tests {
         let stats = session.cache_stats();
         assert_eq!(stats.hits + stats.misses, 12);
         assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn enumerate_matches_list_as_multiset() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        let pattern = prefab::house();
+        let mut expected = engine.list(&pattern).unwrap();
+        let mut got = session.enumerate(&pattern, u64::MAX).unwrap();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+        // A tight limit returns exactly that many embeddings, each of which
+        // is a genuine member of the full set.
+        let limited = session.enumerate(&pattern, 5).unwrap();
+        assert_eq!(limited.len(), 5);
+        for emb in &limited {
+            assert!(expected.binary_search(emb).is_ok());
+        }
+    }
+
+    #[test]
+    fn per_vertex_counts_sum_to_pattern_size_times_count() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        let pattern = prefab::house();
+        let total = session.count(&pattern).unwrap();
+        let per_vertex = session.count_per_vertex(&pattern).unwrap();
+        assert_eq!(per_vertex.len(), engine.graph().num_vertices());
+        assert_eq!(
+            per_vertex.iter().sum::<u64>(),
+            pattern.num_vertices() as u64 * total
+        );
+    }
+
+    #[test]
+    fn approx_count_is_exact_at_rate_one_and_seed_stable() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        let pattern = prefab::house();
+        let total = session.count(&pattern).unwrap();
+
+        let exact = session.count_approx(&pattern, 1.0, 7).unwrap();
+        assert_eq!(exact.estimate, total as f64);
+        assert_eq!(exact.stderr, 0.0);
+        assert_eq!(exact.sampled_tasks, exact.total_tasks);
+
+        let a = session.count_approx(&pattern, 0.5, 42).unwrap();
+        let b = session.count_approx(&pattern, 0.5, 42).unwrap();
+        assert_eq!(a, b, "fixed seed must reproduce the estimate");
+        assert!(a.sampled_tasks <= a.total_tasks);
+        assert!(a.estimate >= 0.0);
+
+        assert_eq!(
+            session.count_approx(&pattern, 0.0, 1),
+            Err(EngineError::InvalidSampleRate)
+        );
+        assert_eq!(
+            session.count_approx(&pattern, f64::NAN, 1),
+            Err(EngineError::InvalidSampleRate)
+        );
+    }
+
+    #[test]
+    fn mode_plans_share_the_cache_but_not_the_entry() {
+        let engine = engine();
+        let (pool, plan_opts, count_opts) = small_session_options();
+        let session = engine.session_with(pool, plan_opts, count_opts);
+        let pattern = prefab::house();
+        session.count(&pattern).unwrap();
+        session.enumerate(&pattern, 1).unwrap();
+        // Distinct entries: the count plan (IEP) and the full-depth plan.
+        assert_eq!(session.cache_stats().len, 2);
+        session.count_per_vertex(&pattern).unwrap();
+        session.count_approx(&pattern, 0.5, 3).unwrap();
+        // Orbit and sample reuse the full-depth entry.
+        let stats = session.cache_stats();
+        assert_eq!(stats.len, 2);
+        assert!(stats.hits >= 2);
+        // Persistence only snapshots count-path keys.
+        assert_eq!(session.cache().saved_keys().len(), 1);
+    }
+
+    #[test]
+    fn modes_agree_under_hub_layout() {
+        let engine = engine();
+        let pattern = prefab::house();
+        let (pool, plan_opts, _) = small_session_options();
+        let plain = engine.session_with(pool.clone(), plan_opts, CountOptions::default());
+        let hub = engine.session_with(
+            pool,
+            plan_opts,
+            CountOptions {
+                hub_bitsets: true,
+                ..CountOptions::default()
+            },
+        );
+        // Restrictions compare ids, and the hub layout relabels them, so
+        // hub enumeration may pick a different automorphic representative
+        // per subgraph occurrence. The occurrences themselves (vertex
+        // sets) must agree exactly, and every hub tuple must be a valid
+        // embedding in original ids.
+        let plain_embs = plain.enumerate(&pattern, u64::MAX).unwrap();
+        let hub_embs = hub.enumerate(&pattern, u64::MAX).unwrap();
+        assert_eq!(hub_embs.len(), plain_embs.len());
+        let occurrences = |embs: &[Vec<VertexId>]| {
+            let mut sets: Vec<Vec<VertexId>> = embs
+                .iter()
+                .map(|e| {
+                    let mut s = e.clone();
+                    s.sort_unstable();
+                    s
+                })
+                .collect();
+            sets.sort();
+            sets
+        };
+        assert_eq!(
+            occurrences(&hub_embs),
+            occurrences(&plain_embs),
+            "hub relabeling must be invisible to the matched occurrences"
+        );
+        for emb in &hub_embs {
+            for a in 0..pattern.num_vertices() {
+                for b in (a + 1)..pattern.num_vertices() {
+                    if pattern.has_edge(a, b) {
+                        assert!(
+                            engine.graph().has_edge(emb[a], emb[b]),
+                            "hub-enumerated tuple is not a valid embedding"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            plain.count_per_vertex(&pattern).unwrap(),
+            hub.count_per_vertex(&pattern).unwrap(),
+            "hub relabeling must be invisible to orbit counts"
+        );
     }
 
     #[test]

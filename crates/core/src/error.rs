@@ -23,6 +23,9 @@ pub enum EngineError {
     /// No valid configuration could be produced (should not happen for
     /// connected patterns within the size limit; reported defensively).
     NoConfiguration,
+    /// A sampled approximate count was requested with a rate that is not a
+    /// finite value in `(0, 1]`.
+    InvalidSampleRate,
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +40,9 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::NoConfiguration => write!(f, "no valid configuration could be generated"),
+            EngineError::InvalidSampleRate => {
+                write!(f, "sample rate must be a finite value in (0, 1]")
+            }
         }
     }
 }

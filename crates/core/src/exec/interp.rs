@@ -20,6 +20,7 @@
 //! task, so the steady-state worker loop performs no heap allocation at all.
 
 use crate::config::{ExecutionPlan, LoopBound, MAX_LOOPS};
+use crate::exec::sink::{CountSink, MatchSink};
 use graphpi_graph::csr::{CsrGraph, VertexId};
 use graphpi_graph::hub::HubGraph;
 use graphpi_graph::vertex_set;
@@ -174,6 +175,37 @@ pub fn for_each_embedding_in<F: FnMut(&[VertexId])>(
     }
 }
 
+/// Sink-driven whole-graph matching, decomposed exactly like the parallel
+/// executors: valid prefixes of `task_depth` loops are enumerated and the
+/// subtree under each is matched through
+/// [`match_from_prefix_with`] — so a sink that makes per-prefix decisions
+/// ([`MatchSink::accept_prefix`], e.g. sampling) sees the **same** prefix
+/// stream sequentially as each parallel worker does collectively, and a
+/// saturating sink ([`MatchSink::is_full`]) stops exploring further
+/// subtrees.
+pub fn match_embeddings_in<S: MatchSink>(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    task_depth: usize,
+    sink: &mut S,
+) {
+    let n = plan.num_loops();
+    if n == 0 {
+        return;
+    }
+    let depth = task_depth.clamp(1, n);
+    let mut buffers = SearchBuffers::new(n);
+    let mut full = false;
+    for_each_prefix(plan, ctx, depth, |prefix| {
+        if full {
+            return;
+        }
+        if !match_from_prefix_with(plan, ctx, prefix, &mut buffers, sink) {
+            full = true;
+        }
+    });
+}
+
 /// Counts embeddings that extend a fixed prefix of bound vertices (the
 /// values chosen by the first `prefix.len()` loops). Used by the parallel
 /// and distributed executors, whose tasks are exactly such prefixes.
@@ -187,16 +219,42 @@ pub fn count_from_prefix(plan: &ExecutionPlan, graph: &CsrGraph, prefix: &[Verte
 
 /// Allocation-free variant of [`count_from_prefix`]: reuses the caller's
 /// [`SearchBuffers`] and supports hub acceleration through the context.
+///
+/// Implemented as [`match_from_prefix_with`] driving a [`CountSink`] — the
+/// sink monomorphises into the same `count += 1` hot loop the pre-sink
+/// kernel inlined, so counts (and count throughput) are unchanged.
 pub fn count_from_prefix_with(
     plan: &ExecutionPlan,
     ctx: ExecCtx<'_>,
     prefix: &[VertexId],
     buffers: &mut SearchBuffers,
 ) -> u64 {
+    let mut sink = CountSink::new();
+    match_from_prefix_with(plan, ctx, prefix, buffers, &mut sink);
+    sink.count()
+}
+
+/// The mode-generic matching entry point: explores every embedding that
+/// extends `prefix` and feeds each to `sink`. Consults
+/// [`MatchSink::accept_prefix`] once for the task prefix (a rejected task
+/// explores nothing) and stops early once [`MatchSink::is_full`] reports
+/// saturation. Returns `false` when the search was cut short by a full
+/// sink.
+pub fn match_from_prefix_with<S: MatchSink>(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    prefix: &[VertexId],
+    buffers: &mut SearchBuffers,
+    sink: &mut S,
+) -> bool {
     let n = plan.num_loops();
     assert!(prefix.len() <= n && !prefix.is_empty());
+    if !sink.accept_prefix(prefix) {
+        return true;
+    }
     if prefix.len() == n {
-        return 1;
+        sink.on_match(prefix);
+        return !sink.is_full();
     }
     buffers.ensure_depth(n);
     let SearchBuffers {
@@ -207,8 +265,7 @@ pub fn count_from_prefix_with(
     } = buffers;
     stack.clear();
     stack.extend_from_slice(prefix);
-    let mut count = 0u64;
-    recurse(
+    recurse_sink(
         plan,
         ctx,
         prefix.len(),
@@ -216,9 +273,8 @@ pub fn count_from_prefix_with(
         depth_bufs,
         tmp,
         words,
-        &mut |_| count += 1,
-    );
-    count
+        sink,
+    )
 }
 
 /// Enumerates every valid prefix of length `depth` (the values bound by the
@@ -358,6 +414,60 @@ fn recurse<F: FnMut(&[VertexId])>(
         recurse(plan, ctx, depth + 1, bound, rest, tmp, words, visitor);
         bound.pop();
     }
+}
+
+/// The sink-driven twin of [`recurse`]: identical candidate generation and
+/// bound handling, but each embedding goes to a [`MatchSink`] and the walk
+/// unwinds as soon as the sink is full. Returns `false` on early exit.
+///
+/// For sinks that never saturate ([`CountSink`], [`super::sink::OrbitSink`])
+/// the `is_full` check is a constant `false` after monomorphisation, so the
+/// compiled loop matches the closure-based recursion bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn recurse_sink<S: MatchSink>(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    depth: usize,
+    bound: &mut Vec<VertexId>,
+    buffers: &mut [Vec<VertexId>],
+    tmp: &mut Vec<VertexId>,
+    words: &mut Vec<u64>,
+    sink: &mut S,
+) -> bool {
+    let n = plan.num_loops();
+    let (current_buf, rest) = buffers.split_first_mut().expect("buffer per depth");
+    let Some((candidates, start, end)) =
+        candidate_range(plan, ctx, depth, bound, current_buf, tmp, words)
+    else {
+        return true;
+    };
+    if depth == n - 1 {
+        // Innermost loop: every candidate not already bound is an embedding.
+        for &v in &candidates[start..end] {
+            if bound.contains(&v) {
+                continue;
+            }
+            bound.push(v);
+            sink.on_match(bound);
+            bound.pop();
+            if sink.is_full() {
+                return false;
+            }
+        }
+        return true;
+    }
+    for &v in &candidates[start..end] {
+        if bound.contains(&v) {
+            continue;
+        }
+        bound.push(v);
+        let keep_going = recurse_sink(plan, ctx, depth + 1, bound, rest, tmp, words, sink);
+        bound.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
 }
 
 /// Materialises `∩_{v ∈ verts} N(v)` into `out`, choosing the cheapest
@@ -683,6 +793,53 @@ mod tests {
         let g = graphpi_graph::GraphBuilder::new().num_vertices(10).build();
         let plan = plan_for(prefab::triangle(), vec![0, 1, 2], RestrictionSet::empty());
         assert_eq!(count_embeddings(&plan, &g), 0);
+    }
+
+    #[test]
+    fn embed_sink_matches_listing() {
+        use crate::exec::sink::EmbedSink;
+        let g = generators::erdos_renyi(50, 260, 6);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let plan = plan_for(house, vec![0, 1, 2, 3, 4], sets[0].clone());
+        let total = count_embeddings(&plan, &g);
+        let mut sink = EmbedSink::new(plan.num_loops(), u64::MAX);
+        match_embeddings_in(&plan, ExecCtx::new(&g), 2, &mut sink);
+        assert_eq!(sink.len(), total);
+        // A limit stops the search early with exactly `limit` embeddings.
+        let limit = (total / 2).max(1);
+        let mut sink = EmbedSink::new(plan.num_loops(), limit);
+        match_embeddings_in(&plan, ExecCtx::new(&g), 2, &mut sink);
+        assert_eq!(sink.len(), limit.min(total));
+    }
+
+    #[test]
+    fn orbit_sink_sums_to_pattern_size_times_count() {
+        use crate::exec::sink::OrbitSink;
+        let g = generators::power_law(120, 5, 8);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let plan = plan_for(house, vec![0, 1, 2, 3, 4], sets[0].clone());
+        let total = count_embeddings(&plan, &g);
+        let mut sink = OrbitSink::new(g.num_vertices());
+        match_embeddings_in(&plan, ExecCtx::new(&g), 2, &mut sink);
+        let sum: u64 = sink.counts().iter().sum();
+        assert_eq!(sum, 5 * total);
+    }
+
+    #[test]
+    fn sample_sink_at_rate_one_is_exact() {
+        use crate::exec::sink::SampleSink;
+        let g = generators::power_law(120, 5, 19);
+        let house = prefab::house();
+        let sets = generate_restriction_sets(&house, GenerationOptions::default());
+        let plan = plan_for(house, vec![0, 1, 2, 3, 4], sets[0].clone());
+        let total = count_embeddings(&plan, &g);
+        let mut sink = SampleSink::new(99, 1.0);
+        match_embeddings_in(&plan, ExecCtx::new(&g), 2, &mut sink);
+        let est = sink.finish().estimate(1.0);
+        assert_eq!(est.estimate, total as f64);
+        assert_eq!(est.stderr, 0.0);
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! * [`cluster`] — a simulated multi-node cluster reproducing the paper's
 //!   distributed task-partitioning and work-stealing design for the
 //!   scalability experiments.
+//! * [`sink`] — the [`sink::MatchSink`] abstraction that turns the matcher
+//!   into a pipeline: counting, enumeration, per-vertex (orbit) counts and
+//!   sampled approximate counting all share the same kernels.
 
 pub mod cluster;
 pub mod iep;
 pub mod interp;
 pub mod parallel;
 pub mod pool;
+pub mod sink;

@@ -28,6 +28,7 @@
 use crate::config::{ExecutionPlan, MAX_LOOPS};
 use crate::exec::iep::{self, IepScratch};
 use crate::exec::interp::{self, ExecCtx, SearchBuffers};
+use crate::exec::sink::{sample_accepts, EmbedSink, ModeShared};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use graphpi_graph::csr::{CsrGraph, VertexId};
 use graphpi_graph::hub::{HubGraph, HubOptions};
@@ -327,6 +328,143 @@ pub(crate) fn finalize_count(raw: u64, mode: CountMode, plan: &ExecutionPlan) ->
     match mode {
         CountMode::Enumerate => raw,
         CountMode::Iep => raw / plan.iep_correction.divisor(),
+    }
+}
+
+/// The mode-generic twin of [`count_one_task`]: runs one prefix task's
+/// subtree into the job's [`ModeShared`]. Per-task work accumulates locally
+/// (a page of embeddings, relaxed per-vertex adds, one sample decision) and
+/// merges under at most one brief lock per task, so concurrent workers
+/// never serialise on the match loop itself. Shared by the pool's workers,
+/// the pool's caller-runs master and the degenerate sequential paths —
+/// every execution shape folds the same per-task contributions.
+pub(crate) fn mode_one_task(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    shared: &ModeShared,
+    prefix: &[VertexId],
+    buffers: &mut SearchBuffers,
+) {
+    match shared {
+        ModeShared::Enumerate {
+            limit,
+            claimed,
+            out,
+        } => {
+            if claimed.load(Ordering::Relaxed) >= *limit {
+                return; // budget exhausted: drain remaining tasks cheaply
+            }
+            let arity = plan.num_loops();
+            let mut local = EmbedSink::new(arity, u64::MAX);
+            // Claim budget per embedding: only claims below the limit
+            // record, so at most `limit` embeddings are kept globally and
+            // the first over-limit claim stops this task's search.
+            interp::match_from_prefix_with(
+                plan,
+                ctx,
+                prefix,
+                buffers,
+                &mut ClaimingEmbed {
+                    inner: &mut local,
+                    claimed,
+                    limit: *limit,
+                    full: false,
+                },
+            );
+            if !local.is_empty() {
+                out.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend_from_slice(local.vertices());
+            }
+        }
+        ModeShared::Orbit { counts } => {
+            let mut sink = SharedOrbit { counts };
+            interp::match_from_prefix_with(plan, ctx, prefix, buffers, &mut sink);
+        }
+        ModeShared::Sample { seed, rate, accum } => {
+            let accepted = sample_accepts(*seed, *rate, prefix);
+            let y = if accepted {
+                interp::count_from_prefix_with(plan, ctx, prefix, buffers)
+            } else {
+                0
+            };
+            let mut accum = accum
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            accum.total += 1;
+            if accepted {
+                accum.record(y);
+            }
+        }
+    }
+}
+
+/// An [`EmbedSink`] wrapper that claims from a job-global budget before
+/// recording, so concurrent workers collectively record exactly `limit`
+/// embeddings.
+struct ClaimingEmbed<'a> {
+    inner: &'a mut EmbedSink,
+    claimed: &'a AtomicU64,
+    limit: u64,
+    full: bool,
+}
+
+impl crate::exec::sink::MatchSink for ClaimingEmbed<'_> {
+    #[inline]
+    fn on_match(&mut self, embedding: &[VertexId]) {
+        if self.claimed.fetch_add(1, Ordering::Relaxed) < self.limit {
+            self.inner.on_match(embedding);
+        } else {
+            self.full = true;
+        }
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.full
+    }
+}
+
+/// An [`OrbitSink`]-shaped sink over the job's shared atomic counters
+/// (relaxed adds: the final counts are order-free sums).
+struct SharedOrbit<'a> {
+    counts: &'a [AtomicU64],
+}
+
+impl crate::exec::sink::MatchSink for SharedOrbit<'_> {
+    #[inline]
+    fn on_match(&mut self, embedding: &[VertexId]) {
+        for &v in embedding {
+            self.counts[v as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Executes the non-task [`ExecPath`] variants of a **mode** job on the
+/// calling thread; returns `false` for [`ExecPath::Tasks`], which needs
+/// workers. Mode plans are compiled with IEP disabled and executed with
+/// [`CountMode::Enumerate`], so [`ExecPath::SequentialIep`] cannot occur.
+pub(crate) fn run_mode_degenerate(
+    plan: &ExecutionPlan,
+    ctx: ExecCtx<'_>,
+    path: ExecPath,
+    shared: &ModeShared,
+) -> bool {
+    match path {
+        ExecPath::Empty => true,
+        ExecPath::SequentialIep => {
+            unreachable!("mode jobs never request IEP execution")
+        }
+        ExecPath::MasterOnly { depth } => {
+            // Every depth-`depth` prefix is a full embedding; feed each
+            // through the shared per-task kernel (prefix == embedding).
+            let mut buffers = SearchBuffers::new(plan.num_loops());
+            interp::for_each_prefix(plan, ctx, depth, |prefix| {
+                mode_one_task(plan, ctx, shared, prefix, &mut buffers);
+            });
+            true
+        }
+        ExecPath::Tasks { .. } => false,
     }
 }
 

@@ -71,6 +71,7 @@ use crate::config::{ExecutionPlan, MAX_LOOPS};
 use crate::exec::iep::IepScratch;
 use crate::exec::interp::{ExecCtx, SearchBuffers};
 use crate::exec::parallel::{self, CountMode, ExecPath, ParallelOptions, PrefixTask};
+use crate::exec::sink::ModeShared;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::sync::{Parker, Unparker};
 use graphpi_graph::csr::CsrGraph;
@@ -116,6 +117,17 @@ struct JobSlot {
     hubs: AtomicPtr<HubGraph>,
     /// Effective counting mode (`true` = one IEP term per task).
     iep_mode: AtomicBool,
+    /// Mode-generic job state: null for count jobs (the unchanged hot
+    /// path); otherwise a pointer to the submitter's [`ModeShared`]
+    /// (enumeration page buffer / orbit counters / sample accumulator),
+    /// valid under exactly the same accounting protocol as `plan`/`graph`.
+    mode: AtomicPtr<ModeShared>,
+    /// Scheduling priority of the current job: `true` for interactive
+    /// counts, `false` for long mode jobs (paged enumeration, orbit
+    /// profiles), which workers only pull from once every high-priority
+    /// lane is dry — the 2-level priority that keeps a huge enumeration
+    /// from starving small counts.
+    high_priority: AtomicBool,
     /// This job's task lane. Pool-owned (not on the submitter's stack), so
     /// workers may probe any slot's lane at any time; a free slot's lane is
     /// simply empty.
@@ -148,6 +160,8 @@ impl JobSlot {
             graph: AtomicPtr::new(std::ptr::null_mut()),
             hubs: AtomicPtr::new(std::ptr::null_mut()),
             iep_mode: AtomicBool::new(false),
+            mode: AtomicPtr::new(std::ptr::null_mut()),
+            high_priority: AtomicBool::new(true),
             injector: Injector::new(),
             pending: AtomicU64::new(0),
             producer_done: AtomicBool::new(false),
@@ -407,6 +421,11 @@ impl WorkerPool {
         );
         slot.iep_mode
             .store(mode == CountMode::Iep, Ordering::Relaxed);
+        // Counts are the interactive workload: mode pointer null (workers
+        // take the unchanged counting hot path) and high scheduling
+        // priority.
+        slot.mode.store(std::ptr::null_mut(), Ordering::Relaxed);
+        slot.high_priority.store(true, Ordering::Relaxed);
 
         // Completion guard *before* the scratch lock: on unwind the scratch
         // guard drops (and unlocks) first, so `JobGuard::drop` can relock it
@@ -475,6 +494,111 @@ impl WorkerPool {
             panic!("a pool worker panicked while executing this query");
         }
         parallel::finalize_count(raw, mode, plan)
+    }
+
+    /// Runs a **mode** job (enumeration / orbit counts / sampling) on the
+    /// pool: the same slot protocol, task streaming, caller-runs helping
+    /// and completion accounting as [`WorkerPool::count_in`], but each task
+    /// folds its results into `shared` through
+    /// [`parallel::mode_one_task`] instead of adding to the slot total.
+    /// Mode jobs run at **low** scheduling priority: workers only pull from
+    /// their lanes when every interactive count lane is dry.
+    ///
+    /// The plan must be compiled with IEP disabled
+    /// ([`crate::engine::PlanOptions::enable_iep`] = false) and
+    /// `options.mode` must be [`CountMode::Enumerate`]; sinks observe
+    /// individual embeddings, which IEP never materialises.
+    pub(crate) fn run_mode_in(
+        &self,
+        plan: &ExecutionPlan,
+        ctx: ExecCtx<'_>,
+        options: &ParallelOptions,
+        shared: &ModeShared,
+    ) {
+        debug_assert_eq!(options.mode, CountMode::Enumerate);
+        let path = parallel::resolve_path(plan, options);
+        if parallel::run_mode_degenerate(plan, ctx, path, shared) {
+            return;
+        }
+        let ExecPath::Tasks {
+            depth, batch_size, ..
+        } = path
+        else {
+            unreachable!("run_mode_degenerate handles every other path");
+        };
+
+        let slot_idx = self.acquire_slot();
+        let pool_shared = &*self.shared;
+        let slot = &pool_shared.slots[slot_idx];
+
+        debug_assert_eq!(slot.pending.load(Ordering::Relaxed), 0);
+        slot.total.store(0, Ordering::Relaxed);
+        slot.producer_done.store(false, Ordering::Relaxed);
+        slot.panicked.store(false, Ordering::Relaxed);
+        slot.plan
+            .store(plan as *const ExecutionPlan as *mut _, Ordering::Relaxed);
+        slot.graph
+            .store(ctx.graph() as *const CsrGraph as *mut _, Ordering::Relaxed);
+        slot.hubs.store(
+            ctx.hubs()
+                .map_or(std::ptr::null_mut(), |h| h as *const HubGraph as *mut _),
+            Ordering::Relaxed,
+        );
+        slot.iep_mode.store(false, Ordering::Relaxed);
+        slot.mode
+            .store(shared as *const ModeShared as *mut _, Ordering::Relaxed);
+        slot.high_priority.store(false, Ordering::Relaxed);
+
+        let guard = JobGuard {
+            shared: pool_shared,
+            slot_idx,
+        };
+        let mut scratch_guard = slot.lock_scratch();
+        let scratch = &mut *scratch_guard;
+        debug_assert!(scratch.deque.is_empty());
+
+        let tag = slot_idx as u32;
+        parallel::stream_prefix_batches(plan, ctx, depth, batch_size, |batch| {
+            // Once an enumeration's budget is fully claimed every further
+            // task would early-return anyway; stop feeding the queue and
+            // let the in-flight tail drain.
+            if shared.enumeration_full() {
+                batch.clear();
+                return;
+            }
+            slot.pending
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            slot.injector
+                .push_batch(batch.drain(..).map(|task| TaggedTask { slot: tag, task }));
+            if slot.injector.len() > batch_size {
+                drop(lock_state(pool_shared));
+                pool_shared.job_ready.notify_one();
+            }
+        });
+        slot.producer_done.store(true, Ordering::Release);
+
+        // Caller-runs helping, mirroring `count_in`.
+        loop {
+            let tagged = match scratch.deque.pop() {
+                Some(task) => task,
+                None => match slot.injector.steal_batch_and_pop(&scratch.deque) {
+                    Steal::Success(task) => task,
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                },
+            };
+            slot.pending.fetch_sub(1, Ordering::Relaxed);
+            if slot.panicked.load(Ordering::Relaxed) {
+                continue;
+            }
+            parallel::mode_one_task(plan, ctx, shared, tagged.task.as_slice(), &mut scratch.buffers);
+        }
+
+        drop(scratch_guard);
+        let (_, panicked) = guard.finish();
+        if panicked {
+            panic!("a pool worker panicked while executing this query");
+        }
     }
 
     /// Claims a free job slot, blocking while `max_in_flight` jobs are
@@ -665,7 +789,8 @@ fn run_task(
         // job, so the submitter is still blocked from returning and the
         // pointers are live (module-level safety model). The queue hop that
         // delivered the task orders these loads after the submitter's
-        // stores.
+        // stores. The mode pointer (when non-null) targets the same
+        // submitter stack frame and shares the same validity protocol.
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
             let plan = &*slot.plan.load(Ordering::Relaxed);
             let hubs = slot.hubs.load(Ordering::Relaxed);
@@ -674,12 +799,21 @@ fn run_task(
             } else {
                 ExecCtx::with_hubs(&*hubs)
             };
-            let mode = if slot.iep_mode.load(Ordering::Relaxed) {
-                CountMode::Iep
+            let mode_ptr = slot.mode.load(Ordering::Relaxed);
+            if mode_ptr.is_null() {
+                // Count job: the unchanged hot path.
+                let mode = if slot.iep_mode.load(Ordering::Relaxed) {
+                    CountMode::Iep
+                } else {
+                    CountMode::Enumerate
+                };
+                parallel::count_one_task(plan, ctx, mode, task.as_slice(), buffers, iep_scratch)
             } else {
-                CountMode::Enumerate
-            };
-            parallel::count_one_task(plan, ctx, mode, task.as_slice(), buffers, iep_scratch)
+                // Mode job: results fold into the shared mode state; the
+                // slot total stays zero.
+                parallel::mode_one_task(plan, ctx, &*mode_ptr, task.as_slice(), buffers);
+                0
+            }
         }));
         match result {
             Ok(count) => {
@@ -709,13 +843,24 @@ fn next_task(
     }
     let lanes = slots.len();
     *rotation = (*rotation + 1) % lanes;
-    for i in 0..lanes {
-        let slot = &slots[(*rotation + i) % lanes];
-        loop {
-            match slot.injector.steal_batch_and_pop(deque) {
-                Steal::Success(task) => return Some(task),
-                Steal::Empty => break,
-                Steal::Retry => continue,
+    // Two-pass priority scan: high-priority lanes (interactive counts)
+    // first, then low-priority lanes (paged enumeration and other mode
+    // jobs). Within each pass the rotation still spreads workers across
+    // lanes, so mode jobs make progress whenever count lanes are dry but
+    // never starve them of workers.
+    for pass in 0..2 {
+        let want_high = pass == 0;
+        for i in 0..lanes {
+            let slot = &slots[(*rotation + i) % lanes];
+            if slot.high_priority.load(Ordering::Relaxed) != want_high {
+                continue;
+            }
+            loop {
+                match slot.injector.steal_batch_and_pop(deque) {
+                    Steal::Success(task) => return Some(task),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
             }
         }
     }

@@ -1,0 +1,557 @@
+//! Match sinks: what the execution core *does* with each embedding.
+//!
+//! The matching kernel used to hard-code `count += 1`; every executor was a
+//! counter and nothing else. [`MatchSink`] turns the kernel into a pipeline
+//! stage: the recursive matcher ([`crate::exec::interp`]) drives a sink once
+//! per embedding, and the sink decides whether to tally, record, profile or
+//! sample it. Counting becomes one mode among several:
+//!
+//! * [`CountSink`] — the classic global count. Monomorphised into the same
+//!   machine code as the old closure-based counter, so the count path stays
+//!   bit-identical and benchmark-neutral.
+//! * [`EmbedSink`] — records full vertex tuples (enumeration), bounded by a
+//!   limit so paged/streaming consumers can stop early.
+//! * [`OrbitSink`] — per-vertex participation counts (local motif
+//!   profiles): `counts[v]` is the number of embeddings containing `v`.
+//! * [`SampleSink`] — seeded uniform prefix-sampling with a
+//!   Horvitz–Thompson estimate and standard error, for approximate counts
+//!   at interactive latency.
+//!
+//! The parallel executors do not share one sink across workers; each worker
+//! accumulates locally and merges into a [`ModeShared`] (the job-level
+//! shared state) under brief, per-task synchronisation. IEP never applies
+//! to sink modes — a sink observes *individual* embeddings, which is
+//! exactly what IEP avoids materialising — so mode plans are compiled with
+//! IEP disabled at the planner
+//! ([`crate::engine::PlanOptions::enable_iep`]).
+
+use graphpi_graph::csr::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A consumer of matched embeddings.
+///
+/// The matcher calls [`MatchSink::on_match`] once per embedding with the
+/// bound data vertices in **schedule order** (`embedding[i]` is the vertex
+/// chosen by loop `i`). Sinks that can saturate (e.g. a limit) return `true`
+/// from [`MatchSink::is_full`] to stop the search early.
+pub trait MatchSink {
+    /// Consumes one embedding (bound vertices in schedule order).
+    fn on_match(&mut self, embedding: &[VertexId]);
+
+    /// Task-level admission: called once per search prefix before the
+    /// subtree below it is explored; returning `false` skips the subtree
+    /// entirely. The default admits everything; [`SampleSink`] implements
+    /// its sampling decision here.
+    fn accept_prefix(&mut self, _prefix: &[VertexId]) -> bool {
+        true
+    }
+
+    /// `true` once the sink wants no further embeddings (the matcher stops
+    /// at the next opportunity). The default never saturates.
+    fn is_full(&self) -> bool {
+        false
+    }
+}
+
+/// The zero-overhead counting sink: `on_match` is `count += 1`, exactly the
+/// closure the pre-sink kernel inlined, so counting through the sink
+/// pipeline monomorphises to the same hot loop.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountSink {
+    count: u64,
+}
+
+impl CountSink {
+    /// A fresh zero-count sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of embeddings consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl MatchSink for CountSink {
+    #[inline(always)]
+    fn on_match(&mut self, _embedding: &[VertexId]) {
+        self.count += 1;
+    }
+}
+
+/// Records full embeddings (flattened, fixed arity) up to a limit.
+#[derive(Debug)]
+pub struct EmbedSink {
+    arity: usize,
+    limit: u64,
+    recorded: u64,
+    /// Flat storage: embedding `e` occupies `buf[e*arity .. (e+1)*arity]`,
+    /// vertices in schedule order.
+    buf: Vec<VertexId>,
+}
+
+impl EmbedSink {
+    /// A sink recording at most `limit` embeddings of `arity` vertices.
+    pub fn new(arity: usize, limit: u64) -> Self {
+        Self {
+            arity,
+            limit,
+            recorded: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Number of embeddings recorded so far.
+    pub fn len(&self) -> u64 {
+        self.recorded
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recorded == 0
+    }
+
+    /// The flat schedule-order buffer (`len() * arity` vertices).
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.buf
+    }
+
+    /// Consumes the sink, returning one `Vec` per embedding.
+    pub fn into_embeddings(self) -> Vec<Vec<VertexId>> {
+        self.buf.chunks(self.arity.max(1)).map(<[_]>::to_vec).collect()
+    }
+}
+
+impl MatchSink for EmbedSink {
+    #[inline]
+    fn on_match(&mut self, embedding: &[VertexId]) {
+        if self.recorded < self.limit {
+            debug_assert_eq!(embedding.len(), self.arity);
+            self.buf.extend_from_slice(embedding);
+            self.recorded += 1;
+        }
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.recorded >= self.limit
+    }
+}
+
+/// Accumulates per-vertex participation counts: `counts()[v]` is the number
+/// of (restriction-deduplicated) embeddings that contain data vertex `v`.
+/// Summing over all vertices yields `pattern_size × global_count`.
+#[derive(Debug)]
+pub struct OrbitSink {
+    counts: Vec<u64>,
+}
+
+impl OrbitSink {
+    /// A sink over a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            counts: vec![0; num_vertices],
+        }
+    }
+
+    /// The per-vertex counts, indexed by data vertex id.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the sink, returning the per-vertex counts.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+}
+
+impl MatchSink for OrbitSink {
+    #[inline]
+    fn on_match(&mut self, embedding: &[VertexId]) {
+        for &v in embedding {
+            self.counts[v as usize] += 1;
+        }
+    }
+}
+
+/// Deterministic 64-bit FNV-1a over the sampling seed and a vertex prefix.
+/// The hash depends only on `(seed, prefix)` — not on thread count, task
+/// order or batch size — which is what makes sampled estimates reproducible
+/// across every execution configuration.
+#[inline]
+pub fn prefix_hash(seed: u64, prefix: &[VertexId]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for byte in seed.to_le_bytes() {
+        h = (h ^ byte as u64).wrapping_mul(PRIME);
+    }
+    for &v in prefix {
+        for byte in v.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(PRIME);
+        }
+    }
+    // Finalizer (murmur3 fmix64). Raw FNV-1a has almost no avalanche into
+    // the high bits for short inputs, so without this the top-53-bit
+    // uniforms of nearby prefixes are nearly equal and the per-task
+    // Bernoulli decisions accept or reject en masse instead of
+    // independently — wrecking the sampling estimator's variance.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// The Bernoulli inclusion decision for one prefix at sampling rate `rate`
+/// (accept with probability `rate`, independently per prefix, deterministic
+/// in `(seed, prefix)`). A rate of 1.0 (or more) accepts everything, so the
+/// estimate degrades gracefully to the exact count.
+#[inline]
+pub fn sample_accepts(seed: u64, rate: f64, prefix: &[VertexId]) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    // Top 53 bits → a uniform f64 in [0, 1).
+    let u = (prefix_hash(seed, prefix) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < rate
+}
+
+/// Accumulated sampling statistics: the sufficient statistics of the
+/// Horvitz–Thompson estimator over Bernoulli-sampled prefix subtrees.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SampleAccum {
+    /// Prefix subtrees whose sampling decision accepted them.
+    pub sampled: u64,
+    /// All prefix subtrees offered to the sampler.
+    pub total: u64,
+    /// Sum of the per-subtree embedding counts over the accepted subtrees.
+    pub sum_y: u128,
+    /// Sum of squared per-subtree counts over the accepted subtrees.
+    pub sum_y2: u128,
+}
+
+impl SampleAccum {
+    /// Folds another accumulator into this one (merge of per-worker parts).
+    pub fn merge(&mut self, other: &SampleAccum) {
+        self.sampled += other.sampled;
+        self.total += other.total;
+        self.sum_y += other.sum_y;
+        self.sum_y2 += other.sum_y2;
+    }
+
+    /// Records one sampled subtree with `y` embeddings.
+    pub fn record(&mut self, y: u64) {
+        self.sampled += 1;
+        self.sum_y += y as u128;
+        self.sum_y2 += (y as u128) * (y as u128);
+    }
+
+    /// The Horvitz–Thompson estimate and its standard error at inclusion
+    /// probability `rate`. With `rate >= 1` every subtree was counted, so
+    /// the estimate is the exact total and the error is zero.
+    pub fn estimate(&self, rate: f64) -> SampleEstimate {
+        if rate >= 1.0 {
+            return SampleEstimate {
+                estimate: self.sum_y as f64,
+                stderr: 0.0,
+                sampled: self.sampled,
+                total: self.total,
+            };
+        }
+        let p = rate.max(f64::MIN_POSITIVE);
+        // τ̂ = Σ_{i ∈ S} y_i / p;  Var̂(τ̂) = Σ_{i ∈ S} y_i² (1 − p) / p².
+        let estimate = self.sum_y as f64 / p;
+        let variance = self.sum_y2 as f64 * (1.0 - p) / (p * p);
+        SampleEstimate {
+            estimate,
+            stderr: variance.max(0.0).sqrt(),
+            sampled: self.sampled,
+            total: self.total,
+        }
+    }
+}
+
+/// An approximate count with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEstimate {
+    /// The Horvitz–Thompson estimate of the exact embedding count.
+    pub estimate: f64,
+    /// One standard error of the estimate (0 when the rate was 1).
+    pub stderr: f64,
+    /// Number of prefix subtrees actually counted.
+    pub sampled: u64,
+    /// Number of prefix subtrees considered.
+    pub total: u64,
+}
+
+/// A sequential sampling sink: admits whole prefix subtrees with
+/// probability `rate` (decided in [`MatchSink::accept_prefix`]) and counts
+/// the embeddings of the admitted ones. The parallel executors make the
+/// same `(seed, prefix)` decision per task instead — identical statistics,
+/// since a task *is* a prefix subtree.
+#[derive(Debug)]
+pub struct SampleSink {
+    seed: u64,
+    rate: f64,
+    /// Count inside the currently admitted subtree (folded into the
+    /// accumulator at the next subtree boundary).
+    current: u64,
+    /// An admitted subtree is open and must be flushed.
+    pending: bool,
+    accum: SampleAccum,
+}
+
+impl SampleSink {
+    /// A sink sampling prefixes at `rate` under `seed`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            rate,
+            current: 0,
+            pending: false,
+            accum: SampleAccum::default(),
+        }
+    }
+
+    /// Finishes the current subtree (if any) and returns the accumulated
+    /// statistics.
+    pub fn finish(mut self) -> SampleAccum {
+        self.flush();
+        self.accum
+    }
+
+    fn flush(&mut self) {
+        if self.pending {
+            self.accum.record(self.current);
+            self.current = 0;
+            self.pending = false;
+        }
+    }
+}
+
+impl MatchSink for SampleSink {
+    #[inline]
+    fn on_match(&mut self, _embedding: &[VertexId]) {
+        self.current += 1;
+    }
+
+    fn accept_prefix(&mut self, prefix: &[VertexId]) -> bool {
+        self.flush();
+        self.accum.total += 1;
+        if sample_accepts(self.seed, self.rate, prefix) {
+            self.pending = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Job-level shared state of a mode execution: what per-worker local
+/// accumulation merges into. One instance lives on the submitting thread's
+/// stack for the duration of the job, referenced by the pool's job slot
+/// under the same validity protocol as the plan and graph pointers.
+#[derive(Debug)]
+pub(crate) enum ModeShared {
+    /// Enumeration: a global budget (`claimed`) bounds the recorded
+    /// embeddings at `limit`; workers append whole local pages under the
+    /// mutex.
+    Enumerate {
+        /// Maximum embeddings to record.
+        limit: u64,
+        /// Embeddings claimed so far (may overshoot `limit` by in-flight
+        /// claims; only claims `< limit` record).
+        claimed: AtomicU64,
+        /// Flat schedule-order output, `arity` vertices per embedding.
+        out: Mutex<Vec<VertexId>>,
+    },
+    /// Per-vertex counts, merged with relaxed atomic adds (order-free sum).
+    Orbit {
+        /// `counts[v]` accumulates embeddings containing vertex `v` (ids in
+        /// execution-context space; hub relabeling is undone at finalize).
+        counts: Vec<AtomicU64>,
+    },
+    /// Sampled counting: per-task decisions, statistics merged under the
+    /// mutex.
+    Sample {
+        /// The sampling seed.
+        seed: u64,
+        /// Bernoulli inclusion probability per prefix subtree.
+        rate: f64,
+        /// Merged sufficient statistics.
+        accum: Mutex<SampleAccum>,
+    },
+}
+
+impl ModeShared {
+    pub(crate) fn enumerate(limit: u64) -> Self {
+        ModeShared::Enumerate {
+            limit,
+            claimed: AtomicU64::new(0),
+            out: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn orbit(num_vertices: usize) -> Self {
+        ModeShared::Orbit {
+            counts: (0..num_vertices).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn sample(seed: u64, rate: f64) -> Self {
+        ModeShared::Sample {
+            seed,
+            rate,
+            accum: Mutex::new(SampleAccum::default()),
+        }
+    }
+
+    /// For enumeration: `true` once the budget is exhausted (workers skip
+    /// remaining tasks cheaply).
+    pub(crate) fn enumeration_full(&self) -> bool {
+        match self {
+            ModeShared::Enumerate { limit, claimed, .. } => {
+                claimed.load(Ordering::Relaxed) >= *limit
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sink_counts() {
+        let mut sink = CountSink::new();
+        sink.on_match(&[1, 2, 3]);
+        sink.on_match(&[4, 5, 6]);
+        assert_eq!(sink.count(), 2);
+        assert!(!sink.is_full());
+    }
+
+    #[test]
+    fn embed_sink_respects_limit() {
+        let mut sink = EmbedSink::new(2, 2);
+        sink.on_match(&[1, 2]);
+        assert!(!sink.is_full());
+        sink.on_match(&[3, 4]);
+        assert!(sink.is_full());
+        sink.on_match(&[5, 6]); // ignored: full
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.into_embeddings(), vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn orbit_sink_accumulates_membership() {
+        let mut sink = OrbitSink::new(5);
+        sink.on_match(&[0, 2, 4]);
+        sink.on_match(&[2, 3, 4]);
+        assert_eq!(sink.counts(), &[1, 0, 2, 1, 2]);
+    }
+
+    #[test]
+    fn prefix_hash_is_deterministic_and_seed_sensitive() {
+        let a = prefix_hash(7, &[1, 2, 3]);
+        assert_eq!(a, prefix_hash(7, &[1, 2, 3]));
+        assert_ne!(a, prefix_hash(8, &[1, 2, 3]));
+        assert_ne!(a, prefix_hash(7, &[1, 2, 4]));
+    }
+
+    #[test]
+    fn rate_one_accepts_everything_and_is_exact() {
+        for v in 0..100u32 {
+            assert!(sample_accepts(3, 1.0, &[v]));
+        }
+        let mut accum = SampleAccum::default();
+        accum.total = 10;
+        for y in [5u64, 0, 7, 3, 1, 0, 0, 2, 9, 4] {
+            accum.record(y);
+        }
+        let est = accum.estimate(1.0);
+        assert_eq!(est.estimate, 31.0);
+        assert_eq!(est.stderr, 0.0);
+        assert_eq!(est.sampled, 10);
+    }
+
+    #[test]
+    fn acceptance_frequency_tracks_rate() {
+        let accepted = (0..10_000u32)
+            .filter(|&v| sample_accepts(42, 0.25, &[v]))
+            .count();
+        let frequency = accepted as f64 / 10_000.0;
+        assert!(
+            (frequency - 0.25).abs() < 0.02,
+            "acceptance frequency {frequency} far from rate"
+        );
+    }
+
+    #[test]
+    fn horvitz_thompson_is_unbiased_in_expectation() {
+        // Ground truth: subtree sizes y_i; estimate averaged over many
+        // seeds must approach the true total.
+        let ys: Vec<u64> = (0..200).map(|i| (i * 7 + 3) % 23).collect();
+        let total: u64 = ys.iter().sum();
+        let rate = 0.3;
+        let mut mean = 0.0;
+        let seeds = 200;
+        for seed in 0..seeds {
+            let mut accum = SampleAccum::default();
+            for (i, &y) in ys.iter().enumerate() {
+                accum.total += 1;
+                if sample_accepts(seed, rate, &[i as VertexId]) {
+                    accum.record(y);
+                }
+            }
+            mean += accum.estimate(rate).estimate;
+        }
+        mean /= seeds as f64;
+        let relative = (mean - total as f64).abs() / total as f64;
+        assert!(relative < 0.05, "relative bias {relative} too large");
+    }
+
+    #[test]
+    fn sample_accum_merge_adds_fields() {
+        let mut a = SampleAccum {
+            sampled: 1,
+            total: 2,
+            sum_y: 3,
+            sum_y2: 9,
+        };
+        let b = SampleAccum {
+            sampled: 2,
+            total: 5,
+            sum_y: 4,
+            sum_y2: 16,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            SampleAccum {
+                sampled: 3,
+                total: 7,
+                sum_y: 7,
+                sum_y2: 25,
+            }
+        );
+    }
+
+    #[test]
+    fn mode_shared_enumeration_budget() {
+        let shared = ModeShared::enumerate(2);
+        assert!(!shared.enumeration_full());
+        if let ModeShared::Enumerate { claimed, .. } = &shared {
+            claimed.store(2, Ordering::Relaxed);
+        }
+        assert!(shared.enumeration_full());
+        assert!(!ModeShared::orbit(4).enumeration_full());
+    }
+}

@@ -49,12 +49,12 @@ pub mod schedule;
 pub use config::{Configuration, ExecutionPlan, IepCorrection, PoolOptions, ServeOptions};
 pub use dynamic::{DynamicEngine, PinnedEngine};
 pub use engine::{
-    CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, SavedPlanKey, Session,
-    WarmStartReport,
+    ApproxCount, CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, SavedPlanKey,
+    Session, WarmStartReport,
 };
 pub use error::EngineError;
 pub use exec::pool::WorkerPool;
-pub use net::{Client, NetError, Server, ServerHandle};
+pub use net::{Client, CountExt, NetError, QueryMode, Server, ServerHandle};
 pub use perf_model::PerformanceModel;
 pub use schedule::Schedule;
 
@@ -62,11 +62,11 @@ pub use schedule::Schedule;
 pub mod prelude {
     pub use crate::config::{Configuration, PoolOptions, ServeOptions};
     pub use crate::engine::{
-        CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, Session,
+        ApproxCount, CacheStats, CountOptions, GraphPi, Plan, PlanCache, PlanOptions, Session,
     };
     pub use crate::error::EngineError;
     pub use crate::exec::pool::WorkerPool;
-    pub use crate::net::{Client, NetError, Server, ServerHandle};
+    pub use crate::net::{Client, CountExt, NetError, QueryMode, Server, ServerHandle};
     pub use crate::perf_model::PerformanceModel;
     pub use crate::schedule::Schedule;
     pub use graphpi_graph::prelude::*;

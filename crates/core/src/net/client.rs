@@ -18,8 +18,9 @@
 
 use super::chaos::SplitMix64;
 use super::protocol::{
-    op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, NetError, PromoteOk, StatsOk,
-    TcpTransport, Transport, UpdateOk, UpdateRequest, WireError, MAX_UPDATE_EDGES,
+    op, CountExt, CountOk, CountRequest, EnumPage, EnumerateRequest, ErrorCode, Frame, HealthOk,
+    NetError, PromoteOk, QueryMode, StatsOk, TcpTransport, Transport, UpdateOk, UpdateRequest,
+    WireError, MAX_UPDATE_EDGES,
 };
 use graphpi_pattern::Pattern;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -44,6 +45,36 @@ pub struct RemoteCountOptions {
     /// after this generation, waiting briefly for replication to catch
     /// up and shedding with `RETRY_LATER` past its wait budget.
     pub min_generation: u64,
+    /// Execution mode: a plain count (default), per-vertex orbit counts
+    /// (summarised in the reply), or a seeded sampled estimate
+    /// (protocol v2).
+    pub mode: QueryMode,
+}
+
+/// Per-enumeration options for [`Client::enumerate_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteEnumerateOptions {
+    /// Execute against the hub-accelerated layout. The returned tuples
+    /// may pick different automorphic representatives than the plain
+    /// layout; the set of occurrences is identical.
+    pub hub_bitsets: bool,
+    /// Deadline in milliseconds covering queueing, matching, *and* page
+    /// streaming — the server re-checks it between pages (0 = none).
+    pub deadline_ms: u32,
+    /// Requested embeddings per `ENUM_PAGE` (0 = server default; always
+    /// clamped to what one frame can carry).
+    pub page_size: u32,
+}
+
+/// A completed remote enumeration: every embedding received, plus how
+/// many pages carried them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteEnumeration {
+    /// The embeddings, one `Vec` per match, indexed by pattern vertex.
+    pub embeddings: Vec<Vec<u32>>,
+    /// `ENUM_PAGE` frames received (at least 1 — an empty result is one
+    /// empty terminal page).
+    pub pages: u64,
 }
 
 /// Per-update options for [`Client::update_with`].
@@ -61,10 +92,14 @@ pub struct RemoteUpdateOptions {
 /// A successful remote count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RemoteCount {
-    /// Number of embeddings found.
+    /// Number of embeddings found (for sample mode: the estimate rounded
+    /// to the nearest integer — the full-precision value is in `ext`).
     pub count: u64,
     /// Server-side execution time (excludes queueing and network).
     pub elapsed: Duration,
+    /// Mode-specific extension: an orbit summary or sample estimate
+    /// ([`CountExt::None`] for plain counts).
+    pub ext: CountExt,
 }
 
 /// A synchronous GraphPi protocol client over any [`Transport`].
@@ -145,6 +180,7 @@ impl<T: Transport> Client<T> {
             deadline_ms: options.deadline_ms,
             request_id: options.request_id,
             min_generation: options.min_generation,
+            mode: options.mode,
             pattern: pattern.canonical_bytes(),
         };
         let response = self.roundtrip(&Frame::new(op::COUNT, request.encode()), op::COUNT_OK)?;
@@ -153,7 +189,77 @@ impl<T: Transport> Client<T> {
         Ok(RemoteCount {
             count: ok.count,
             elapsed: Duration::from_micros(ok.elapsed_micros),
+            ext: ok.ext,
         })
+    }
+
+    /// Enumerates up to `limit` embeddings with default options,
+    /// collecting every streamed page (protocol v2).
+    pub fn enumerate(
+        &mut self,
+        pattern: &Pattern,
+        limit: u64,
+    ) -> Result<RemoteEnumeration, NetError> {
+        self.enumerate_with(pattern, limit, RemoteEnumerateOptions::default())
+    }
+
+    /// Enumerates up to `limit` embeddings with explicit options,
+    /// collecting the `ENUM_PAGE` stream until its terminal page.
+    ///
+    /// Unlike counts there is no idempotency key: an enumeration that
+    /// fails mid-stream cannot be resumed — issue a fresh request (and
+    /// see [`RetryingClient::enumerate_with`] for the only retry that is
+    /// safe automatically: one where no page was received).
+    pub fn enumerate_with(
+        &mut self,
+        pattern: &Pattern,
+        limit: u64,
+        options: RemoteEnumerateOptions,
+    ) -> Result<RemoteEnumeration, NetError> {
+        let request = EnumerateRequest {
+            hub_bitsets: options.hub_bitsets,
+            deadline_ms: options.deadline_ms,
+            limit,
+            page_size: options.page_size,
+            pattern: pattern.canonical_bytes(),
+        };
+        self.transport
+            .send(&Frame::new(op::ENUMERATE, request.encode()))?;
+        let mut result = RemoteEnumeration {
+            embeddings: Vec::new(),
+            pages: 0,
+        };
+        loop {
+            let frame = match self.transport.recv() {
+                Ok(frame) => frame,
+                Err(NetError::Idle) => continue,
+                Err(error) => return Err(error),
+            };
+            if frame.opcode == op::ERROR {
+                let error = WireError::decode(&frame.payload)
+                    .ok_or(NetError::Protocol("undecodable error payload"))?;
+                return Err(error.into_net_error());
+            }
+            if frame.opcode != op::ENUM_PAGE {
+                return Err(NetError::Protocol(
+                    "response opcode does not match the request",
+                ));
+            }
+            let page = EnumPage::decode(&frame.payload)
+                .ok_or(NetError::Protocol("undecodable ENUM_PAGE payload"))?;
+            if usize::from(page.pattern_size) != pattern.num_vertices() {
+                return Err(NetError::Protocol(
+                    "page pattern size does not match the request",
+                ));
+            }
+            result.pages += 1;
+            result
+                .embeddings
+                .extend(page.embeddings().map(<[u32]>::to_vec));
+            if page.last {
+                return Ok(result);
+            }
+        }
     }
 
     /// Commits one edge batch (protocol v2). Inserts apply before
@@ -424,6 +530,7 @@ impl RetryingClient {
             deadline_ms: options.deadline_ms,
             request_id: options.request_id,
             min_generation: options.min_generation,
+            mode: options.mode,
             pattern: pattern.canonical_bytes(),
         };
         let frame = Frame::new(op::COUNT, request.encode());
@@ -433,7 +540,149 @@ impl RetryingClient {
         Ok(RemoteCount {
             count: ok.count,
             elapsed: Duration::from_micros(ok.elapsed_micros),
+            ext: ok.ext,
         })
+    }
+
+    /// Enumerates up to `limit` embeddings with default options, with
+    /// the zero-page retry rule of [`RetryingClient::enumerate_with`].
+    pub fn enumerate(
+        &mut self,
+        pattern: &Pattern,
+        limit: u64,
+    ) -> Result<RemoteEnumeration, NetError> {
+        self.enumerate_with(pattern, limit, RemoteEnumerateOptions::default())
+    }
+
+    /// Enumerates up to `limit` embeddings, retrying per the policy —
+    /// but **only while no page has been received**. Enumeration carries
+    /// no idempotency key and its pages are not resumable: once a page
+    /// has arrived, a failure surfaces immediately rather than risking a
+    /// silently interleaved second stream (a truncated-limit re-run may
+    /// also legitimately return different embeddings). Callers that need
+    /// to recover mid-stream issue a fresh request.
+    pub fn enumerate_with(
+        &mut self,
+        pattern: &Pattern,
+        limit: u64,
+        options: RemoteEnumerateOptions,
+    ) -> Result<RemoteEnumeration, NetError> {
+        let started = Instant::now();
+        let deadline = self.policy.overall_deadline.map(|limit| started + limit);
+        let schedule = self.policy.backoff_schedule();
+        let mut last_error = NetError::Closed;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            self.stats.attempts += 1;
+            match self.try_enumerate_once(pattern, limit, options, deadline) {
+                Ok(result) => return Ok(result),
+                Err((error, pages_received)) => {
+                    // The stream is in an unknown state after any failure;
+                    // always reconnect before the next attempt.
+                    self.transport = None;
+                    if pages_received > 0 || !is_retryable(&error) {
+                        return Err(error);
+                    }
+                    let wait = schedule
+                        .get(attempt as usize)
+                        .copied()
+                        .unwrap_or(Duration::ZERO);
+                    last_error = error;
+                    if attempt + 1 >= self.policy.max_attempts.max(1) {
+                        break;
+                    }
+                    if let Some(deadline) = deadline {
+                        if Instant::now() + wait >= deadline {
+                            return Err(last_error);
+                        }
+                    }
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    /// One enumeration attempt; on failure, reports how many pages had
+    /// already arrived (the retry-safety signal).
+    fn try_enumerate_once(
+        &mut self,
+        pattern: &Pattern,
+        limit: u64,
+        options: RemoteEnumerateOptions,
+        deadline: Option<Instant>,
+    ) -> Result<RemoteEnumeration, (NetError, u64)> {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err((NetError::Idle, 0));
+            }
+        }
+        if self.transport.is_none() {
+            self.stats.connects += 1;
+            self.transport = Some((self.connector)().map_err(|e| (e, 0))?);
+        }
+        let transport = self.transport.as_mut().expect("connected above");
+        let mut timeout = self.policy.attempt_timeout;
+        if let Some(deadline) = deadline {
+            let left = deadline.saturating_duration_since(Instant::now());
+            timeout = Some(
+                timeout
+                    .map_or(left, |t| t.min(left))
+                    .max(Duration::from_millis(1)),
+            );
+        }
+        transport.set_recv_timeout(timeout).map_err(|e| (e, 0))?;
+        let request = EnumerateRequest {
+            hub_bitsets: options.hub_bitsets,
+            deadline_ms: options.deadline_ms,
+            limit,
+            page_size: options.page_size,
+            pattern: pattern.canonical_bytes(),
+        };
+        transport
+            .send(&Frame::new(op::ENUMERATE, request.encode()))
+            .map_err(|e| (e, 0))?;
+        let mut result = RemoteEnumeration {
+            embeddings: Vec::new(),
+            pages: 0,
+        };
+        loop {
+            let frame = transport.recv().map_err(|e| (e, result.pages))?;
+            if frame.opcode == op::ERROR {
+                let error = WireError::decode(&frame.payload)
+                    .ok_or(NetError::Protocol("undecodable error payload"))
+                    .map_err(|e| (e, result.pages))?;
+                return Err((error.into_net_error(), result.pages));
+            }
+            if frame.opcode != op::ENUM_PAGE {
+                return Err((
+                    NetError::Protocol("response opcode does not match the request"),
+                    result.pages,
+                ));
+            }
+            let page = EnumPage::decode(&frame.payload)
+                .ok_or((
+                    NetError::Protocol("undecodable ENUM_PAGE payload"),
+                    result.pages,
+                ))?;
+            if usize::from(page.pattern_size) != pattern.num_vertices() {
+                return Err((
+                    NetError::Protocol("page pattern size does not match the request"),
+                    result.pages,
+                ));
+            }
+            result.pages += 1;
+            result
+                .embeddings
+                .extend(page.embeddings().map(<[u32]>::to_vec));
+            if page.last {
+                return Ok(result);
+            }
+        }
     }
 
     /// Commits one edge batch, retrying per the policy. Every attempt

@@ -42,12 +42,13 @@ pub mod server;
 
 pub use chaos::{ChaosConfig, ChaosConnector, ChaosProxy, ChaosStats, ChaosTransport};
 pub use client::{
-    Client, FailoverClient, FailoverStats, RemoteCount, RemoteCountOptions, RemoteUpdateOptions,
-    RetryPolicy, RetryStats, RetryingClient,
+    Client, FailoverClient, FailoverStats, RemoteCount, RemoteCountOptions, RemoteEnumerateOptions,
+    RemoteEnumeration, RemoteUpdateOptions, RetryPolicy, RetryStats, RetryingClient,
 };
 pub use protocol::{
-    ErrorCode, Frame, HealthOk, HealthState, NetError, PromoteOk, ReplAck, ReplBatch, ReplPayload,
-    ReplRole, ReplSubscribe, StatsOk, TcpTransport, Transport, UpdateOk, UpdateRequest,
+    CountExt, ErrorCode, Frame, HealthOk, HealthState, NetError, OrbitSummary, PromoteOk,
+    QueryMode, ReplAck, ReplBatch, ReplPayload, ReplRole, ReplSubscribe, SampleSummary, StatsOk,
+    TcpTransport, Transport, UpdateOk, UpdateRequest,
 };
 pub use replica::{run_replication, ReplicaReport};
 pub use server::{ReplState, Server, ServerHandle, ServerReport};

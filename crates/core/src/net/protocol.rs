@@ -84,6 +84,13 @@ pub mod op {
     /// Ask a replica to stop following its primary and serve writes
     /// (empty payload; protocol v2). Idempotent on a primary.
     pub const PROMOTE: u8 = 0x09;
+    /// Enumerate embeddings of a pattern ([`super::EnumerateRequest`]
+    /// payload; protocol v2). Answered by a stream of [`ENUM_PAGE`]
+    /// frames. Enumeration is **not** idempotent and never enters the
+    /// completed-request ledger: a retry after an ambiguous failure may
+    /// re-run the query and observe a different page split (or, with a
+    /// `limit`, different representatives).
+    pub const ENUMERATE: u8 = 0x0A;
     /// One replication shipment ([`super::ReplBatch`] payload): a raw
     /// slice of the primary's WAL record stream, a checkpoint-file chunk,
     /// or an empty heartbeat.
@@ -103,6 +110,11 @@ pub mod op {
     pub const HEALTH_OK: u8 = 0x85;
     /// Update applied ([`super::UpdateOk`] payload; protocol v2).
     pub const UPDATE_OK: u8 = 0x86;
+    /// One page of an enumeration's result stream ([`super::EnumPage`]
+    /// payload; protocol v2). The last page carries a flag; the stream is
+    /// `ENUM_PAGE*` terminated by a flagged page (or an [`ERROR`] frame,
+    /// after which no further pages follow).
+    pub const ENUM_PAGE: u8 = 0x8A;
     /// Typed failure ([`super::WireError`] payload).
     pub const ERROR: u8 = 0x7F;
 }
@@ -153,6 +165,10 @@ pub enum ErrorCode {
     /// it (possibly empty). Deterministic until a failover changes roles;
     /// connection stays open (protocol v2).
     NotPrimary,
+    /// A well-formed request carried an argument value the server rejects
+    /// (enumeration limit of zero, sample rate outside `(0, 1]`).
+    /// Deterministic rejection; connection stays open (protocol v2).
+    InvalidArgument,
     /// A code this build does not know (forward compatibility).
     Other(u8),
 }
@@ -174,6 +190,7 @@ impl ErrorCode {
             ErrorCode::RetryLater => 11,
             ErrorCode::ReadOnly => 12,
             ErrorCode::NotPrimary => 13,
+            ErrorCode::InvalidArgument => 14,
             ErrorCode::Other(code) => code,
         }
     }
@@ -194,6 +211,7 @@ impl ErrorCode {
             11 => ErrorCode::RetryLater,
             12 => ErrorCode::ReadOnly,
             13 => ErrorCode::NotPrimary,
+            14 => ErrorCode::InvalidArgument,
             other => ErrorCode::Other(other),
         }
     }
@@ -227,6 +245,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::RetryLater => write!(f, "overloaded, retry later"),
             ErrorCode::ReadOnly => write!(f, "server graph is read-only"),
             ErrorCode::NotPrimary => write!(f, "server is not the primary"),
+            ErrorCode::InvalidArgument => write!(f, "invalid argument"),
             ErrorCode::Other(code) => write!(f, "error code {code}"),
         }
     }
@@ -511,18 +530,65 @@ impl Transport for TcpTransport {
     }
 }
 
+/// What a [`op::COUNT`] request asks to be counted (protocol v2; the
+/// plain global count needs no mode bytes on the wire).
+///
+/// Orbit and sample replies ride back in the [`CountOk`] mode extension;
+/// both execute on full-depth (IEP-free) plans server-side, so the
+/// `no_iep` request flag is irrelevant to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// The global embedding count (the v1 behavior).
+    #[default]
+    Count,
+    /// Per-vertex (orbit) counts; the reply summarizes them (sum, support,
+    /// argmax) — full vectors do not fit a frame for large graphs.
+    Orbit,
+    /// A sampled Horvitz–Thompson estimate of the count.
+    Sample {
+        /// Sampling seed (a fixed seed reproduces the estimate).
+        seed: u64,
+        /// The sampling rate's IEEE-754 bits (kept as bits so the request
+        /// stays `Eq` and byte-stable; see [`QueryMode::sample_rate`]).
+        rate_bits: u64,
+    },
+}
+
+impl QueryMode {
+    /// Builds a sample mode from a plain rate.
+    pub fn sample(seed: u64, rate: f64) -> Self {
+        QueryMode::Sample {
+            seed,
+            rate_bits: rate.to_bits(),
+        }
+    }
+
+    /// The sampling rate, for [`QueryMode::Sample`] (`None` otherwise).
+    pub fn sample_rate(&self) -> Option<f64> {
+        match self {
+            QueryMode::Sample { rate_bits, .. } => Some(f64::from_bits(*rate_bits)),
+            _ => None,
+        }
+    }
+}
+
 /// [`op::COUNT`] payload: execution flags, a deadline, an optional
-/// client-generated request ID, an optional generation floor, and the
-/// pattern.
+/// client-generated request ID, an optional generation floor, an optional
+/// query mode, and the pattern.
 ///
 /// ```text
 /// offset  size  field          present
 /// 0       1     flags          always: bit0 = disable IEP, bit1 = hub
 ///                              bitsets, bit2 = request ID (protocol v2),
-///                              bit3 = min generation (protocol v2)
+///                              bit3 = min generation (protocol v2),
+///                              bit4 = query mode (protocol v2)
 /// 1       4     deadline_ms    always; u32 LE, 0 = no deadline
 /// 5       8     request_id     u64 LE, only when flag bit2 is set
 /// +0      8     min_generation u64 LE, only when flag bit3 is set
+/// +0      1     mode           only when flag bit4 is set: 1 = orbit,
+///                              2 = sample (0 is malformed — plain counts
+///                              omit the flag)
+/// +0      16    seed,rate_bits u64 LE each, only when mode = 2
 /// +0      ...   pattern        Pattern::canonical_bytes
 /// ```
 ///
@@ -552,6 +618,9 @@ pub struct CountRequest {
     /// Lowest graph generation this count may be served from (0 = any;
     /// never sent on the wire as 0).
     pub min_generation: u64,
+    /// What to count ([`QueryMode::Count`] = the v1 global count; never
+    /// sent on the wire for plain counts, so v1 servers keep working).
+    pub mode: QueryMode,
     /// The pattern, as canonical bytes.
     pub pattern: Vec<u8>,
 }
@@ -561,10 +630,13 @@ impl CountRequest {
     const FLAG_HUBS: u8 = 1 << 1;
     const FLAG_REQUEST_ID: u8 = 1 << 2;
     const FLAG_MIN_GENERATION: u8 = 1 << 3;
+    const FLAG_MODE: u8 = 1 << 4;
+    const MODE_ORBIT: u8 = 1;
+    const MODE_SAMPLE: u8 = 2;
 
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(21 + self.pattern.len());
+        let mut out = Vec::with_capacity(38 + self.pattern.len());
         let mut flags = 0u8;
         if self.no_iep {
             flags |= Self::FLAG_NO_IEP;
@@ -578,6 +650,9 @@ impl CountRequest {
         if self.min_generation != 0 {
             flags |= Self::FLAG_MIN_GENERATION;
         }
+        if self.mode != QueryMode::Count {
+            flags |= Self::FLAG_MODE;
+        }
         out.push(flags);
         out.extend_from_slice(&self.deadline_ms.to_le_bytes());
         if self.request_id != 0 {
@@ -586,13 +661,22 @@ impl CountRequest {
         if self.min_generation != 0 {
             out.extend_from_slice(&self.min_generation.to_le_bytes());
         }
+        match self.mode {
+            QueryMode::Count => {}
+            QueryMode::Orbit => out.push(Self::MODE_ORBIT),
+            QueryMode::Sample { seed, rate_bits } => {
+                out.push(Self::MODE_SAMPLE);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&rate_bits.to_le_bytes());
+            }
+        }
         out.extend_from_slice(&self.pattern);
         out
     }
 
-    /// Parses a payload; `None` on truncation or unknown flag bits (the
-    /// pattern bytes themselves are validated later by
-    /// `Pattern::from_canonical_bytes`).
+    /// Parses a payload; `None` on truncation, unknown flag bits, or an
+    /// unknown mode byte (the pattern bytes themselves are validated later
+    /// by `Pattern::from_canonical_bytes`).
     pub fn decode(payload: &[u8]) -> Option<Self> {
         if payload.len() < 5 {
             return None;
@@ -602,7 +686,8 @@ impl CountRequest {
             & !(Self::FLAG_NO_IEP
                 | Self::FLAG_HUBS
                 | Self::FLAG_REQUEST_ID
-                | Self::FLAG_MIN_GENERATION)
+                | Self::FLAG_MIN_GENERATION
+                | Self::FLAG_MODE)
             != 0
         {
             return None;
@@ -629,44 +714,355 @@ impl CountRequest {
         } else {
             0
         };
+        let mode = if flags & Self::FLAG_MODE != 0 {
+            let tag = *payload.get(pos)?;
+            pos += 1;
+            match tag {
+                Self::MODE_ORBIT => QueryMode::Orbit,
+                Self::MODE_SAMPLE => {
+                    let seed = u64::from_le_bytes(payload.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    let rate_bits = u64::from_le_bytes(payload.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    QueryMode::Sample { seed, rate_bits }
+                }
+                _ => return None, // the flag promises a non-count mode
+            }
+        } else {
+            QueryMode::Count
+        };
         Some(Self {
             no_iep: flags & Self::FLAG_NO_IEP != 0,
             hub_bitsets: flags & Self::FLAG_HUBS != 0,
             deadline_ms,
             request_id,
             min_generation,
+            mode,
             pattern: payload[pos..].to_vec(),
         })
     }
 }
 
+/// Orbit-mode summary riding in the [`CountOk`] mode extension. Full
+/// per-vertex vectors are `8 × |V|` bytes — beyond [`MAX_FRAME_LEN`] for
+/// any serious graph — so the wire carries the aggregate a remote caller
+/// can actually act on (totals and the hottest vertex); full vectors stay
+/// a local-API affair ([`crate::engine::Session::count_per_vertex`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrbitSummary {
+    /// Sum of all per-vertex counts (= pattern size × global count).
+    pub sum: u64,
+    /// Number of vertices with a nonzero count.
+    pub nonzero_vertices: u64,
+    /// The largest per-vertex count.
+    pub max_count: u64,
+    /// A vertex achieving `max_count` (0 when the graph is empty).
+    pub max_vertex: u32,
+}
+
+/// Sample-mode result riding in the [`CountOk`] mode extension (the
+/// Horvitz–Thompson estimate; see
+/// [`crate::engine::Session::count_approx`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleSummary {
+    /// IEEE-754 bits of the estimate (bits keep the struct `Eq`).
+    pub estimate_bits: u64,
+    /// IEEE-754 bits of the estimated standard error.
+    pub stderr_bits: u64,
+    /// Prefix tasks sampled and counted exactly.
+    pub sampled_tasks: u64,
+    /// Total prefix tasks the search decomposed into.
+    pub total_tasks: u64,
+}
+
+impl SampleSummary {
+    /// The estimate as a float.
+    pub fn estimate(&self) -> f64 {
+        f64::from_bits(self.estimate_bits)
+    }
+
+    /// The standard error as a float.
+    pub fn stderr(&self) -> f64 {
+        f64::from_bits(self.stderr_bits)
+    }
+}
+
+/// The mode-specific tail of a [`CountOk`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountExt {
+    /// A plain count: no extension bytes (the exact v1 reply).
+    #[default]
+    None,
+    /// Orbit summary (`mode` byte 1 + 28 payload bytes).
+    Orbit(OrbitSummary),
+    /// Sample estimate (`mode` byte 2 + 32 payload bytes).
+    Sample(SampleSummary),
+}
+
 /// [`op::COUNT_OK`] payload: the embedding count and the server-side
-/// execution time (`[u64 count][u64 elapsed_micros]`, LE).
+/// execution time (`[u64 count][u64 elapsed_micros]`, LE), optionally
+/// followed by a mode extension (protocol v2):
+/// `[u8 mode]` then, for orbit (mode 1),
+/// `[u64 sum][u64 nonzero][u64 max_count][u32 max_vertex]`, or for sample
+/// (mode 2), `[u64 estimate_bits][u64 stderr_bits][u64 sampled]`
+/// `[u64 total]`. Plain counts stay exactly 16 bytes, so v1 decoders are
+/// untouched — mode replies only ever answer mode requests, which v1
+/// clients cannot send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CountOk {
-    /// Number of embeddings found.
+    /// Number of embeddings found. For orbit mode, the global count the
+    /// orbit sum is consistent with; for sample mode, the estimate rounded
+    /// to the nearest integer.
     pub count: u64,
     /// Server-side execution time in microseconds (excludes queueing).
     pub elapsed_micros: u64,
+    /// The mode-specific tail ([`CountExt::None`] for plain counts).
+    pub ext: CountExt,
 }
 
 impl CountOk {
+    const ORBIT_EXT_LEN: usize = 1 + 28;
+    const SAMPLE_EXT_LEN: usize = 1 + 32;
+
+    /// A plain-count reply (no mode extension).
+    pub fn new(count: u64, elapsed_micros: u64) -> Self {
+        Self {
+            count,
+            elapsed_micros,
+            ext: CountExt::None,
+        }
+    }
+
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16);
+        let mut out = Vec::with_capacity(16 + Self::SAMPLE_EXT_LEN);
         out.extend_from_slice(&self.count.to_le_bytes());
         out.extend_from_slice(&self.elapsed_micros.to_le_bytes());
+        match self.ext {
+            CountExt::None => {}
+            CountExt::Orbit(orbit) => {
+                out.push(CountRequest::MODE_ORBIT);
+                out.extend_from_slice(&orbit.sum.to_le_bytes());
+                out.extend_from_slice(&orbit.nonzero_vertices.to_le_bytes());
+                out.extend_from_slice(&orbit.max_count.to_le_bytes());
+                out.extend_from_slice(&orbit.max_vertex.to_le_bytes());
+            }
+            CountExt::Sample(sample) => {
+                out.push(CountRequest::MODE_SAMPLE);
+                out.extend_from_slice(&sample.estimate_bits.to_le_bytes());
+                out.extend_from_slice(&sample.stderr_bits.to_le_bytes());
+                out.extend_from_slice(&sample.sampled_tasks.to_le_bytes());
+                out.extend_from_slice(&sample.total_tasks.to_le_bytes());
+            }
+        }
         out
     }
 
-    /// Parses a payload; `None` unless it is exactly 16 bytes.
+    /// Parses a payload; `None` unless it is exactly 16 bytes (plain
+    /// count) or 16 plus a well-formed mode extension.
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        if payload.len() != 16 {
+        if payload.len() < 16 {
+            return None;
+        }
+        let count = u64::from_le_bytes(payload[..8].try_into().ok()?);
+        let elapsed_micros = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+        let ext = &payload[16..];
+        let ext = match ext.first() {
+            None => CountExt::None,
+            Some(&CountRequest::MODE_ORBIT) if ext.len() == Self::ORBIT_EXT_LEN => {
+                CountExt::Orbit(OrbitSummary {
+                    sum: u64::from_le_bytes(ext[1..9].try_into().ok()?),
+                    nonzero_vertices: u64::from_le_bytes(ext[9..17].try_into().ok()?),
+                    max_count: u64::from_le_bytes(ext[17..25].try_into().ok()?),
+                    max_vertex: u32::from_le_bytes(ext[25..29].try_into().ok()?),
+                })
+            }
+            Some(&CountRequest::MODE_SAMPLE) if ext.len() == Self::SAMPLE_EXT_LEN => {
+                CountExt::Sample(SampleSummary {
+                    estimate_bits: u64::from_le_bytes(ext[1..9].try_into().ok()?),
+                    stderr_bits: u64::from_le_bytes(ext[9..17].try_into().ok()?),
+                    sampled_tasks: u64::from_le_bytes(ext[17..25].try_into().ok()?),
+                    total_tasks: u64::from_le_bytes(ext[25..33].try_into().ok()?),
+                })
+            }
+            Some(_) => return None,
+        };
+        Some(Self {
+            count,
+            elapsed_micros,
+            ext,
+        })
+    }
+}
+
+/// [`op::ENUMERATE`] payload (protocol v2): enumerate up to `limit`
+/// embeddings, streamed back as [`op::ENUM_PAGE`] frames.
+///
+/// ```text
+/// offset  size  field        notes
+/// 0       1     flags        bit0 = hub bitsets
+/// 1       4     deadline_ms  u32 LE, 0 = none; checked between pages, so
+///                            an expired deadline cancels the stream at
+///                            the next page boundary
+/// 5       8     limit        u64 LE, ≥ 1 (0 is malformed: an unbounded
+///                            remote enumeration is a typo, not a query)
+/// 13      4     page_size    u32 LE embeddings per page; 0 = server
+///                            default, always clamped to what fits a frame
+/// 17      ...   pattern      Pattern::canonical_bytes
+/// ```
+///
+/// Enumeration never enters the completed-request ledger (replaying a
+/// result stream is not a single recorded reply), so there is no request
+/// ID field: a client that loses its connection mid-stream restarts the
+/// enumeration from scratch and must treat already-received pages as
+/// stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumerateRequest {
+    /// Execute against the hub-accelerated layout.
+    pub hub_bitsets: bool,
+    /// Deadline in milliseconds (0 = none), checked between pages.
+    pub deadline_ms: u32,
+    /// Maximum embeddings to return across all pages (≥ 1).
+    pub limit: u64,
+    /// Requested embeddings per page (0 = server default; clamped).
+    pub page_size: u32,
+    /// The pattern, as canonical bytes.
+    pub pattern: Vec<u8>,
+}
+
+impl EnumerateRequest {
+    const FLAG_HUBS: u8 = 1 << 0;
+
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17 + self.pattern.len());
+        out.push(if self.hub_bitsets { Self::FLAG_HUBS } else { 0 });
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        out.extend_from_slice(&self.limit.to_le_bytes());
+        out.extend_from_slice(&self.page_size.to_le_bytes());
+        out.extend_from_slice(&self.pattern);
+        out
+    }
+
+    /// Parses a payload; `None` on truncation, unknown flag bits, or a
+    /// zero limit.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() < 17 {
+            return None;
+        }
+        let flags = payload[0];
+        if flags & !Self::FLAG_HUBS != 0 {
+            return None;
+        }
+        let limit = u64::from_le_bytes(payload[5..13].try_into().ok()?);
+        if limit == 0 {
             return None;
         }
         Some(Self {
-            count: u64::from_le_bytes(payload[..8].try_into().ok()?),
-            elapsed_micros: u64::from_le_bytes(payload[8..].try_into().ok()?),
+            hub_bitsets: flags & Self::FLAG_HUBS != 0,
+            deadline_ms: u32::from_le_bytes(payload[1..5].try_into().ok()?),
+            limit,
+            page_size: u32::from_le_bytes(payload[13..17].try_into().ok()?),
+            pattern: payload[17..].to_vec(),
+        })
+    }
+}
+
+/// Largest number of embeddings of a `pattern_size`-vertex pattern that
+/// fit one [`EnumPage`] frame under [`MAX_FRAME_LEN`].
+pub fn max_embeddings_per_page(pattern_size: usize) -> usize {
+    (MAX_FRAME_LEN - HEADER_LEN - 8) / (4 * pattern_size.max(1))
+}
+
+/// [`op::ENUM_PAGE`] payload (protocol v2): one page of an enumeration's
+/// result stream.
+///
+/// ```text
+/// offset  size   field         notes
+/// 0       1      flags         bit0 = last page of the stream
+/// 1       1      pattern_size  k, vertices per embedding (1..=8)
+/// 2       2      reserved      must be 0
+/// 4       4      n             u32 LE, embeddings in this page
+/// 8       4×n×k  vertices      u32 LE, pattern-vertex order, original ids
+/// ```
+///
+/// Every stream ends with a bit0-flagged page (possibly empty), so a
+/// client knows an unflagged quiet stream means a lost server, not a
+/// finished query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumPage {
+    /// Whether this is the stream's final page.
+    pub last: bool,
+    /// Vertices per embedding.
+    pub pattern_size: u8,
+    /// The page's embeddings, flattened (`n × pattern_size` vertex ids in
+    /// pattern-vertex order).
+    pub vertices: Vec<u32>,
+}
+
+impl EnumPage {
+    const FLAG_LAST: u8 = 1 << 0;
+
+    /// Number of embeddings in this page.
+    pub fn len(&self) -> usize {
+        self.vertices.len() / usize::from(self.pattern_size.max(1))
+    }
+
+    /// Whether the page carries no embeddings.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Iterates the page's embeddings as `pattern_size`-length slices.
+    pub fn embeddings(&self) -> impl Iterator<Item = &[u32]> {
+        self.vertices
+            .chunks_exact(usize::from(self.pattern_size.max(1)))
+    }
+
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert_eq!(self.vertices.len() % usize::from(self.pattern_size.max(1)), 0);
+        let mut out = Vec::with_capacity(8 + 4 * self.vertices.len());
+        out.push(if self.last { Self::FLAG_LAST } else { 0 });
+        out.push(self.pattern_size);
+        out.extend_from_slice(&[0u8; 2]);
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for &v in &self.vertices {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a payload; `None` on truncation, trailing bytes, unknown
+    /// flag bits, nonzero reserved bytes, a zero pattern size, or a count
+    /// that disagrees with the payload length.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() < 8 {
+            return None;
+        }
+        let flags = payload[0];
+        if flags & !Self::FLAG_LAST != 0 {
+            return None;
+        }
+        let pattern_size = payload[1];
+        if pattern_size == 0 || payload[2] != 0 || payload[3] != 0 {
+            return None;
+        }
+        let n = u32::from_le_bytes(payload[4..8].try_into().ok()?) as usize;
+        let vertex_bytes = &payload[8..];
+        let expected = n
+            .checked_mul(usize::from(pattern_size))?
+            .checked_mul(4)?;
+        if vertex_bytes.len() != expected {
+            return None;
+        }
+        Some(Self {
+            last: flags & Self::FLAG_LAST != 0,
+            pattern_size,
+            vertices: vertex_bytes
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect(),
         })
     }
 }
@@ -1100,6 +1496,12 @@ pub struct StatsOk {
     pub replication_lag: u64,
     /// The server's replication role (v2 trailing extension).
     pub repl_role: ReplRole,
+    /// Enumeration streams started (second v2 trailing extension; rides
+    /// after the replication extension, same reserved-tail pattern).
+    pub enumerations_total: u64,
+    /// Enumeration result pages sent across all streams (second v2
+    /// trailing extension).
+    pub pages_sent: u64,
 }
 
 impl StatsOk {
@@ -1109,6 +1511,11 @@ impl StatsOk {
     /// extension 8-byte aligned and leave room for the next field without
     /// another length change.
     const REPL_EXT_LEN: usize = 16;
+    /// Size of the second v2 trailing extension:
+    /// `[u64 enumerations_total][u64 pages_sent]`. Appended after the
+    /// replication extension; decoders that predate it simply stop at the
+    /// shorter accepted length.
+    const ENUM_EXT_LEN: usize = 16;
 
     /// Serialises the payload in the v1 layout (no replication
     /// extension) — what a v1 peer must receive.
@@ -1144,37 +1551,55 @@ impl StatsOk {
     }
 
     /// Serialises the payload for a peer speaking `version`: v2 peers get
-    /// the trailing replication extension (which their decoders accept by
-    /// length), v1 peers get the exact layout they validate against.
+    /// the trailing replication and enumeration extensions (which their
+    /// decoders accept by length), v1 peers get the exact layout they
+    /// validate against.
     pub fn encode_for(&self, version: u8) -> Vec<u8> {
         let mut out = self.encode();
         if version >= 2 {
             out.extend_from_slice(&self.replication_lag.to_le_bytes());
             out.push(self.repl_role.code());
             out.extend_from_slice(&[0u8; 7]);
+            out.extend_from_slice(&self.enumerations_total.to_le_bytes());
+            out.extend_from_slice(&self.pages_sent.to_le_bytes());
         }
         out
     }
 
-    /// Parses a payload; `None` unless it is exactly the v1 fixed size or
+    /// Parses a payload; `None` unless it is exactly the v1 fixed size,
     /// that plus the 16-byte replication extension (whose reserved bytes
-    /// must be zero).
+    /// must be zero), or that plus the 16-byte enumeration extension as
+    /// well — each historical length decodes with the newer fields
+    /// defaulted to zero.
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        let (replication_lag, repl_role) =
-            if payload.len() == Self::ENCODED_LEN + Self::REPL_EXT_LEN {
-                let ext = &payload[Self::ENCODED_LEN..];
-                if ext[9..].iter().any(|&b| b != 0) {
-                    return None;
-                }
-                (
-                    u64::from_le_bytes(ext[..8].try_into().ok()?),
-                    ReplRole::from_code(ext[8])?,
-                )
-            } else if payload.len() == Self::ENCODED_LEN {
-                (0, ReplRole::Primary)
-            } else {
+        let (replication_lag, repl_role, enumerations_total, pages_sent) = if payload.len()
+            == Self::ENCODED_LEN + Self::REPL_EXT_LEN + Self::ENUM_EXT_LEN
+            || payload.len() == Self::ENCODED_LEN + Self::REPL_EXT_LEN
+        {
+            let ext = &payload[Self::ENCODED_LEN..];
+            if ext[9..Self::REPL_EXT_LEN].iter().any(|&b| b != 0) {
                 return None;
+            }
+            let (enumerations_total, pages_sent) = if ext.len() > Self::REPL_EXT_LEN {
+                let tail = &ext[Self::REPL_EXT_LEN..];
+                (
+                    u64::from_le_bytes(tail[..8].try_into().ok()?),
+                    u64::from_le_bytes(tail[8..16].try_into().ok()?),
+                )
+            } else {
+                (0, 0)
             };
+            (
+                u64::from_le_bytes(ext[..8].try_into().ok()?),
+                ReplRole::from_code(ext[8])?,
+                enumerations_total,
+                pages_sent,
+            )
+        } else if payload.len() == Self::ENCODED_LEN {
+            (0, ReplRole::Primary, 0, 0)
+        } else {
+            return None;
+        };
         let payload = &payload[..Self::ENCODED_LEN];
         let mut pos = 0usize;
         let mut next_u32 = || {
@@ -1225,6 +1650,8 @@ impl StatsOk {
             latency,
             replication_lag,
             repl_role,
+            enumerations_total,
+            pages_sent,
         })
     }
 }
@@ -1589,6 +2016,7 @@ mod tests {
             deadline_ms: 1234,
             request_id: 0,
             min_generation: 0,
+            mode: QueryMode::Count,
             pattern: vec![3, 0b110, 0b101, 0b011],
         };
         assert_eq!(CountRequest::decode(&req.encode()).unwrap(), req);
@@ -1612,10 +2040,7 @@ mod tests {
         }
         assert!(CountRequest::decode(&zero_id).is_none());
 
-        let ok = CountOk {
-            count: u64::MAX - 3,
-            elapsed_micros: 17,
-        };
+        let ok = CountOk::new(u64::MAX - 3, 17);
         assert_eq!(CountOk::decode(&ok.encode()).unwrap(), ok);
         assert!(CountOk::decode(&ok.encode()[..15]).is_none());
 
@@ -1873,7 +2298,7 @@ mod tests {
         };
         let v2 = stats.encode_for(VERSION);
         let v1 = stats.encode_for(MIN_VERSION);
-        assert_eq!(v2.len(), v1.len() + 16);
+        assert_eq!(v2.len(), v1.len() + 32);
         let decoded = StatsOk::decode(&v2).unwrap();
         assert_eq!(decoded.replication_lag, 4);
         assert_eq!(decoded.repl_role, ReplRole::Replica);
@@ -1881,6 +2306,199 @@ mod tests {
         let decoded = StatsOk::decode(&v1).unwrap();
         assert_eq!(decoded.replication_lag, 0);
         assert_eq!(decoded.repl_role, ReplRole::Primary);
+    }
+
+    #[test]
+    fn stats_enumeration_tail_is_length_discriminated() {
+        let stats = StatsOk {
+            enumerations_total: 12,
+            pages_sent: 345,
+            replication_lag: 1,
+            repl_role: ReplRole::Replica,
+            ..StatsOk::default()
+        };
+        let v2 = stats.encode_for(VERSION);
+        let decoded = StatsOk::decode(&v2).unwrap();
+        assert_eq!(decoded, stats);
+        // A replication-era payload (one 16-byte extension) still decodes,
+        // with the enumeration counters defaulted.
+        let repl_only = &v2[..v2.len() - 16];
+        let decoded = StatsOk::decode(repl_only).unwrap();
+        assert_eq!(decoded.replication_lag, 1);
+        assert_eq!(decoded.enumerations_total, 0);
+        assert_eq!(decoded.pages_sent, 0);
+        // Any other length is refused.
+        assert!(StatsOk::decode(&v2[..v2.len() - 8]).is_none());
+        let mut longer = v2.clone();
+        longer.push(0);
+        assert!(StatsOk::decode(&longer).is_none());
+    }
+
+    #[test]
+    fn query_mode_round_trips_on_count_requests() {
+        let base = CountRequest {
+            no_iep: false,
+            hub_bitsets: true,
+            deadline_ms: 50,
+            request_id: 0,
+            min_generation: 0,
+            mode: QueryMode::Count,
+            pattern: vec![3, 0b110, 0b101, 0b011],
+        };
+        let orbit = CountRequest {
+            mode: QueryMode::Orbit,
+            ..base.clone()
+        };
+        assert_eq!(CountRequest::decode(&orbit.encode()).unwrap(), orbit);
+        assert_eq!(orbit.encode().len(), base.encode().len() + 1);
+
+        let sample = CountRequest {
+            mode: QueryMode::sample(0xFEED, 0.25),
+            ..base.clone()
+        };
+        let decoded = CountRequest::decode(&sample.encode()).unwrap();
+        assert_eq!(decoded, sample);
+        assert_eq!(decoded.mode.sample_rate(), Some(0.25));
+        assert_eq!(sample.encode().len(), base.encode().len() + 17);
+
+        // Modes compose with the other optional fields.
+        let full = CountRequest {
+            request_id: 7,
+            min_generation: 3,
+            mode: QueryMode::sample(1, 0.5),
+            ..base.clone()
+        };
+        assert_eq!(CountRequest::decode(&full.encode()).unwrap(), full);
+
+        // The mode flag with a zero mode byte is malformed (plain counts
+        // omit the flag), as is an unknown mode byte.
+        let mut zero_mode = orbit.encode();
+        let mode_pos = 5; // flags + deadline, no id/generation
+        assert_eq!(zero_mode[mode_pos], 1);
+        zero_mode[mode_pos] = 0;
+        assert!(CountRequest::decode(&zero_mode).is_none());
+        zero_mode[mode_pos] = 9;
+        assert!(CountRequest::decode(&zero_mode).is_none());
+        // A sample mode cut off before its parameters never parses.
+        let cut = sample.encode();
+        assert!(CountRequest::decode(&cut[..cut.len() - sample.pattern.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn count_ok_mode_extensions_round_trip() {
+        let plain = CountOk::new(9, 100);
+        assert_eq!(plain.encode().len(), 16);
+        assert_eq!(CountOk::decode(&plain.encode()).unwrap(), plain);
+
+        let orbit = CountOk {
+            count: 9,
+            elapsed_micros: 100,
+            ext: CountExt::Orbit(OrbitSummary {
+                sum: 45,
+                nonzero_vertices: 21,
+                max_count: 7,
+                max_vertex: 3,
+            }),
+        };
+        assert_eq!(orbit.encode().len(), 16 + 29);
+        assert_eq!(CountOk::decode(&orbit.encode()).unwrap(), orbit);
+
+        let sample = CountOk {
+            count: 10,
+            elapsed_micros: 50,
+            ext: CountExt::Sample(SampleSummary {
+                estimate_bits: 10.25f64.to_bits(),
+                stderr_bits: 1.5f64.to_bits(),
+                sampled_tasks: 12,
+                total_tasks: 40,
+            }),
+        };
+        assert_eq!(sample.encode().len(), 16 + 33);
+        let decoded = CountOk::decode(&sample.encode()).unwrap();
+        assert_eq!(decoded, sample);
+        let CountExt::Sample(s) = decoded.ext else {
+            panic!("expected a sample extension");
+        };
+        assert_eq!(s.estimate(), 10.25);
+        assert_eq!(s.stderr(), 1.5);
+
+        // Wrong extension lengths and unknown tags are refused.
+        assert!(CountOk::decode(&orbit.encode()[..16 + 28]).is_none());
+        assert!(CountOk::decode(&sample.encode()[..16 + 32]).is_none());
+        let mut unknown = plain.encode();
+        unknown.push(9);
+        assert!(CountOk::decode(&unknown).is_none());
+    }
+
+    #[test]
+    fn enumerate_codecs_round_trip() {
+        let req = EnumerateRequest {
+            hub_bitsets: true,
+            deadline_ms: 2_000,
+            limit: 1_000,
+            page_size: 64,
+            pattern: vec![3, 0b110, 0b101, 0b011],
+        };
+        assert_eq!(EnumerateRequest::decode(&req.encode()).unwrap(), req);
+        // Zero limits, unknown flags and truncations never parse.
+        let zero_limit = EnumerateRequest { limit: 0, ..req.clone() };
+        assert!(EnumerateRequest::decode(&zero_limit.encode()).is_none());
+        let mut flagged = req.encode();
+        flagged[0] |= 0x80;
+        assert!(EnumerateRequest::decode(&flagged).is_none());
+        assert!(EnumerateRequest::decode(&req.encode()[..16]).is_none());
+
+        let page = EnumPage {
+            last: false,
+            pattern_size: 3,
+            vertices: vec![1, 2, 3, 9, 8, 7],
+        };
+        assert_eq!(page.len(), 2);
+        assert_eq!(EnumPage::decode(&page.encode()).unwrap(), page);
+        assert_eq!(
+            page.embeddings().collect::<Vec<_>>(),
+            vec![&[1, 2, 3][..], &[9, 8, 7][..]]
+        );
+        let terminal = EnumPage {
+            last: true,
+            pattern_size: 5,
+            vertices: vec![],
+        };
+        assert!(terminal.is_empty());
+        assert_eq!(EnumPage::decode(&terminal.encode()).unwrap(), terminal);
+
+        // Malformed pages are refused: truncation, trailing bytes, a
+        // count/length mismatch, unknown flags, nonzero reserved bytes,
+        // and a zero pattern size.
+        let bytes = page.encode();
+        assert!(EnumPage::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(EnumPage::decode(&trailing).is_none());
+        let mut wrong_count = bytes.clone();
+        wrong_count[4] = 3;
+        assert!(EnumPage::decode(&wrong_count).is_none());
+        let mut bad_flags = bytes.clone();
+        bad_flags[0] |= 0x40;
+        assert!(EnumPage::decode(&bad_flags).is_none());
+        let mut bad_reserved = bytes.clone();
+        bad_reserved[2] = 1;
+        assert!(EnumPage::decode(&bad_reserved).is_none());
+        let mut zero_size = bytes;
+        zero_size[1] = 0;
+        assert!(EnumPage::decode(&zero_size).is_none());
+
+        // The page-size cap keeps every legal page under the frame cap.
+        for k in 1..=8usize {
+            let n = max_embeddings_per_page(k);
+            let page = EnumPage {
+                last: true,
+                pattern_size: k as u8,
+                vertices: vec![0; n * k],
+            };
+            assert!(page.encode().len() + HEADER_LEN <= MAX_FRAME_LEN);
+            assert!((n + 1) * k * 4 + 8 + HEADER_LEN > MAX_FRAME_LEN);
+        }
     }
 
     #[test]

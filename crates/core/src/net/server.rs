@@ -41,9 +41,10 @@ use crate::engine::{
 };
 use crate::exec::pool::WorkerPool;
 use crate::net::protocol::{
-    op, CountOk, CountRequest, ErrorCode, Frame, HealthOk, HealthState, LatencyHistogram, NetError,
-    PromoteOk, ReplAck, ReplBatch, ReplPayload, ReplRole, ReplSubscribe, StatsOk, TcpTransport,
-    Transport, UpdateOk, UpdateRequest, HISTOGRAM_BUCKETS, REPL_CHUNK_BYTES,
+    max_embeddings_per_page, op, CountExt, CountOk, CountRequest, EnumPage, EnumerateRequest,
+    ErrorCode, Frame, HealthOk, HealthState, LatencyHistogram, NetError, OrbitSummary, PromoteOk,
+    QueryMode, ReplAck, ReplBatch, ReplPayload, ReplRole, ReplSubscribe, SampleSummary, StatsOk,
+    TcpTransport, Transport, UpdateOk, UpdateRequest, HISTOGRAM_BUCKETS, REPL_CHUNK_BYTES,
 };
 use crate::persist;
 use graphpi_graph::delta::{DeltaError, EdgeBatch};
@@ -95,6 +96,8 @@ struct Metrics {
     active_connections: AtomicUsize,
     queries_total: AtomicU64,
     updates_total: AtomicU64,
+    enumerations_total: AtomicU64,
+    pages_sent: AtomicU64,
     deadline_exceeded: AtomicU64,
     protocol_errors: AtomicU64,
     overload_rejections: AtomicU64,
@@ -338,6 +341,18 @@ fn request_fingerprint(request: &CountRequest) -> u64 {
     };
     eat(u8::from(request.no_iep));
     eat(u8::from(request.hub_bitsets));
+    // The execution mode changes the answer, so orbit/sample replies can
+    // never replay for a plain count retry (or vice versa).
+    match request.mode {
+        QueryMode::Count => eat(0),
+        QueryMode::Orbit => eat(1),
+        QueryMode::Sample { seed, rate_bits } => {
+            eat(2);
+            for byte in seed.to_le_bytes().into_iter().chain(rate_bits.to_le_bytes()) {
+                eat(byte);
+            }
+        }
+    }
     for byte in &request.pattern {
         eat(*byte);
     }
@@ -446,14 +461,14 @@ enum ServeBackend<'a> {
 }
 
 impl ServeBackend<'_> {
-    /// Runs one count against a single consistent generation.
-    fn count_with(
-        &self,
-        pattern: &Pattern,
-        options: CountOptions,
-    ) -> Result<u64, crate::error::EngineError> {
+    /// Runs `f` against a session pinned to a single consistent
+    /// generation: the long-lived session on a static backend, a transient
+    /// session over the pinned current generation on a dynamic one (the
+    /// shared pool and plan cache keep the transient session as cheap as
+    /// the static path).
+    fn with_session<R>(&self, f: impl FnOnce(&Session<'_>) -> R) -> R {
         match self {
-            ServeBackend::Static(session) => session.count_with(pattern, options),
+            ServeBackend::Static(session) => f(session),
             ServeBackend::Dynamic {
                 engine,
                 pool,
@@ -466,9 +481,77 @@ impl ServeBackend<'_> {
                     PlanOptions::default(),
                     CountOptions::default(),
                 );
-                session.count_with(pattern, options)
+                f(&session)
             }
         }
+    }
+
+    /// Runs one count-family query in the requested execution mode,
+    /// returning the wire reply body: the headline count plus the
+    /// mode-specific extension (orbit summary / sample estimate).
+    ///
+    /// Orbit replies summarise the per-vertex vector instead of shipping
+    /// it — a full vector over a large graph exceeds the frame cap; the
+    /// full vector stays a local-API affordance
+    /// ([`Session::count_per_vertex`]).
+    fn count_mode(
+        &self,
+        pattern: &Pattern,
+        options: CountOptions,
+        mode: QueryMode,
+    ) -> Result<(u64, CountExt), crate::error::EngineError> {
+        self.with_session(|session| match mode {
+            QueryMode::Count => session
+                .count_with(pattern, options)
+                .map(|count| (count, CountExt::None)),
+            QueryMode::Orbit => {
+                let counts = session.count_per_vertex_with(pattern, options)?;
+                let sum: u64 = counts.iter().sum();
+                let nonzero_vertices = counts.iter().filter(|&&c| c > 0).count() as u64;
+                let (max_vertex, max_count) = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .map(|(v, &c)| (v as u32, c))
+                    .unwrap_or((0, 0));
+                // Every embedding touches pattern-size vertices, so the
+                // headline count is the exact global count.
+                let size = pattern.num_vertices() as u64;
+                Ok((
+                    sum / size.max(1),
+                    CountExt::Orbit(OrbitSummary {
+                        sum,
+                        nonzero_vertices,
+                        max_count,
+                        max_vertex,
+                    }),
+                ))
+            }
+            QueryMode::Sample { seed, rate_bits } => {
+                let rate = f64::from_bits(rate_bits);
+                let approx = session.count_approx_with(pattern, rate, seed, options)?;
+                Ok((
+                    approx.estimate.round().max(0.0) as u64,
+                    CountExt::Sample(SampleSummary {
+                        estimate_bits: approx.estimate.to_bits(),
+                        stderr_bits: approx.stderr.to_bits(),
+                        sampled_tasks: approx.sampled_tasks,
+                        total_tasks: approx.total_tasks,
+                    }),
+                ))
+            }
+        })
+    }
+
+    /// Enumerates up to `limit` embeddings against a single consistent
+    /// generation (flattened page source for the `ENUMERATE` stream).
+    fn enumerate_with(
+        &self,
+        pattern: &Pattern,
+        limit: u64,
+        options: CountOptions,
+    ) -> Result<Vec<Vec<u32>>, crate::error::EngineError> {
+        self.with_session(|session| session.enumerate_with(pattern, limit, options))
     }
 
     /// The dynamic engine, when updates are accepted.
@@ -913,6 +996,16 @@ fn handle_connection(
                 admission,
                 ledger,
             ),
+            // ENUMERATE is a v2 opcode: the paged reply stream does not
+            // exist in protocol v1.
+            op::ENUMERATE if peer >= 2 => handle_enumerate(
+                &mut transport,
+                peer,
+                &frame.payload,
+                backend,
+                metrics,
+                admission,
+            ),
             // UPDATE is a v2 opcode: a v1 peer sending it gets the same
             // UnknownOpcode a v1 server would have answered, so mixed
             // fleets fail loudly instead of half-applying.
@@ -1043,6 +1136,34 @@ fn handle_count(
                 .is_ok();
         }
     };
+    // Execution modes are a v2 feature: the mode-extended reply would not
+    // parse on a v1 peer, so a v1 frame carrying a mode is refused.
+    if peer < 2 && request.mode != QueryMode::Count {
+        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return transport
+            .send(&error_frame(
+                peer,
+                ErrorCode::BadPayload,
+                "execution modes (orbit/sample) require protocol v2",
+                None,
+            ))
+            .is_ok();
+    }
+    // A nonsensical sample rate is a content error in a well-formed
+    // frame: typed reply, connection stays open, nothing executes.
+    if let Some(rate) = request.mode.sample_rate() {
+        if !rate.is_finite() || rate <= 0.0 {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::InvalidArgument,
+                    "sample rate must be a finite value in (0, 1]",
+                    None,
+                ))
+                .is_ok();
+        }
+    }
     let deadline = (request.deadline_ms > 0)
         .then(|| Instant::now() + Duration::from_millis(u64::from(request.deadline_ms)));
 
@@ -1123,7 +1244,7 @@ fn handle_count(
     };
     let start = Instant::now();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        backend.count_with(&pattern, count_options)
+        backend.count_mode(&pattern, count_options, request.mode)
     }));
     let elapsed = start.elapsed();
     admission.release();
@@ -1141,7 +1262,7 @@ fn handle_count(
             &engine_error.to_string(),
             None,
         ),
-        Ok(Ok(count)) => {
+        Ok(Ok((count, ext))) => {
             let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
             metrics.record_latency(micros);
             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -1156,6 +1277,7 @@ fn handle_count(
                 let ok = CountOk {
                     count,
                     elapsed_micros: micros,
+                    ext,
                 };
                 if request.request_id != 0 {
                     ledger.record(request.request_id, fingerprint, LedgerReply::Count(ok));
@@ -1165,6 +1287,167 @@ fn handle_count(
         }
     };
     transport.send(&reply).is_ok()
+}
+
+/// Runs one `ENUMERATE` request end to end: decode, admit, enumerate up
+/// to the limit, then stream the embeddings as `ENUM_PAGE` frames.
+/// Returns whether the connection stays open.
+///
+/// The admission permit covers only the matching itself — page streaming
+/// is network-bound and must not hold a pool slot hostage to a slow
+/// reader. The deadline is re-checked **between pages**, so a client can
+/// bound how long a huge stream occupies its connection: an expired
+/// deadline mid-stream answers a typed `DEADLINE_EXCEEDED` frame in
+/// place of the next page (clients treat any error frame as terminating
+/// the stream).
+///
+/// Enumeration is **not idempotent at the wire level** — there is no
+/// request ID and no ledger entry: replaying pages after an ambiguous
+/// failure could interleave two streams, and a truncated-limit re-run may
+/// legitimately return different embeddings. Clients resume by issuing a
+/// fresh request.
+fn handle_enumerate(
+    transport: &mut TcpTransport,
+    peer: u8,
+    payload: &[u8],
+    backend: &ServeBackend<'_>,
+    metrics: &Metrics,
+    admission: &Admission,
+) -> bool {
+    let request = match EnumerateRequest::decode(payload) {
+        Some(request) => request,
+        None => {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::BadPayload,
+                    "enumerate payload must be [flags u8][deadline_ms u32][limit u64]\
+                     [page_size u32][pattern bytes] with a nonzero limit",
+                    None,
+                ))
+                .is_ok();
+        }
+    };
+    let pattern = match Pattern::from_canonical_bytes(&request.pattern) {
+        Some(pattern) => pattern,
+        None => {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::BadPayload,
+                    "pattern bytes are not a valid canonical pattern",
+                    None,
+                ))
+                .is_ok();
+        }
+    };
+    let deadline = (request.deadline_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(u64::from(request.deadline_ms)));
+
+    match admission.acquire_until(deadline) {
+        Admit::Admitted => {}
+        Admit::DeadlineExpired => {
+            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued; the enumeration was not executed",
+                    None,
+                ))
+                .is_ok();
+        }
+        Admit::Overloaded => {
+            metrics.overload_rejections.fetch_add(1, Ordering::Relaxed);
+            let hint = retry_after_hint_ms(metrics);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::RetryLater,
+                    "admission queue is full; the enumeration was not executed",
+                    Some(hint),
+                ))
+                .is_ok();
+        }
+    }
+
+    metrics.enumerations_total.fetch_add(1, Ordering::Relaxed);
+    let count_options = CountOptions {
+        hub_bitsets: request.hub_bitsets,
+        ..CountOptions::default()
+    };
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        backend.enumerate_with(&pattern, request.limit, count_options)
+    }));
+    admission.release();
+
+    let embeddings = match outcome {
+        Err(_) => {
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::Internal,
+                    "enumeration panicked; the worker pool isolated it",
+                    None,
+                ))
+                .is_ok();
+        }
+        Ok(Err(engine_error)) => {
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::PatternRejected,
+                    &engine_error.to_string(),
+                    None,
+                ))
+                .is_ok();
+        }
+        Ok(Ok(embeddings)) => embeddings,
+    };
+
+    // Page streaming: the requested page size is clamped to what a frame
+    // can carry; 0 means "largest legal page".
+    let k = pattern.num_vertices().max(1);
+    let cap = max_embeddings_per_page(k).max(1);
+    let per_page = match request.page_size {
+        0 => cap,
+        requested => (requested as usize).min(cap),
+    };
+    let total_pages = embeddings.len().div_ceil(per_page).max(1);
+    for page_index in 0..total_pages {
+        if page_index > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return transport
+                .send(&error_frame(
+                    peer,
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired mid-stream; remaining pages dropped",
+                    None,
+                ))
+                .is_ok();
+        }
+        let start = page_index * per_page;
+        let end = (start + per_page).min(embeddings.len());
+        let mut vertices = Vec::with_capacity((end - start) * k);
+        for embedding in &embeddings[start..end] {
+            vertices.extend_from_slice(embedding);
+        }
+        let page = EnumPage {
+            last: page_index + 1 == total_pages,
+            pattern_size: k as u8,
+            vertices,
+        };
+        if transport
+            .send(&Frame::with_version(peer, op::ENUM_PAGE, page.encode()))
+            .is_err()
+        {
+            return false;
+        }
+        metrics.pages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+    true
 }
 
 /// Runs one `UPDATE` request end to end: decode, replay-check the
@@ -1733,6 +2016,8 @@ fn stats_frame(
         latency: metrics.latency_snapshot(),
         replication_lag: repl.replication_lag(backend.generation()),
         repl_role: repl.role(),
+        enumerations_total: metrics.enumerations_total.load(Ordering::Relaxed),
+        pages_sent: metrics.pages_sent.load(Ordering::Relaxed),
     };
     Frame::with_version(peer, op::STATS_OK, stats.encode_for(peer))
 }
@@ -1836,24 +2121,14 @@ mod tests {
     #[test]
     fn ledger_replays_only_matching_fingerprints() {
         let ledger = RequestLedger::new(2);
-        let reply = LedgerReply::Count(CountOk {
-            count: 42,
-            elapsed_micros: 7,
-        });
+        let reply = LedgerReply::Count(CountOk::new(42, 7));
         ledger.record(1, 0xAAAA, reply);
         assert_eq!(ledger.lookup(1, 0xAAAA), Some(reply));
         // Same ID from a different logical query: no replay.
         assert_eq!(ledger.lookup(1, 0xBBBB), None);
         assert_eq!(ledger.lookup(2, 0xAAAA), None);
         // FIFO eviction at capacity.
-        ledger.record(
-            2,
-            0xCCCC,
-            LedgerReply::Count(CountOk {
-                count: 1,
-                elapsed_micros: 1,
-            }),
-        );
+        ledger.record(2, 0xCCCC, LedgerReply::Count(CountOk::new(1, 1)));
         ledger.record(
             3,
             0xDDDD,
@@ -1911,6 +2186,7 @@ mod tests {
             deadline_ms: 0,
             request_id: 9,
             min_generation: 0,
+            mode: QueryMode::Count,
             pattern: vec![3, 0b110, 0b101, 0b011],
         };
         let same_but_other_id = CountRequest {
@@ -1934,11 +2210,30 @@ mod tests {
         );
         let different_pattern = CountRequest {
             pattern: vec![3, 0b110, 0b101, 0b111],
-            ..base
+            ..base.clone()
         };
         assert_ne!(
             request_fingerprint(&base),
             request_fingerprint(&different_pattern)
+        );
+        // The execution mode (and a sample mode's parameters) change the
+        // answer, so they separate fingerprints too.
+        let orbit = CountRequest {
+            mode: QueryMode::Orbit,
+            ..base.clone()
+        };
+        assert_ne!(request_fingerprint(&base), request_fingerprint(&orbit));
+        let sample_a = CountRequest {
+            mode: QueryMode::sample(1, 0.5),
+            ..base.clone()
+        };
+        let sample_b = CountRequest {
+            mode: QueryMode::sample(2, 0.5),
+            ..base
+        };
+        assert_ne!(
+            request_fingerprint(&sample_a),
+            request_fingerprint(&sample_b)
         );
     }
 }

@@ -187,6 +187,143 @@ fn counts_triangles_end_to_end() {
 }
 
 #[test]
+fn rejects_nonsensical_mode_combos() {
+    // Execution-mode flags must fail loudly, not silently fall back to a
+    // plain count.
+    assert_rejected(
+        &[
+            "count", "--graph", "g.txt", "--pattern", "house", "--mode=turbo",
+        ],
+        "unknown mode",
+    );
+    assert_rejected(
+        &[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--mode=enumerate",
+            "--session",
+            "--clients",
+            "2",
+        ],
+        "single query stream",
+    );
+    assert_rejected(
+        &[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--mode=enumerate",
+            "--limit",
+            "0",
+        ],
+        "--limit must be at least 1",
+    );
+    assert_rejected(
+        &[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--sample-rate",
+            "0.5",
+        ],
+        "only apply to --mode=sample",
+    );
+    assert_rejected(
+        &[
+            "count",
+            "--graph",
+            "g.txt",
+            "--pattern",
+            "house",
+            "--mode=sample",
+            "--sample-rate",
+            "2",
+        ],
+        "must be in (0, 1]",
+    );
+    assert_rejected(
+        &[
+            "remote",
+            "--pattern",
+            "house",
+            "--enumerate",
+            "--clients",
+            "2",
+        ],
+        "cannot combine with",
+    );
+    assert_rejected(
+        &["remote", "--pattern", "house", "--mode=enumerate"],
+        "--enumerate",
+    );
+}
+
+#[test]
+fn mode_queries_end_to_end() {
+    let graph = temp_graph("modes");
+    let graph = graph.to_str().unwrap();
+    // Enumerate: the two triangles, then the summary line.
+    let output = run(&[
+        "count",
+        "--graph",
+        graph,
+        "--pattern",
+        "triangle",
+        "--mode=enumerate",
+        "--limit",
+        "10",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr_of(&output));
+    let stdout = stdout_of(&output);
+    assert!(
+        stdout.contains("enumerated: 2 embeddings (limit 10)"),
+        "stdout: {stdout}"
+    );
+    // Orbit: counts sum to pattern_size x global count; all four vertices
+    // join at least one triangle.
+    let output = run(&[
+        "count",
+        "--graph",
+        graph,
+        "--pattern",
+        "triangle",
+        "--mode=orbit",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr_of(&output));
+    let stdout = stdout_of(&output);
+    assert!(
+        stdout.contains("orbit: counts sum 6 = 3 x 2 embeddings, 4/4 vertices participate"),
+        "stdout: {stdout}"
+    );
+    // Sample at rate 1 degenerates to the exact count with zero stderr.
+    let output = run(&[
+        "count",
+        "--graph",
+        graph,
+        "--pattern",
+        "triangle",
+        "--mode=sample",
+        "--sample-rate",
+        "1.0",
+        "--sample-seed",
+        "42",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr_of(&output));
+    let stdout = stdout_of(&output);
+    assert!(
+        stdout.contains("sample: estimate 2.0 +- 0.0 stderr"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
 fn clients_mode_reports_aggregate_throughput() {
     let graph = temp_graph("clients");
     let output = run(&[

@@ -1,0 +1,233 @@
+//! Execution-mode agreement suite: the match-sink pipeline's enumerate,
+//! orbit and sample modes must agree with the naive ground truth and with
+//! each other across the execution matrix (threads × hub layout × forced
+//! scalar kernels).
+//!
+//! Enumeration comparisons canonicalize each emitted mapping modulo the
+//! pattern's automorphism group (the lexicographically smallest automorphic
+//! relabeling): under the hub layout the symmetry-breaking restrictions
+//! compare relabeled ids, so a different automorphic representative may be
+//! emitted per occurrence — the set of occurrences is what must match, and
+//! it must contain no duplicates. Sorting the data vertices instead would
+//! conflate distinct embeddings that share a vertex set (a K5 holds 60
+//! house embeddings on the same five vertices).
+
+use graphpi::baseline::naive;
+use graphpi::core::engine::{CountOptions, GraphPi, PlanOptions};
+use graphpi::core::{EngineError, PoolOptions};
+use graphpi::graph::builder::GraphBuilder;
+use graphpi::graph::{generators, CsrGraph};
+use graphpi::pattern::automorphism_group;
+use graphpi::pattern::prefab;
+use graphpi::pattern::Pattern;
+use proptest::prelude::*;
+
+/// Canonicalizes an enumeration result for occurrence-set comparison.
+fn canonical_tuples(pattern: &Pattern, embeddings: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    let auts = automorphism_group(pattern);
+    let mut tuples: Vec<Vec<u32>> = embeddings
+        .iter()
+        .map(|tuple| naive::canonical_embedding(&auts, tuple))
+        .collect();
+    tuples.sort_unstable();
+    tuples
+}
+
+/// The per-vertex orbit counts implied by a canonical embedding list.
+fn orbit_from_tuples(tuples: &[Vec<u32>], num_vertices: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; num_vertices];
+    for tuple in tuples {
+        for &v in tuple {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Strategy: a random simple graph with up to `max_vertices` vertices.
+fn arb_graph(max_vertices: usize, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
+    (
+        4..max_vertices,
+        proptest::collection::vec((0usize..max_vertices, 0usize..max_vertices), 0..max_edges),
+    )
+        .prop_map(|(n, edges)| {
+            let mut builder = GraphBuilder::new().num_vertices(n);
+            for (u, v) in edges {
+                if u != v && u < n && v < n {
+                    builder.push_edge(u as u32, v as u32);
+                }
+            }
+            builder.build()
+        })
+}
+
+/// Strategy: a random connected pattern with 3..=5 vertices.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (3usize..=5)
+        .prop_flat_map(|n| {
+            let extra = proptest::collection::vec((0usize..n, 0usize..n), 0..(n * 2));
+            (Just(n), extra)
+        })
+        .prop_map(|(n, extra)| {
+            let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+            for (u, v) in extra {
+                if u != v {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            Pattern::new(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The enumerated multiset equals the naive baseline's embedding set
+    /// exactly — same occurrences, no duplicates, nothing missing.
+    #[test]
+    fn enumeration_matches_naive_embeddings(graph in arb_graph(20, 60), pattern in arb_pattern()) {
+        let expected = naive::embeddings_sorted(&pattern, &graph);
+        let engine = GraphPi::new(graph);
+        let session = engine.session();
+        let got = canonical_tuples(&pattern, session.enumerate(&pattern, u64::MAX).unwrap());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Orbit counts equal the naive baseline per vertex, and sum to
+    /// `pattern_size x global_count`.
+    #[test]
+    fn orbit_counts_match_naive(graph in arb_graph(20, 60), pattern in arb_pattern()) {
+        let num_vertices = graph.num_vertices();
+        let tuples = naive::embeddings_sorted(&pattern, &graph);
+        let expected = orbit_from_tuples(&tuples, num_vertices);
+        let engine = GraphPi::new(graph);
+        let session = engine.session();
+        let counts = session.count_per_vertex(&pattern).unwrap();
+        prop_assert_eq!(&counts, &expected);
+        let total = session.count(&pattern).unwrap();
+        prop_assert_eq!(
+            counts.iter().sum::<u64>(),
+            pattern.num_vertices() as u64 * total
+        );
+    }
+}
+
+/// Every mode agrees with the ground truth across threads × hub layout ×
+/// forced-scalar kernels, and the truncation budget is honored.
+#[test]
+fn modes_agree_across_execution_matrix() {
+    let graph = generators::power_law(60, 4, 1);
+    let num_vertices = graph.num_vertices();
+    for pattern in [prefab::triangle(), prefab::house()] {
+        let expected_tuples = naive::embeddings_sorted(&pattern, &graph);
+        let expected_orbit = orbit_from_tuples(&expected_tuples, num_vertices);
+        let exact = expected_tuples.len() as u64;
+        let engine = GraphPi::new(graph.clone());
+        for threads in [1usize, 4] {
+            for hub_bitsets in [false, true] {
+                for scalar_kernels in [false, true] {
+                    let label = format!(
+                        "threads={threads} hub={hub_bitsets} scalar={scalar_kernels}"
+                    );
+                    let options = CountOptions {
+                        threads,
+                        hub_bitsets,
+                        scalar_kernels,
+                        ..CountOptions::default()
+                    };
+                    let session = engine.session_with(
+                        PoolOptions {
+                            threads,
+                            ..PoolOptions::default()
+                        },
+                        PlanOptions::default(),
+                        options,
+                    );
+                    let got = canonical_tuples(
+                        &pattern,
+                        session.enumerate(&pattern, u64::MAX).unwrap(),
+                    );
+                    assert_eq!(got, expected_tuples, "enumerate {label}");
+                    assert_eq!(
+                        session.count_per_vertex(&pattern).unwrap(),
+                        expected_orbit,
+                        "orbit {label}"
+                    );
+                    // Rate 1 sampling degenerates to the exact count.
+                    let approx = session.count_approx(&pattern, 1.0, 0).unwrap();
+                    assert_eq!(approx.estimate, exact as f64, "sample {label}");
+                    assert_eq!(approx.stderr, 0.0, "sample stderr {label}");
+                    // A truncated enumeration honors its budget and returns
+                    // valid occurrences.
+                    if exact > 2 {
+                        let page =
+                            canonical_tuples(&pattern, session.enumerate(&pattern, 2).unwrap());
+                        assert_eq!(page.len(), 2, "limit {label}");
+                        for tuple in &page {
+                            assert!(
+                                expected_tuples.contains(tuple),
+                                "truncated page emitted a non-embedding under {label}: {tuple:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fixed-seed sampling is deterministic (independent of thread count), its
+/// estimate lands within the asserted confidence band of the exact count,
+/// and invalid rates are typed errors.
+#[test]
+fn sample_estimates_within_ci_at_fixed_seed() {
+    let graph = generators::power_law(300, 5, 7);
+    let engine = GraphPi::new(graph);
+    let session = engine.session();
+    let pattern = prefab::triangle();
+    let exact = session.count(&pattern).unwrap() as f64;
+    // Rate 1 is the degenerate exact case: every task sampled, zero error.
+    let full = session.count_approx(&pattern, 1.0, 0).unwrap();
+    assert_eq!(full.estimate, exact);
+    assert_eq!(full.stderr, 0.0);
+    assert_eq!(full.sampled_tasks, full.total_tasks);
+    for (rate, seed) in [(0.5, 7u64), (0.25, 42)] {
+        let approx = session.count_approx(&pattern, rate, seed).unwrap();
+        // Deterministic replay: a single-threaded session reproduces the
+        // estimate bit for bit.
+        let serial = engine
+            .session_with(
+                PoolOptions {
+                    threads: 1,
+                    ..PoolOptions::default()
+                },
+                PlanOptions::default(),
+                CountOptions {
+                    threads: 1,
+                    ..CountOptions::default()
+                },
+            )
+            .count_approx(&pattern, rate, seed)
+            .unwrap();
+        assert_eq!(approx.estimate.to_bits(), serial.estimate.to_bits());
+        assert_eq!(approx.stderr.to_bits(), serial.stderr.to_bits());
+        assert!(approx.sampled_tasks < approx.total_tasks);
+        // The asserted confidence band: 5 sigma around the exact count.
+        // A fixed seed makes this deterministic — it either always holds
+        // or the estimator is wrong.
+        let sigma = approx.stderr.max(1.0);
+        assert!(
+            (approx.estimate - exact).abs() <= 5.0 * sigma,
+            "estimate {} strays more than 5 sigma ({sigma}) from exact {exact} \
+             at rate {rate} seed {seed}",
+            approx.estimate
+        );
+    }
+    // Invalid rates are typed errors, not garbage estimates.
+    for bad in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+        assert!(matches!(
+            session.count_approx(&pattern, bad, 0),
+            Err(EngineError::InvalidSampleRate)
+        ));
+    }
+}

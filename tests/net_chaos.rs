@@ -9,7 +9,7 @@
 use graphpi::core::config::ServeOptions;
 use graphpi::core::engine::{GraphPi, PlanCache};
 use graphpi::core::exec::pool::WorkerPool;
-use graphpi::core::net::protocol::{self, op, CountOk, CountRequest, Frame, StatsOk};
+use graphpi::core::net::protocol::{self, op, CountOk, CountRequest, Frame, QueryMode, StatsOk};
 use graphpi::core::net::{
     ChaosConfig, ChaosConnector, Client, ErrorCode, HealthState, NetError, RemoteCountOptions,
     RetryPolicy, RetryingClient, Server, ServerHandle, Transport,
@@ -301,6 +301,7 @@ fn protocol_v1_clients_are_served_with_v1_replies() {
             deadline_ms: 0,
             request_id: 0,
             min_generation: 0,
+            mode: QueryMode::Count,
             pattern: prefab::triangle().canonical_bytes(),
         };
         stream

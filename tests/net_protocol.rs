@@ -9,8 +9,9 @@ use graphpi::core::config::ServeOptions;
 use graphpi::core::engine::{GraphPi, PlanCache};
 use graphpi::core::exec::pool::WorkerPool;
 use graphpi::core::net::protocol::{
-    self, op, CountRequest, ErrorCode, Frame, LatencyHistogram, NetError, PromoteOk, ReplAck,
-    ReplBatch, ReplPayload, ReplSubscribe, StatsOk, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_LEN,
+    self, op, CountRequest, ErrorCode, Frame, LatencyHistogram, NetError, PromoteOk, QueryMode,
+    ReplAck, ReplBatch, ReplPayload, ReplSubscribe, StatsOk, WireError, HISTOGRAM_BUCKETS,
+    MAX_FRAME_LEN,
 };
 use graphpi::core::net::{Client, RetryPolicy};
 use graphpi::graph::generators;
@@ -108,6 +109,8 @@ proptest! {
             overload_rejections: words[14],
             replication_lag: words[0],
             repl_role: graphpi::core::net::ReplRole::Replica,
+            enumerations_total: words[9],
+            pages_sent: words[10],
             latency,
         };
         // The v2 encoding round-trips every field; the v1 encoding drops
@@ -450,6 +453,7 @@ fn fault_battery_leaves_the_server_standing() {
                 deadline_ms: 0,
                 request_id: 0,
                 min_generation: 0,
+                mode: QueryMode::Count,
                 pattern: prefab::triangle().canonical_bytes(),
             };
             stream
@@ -468,6 +472,7 @@ fn fault_battery_leaves_the_server_standing() {
                 deadline_ms: 0,
                 request_id: 0,
                 min_generation: 0,
+                mode: QueryMode::Count,
                 pattern: vec![2, 0b01], // vertex 0 adjacent to itself
             };
             let mut client = Client::connect(addr).unwrap();
@@ -540,6 +545,7 @@ fn frames_pipelined_back_to_back_all_get_replies() {
             deadline_ms: 0,
             request_id: 0,
             min_generation: 0,
+            mode: QueryMode::Count,
             pattern: prefab::triangle().canonical_bytes(),
         };
         let mut burst = Vec::new();
